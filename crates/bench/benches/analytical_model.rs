@@ -1,0 +1,40 @@
+//! Cost of evaluating the Section 4.4 analytical model (it enumerates
+//! c^g groups per evaluation — the reason the paper computed it "using a
+//! computer program" rather than in closed form).
+
+use aqp::analytical::{
+    expected_sqrelerr_smallgroup, expected_sqrelerr_uniform, sweep_allocation_ratio, ModelConfig,
+};
+use criterion::{criterion_group, criterion_main, Criterion};
+
+fn bench_model(c: &mut Criterion) {
+    let mut group = c.benchmark_group("analytical");
+
+    let cfg2 = ModelConfig {
+        distinct_values: 50,
+        grouping_columns: 2,
+        ..Default::default()
+    };
+    let cfg3 = ModelConfig {
+        distinct_values: 50,
+        grouping_columns: 3,
+        selectivity: 0.3,
+        ..Default::default()
+    };
+
+    group.bench_function("uniform_g2_c50", |b| {
+        b.iter(|| std::hint::black_box(expected_sqrelerr_uniform(&cfg2)))
+    });
+    group.bench_function("smallgroup_g3_c50", |b| {
+        b.iter(|| std::hint::black_box(expected_sqrelerr_smallgroup(&cfg3, 0.5)))
+    });
+    group.bench_function("fig3a_full_sweep", |b| {
+        let gammas: Vec<f64> = (0..=20).map(|i| i as f64 * 0.1).collect();
+        b.iter(|| std::hint::black_box(sweep_allocation_ratio(&cfg2, &gammas)))
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_model);
+criterion_main!(benches);

@@ -1,0 +1,83 @@
+//! Executor micro-benchmarks: predicate fast paths, group-key extraction,
+//! bitmask filtering and join-synopsis denormalisation.
+
+use aqp::prelude::*;
+use criterion::{criterion_group, criterion_main, Criterion};
+
+fn bench_executor(c: &mut Criterion) {
+    let star = gen_tpch(&TpchConfig {
+        scale_factor: 0.2,
+        zipf_z: 1.5,
+        seed: 3,
+    })
+    .unwrap();
+    let view = star.denormalize("v").unwrap();
+    let mut group = c.benchmark_group("executor");
+
+    // IN-list over a dictionary column (resolved to codes at compile time).
+    let q = Query::builder()
+        .count()
+        .filter(Expr::in_set(
+            "lineitem.shipmode",
+            vec!["SHIP#000".into(), "SHIP#003".into()],
+        ))
+        .build()
+        .unwrap();
+    group.bench_function("dict_in_set_filter", |b| {
+        b.iter(|| execute(&DataSource::Wide(&view), &q, &ExecOptions::default()).unwrap())
+    });
+
+    // Numeric range comparison fast path.
+    let q = Query::builder()
+        .count()
+        .filter(Expr::cmp("lineitem.extendedprice", CmpOp::Ge, 5000.0f64))
+        .build()
+        .unwrap();
+    group.bench_function("float_cmp_filter", |b| {
+        b.iter(|| execute(&DataSource::Wide(&view), &q, &ExecOptions::default()).unwrap())
+    });
+
+    // Group-key extraction: 1 vs 4 columns.
+    let q1 = Query::builder().count().group_by("part.brand").build().unwrap();
+    let q4 = Query::builder()
+        .count()
+        .group_by("part.brand")
+        .group_by("lineitem.shipmode")
+        .group_by("supplier.nation")
+        .group_by("orders.priority")
+        .build()
+        .unwrap();
+    group.bench_function("group_by_1col", |b| {
+        b.iter(|| execute(&DataSource::Wide(&view), &q1, &ExecOptions::default()).unwrap())
+    });
+    group.bench_function("group_by_4col", |b| {
+        b.iter(|| execute(&DataSource::Wide(&view), &q4, &ExecOptions::default()).unwrap())
+    });
+
+    // Star execution (through the join maps) vs the wide view.
+    group.bench_function("group_by_4col_star", |b| {
+        b.iter(|| execute(&DataSource::Star(&star), &q4, &ExecOptions::default()).unwrap())
+    });
+
+    // Bitmask-filtered scan over a sample table.
+    let sgs = SmallGroupSampler::build(&view, SmallGroupConfig::with_rates(0.05, 0.5)).unwrap();
+    let q = Query::builder()
+        .count()
+        .group_by("part.brand")
+        .build()
+        .unwrap();
+    group.bench_function("rewritten_plan_with_bitmask", |b| {
+        b.iter(|| sgs.answer(&q, 0.95).unwrap())
+    });
+
+    // Join-synopsis materialisation.
+    group.bench_function("denormalize_1pct", |b| {
+        let rows: Vec<usize> = (0..star.fact().num_rows()).step_by(100).collect();
+        b.iter(|| star.denormalize_rows("syn", &rows).unwrap())
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_executor);
+criterion_main!(benches);

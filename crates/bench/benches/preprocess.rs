@@ -1,0 +1,86 @@
+//! Pre-processing cost of each AQP system (paper Section 5.4.2).
+//!
+//! The paper's claim: uniform sampling and outlier indexing build in
+//! minutes, small group sampling and basic congress are slower but "not
+//! exorbitant" — and small group sampling scales *linearly* in the number
+//! of columns while full congress is exponential.
+
+use aqp::prelude::*;
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+
+fn view() -> Table {
+    gen_tpch(&TpchConfig {
+        scale_factor: 0.2,
+        zipf_z: 1.5,
+        seed: 5,
+    })
+    .unwrap()
+    .denormalize("v")
+    .unwrap()
+}
+
+fn bench_preprocess(c: &mut Criterion) {
+    let view = view();
+    let mut group = c.benchmark_group("preprocess");
+    group.sample_size(10);
+
+    group.bench_function("smallgroup", |b| {
+        b.iter_batched(
+            || (),
+            |()| SmallGroupSampler::build(&view, SmallGroupConfig::with_rates(0.01, 0.5)).unwrap(),
+            BatchSize::LargeInput,
+        )
+    });
+
+    group.bench_function("uniform", |b| {
+        b.iter_batched(
+            || (),
+            |()| UniformAqp::build(&view, 0.02, 1).unwrap(),
+            BatchSize::LargeInput,
+        )
+    });
+
+    let cols: Vec<String> = ["lineitem.shipmode", "lineitem.returnflag", "part.brand"]
+        .iter()
+        .map(|s| (*s).to_owned())
+        .collect();
+    let budget = view.num_rows() / 50;
+    group.bench_function("basic_congress", |b| {
+        b.iter_batched(
+            || (),
+            |()| BasicCongress::build(&view, &cols, budget, 1).unwrap(),
+            BatchSize::LargeInput,
+        )
+    });
+
+    group.bench_function("outlier_index", |b| {
+        b.iter_batched(
+            || (),
+            |()| OutlierIndex::build(&view, "lineitem.extendedprice", budget / 2, 0.01, 1).unwrap(),
+            BatchSize::LargeInput,
+        )
+    });
+
+    group.bench_function("multilevel", |b| {
+        b.iter_batched(
+            || (),
+            |()| {
+                MultiLevelSampler::build(
+                    &view,
+                    MultiLevelConfig {
+                        base_rate: 0.01,
+                        levels: vec![(0.005, 1.0), (0.02, 0.1)],
+                        ..Default::default()
+                    },
+                )
+                .unwrap()
+            },
+            BatchSize::LargeInput,
+        )
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_preprocess);
+criterion_main!(benches);

@@ -1,0 +1,114 @@
+//! Runtime query latency: exact execution vs. each AQP system, and the
+//! per-grouping-column scaling behind Figure 9.
+
+use aqp::prelude::*;
+use criterion::{criterion_group, criterion_main, Criterion};
+
+struct Setup {
+    star: StarSchema,
+    view: Table,
+    sgs: SmallGroupSampler,
+    uniform: UniformAqp,
+}
+
+fn setup() -> Setup {
+    let star = gen_tpch(&TpchConfig {
+        scale_factor: 0.5,
+        zipf_z: 1.5,
+        seed: 5,
+    })
+    .unwrap();
+    let view = star.denormalize("v").unwrap();
+    let sgs = SmallGroupSampler::build(&view, SmallGroupConfig::with_rates(0.01, 0.5)).unwrap();
+    let uniform = UniformAqp::build(&view, 0.02, 1).unwrap();
+    Setup {
+        star,
+        view,
+        sgs,
+        uniform,
+    }
+}
+
+fn queries() -> Vec<(&'static str, Query)> {
+    vec![
+        (
+            "g1",
+            Query::builder()
+                .count()
+                .group_by("lineitem.shipmode")
+                .build()
+                .unwrap(),
+        ),
+        (
+            "g2",
+            Query::builder()
+                .count()
+                .group_by("lineitem.shipmode")
+                .group_by("part.brand")
+                .build()
+                .unwrap(),
+        ),
+        (
+            "g4",
+            Query::builder()
+                .count()
+                .group_by("lineitem.shipmode")
+                .group_by("part.brand")
+                .group_by("supplier.nation")
+                .group_by("orders.priority")
+                .build()
+                .unwrap(),
+        ),
+    ]
+}
+
+fn bench_query_speed(c: &mut Criterion) {
+    let s = setup();
+    let mut group = c.benchmark_group("query");
+
+    for (label, q) in queries() {
+        group.bench_function(format!("exact_star/{label}"), |b| {
+            b.iter(|| {
+                execute(
+                    &DataSource::Star(&s.star),
+                    std::hint::black_box(&q),
+                    &ExecOptions::default(),
+                )
+                .unwrap()
+            })
+        });
+        group.bench_function(format!("exact_wide/{label}"), |b| {
+            b.iter(|| {
+                execute(
+                    &DataSource::Wide(&s.view),
+                    std::hint::black_box(&q),
+                    &ExecOptions::default(),
+                )
+                .unwrap()
+            })
+        });
+        group.bench_function(format!("smallgroup/{label}"), |b| {
+            b.iter(|| s.sgs.answer(std::hint::black_box(&q), 0.95).unwrap())
+        });
+        group.bench_function(format!("uniform/{label}"), |b| {
+            b.iter(|| s.uniform.answer(std::hint::black_box(&q), 0.95).unwrap())
+        });
+    }
+
+    // Parallel exact scan ablation.
+    let q = queries().pop().unwrap().1;
+    for threads in [1usize, 4] {
+        group.bench_function(format!("exact_wide_parallel/{threads}"), |b| {
+            let opts = ExecOptions {
+                parallelism: threads,
+                ..ExecOptions::default()
+            };
+            b.iter(|| execute(&DataSource::Wide(&s.view), std::hint::black_box(&q), &opts).unwrap())
+        });
+    }
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_query_speed);
+criterion_main!(benches);

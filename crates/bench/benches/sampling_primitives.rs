@@ -1,0 +1,80 @@
+//! Micro-benchmarks of the sampling substrate: reservoir maintenance,
+//! without-replacement draws, Zipf sampling and frequency counting.
+
+use aqp::sampling::{
+    sample_without_replacement, BernoulliSampler, ColumnFrequency, ReservoirSampler,
+    TruncatedZipf,
+};
+use criterion::{criterion_group, criterion_main, Criterion};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn bench_sampling(c: &mut Criterion) {
+    let mut group = c.benchmark_group("sampling");
+
+    group.bench_function("reservoir_100k_into_1k", |b| {
+        b.iter(|| {
+            let mut rng = StdRng::seed_from_u64(1);
+            let mut r = ReservoirSampler::new(1_000);
+            for i in 0..100_000u32 {
+                r.observe(i, &mut rng);
+            }
+            std::hint::black_box(r.items().len())
+        })
+    });
+
+    group.bench_function("wor_100k_choose_1k", |b| {
+        b.iter(|| {
+            let mut rng = StdRng::seed_from_u64(2);
+            std::hint::black_box(sample_without_replacement(100_000, 1_000, &mut rng).len())
+        })
+    });
+
+    group.bench_function("bernoulli_100k_at_1pct", |b| {
+        b.iter(|| {
+            let mut rng = StdRng::seed_from_u64(3);
+            let s = BernoulliSampler::new(0.01);
+            std::hint::black_box(s.sample_indices(100_000, &mut rng).len())
+        })
+    });
+
+    group.bench_function("zipf_sample_100k", |b| {
+        let d = TruncatedZipf::new(1000, 1.5);
+        b.iter(|| {
+            let mut rng = StdRng::seed_from_u64(4);
+            let mut acc = 0usize;
+            for _ in 0..100_000 {
+                acc += d.sample(&mut rng);
+            }
+            std::hint::black_box(acc)
+        })
+    });
+
+    group.bench_function("frequency_count_100k", |b| {
+        let d = TruncatedZipf::new(500, 1.2);
+        let mut rng = StdRng::seed_from_u64(5);
+        let values: Vec<u64> = (0..100_000).map(|_| d.sample(&mut rng) as u64).collect();
+        b.iter(|| {
+            let mut f: ColumnFrequency<u64> = ColumnFrequency::new(5000);
+            for v in &values {
+                f.observe(v);
+            }
+            std::hint::black_box(f.distinct())
+        })
+    });
+
+    group.bench_function("common_values_l_c", |b| {
+        let d = TruncatedZipf::new(500, 1.2);
+        let mut rng = StdRng::seed_from_u64(6);
+        let mut f: ColumnFrequency<u64> = ColumnFrequency::new(5000);
+        for _ in 0..100_000 {
+            f.observe(&(d.sample(&mut rng) as u64));
+        }
+        b.iter(|| std::hint::black_box(f.common_values(0.005).map(|c| c.num_common())))
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_sampling);
+criterion_main!(benches);

@@ -1,0 +1,7 @@
+//! Empirical allocation-ratio ablation (the measured counterpart of the
+//! paper's analytical Figure 3(a)).
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let cfg = aqp_bench::ExpConfig::from_env();
+    println!("{}", aqp_bench::figures::exp_gamma(&cfg)?);
+    Ok(())
+}

@@ -1,0 +1,9 @@
+//! Regenerates Sections 5.4.1 / 5.4.2: query speedups and preprocessing
+//! time / space overheads.
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let cfg = aqp_bench::ExpConfig::from_env();
+    let (speedups, prep) = aqp_bench::figures::exp_perf(&cfg)?;
+    println!("{speedups}");
+    println!("{prep}");
+    Ok(())
+}

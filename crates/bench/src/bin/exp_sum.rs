@@ -1,0 +1,7 @@
+//! Regenerates the Section 5.3.3 in-text table: SUM queries, small group
+//! sampling enhanced with outlier indexing vs outlier indexing alone.
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let cfg = aqp_bench::ExpConfig::from_env();
+    println!("{}", aqp_bench::figures::exp_sum(&cfg)?);
+    Ok(())
+}

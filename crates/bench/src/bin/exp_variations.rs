@@ -1,0 +1,7 @@
+//! Ablation of the Section 4.2.3 variations: multi-level hierarchies and
+//! column-pair small group tables vs plain small group sampling.
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let cfg = aqp_bench::ExpConfig::from_env();
+    println!("{}", aqp_bench::figures::exp_variations(&cfg)?);
+    Ok(())
+}

@@ -1,0 +1,6 @@
+//! Regenerates Figure 3 (analytical model): SqRelErr vs allocation ratio
+//! and vs skew.
+fn main() {
+    println!("{}", aqp_bench::figures::fig3a());
+    println!("{}", aqp_bench::figures::fig3b());
+}

@@ -1,0 +1,9 @@
+//! Regenerates Figure 4: SmGroup vs Uniform on TPCH z=2.0, by grouping
+//! columns.
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let cfg = aqp_bench::ExpConfig::from_env();
+    let (rel, pct) = aqp_bench::figures::fig4(&cfg)?;
+    println!("{rel}");
+    println!("{pct}");
+    Ok(())
+}

@@ -1,0 +1,6 @@
+//! Regenerates Figure 5: error vs per-group selectivity on SALES.
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let cfg = aqp_bench::ExpConfig::from_env();
+    println!("{}", aqp_bench::figures::fig5(&cfg)?);
+    Ok(())
+}

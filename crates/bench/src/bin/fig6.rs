@@ -1,0 +1,6 @@
+//! Regenerates Figure 6: error vs Zipf skew on the TPCH1Gyz series.
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let cfg = aqp_bench::ExpConfig::from_env();
+    println!("{}", aqp_bench::figures::fig6(&cfg)?);
+    Ok(())
+}

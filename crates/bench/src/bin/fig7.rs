@@ -1,0 +1,6 @@
+//! Regenerates Figure 7: error vs base sampling rate on TPCH z=2.0.
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let cfg = aqp_bench::ExpConfig::from_env();
+    println!("{}", aqp_bench::figures::fig7(&cfg)?);
+    Ok(())
+}

@@ -1,0 +1,8 @@
+//! Regenerates Figure 8: SmGroup vs BasicCongress vs Uniform on SALES.
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let cfg = aqp_bench::ExpConfig::from_env();
+    let (rel, pct) = aqp_bench::figures::fig8(&cfg)?;
+    println!("{rel}");
+    println!("{pct}");
+    Ok(())
+}

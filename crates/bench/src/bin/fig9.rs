@@ -1,0 +1,7 @@
+//! Regenerates Figure 9: speedup of small group sampling vs grouping
+//! columns on the large TPCH z=1.5 database.
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let cfg = aqp_bench::ExpConfig::from_env();
+    println!("{}", aqp_bench::figures::fig9(&cfg)?);
+    Ok(())
+}

@@ -1,0 +1,34 @@
+//! Runs every experiment driver in sequence — the full evaluation section
+//! of the paper in one command.
+use aqp_bench::figures;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let cfg = aqp_bench::ExpConfig::from_env();
+    println!("configuration: {cfg:?}\n");
+
+    println!("{}", figures::fig3a());
+    println!("{}", figures::fig3b());
+
+    let (rel, pct) = figures::fig4(&cfg)?;
+    println!("{rel}");
+    println!("{pct}");
+
+    println!("{}", figures::fig5(&cfg)?);
+    println!("{}", figures::fig6(&cfg)?);
+    println!("{}", figures::fig7(&cfg)?);
+
+    let (rel, pct) = figures::fig8(&cfg)?;
+    println!("{rel}");
+    println!("{pct}");
+
+    println!("{}", figures::fig9(&cfg)?);
+    println!("{}", figures::exp_sum(&cfg)?);
+
+    let (speedups, prep) = figures::exp_perf(&cfg)?;
+    println!("{speedups}");
+    println!("{prep}");
+
+    println!("{}", figures::exp_variations(&cfg)?);
+    println!("{}", figures::exp_gamma(&cfg)?);
+    Ok(())
+}

@@ -1,0 +1,112 @@
+//! Experiment configuration and dataset construction.
+
+use aqp::prelude::*;
+
+/// Knobs shared by every experiment driver, overridable via environment
+/// variables so the whole suite scales up or down without recompiling:
+///
+/// | variable | meaning | default |
+/// |---|---|---|
+/// | `AQP_SCALE` | TPC-H micro scale factor (1.0 ⇒ 60 k fact rows) | 1.0 |
+/// | `AQP_SALES_ROWS` | SALES fact rows | 100 000 |
+/// | `AQP_QUERIES` | queries per configuration (paper uses 20) | 20 |
+/// | `AQP_RATE` | base sampling rate `r` (micro-calibrated) | 0.04 |
+/// | `AQP_GAMMA` | allocation ratio γ = t/r | 0.5 |
+/// | `AQP_SEED` | master RNG seed | 42 |
+#[derive(Debug, Clone, Copy)]
+pub struct ExpConfig {
+    /// TPC-H micro scale factor.
+    pub tpch_scale: f64,
+    /// SALES fact rows.
+    pub sales_rows: usize,
+    /// Queries generated per experimental configuration.
+    pub queries_per_config: usize,
+    /// Base sampling rate `r`.
+    pub base_rate: f64,
+    /// Allocation ratio γ (the paper's recommended 0.5).
+    pub gamma: f64,
+    /// Master seed.
+    pub seed: u64,
+}
+
+impl Default for ExpConfig {
+    fn default() -> Self {
+        ExpConfig {
+            tpch_scale: 1.0,
+            sales_rows: 100_000,
+            queries_per_config: 20,
+            base_rate: 0.04,
+            gamma: 0.5,
+            seed: 42,
+        }
+    }
+}
+
+impl ExpConfig {
+    /// Read the configuration from environment variables, falling back to
+    /// the defaults.
+    pub fn from_env() -> Self {
+        fn var<T: std::str::FromStr>(name: &str, default: T) -> T {
+            std::env::var(name)
+                .ok()
+                .and_then(|v| v.parse().ok())
+                .unwrap_or(default)
+        }
+        let d = Self::default();
+        ExpConfig {
+            tpch_scale: var("AQP_SCALE", d.tpch_scale),
+            sales_rows: var("AQP_SALES_ROWS", d.sales_rows),
+            queries_per_config: var("AQP_QUERIES", d.queries_per_config),
+            base_rate: var("AQP_RATE", d.base_rate),
+            gamma: var("AQP_GAMMA", d.gamma),
+            seed: var("AQP_SEED", d.seed),
+        }
+    }
+
+    /// Build the skewed TPC-H star schema at this config's scale.
+    pub fn tpch(&self, zipf_z: f64) -> StarSchema {
+        gen_tpch(&TpchConfig {
+            scale_factor: self.tpch_scale,
+            zipf_z,
+            seed: self.seed,
+        })
+        .expect("tpch generation")
+    }
+
+    /// Build the SALES star schema at this config's size.
+    pub fn sales(&self) -> StarSchema {
+        gen_sales(&SalesConfig {
+            fact_rows: self.sales_rows,
+            ..Default::default()
+        })
+        .expect("sales generation")
+    }
+
+    /// The dataset profile for TPC-H workload generation.
+    pub fn tpch_profile(&self, view: &Table) -> DatasetProfile {
+        DatasetProfile::new(
+            view,
+            aqp::datagen::tpch::TPCH_MEASURE_COLUMNS,
+            aqp::datagen::tpch::TPCH_EXCLUDED_GROUPING,
+            5000,
+        )
+    }
+
+    /// The dataset profile for SALES workload generation.
+    pub fn sales_profile(&self, view: &Table) -> DatasetProfile {
+        DatasetProfile::new(
+            view,
+            aqp::datagen::sales::SALES_MEASURE_COLUMNS,
+            aqp::datagen::sales::SALES_EXCLUDED_GROUPING,
+            5000,
+        )
+    }
+
+    /// Small-group configuration at this config's rates.
+    pub fn sgs_config(&self) -> SmallGroupConfig {
+        SmallGroupConfig {
+            seed: self.seed,
+            ..SmallGroupConfig::with_rates(self.base_rate, self.gamma)
+        }
+    }
+}

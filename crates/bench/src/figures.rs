@@ -1,0 +1,756 @@
+//! One driver per paper figure / in-text table.
+//!
+//! Every function builds the required database(s) and systems, runs the
+//! workload, and returns [`FigureTable`]s whose rows mirror the series the
+//! paper plots. Binaries in `src/bin/` print them; EXPERIMENTS.md records
+//! paper-vs-measured values and the expected shapes.
+
+use crate::datasets::ExpConfig;
+use crate::report::FigureTable;
+use crate::compare_on_workload;
+use aqp::analytical::{sweep_allocation_ratio, sweep_skew, ModelConfig};
+use aqp::prelude::*;
+
+type AnyError = Box<dyn std::error::Error>;
+
+/// Figure 3(a): analytical SqRelErr vs. sampling allocation ratio
+/// (g = 2, σ = 0.1, c = 50, z = 1.8).
+pub fn fig3a() -> FigureTable {
+    let cfg = ModelConfig {
+        distinct_values: 50,
+        skew: 1.8,
+        grouping_columns: 2,
+        selectivity: 0.1,
+        ..Default::default()
+    };
+    let gammas: Vec<f64> = (0..=20).map(|i| i as f64 * 0.1).collect();
+    let mut table = FigureTable::new(
+        "Figure 3(a): analytical SqRelErr vs allocation ratio (z=1.8, g=2, sigma=0.1, c=50)",
+        &["gamma", "SmGroup"],
+    );
+    for (gamma, esg) in sweep_allocation_ratio(&cfg, &gammas) {
+        table.push(format!("{gamma:.1}"), vec![esg]);
+    }
+    table
+}
+
+/// Figure 3(b): analytical SqRelErr vs. skew z
+/// (g = 3, σ = 0.3, c = 50, γ = 0.5).
+pub fn fig3b() -> FigureTable {
+    let cfg = ModelConfig {
+        distinct_values: 50,
+        skew: 1.8,
+        grouping_columns: 3,
+        selectivity: 0.3,
+        ..Default::default()
+    };
+    let skews: Vec<f64> = (0..=12).map(|i| 1.0 + i as f64 * 0.125).collect();
+    let mut table = FigureTable::new(
+        "Figure 3(b): analytical SqRelErr vs skew (g=3, sigma=0.3, c=50, gamma=0.5)",
+        &["z", "SmGroup", "Uniform"],
+    );
+    for (z, esg, eu) in sweep_skew(&cfg, 0.5, &skews) {
+        table.push(format!("{z:.3}"), vec![esg, eu]);
+    }
+    table
+}
+
+/// Shared body of Figures 4, 8: sweep the number of grouping columns on a
+/// prebuilt view, evaluating the given systems per sweep point with a
+/// freshly matched uniform baseline.
+fn grouping_sweep(
+    cfg: &ExpConfig,
+    view: &Table,
+    profile: &DatasetProfile,
+    sgs: &SmallGroupSampler,
+    congress: Option<&BasicCongress>,
+    titles: (&str, &str),
+) -> Result<(FigureTable, FigureTable), AnyError> {
+    let mut rel_cols = vec!["g", "SmGroup", "Uniform"];
+    let mut pct_cols = vec!["g", "SmGroup", "Uniform"];
+    if congress.is_some() {
+        rel_cols.insert(2, "BasicCongress");
+        pct_cols.insert(2, "BasicCongress");
+    }
+    let mut rel = FigureTable::new(titles.0, &rel_cols);
+    let mut pct = FigureTable::new(titles.1, &pct_cols);
+
+    for g in 1..=4usize {
+        let queries = generate_queries(
+            profile,
+            &QueryGenConfig {
+                grouping_columns: g,
+                num_predicates: 1,
+                aggregate: WorkloadAggregate::Count,
+                seed: cfg.seed + g as u64,
+                ..Default::default()
+            },
+            cfg.queries_per_config,
+        );
+        let uniform = UniformAqp::build(
+            view,
+            UniformAqp::matched_rate(cfg.base_rate, cfg.gamma, g),
+            cfg.seed,
+        )?;
+        let mut systems: Vec<&dyn AqpSystem> = vec![sgs, &uniform];
+        if let Some(c) = congress {
+            systems.insert(1, c);
+        }
+        let scores = compare_on_workload(&systems, &DataSource::Wide(view), &queries)?;
+        rel.push(g.to_string(), scores.iter().map(|s| s.rel_err).collect());
+        pct.push(g.to_string(), scores.iter().map(|s| s.pct_groups).collect());
+    }
+    Ok((rel, pct))
+}
+
+/// Figure 4(a)/(b): RelErr and PctGroups vs. number of grouping columns,
+/// small group sampling vs. space-matched uniform, on TPCH z=2.0.
+pub fn fig4(cfg: &ExpConfig) -> Result<(FigureTable, FigureTable), AnyError> {
+    let star = cfg.tpch(2.0);
+    let view = star.denormalize("tpch_view")?;
+    let profile = cfg.tpch_profile(&view);
+    let sgs = SmallGroupSampler::build(&view, cfg.sgs_config())?;
+    grouping_sweep(
+        cfg,
+        &view,
+        &profile,
+        &sgs,
+        None,
+        (
+            "Figure 4(a): RelErr vs grouping columns (TPCH z=2.0)",
+            "Figure 4(b): PctGroups vs grouping columns (TPCH z=2.0)",
+        ),
+    )
+}
+
+/// Figure 5: RelErr and PctGroups vs. per-group selectivity (log buckets)
+/// on the SALES database, small group sampling vs. matched uniform.
+pub fn fig5(cfg: &ExpConfig) -> Result<FigureTable, AnyError> {
+    use aqp::workload::harness::{approx_map, exact_answer};
+    use aqp::workload::metrics::metric_report;
+
+    // SALES micro-scale calibration: its group spaces are wider relative
+    // to N than TPC-H's, so the SALES experiments run at 1.5x the base
+    // rate to stay in the paper's rows-per-group regime (see crate docs).
+    let cfg = &ExpConfig {
+        base_rate: (cfg.base_rate * 1.5).min(1.0),
+        ..*cfg
+    };
+    let star = cfg.sales();
+    let view = star.denormalize("sales_view")?;
+    let profile = cfg.sales_profile(&view);
+    let sgs = SmallGroupSampler::build(&view, cfg.sgs_config())?;
+
+    // Mix grouping arities and predicate widths so queries span a wide
+    // range of per-group selectivities, then bucket by the exact answer's
+    // mean group size (the paper's x-axis).
+    let mut evals: Vec<(f64, f64, f64, f64, f64)> = Vec::new(); // (sel, sgs_rel, uni_rel, sgs_pct, uni_pct)
+    for g in 1..=3usize {
+        let queries = generate_queries(
+            &profile,
+            &QueryGenConfig {
+                grouping_columns: g,
+                num_predicates: if g == 1 { 1 } else { 2 },
+                aggregate: WorkloadAggregate::Count,
+                seed: cfg.seed + 10 + g as u64,
+                ..Default::default()
+            },
+            cfg.queries_per_config,
+        );
+        let uniform = UniformAqp::build(
+            &view,
+            UniformAqp::matched_rate(cfg.base_rate, cfg.gamma, g),
+            cfg.seed,
+        )?;
+        for q in &queries {
+            let exact = exact_answer(&DataSource::Wide(&view), q)?;
+            if exact.num_groups() == 0 {
+                continue;
+            }
+            let sel = exact.per_group_selectivity();
+            let a = metric_report(&exact.per_agg[0], &approx_map(&sgs.answer(q, 0.95)?, 0));
+            let b = metric_report(&exact.per_agg[0], &approx_map(&uniform.answer(q, 0.95)?, 0));
+            evals.push((sel, a.rel_err, b.rel_err, a.pct_groups, b.pct_groups));
+        }
+    }
+
+    // The paper's log-scale buckets: 0.02% to 1.28%, doubling.
+    let edges = [0.0, 0.0002, 0.0004, 0.0008, 0.0016, 0.0032, 0.0064, 0.0128, 1.0];
+    let labels = [
+        ".00-.02%", ".02-.04%", ".04-.08%", ".08-.16%", ".16-.32%", ".32-.64%", ".64-1.28%",
+        ">1.28%",
+    ];
+    let mut table = FigureTable::new(
+        "Figure 5: error vs per-group selectivity (SALES)",
+        &["selectivity", "SmGroup RelErr", "Uniform RelErr", "SmGroup Pct", "Uniform Pct", "queries"],
+    );
+    for b in 0..labels.len() {
+        let bucket: Vec<_> = evals
+            .iter()
+            .filter(|(sel, ..)| *sel > edges[b] && *sel <= edges[b + 1])
+            .collect();
+        if bucket.is_empty() {
+            continue;
+        }
+        let n = bucket.len() as f64;
+        table.push(
+            labels[b],
+            vec![
+                bucket.iter().map(|e| e.1).sum::<f64>() / n,
+                bucket.iter().map(|e| e.2).sum::<f64>() / n,
+                bucket.iter().map(|e| e.3).sum::<f64>() / n,
+                bucket.iter().map(|e| e.4).sum::<f64>() / n,
+                n,
+            ],
+        );
+    }
+    Ok(table)
+}
+
+/// Figure 6: RelErr (and PctGroups) vs. Zipf skew on the TPCH1Gyz series.
+pub fn fig6(cfg: &ExpConfig) -> Result<FigureTable, AnyError> {
+    let mut table = FigureTable::new(
+        "Figure 6: error vs skew (TPCH1Gyz, 2 grouping columns)",
+        &["z", "SmGroup RelErr", "Uniform RelErr", "SmGroup Pct", "Uniform Pct"],
+    );
+    let g = 2usize;
+    for &z in &[1.0, 1.5, 2.0, 2.5] {
+        let star = cfg.tpch(z);
+        let view = star.denormalize("v")?;
+        let profile = cfg.tpch_profile(&view);
+        let sgs = SmallGroupSampler::build(&view, cfg.sgs_config())?;
+        let uniform = UniformAqp::build(
+            &view,
+            UniformAqp::matched_rate(cfg.base_rate, cfg.gamma, g),
+            cfg.seed,
+        )?;
+        let queries = generate_queries(
+            &profile,
+            &QueryGenConfig {
+                grouping_columns: g,
+                num_predicates: 1,
+                aggregate: WorkloadAggregate::Count,
+                seed: cfg.seed + 20,
+                ..Default::default()
+            },
+            cfg.queries_per_config,
+        );
+        let scores =
+            compare_on_workload(&[&sgs, &uniform], &DataSource::Wide(&view), &queries)?;
+        table.push(
+            format!("{z:.1}"),
+            vec![
+                scores[0].rel_err,
+                scores[1].rel_err,
+                scores[0].pct_groups,
+                scores[1].pct_groups,
+            ],
+        );
+    }
+    Ok(table)
+}
+
+/// Figure 7: error vs. base sampling rate (log-scale sweep) on TPCH z=2.0.
+pub fn fig7(cfg: &ExpConfig) -> Result<FigureTable, AnyError> {
+    let star = cfg.tpch(2.0);
+    let view = star.denormalize("v")?;
+    let profile = cfg.tpch_profile(&view);
+    let g = 2usize;
+    let queries = generate_queries(
+        &profile,
+        &QueryGenConfig {
+            grouping_columns: g,
+            num_predicates: 1,
+            aggregate: WorkloadAggregate::Count,
+            seed: cfg.seed + 30,
+            ..Default::default()
+        },
+        cfg.queries_per_config,
+    );
+    let mut table = FigureTable::new(
+        "Figure 7: error vs base sampling rate (TPCH z=2.0)",
+        &["rate", "SmGroup RelErr", "Uniform RelErr", "SmGroup Pct", "Uniform Pct"],
+    );
+    // The paper sweeps 0.25%–4%; at micro-scale the equivalent regime is
+    // one decade higher (see the crate docs on rate calibration). RelErr is
+    // heavy-tailed under a single small sample draw (one lucky sample row
+    // in a tiny group overestimates by the full inverse rate), so each
+    // sweep point averages over several sampler seeds — the paper's huge
+    // absolute sample sizes smooth this implicitly.
+    const SAMPLE_SEEDS: u64 = 3;
+    for &rate in &[0.01, 0.02, 0.04, 0.08, 0.16] {
+        let mut acc = [0.0f64; 4];
+        for s in 0..SAMPLE_SEEDS {
+            let sgs = SmallGroupSampler::build(
+                &view,
+                SmallGroupConfig {
+                    seed: cfg.seed + s,
+                    ..SmallGroupConfig::with_rates(rate, cfg.gamma)
+                },
+            )?;
+            let uniform = UniformAqp::build(
+                &view,
+                UniformAqp::matched_rate(rate, cfg.gamma, g),
+                cfg.seed + s,
+            )?;
+            let scores =
+                compare_on_workload(&[&sgs, &uniform], &DataSource::Wide(&view), &queries)?;
+            acc[0] += scores[0].rel_err;
+            acc[1] += scores[1].rel_err;
+            acc[2] += scores[0].pct_groups;
+            acc[3] += scores[1].pct_groups;
+        }
+        table.push(
+            format!("{:.2}%", rate * 100.0),
+            acc.iter().map(|v| v / SAMPLE_SEEDS as f64).collect(),
+        );
+    }
+    Ok(table)
+}
+
+/// Figure 8(a)/(b): RelErr and PctGroups vs. grouping columns on SALES —
+/// small group sampling vs. basic congress vs. uniform.
+pub fn fig8(cfg: &ExpConfig) -> Result<(FigureTable, FigureTable), AnyError> {
+    // Same SALES rate calibration as fig5.
+    let cfg = &ExpConfig {
+        base_rate: (cfg.base_rate * 1.5).min(1.0),
+        ..*cfg
+    };
+    let star = cfg.sales();
+    let view = star.denormalize("sales_view")?;
+    let profile = cfg.sales_profile(&view);
+    let sgs = SmallGroupSampler::build(&view, cfg.sgs_config())?;
+
+    // Basic congress stratifies by the joint key over every candidate
+    // grouping column — the construction whose stratum count explodes
+    // (the paper observed ~166k strata on SALES, degenerating to uniform).
+    let congress_cols: Vec<String> = profile
+        .column_names()
+        .iter()
+        .map(|s| (*s).to_owned())
+        .collect();
+    // Budget matched to the middle of the sweep (g = 2), as a static
+    // congress sample cannot adapt per query.
+    let budget =
+        (view.num_rows() as f64 * UniformAqp::matched_rate(cfg.base_rate, cfg.gamma, 2)) as usize;
+    let congress = BasicCongress::build(&view, &congress_cols, budget, cfg.seed)?;
+
+    grouping_sweep(
+        cfg,
+        &view,
+        &profile,
+        &sgs,
+        Some(&congress),
+        (
+            "Figure 8(a): RelErr vs grouping columns (SALES)",
+            "Figure 8(b): PctGroups vs grouping columns (SALES)",
+        ),
+    )
+}
+
+/// Figure 9: wall-clock speedup of small group sampling vs. number of
+/// grouping columns, on the large TPCH z=1.5 database. Exact execution
+/// runs against the star schema (joins included), approximate execution
+/// against the pre-joined sample tables.
+pub fn fig9(cfg: &ExpConfig) -> Result<FigureTable, AnyError> {
+    // "TPCH5G1.5z": 5x the configured scale.
+    let big = ExpConfig {
+        tpch_scale: cfg.tpch_scale * 5.0,
+        ..*cfg
+    };
+    let star = big.tpch(1.5);
+    let view = star.denormalize("v")?;
+    let profile = big.tpch_profile(&view);
+    let sgs = SmallGroupSampler::build(&view, big.sgs_config())?;
+
+    let mut table = FigureTable::new(
+        "Figure 9: speedup of small group sampling vs grouping columns (TPCH5G1.5z)",
+        &["g", "speedup", "approx ms", "exact ms"],
+    );
+    for g in 1..=4usize {
+        let queries = generate_queries(
+            &profile,
+            &QueryGenConfig {
+                grouping_columns: g,
+                num_predicates: 1,
+                aggregate: WorkloadAggregate::Count,
+                seed: big.seed + 40 + g as u64,
+                ..Default::default()
+            },
+            big.queries_per_config.min(10),
+        );
+        let scores = compare_on_workload(&[&sgs], &DataSource::Star(&star), &queries)?;
+        table.push(
+            g.to_string(),
+            vec![scores[0].speedup(), scores[0].approx_ms, scores[0].exact_ms],
+        );
+    }
+    Ok(table)
+}
+
+/// Section 5.3.3 (in-text table): SUM queries on SALES — small group
+/// sampling enhanced with outlier indexing vs. outlier indexing alone vs.
+/// uniform. The paper reports RelErr 0.79 vs 1.08 and missed groups
+/// 37% vs 55%.
+pub fn exp_sum(cfg: &ExpConfig) -> Result<FigureTable, AnyError> {
+    let star = cfg.sales();
+    let view = star.denormalize("sales_view")?;
+    let profile = cfg.sales_profile(&view);
+    let measure = "sales.revenue";
+
+    let sgs_outlier = SmallGroupSampler::build(
+        &view,
+        SmallGroupConfig {
+            seed: cfg.seed,
+            overall: OverallKind::OutlierIndexed {
+                column: measure.into(),
+            },
+            ..SmallGroupConfig::with_rates(cfg.base_rate, cfg.gamma)
+        },
+    )?;
+    // Fairness at g=1: budget r(1+γ)·N, split half outliers / half sample.
+    let budget =
+        (view.num_rows() as f64 * UniformAqp::matched_rate(cfg.base_rate, cfg.gamma, 1)) as usize;
+    let rest_rate = (budget as f64 / 2.0) / view.num_rows() as f64;
+    let outlier = OutlierIndex::build(&view, measure, budget / 2, rest_rate, cfg.seed)?;
+    let uniform = UniformAqp::build(
+        &view,
+        UniformAqp::matched_rate(cfg.base_rate, cfg.gamma, 1),
+        cfg.seed,
+    )?;
+
+    let queries = generate_queries(
+        &profile,
+        &QueryGenConfig {
+            grouping_columns: 1,
+            num_predicates: 1,
+            aggregate: WorkloadAggregate::Sum,
+            seed: cfg.seed + 50,
+            ..Default::default()
+        },
+        cfg.queries_per_config,
+    );
+    let scores = compare_on_workload(
+        &[&sgs_outlier, &outlier, &uniform],
+        &DataSource::Wide(&view),
+        &queries,
+    )?;
+
+    let mut table = FigureTable::new(
+        "Section 5.3.3: SUM queries on SALES (paper: RelErr 0.79 vs 1.08, missed 37% vs 55%)",
+        &["system", "RelErr", "PctGroups"],
+    );
+    for (name, s) in [
+        ("SmGroup+Outlier", scores[0]),
+        ("OutlierIndex", scores[1]),
+        ("Uniform", scores[2]),
+    ] {
+        table.push(name, vec![s.rel_err, s.pct_groups]);
+    }
+    Ok(table)
+}
+
+/// Sections 5.4.1 / 5.4.2: query-processing speedups for every system and
+/// preprocessing time / sample space overheads on both databases.
+pub fn exp_perf(cfg: &ExpConfig) -> Result<(FigureTable, FigureTable), AnyError> {
+    use std::time::Instant;
+
+    // --- 5.4.1: query speedups on the large TPC-H database ---
+    let big = ExpConfig {
+        tpch_scale: cfg.tpch_scale * 5.0,
+        ..*cfg
+    };
+    let star = big.tpch(1.5);
+    let view = star.denormalize("v")?;
+    let profile = big.tpch_profile(&view);
+
+    let t_sgs = Instant::now();
+    let sgs = SmallGroupSampler::build(&view, big.sgs_config())?;
+    let t_sgs = t_sgs.elapsed();
+
+    let g = 2usize;
+    let rate = UniformAqp::matched_rate(big.base_rate, big.gamma, g);
+    let t_uni = Instant::now();
+    let uniform = UniformAqp::build(&view, rate, big.seed)?;
+    let t_uni = t_uni.elapsed();
+
+    let congress_cols: Vec<String> = profile
+        .column_names()
+        .iter()
+        .map(|s| (*s).to_owned())
+        .collect();
+    let budget = (view.num_rows() as f64 * rate) as usize;
+    let t_con = Instant::now();
+    let congress = BasicCongress::build(&view, &congress_cols, budget, big.seed)?;
+    let t_con = t_con.elapsed();
+
+    let t_out = Instant::now();
+    let outlier = OutlierIndex::build(
+        &view,
+        "lineitem.extendedprice",
+        budget / 2,
+        rate / 2.0,
+        big.seed,
+    )?;
+    let t_out = t_out.elapsed();
+
+    let queries = generate_queries(
+        &profile,
+        &QueryGenConfig {
+            grouping_columns: g,
+            num_predicates: 1,
+            aggregate: WorkloadAggregate::Count,
+            seed: big.seed + 60,
+            ..Default::default()
+        },
+        big.queries_per_config.min(10),
+    );
+    let scores = compare_on_workload(
+        &[&sgs, &uniform, &congress, &outlier],
+        &DataSource::Star(&star),
+        &queries,
+    )?;
+
+    let mut speedups = FigureTable::new(
+        "Section 5.4.1: query speedups (TPCH5G1.5z; paper: SmGroup 9.5x, Uniform 11.5x)",
+        &["system", "speedup", "approx ms", "exact ms"],
+    );
+    let names = ["SmGroup", "Uniform", "BasicCongress", "OutlierIndex"];
+    for (name, s) in names.iter().zip(&scores) {
+        speedups.push(*name, vec![s.speedup(), s.approx_ms, s.exact_ms]);
+    }
+
+    // --- 5.4.2: preprocessing time and space ---
+    // The paper quotes space overheads at its 1% base rate (≈6% of the DB
+    // for TPC-H, dropping to ≈1.8% at a 0.25% rate), so the space table is
+    // measured at those rates rather than the accuracy-calibrated one.
+    // τ is scaled to the micro row counts (at 300k rows nothing reaches
+    // τ = 5000, which would wrongly grant key-like columns small group
+    // tables that a full-scale run would drop).
+    let micro_tau = 500;
+    let view_bytes = view.byte_size() as f64;
+    let mut prep = FigureTable::new(
+        "Section 5.4.2: preprocessing time and sample space (TPCH5G1.5z; paper: SmGroup ~6% of DB at 1% rate, ~1.8% at 0.25%)",
+        &["system", "build seconds", "space % of DB"],
+    );
+    let builds: [(&str, f64, usize); 4] = [
+        ("SmGroup(cal.)", t_sgs.as_secs_f64(), sgs.sample_bytes()),
+        ("Uniform", t_uni.as_secs_f64(), uniform.sample_bytes()),
+        ("BasicCongress", t_con.as_secs_f64(), congress.sample_bytes()),
+        ("OutlierIndex", t_out.as_secs_f64(), outlier.sample_bytes()),
+    ];
+    for (name, secs, bytes) in builds {
+        prep.push(name, vec![secs, 100.0 * bytes as f64 / view_bytes]);
+    }
+    for rate in [0.01, 0.0025] {
+        let t0 = Instant::now();
+        let s = SmallGroupSampler::build(
+            &view,
+            SmallGroupConfig {
+                seed: big.seed,
+                tau: micro_tau,
+                ..SmallGroupConfig::with_rates(rate, big.gamma)
+            },
+        )?;
+        prep.push(
+            format!("SmGroup@{:.2}%", rate * 100.0),
+            vec![
+                t0.elapsed().as_secs_f64(),
+                100.0 * s.sample_bytes() as f64 / view_bytes,
+            ],
+        );
+    }
+    Ok((speedups, prep))
+}
+
+/// Variation ablation (DESIGN.md): multi-level hierarchies and column-pair
+/// small group tables vs. plain small group sampling, on SALES.
+pub fn exp_variations(cfg: &ExpConfig) -> Result<FigureTable, AnyError> {
+    let star = cfg.sales();
+    let view = star.denormalize("sales_view")?;
+    let profile = cfg.sales_profile(&view);
+
+    let sgs = SmallGroupSampler::build(&view, cfg.sgs_config())?;
+    let multilevel = MultiLevelSampler::build(
+        &view,
+        MultiLevelConfig {
+            base_rate: cfg.base_rate,
+            levels: vec![
+                (cfg.base_rate * cfg.gamma / 2.0, 1.0),
+                (cfg.base_rate * cfg.gamma * 2.0, 0.25),
+            ],
+            seed: cfg.seed,
+            ..Default::default()
+        },
+    )?;
+    // Pair tables over plausible co-grouped columns.
+    let pairs = SmallGroupSampler::build(
+        &view,
+        SmallGroupConfig {
+            seed: cfg.seed,
+            column_pairs: vec![
+                ("product.category".into(), "store.region".into()),
+                ("customer.segment".into(), "channel.name".into()),
+            ],
+            ..SmallGroupConfig::with_rates(cfg.base_rate, cfg.gamma)
+        },
+    )?;
+
+    let queries = generate_queries(
+        &profile,
+        &QueryGenConfig {
+            grouping_columns: 2,
+            num_predicates: 1,
+            aggregate: WorkloadAggregate::Count,
+            seed: cfg.seed + 70,
+            ..Default::default()
+        },
+        cfg.queries_per_config,
+    );
+    let scores = compare_on_workload(
+        &[&sgs, &multilevel, &pairs],
+        &DataSource::Wide(&view),
+        &queries,
+    )?;
+
+    let mut table = FigureTable::new(
+        "Variations (Section 4.2.3): plain vs multi-level vs column-pair small group sampling (SALES)",
+        &["system", "RelErr", "PctGroups", "approx ms"],
+    );
+    for (name, s) in [
+        ("SmGroup", scores[0]),
+        ("MultiLevel", scores[1]),
+        ("SmGroup+Pairs", scores[2]),
+    ] {
+        table.push(name, vec![s.rel_err, s.pct_groups, s.approx_ms]);
+    }
+    Ok(table)
+}
+
+/// Ablation: empirical counterpart of Figure 3(a) — sweep the allocation
+/// ratio γ at a fixed total runtime budget on the skewed TPC-H database,
+/// validating the paper's γ = 0.5 recommendation against measured RelErr
+/// rather than the analytical model.
+pub fn exp_gamma(cfg: &ExpConfig) -> Result<FigureTable, AnyError> {
+    let star = cfg.tpch(2.0);
+    let view = star.denormalize("v")?;
+    let profile = cfg.tpch_profile(&view);
+    let g = 2usize;
+    let queries = generate_queries(
+        &profile,
+        &QueryGenConfig {
+            grouping_columns: g,
+            num_predicates: 1,
+            aggregate: WorkloadAggregate::Count,
+            seed: cfg.seed + 80,
+            ..Default::default()
+        },
+        cfg.queries_per_config,
+    );
+
+    // Fixed total budget: what the matched uniform baseline uses at the
+    // experiment's default γ. Every sweep point splits the same budget:
+    // r = budget / (1 + γ·g), t = γ·r.
+    let budget_fraction = UniformAqp::matched_rate(cfg.base_rate, cfg.gamma, g);
+    let mut table = FigureTable::new(
+        "Ablation (empirical Fig. 3a): RelErr vs allocation ratio at fixed budget (TPCH z=2.0)",
+        &["gamma", "RelErr", "PctGroups", "base rate %"],
+    );
+    for &gamma in &[0.0, 0.25, 0.5, 0.75, 1.0, 1.5, 2.0] {
+        let r = budget_fraction / (1.0 + gamma * g as f64);
+        let sgs = SmallGroupSampler::build(
+            &view,
+            SmallGroupConfig {
+                seed: cfg.seed,
+                ..SmallGroupConfig::with_rates(r, gamma)
+            },
+        )?;
+        let scores = compare_on_workload(&[&sgs], &DataSource::Wide(&view), &queries)?;
+        table.push(
+            format!("{gamma:.2}"),
+            vec![scores[0].rel_err, scores[0].pct_groups, r * 100.0],
+        );
+    }
+    Ok(table)
+}
+
+/// Tiny smoke configuration used by tests (fast, deterministic).
+pub fn smoke_config() -> ExpConfig {
+    ExpConfig {
+        tpch_scale: 0.05,
+        sales_rows: 5_000,
+        queries_per_config: 4,
+        base_rate: 0.05,
+        gamma: 0.5,
+        seed: 9,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fig3_tables_have_expected_shape() {
+        let a = fig3a();
+        assert_eq!(a.rows.len(), 21);
+        // γ=0 (uniform) is worse than γ=0.5 at z=1.8.
+        let col = a.column("SmGroup");
+        assert!(col[5] < col[0], "gamma 0.5 {} vs gamma 0 {}", col[5], col[0]);
+
+        let b = fig3b();
+        let sg = b.column("SmGroup");
+        let un = b.column("Uniform");
+        // Uniform wins at z=1.0; SmGroup wins by the top of the sweep.
+        assert!(un[0] <= sg[0]);
+        assert!(sg[sg.len() - 1] < un[un.len() - 1]);
+    }
+
+    #[test]
+    fn fig4_smoke() {
+        let (rel, pct) = fig4(&smoke_config()).unwrap();
+        assert_eq!(rel.rows.len(), 4);
+        assert_eq!(pct.rows.len(), 4);
+        for r in &rel.rows {
+            assert!(r.1.iter().all(|v| v.is_finite() && *v >= 0.0));
+        }
+    }
+
+    #[test]
+    fn fig9_speedup_positive_and_decreasing_cost() {
+        let (_, prep) = exp_perf(&ExpConfig {
+            queries_per_config: 2,
+            ..smoke_config()
+        })
+        .unwrap();
+        assert_eq!(prep.rows.len(), 6);
+        let table = fig9(&ExpConfig {
+            queries_per_config: 2,
+            ..smoke_config()
+        })
+        .unwrap();
+        for speedup in table.column("speedup") {
+            assert!(speedup > 0.0);
+        }
+    }
+
+    #[test]
+    fn exp_sum_smoke() {
+        let t = exp_sum(&smoke_config()).unwrap();
+        assert_eq!(t.rows.len(), 3);
+    }
+
+    #[test]
+    fn exp_variations_smoke() {
+        let t = exp_variations(&smoke_config()).unwrap();
+        assert_eq!(t.rows.len(), 3);
+    }
+
+    #[test]
+    fn exp_gamma_smoke() {
+        let t = exp_gamma(&smoke_config()).unwrap();
+        assert_eq!(t.rows.len(), 7);
+        // γ = 0 means no small group tables at all.
+        assert!(t.value(0, 2) > t.value(6, 2), "base rate shrinks as gamma grows");
+    }
+}

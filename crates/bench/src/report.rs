@@ -1,0 +1,99 @@
+//! Plain-text figure tables.
+
+use std::fmt;
+
+/// A table of results regenerating one paper figure or in-text table.
+#[derive(Debug, Clone)]
+pub struct FigureTable {
+    /// Title, naming the paper artefact (e.g. "Figure 4(a)").
+    pub title: String,
+    /// Column headers (first column is the row label).
+    pub columns: Vec<String>,
+    /// Rows: label plus one value per data column.
+    pub rows: Vec<(String, Vec<f64>)>,
+}
+
+impl FigureTable {
+    /// Create an empty table.
+    pub fn new(title: impl Into<String>, columns: &[&str]) -> Self {
+        FigureTable {
+            title: title.into(),
+            columns: columns.iter().map(|s| (*s).to_owned()).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Append a row.
+    pub fn push(&mut self, label: impl Into<String>, values: Vec<f64>) {
+        assert_eq!(
+            values.len() + 1,
+            self.columns.len(),
+            "row arity must match columns"
+        );
+        self.rows.push((label.into(), values));
+    }
+
+    /// The value at (row, data-column) for assertions in tests.
+    pub fn value(&self, row: usize, col: usize) -> f64 {
+        self.rows[row].1[col]
+    }
+
+    /// Column index by header name.
+    pub fn column_index(&self, name: &str) -> Option<usize> {
+        self.columns.iter().position(|c| c == name).map(|i| i - 1)
+    }
+
+    /// A data column as a vector.
+    pub fn column(&self, name: &str) -> Vec<f64> {
+        let idx = self
+            .column_index(name)
+            .unwrap_or_else(|| panic!("no column {name:?}"));
+        self.rows.iter().map(|(_, v)| v[idx]).collect()
+    }
+}
+
+impl fmt::Display for FigureTable {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "== {} ==", self.title)?;
+        write!(f, "{:<18}", self.columns[0])?;
+        for c in &self.columns[1..] {
+            write!(f, "{c:>16}")?;
+        }
+        writeln!(f)?;
+        for (label, values) in &self.rows {
+            write!(f, "{label:<18}")?;
+            for v in values {
+                if v.abs() >= 1000.0 {
+                    write!(f, "{v:>16.1}")?;
+                } else {
+                    write!(f, "{v:>16.4}")?;
+                }
+            }
+            writeln!(f)?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn build_and_render() {
+        let mut t = FigureTable::new("Figure X", &["g", "SmGroup", "Uniform"]);
+        t.push("1", vec![0.1, 0.5]);
+        t.push("2", vec![0.2, 0.9]);
+        assert_eq!(t.value(1, 0), 0.2);
+        assert_eq!(t.column("Uniform"), vec![0.5, 0.9]);
+        let s = t.to_string();
+        assert!(s.contains("Figure X") && s.contains("SmGroup"));
+    }
+
+    #[test]
+    #[should_panic(expected = "arity")]
+    fn arity_checked() {
+        let mut t = FigureTable::new("t", &["a", "b"]);
+        t.push("x", vec![1.0, 2.0]);
+    }
+}

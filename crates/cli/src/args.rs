@@ -1,0 +1,197 @@
+//! Minimal dependency-free argument parsing.
+//!
+//! Supports `--flag value` options, bare positionals, and typed accessors
+//! with defaults. Unknown or unconsumed options are reported as errors so
+//! typos fail loudly.
+
+use std::collections::HashMap;
+use std::fmt;
+
+/// Argument-parsing error.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ArgError(pub String);
+
+impl fmt::Display for ArgError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "argument error: {}", self.0)
+    }
+}
+
+impl std::error::Error for ArgError {}
+
+/// Parsed command-line arguments: positionals plus `--key value` options.
+#[derive(Debug, Clone, Default)]
+pub struct Args {
+    positionals: Vec<String>,
+    options: HashMap<String, String>,
+    flags: Vec<String>,
+    consumed: std::cell::RefCell<Vec<String>>,
+}
+
+impl Args {
+    /// The option names that are boolean flags (take no value).
+    pub const BOOL_FLAGS: &'static [&'static str] = &["exact", "help", "verbose"];
+
+    /// Parse raw arguments (excluding the program name).
+    ///
+    /// Names in [`Self::BOOL_FLAGS`] are boolean flags; every other
+    /// `--key` consumes the following token as its value.
+    pub fn parse<I: IntoIterator<Item = String>>(raw: I) -> Result<Args, ArgError> {
+        let mut positionals = Vec::new();
+        let mut options = HashMap::new();
+        let mut flags = Vec::new();
+        let mut iter = raw.into_iter().peekable();
+        while let Some(arg) = iter.next() {
+            if let Some(key) = arg.strip_prefix("--") {
+                if key.is_empty() {
+                    return Err(ArgError("bare '--' is not supported".into()));
+                }
+                if Self::BOOL_FLAGS.contains(&key) {
+                    flags.push(key.to_owned());
+                } else {
+                    match iter.next() {
+                        Some(value) => {
+                            if options.insert(key.to_owned(), value).is_some() {
+                                return Err(ArgError(format!("duplicate option --{key}")));
+                            }
+                        }
+                        None => {
+                            return Err(ArgError(format!("option --{key} needs a value")))
+                        }
+                    }
+                }
+            } else {
+                positionals.push(arg);
+            }
+        }
+        Ok(Args {
+            positionals,
+            options,
+            flags,
+            consumed: std::cell::RefCell::new(Vec::new()),
+        })
+    }
+
+    /// Positional arguments in order.
+    pub fn positionals(&self) -> &[String] {
+        &self.positionals
+    }
+
+    /// Whether a boolean `--flag` was given.
+    pub fn flag(&self, name: &str) -> bool {
+        if self.flags.iter().any(|f| f == name) {
+            self.consumed.borrow_mut().push(name.to_owned());
+            true
+        } else {
+            false
+        }
+    }
+
+    /// A required string option.
+    pub fn required(&self, name: &str) -> Result<String, ArgError> {
+        self.optional(name)
+            .ok_or_else(|| ArgError(format!("missing required option --{name}")))
+    }
+
+    /// An optional string option.
+    pub fn optional(&self, name: &str) -> Option<String> {
+        let v = self.options.get(name).cloned();
+        if v.is_some() {
+            self.consumed.borrow_mut().push(name.to_owned());
+        }
+        v
+    }
+
+    /// A typed option with a default.
+    pub fn get_or<T: std::str::FromStr>(&self, name: &str, default: T) -> Result<T, ArgError> {
+        match self.optional(name) {
+            None => Ok(default),
+            Some(v) => v
+                .parse()
+                .map_err(|_| ArgError(format!("invalid value {v:?} for --{name}"))),
+        }
+    }
+
+    /// Error if any provided option/flag was never consumed (typo guard).
+    pub fn finish(&self) -> Result<(), ArgError> {
+        let consumed = self.consumed.borrow();
+        for key in self.options.keys().chain(self.flags.iter()) {
+            if !consumed.iter().any(|c| c == key) {
+                return Err(ArgError(format!("unknown option --{key}")));
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn args(parts: &[&str]) -> Args {
+        Args::parse(parts.iter().map(|s| (*s).to_owned())).unwrap()
+    }
+
+    #[test]
+    fn positionals_options_flags() {
+        let a = args(&["generate", "tpch", "--scale", "0.5", "--exact", "--out", "x.aqpt"]);
+        assert_eq!(a.positionals(), ["generate", "tpch"]);
+        assert_eq!(a.get_or("scale", 1.0).unwrap(), 0.5);
+        assert!(a.flag("exact"));
+        assert_eq!(a.required("out").unwrap(), "x.aqpt");
+        a.finish().unwrap();
+    }
+
+    #[test]
+    fn defaults_and_missing() {
+        let a = args(&["cmd"]);
+        assert_eq!(a.get_or("rows", 7usize).unwrap(), 7);
+        assert!(a.required("out").is_err());
+        assert!(!a.flag("verbose"));
+        a.finish().unwrap();
+    }
+
+    #[test]
+    fn typo_guard() {
+        let a = args(&["cmd", "--tyop", "3"]);
+        assert!(a.finish().is_err());
+        let a = args(&["cmd", "--good", "3"]);
+        let _ = a.optional("good");
+        a.finish().unwrap();
+    }
+
+    #[test]
+    fn parse_errors() {
+        assert!(Args::parse(
+            ["--x".to_owned(), "1".to_owned(), "--x".to_owned(), "2".to_owned()].into_iter()
+        )
+        .is_err());
+        assert!(Args::parse(["--x".to_owned()].into_iter()).is_err(), "value required");
+        assert!(Args::parse(["--".to_owned()].into_iter()).is_err());
+        let a = args(&["cmd", "--n", "abc"]);
+        assert!(a.get_or("n", 1usize).is_err());
+    }
+
+    #[test]
+    fn flag_followed_by_value_like_token() {
+        // The SQL text after --exact must remain a positional.
+        let a = args(&["query", "--exact", "SELECT COUNT(*) FROM t"]);
+        assert!(a.flag("exact"));
+        assert_eq!(a.positionals().len(), 2);
+        a.finish().unwrap();
+    }
+
+    #[test]
+    fn flag_followed_by_option() {
+        let a = args(&["--verbose", "--out", "f"]);
+        assert!(a.flag("verbose"));
+        assert_eq!(a.required("out").unwrap(), "f");
+        a.finish().unwrap();
+    }
+
+    #[test]
+    fn negative_numbers_are_values() {
+        let a = args(&["--delta", "-3"]);
+        assert_eq!(a.get_or("delta", 0i64).unwrap(), -3);
+    }
+}

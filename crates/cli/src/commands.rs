@@ -1,0 +1,525 @@
+//! CLI subcommands.
+
+use crate::args::Args;
+use aqp::prelude::*;
+use aqp::storage::{read_csv_file, read_table_file, write_csv_file, write_table_file};
+use std::fmt;
+use std::io::{BufRead, Write};
+use std::time::Instant;
+
+/// Top-level CLI error.
+#[derive(Debug)]
+pub struct CliError(pub String);
+
+impl fmt::Display for CliError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+impl std::error::Error for CliError {}
+
+impl From<crate::args::ArgError> for CliError {
+    fn from(e: crate::args::ArgError) -> Self {
+        CliError(e.to_string())
+    }
+}
+
+impl From<std::io::Error> for CliError {
+    fn from(e: std::io::Error) -> Self {
+        CliError(e.to_string())
+    }
+}
+
+fn boxed<E: std::fmt::Display>(e: E) -> CliError {
+    CliError(e.to_string())
+}
+
+/// Usage text.
+pub const USAGE: &str = "\
+aqp-cli — dynamic sample selection for approximate query processing
+
+USAGE:
+  aqp-cli generate tpch  [--scale F] [--skew F] [--seed N] --out FILE
+  aqp-cli generate sales [--rows N] [--skew F] [--seed N] --out FILE
+  aqp-cli import --csv FILE [--name NAME] --out FILE
+  aqp-cli export --view FILE --out FILE.csv
+  aqp-cli preprocess --view FILE [--rate F] [--gamma F] [--tau N] [--seed N]
+                     [--outlier-column COL] --out FILE
+  aqp-cli catalog --family FILE
+  aqp-cli query --family FILE [--view FILE] [--exact] [--confidence F] SQL
+  aqp-cli repl --family FILE [--view FILE]
+
+Views are stored as .aqpt binary tables; sample families as .aqps files.
+In SQL the FROM clause names are ignored — queries always run against the
+loaded family/view.";
+
+/// Dispatch one CLI invocation. `out` receives user-facing output.
+pub fn run(args: Args, out: &mut dyn Write) -> Result<(), CliError> {
+    let command = args
+        .positionals()
+        .first()
+        .map(String::as_str)
+        .unwrap_or("help");
+    match command {
+        "generate" => generate(&args, out),
+        "import" => import(&args, out),
+        "export" => export(&args, out),
+        "preprocess" => preprocess(&args, out),
+        "catalog" => catalog(&args, out),
+        "query" => query_command(&args, out),
+        "repl" => repl(&args, out, &mut std::io::stdin().lock()),
+        "help" | "--help" => {
+            writeln!(out, "{USAGE}")?;
+            Ok(())
+        }
+        other => Err(CliError(format!("unknown command {other:?}\n\n{USAGE}"))),
+    }
+}
+
+fn generate(args: &Args, out: &mut dyn Write) -> Result<(), CliError> {
+    let kind = args
+        .positionals()
+        .get(1)
+        .ok_or_else(|| CliError("generate needs a dataset kind: tpch | sales".into()))?
+        .clone();
+    let out_path = args.required("out")?;
+    let seed = args.get_or("seed", 42u64)?;
+    let t0 = Instant::now();
+    let star = match kind.as_str() {
+        "tpch" => {
+            let scale = args.get_or("scale", 0.5f64)?;
+            let skew = args.get_or("skew", 2.0f64)?;
+            args.finish()?;
+            gen_tpch(&TpchConfig {
+                scale_factor: scale,
+                zipf_z: skew,
+                seed,
+            })
+            .map_err(boxed)?
+        }
+        "sales" => {
+            let rows = args.get_or("rows", 50_000usize)?;
+            let skew = args.get_or("skew", 1.5f64)?;
+            args.finish()?;
+            gen_sales(&SalesConfig {
+                fact_rows: rows,
+                zipf_z: skew,
+                seed,
+            })
+            .map_err(boxed)?
+        }
+        other => return Err(CliError(format!("unknown dataset kind {other:?}"))),
+    };
+    let view = star.denormalize("view").map_err(boxed)?;
+    write_table_file(&view, &out_path)?;
+    writeln!(
+        out,
+        "generated {kind}: {} rows x {} columns -> {out_path} ({:.1} MB) in {:?}",
+        view.num_rows(),
+        view.schema().len(),
+        view.byte_size() as f64 / 1e6,
+        t0.elapsed()
+    )?;
+    Ok(())
+}
+
+fn import(args: &Args, out: &mut dyn Write) -> Result<(), CliError> {
+    let csv_path = args.required("csv")?;
+    let out_path = args.required("out")?;
+    let name = args.optional("name").unwrap_or_else(|| "view".to_owned());
+    args.finish()?;
+    let table = read_csv_file(name, &csv_path)?;
+    write_table_file(&table, &out_path)?;
+    writeln!(
+        out,
+        "imported {}: {} rows x {} columns -> {out_path}",
+        csv_path,
+        table.num_rows(),
+        table.schema().len()
+    )?;
+    Ok(())
+}
+
+fn export(args: &Args, out: &mut dyn Write) -> Result<(), CliError> {
+    let view_path = args.required("view")?;
+    let out_path = args.required("out")?;
+    args.finish()?;
+    let table = read_table_file(&view_path)?;
+    write_csv_file(&table, &out_path)?;
+    writeln!(
+        out,
+        "exported {} rows x {} columns -> {out_path}",
+        table.num_rows(),
+        table.schema().len()
+    )?;
+    Ok(())
+}
+
+fn preprocess(args: &Args, out: &mut dyn Write) -> Result<(), CliError> {
+    let view_path = args.required("view")?;
+    let out_path = args.required("out")?;
+    let rate = args.get_or("rate", 0.01f64)?;
+    let gamma = args.get_or("gamma", 0.5f64)?;
+    let tau = args.get_or("tau", 5000usize)?;
+    let seed = args.get_or("seed", 42u64)?;
+    let outlier_column = args.optional("outlier-column");
+    args.finish()?;
+
+    let view = read_table_file(&view_path)?;
+    let mut config = SmallGroupConfig {
+        tau,
+        seed,
+        ..SmallGroupConfig::with_rates(rate, gamma)
+    };
+    if let Some(column) = outlier_column {
+        config.overall = OverallKind::OutlierIndexed { column };
+    }
+    let t0 = Instant::now();
+    let sampler = SmallGroupSampler::build(&view, config).map_err(boxed)?;
+    sampler.save(&out_path)?;
+    writeln!(
+        out,
+        "preprocessed {} rows in {:?}: {} small group tables, overall sample {} rows -> {out_path}",
+        view.num_rows(),
+        t0.elapsed(),
+        sampler.catalog().num_tables(),
+        sampler.catalog().overall_rows,
+    )?;
+    Ok(())
+}
+
+fn catalog(args: &Args, out: &mut dyn Write) -> Result<(), CliError> {
+    let family = args.required("family")?;
+    args.finish()?;
+    let sampler = SmallGroupSampler::load(&family)?;
+    writeln!(out, "{}", sampler.catalog())?;
+    Ok(())
+}
+
+fn query_command(args: &Args, out: &mut dyn Write) -> Result<(), CliError> {
+    let family = args.required("family")?;
+    let view_path = args.optional("view");
+    let want_exact = args.flag("exact");
+    let confidence = args.get_or("confidence", 0.95f64)?;
+    // Join all trailing positionals so unquoted SQL still forms the full
+    // statement instead of silently truncating to its first word.
+    let sql = args.positionals()[1..].join(" ");
+    if sql.is_empty() {
+        return Err(CliError("query needs a SQL string".into()));
+    }
+    args.finish()?;
+
+    if want_exact && view_path.is_none() {
+        return Err(CliError("--exact needs --view to compute the exact answer".into()));
+    }
+    let sampler = SmallGroupSampler::load(&family)?;
+    let view = view_path.map(read_table_file).transpose()?;
+    answer_one(&sampler, view.as_ref(), &sql, want_exact, confidence, out)
+}
+
+/// Parse, answer and print one SQL query.
+fn answer_one(
+    sampler: &SmallGroupSampler,
+    view: Option<&Table>,
+    sql: &str,
+    want_exact: bool,
+    confidence: f64,
+    out: &mut dyn Write,
+) -> Result<(), CliError> {
+    let parsed = parse_query(sql).map_err(boxed)?;
+    let t0 = Instant::now();
+    let mut answer = sampler.answer(&parsed.query, confidence).map_err(boxed)?;
+    let approx_time = t0.elapsed();
+    answer.sort_by_key();
+
+    let exact = if want_exact {
+        let view = view.ok_or_else(|| CliError("exact comparison needs a view".into()))?;
+        Some(exact_answer(&DataSource::Wide(view), &parsed.query).map_err(boxed)?)
+    } else {
+        None
+    };
+
+    // Header.
+    for name in &answer.group_names {
+        write!(out, "{name}\t")?;
+    }
+    for alias in &answer.agg_aliases {
+        write!(out, "{alias}\t")?;
+    }
+    if exact.is_some() {
+        for alias in &answer.agg_aliases {
+            write!(out, "exact {alias}\t")?;
+        }
+    }
+    writeln!(out)?;
+
+    for group in &answer.groups {
+        for key in &group.key {
+            write!(out, "{key}\t")?;
+        }
+        for value in &group.values {
+            if value.is_exact() {
+                write!(out, "{:.2}*\t", value.value())?;
+            } else {
+                write!(out, "{:.2} [{:.2},{:.2}]\t", value.value(), value.ci.lo, value.ci.hi)?;
+            }
+        }
+        if let Some(ex) = &exact {
+            // One truth value per aggregate, aligned with the estimates.
+            for per_agg in &ex.per_agg {
+                match per_agg.get(&group.key) {
+                    Some(truth) => write!(out, "{truth:.2}\t")?,
+                    None => write!(out, "-\t")?,
+                }
+            }
+        }
+        writeln!(out)?;
+    }
+    write!(
+        out,
+        "-- {} groups, {} sample rows scanned, {approx_time:?}",
+        answer.num_groups(),
+        answer.rows_scanned,
+    )?;
+    if let Some(ex) = &exact {
+        let missed = ex.per_agg[0].keys().filter(|k| answer.group(k).is_none()).count();
+        write!(out, "; exact has {} groups ({missed} missed)", ex.num_groups())?;
+    }
+    writeln!(out)?;
+    writeln!(out, "-- * = exact from small group tables")?;
+    Ok(())
+}
+
+/// Interactive loop reading one SQL statement per line.
+pub fn repl(args: &Args, out: &mut dyn Write, input: &mut dyn BufRead) -> Result<(), CliError> {
+    let family = args.required("family")?;
+    let view_path = args.optional("view");
+    args.finish()?;
+    let sampler = SmallGroupSampler::load(&family)?;
+    let view = view_path.map(read_table_file).transpose()?;
+
+    writeln!(
+        out,
+        "aqp repl — {} sample tables over {} rows; commands: \\catalog, \\explain SQL, \\quit",
+        sampler.catalog().num_tables(),
+        sampler.view_rows(),
+    )?;
+    let mut line = String::new();
+    loop {
+        write!(out, "aqp> ")?;
+        out.flush()?;
+        line.clear();
+        if input.read_line(&mut line)? == 0 {
+            break;
+        }
+        let trimmed = line.trim();
+        match trimmed {
+            "" => continue,
+            "\\quit" | "\\q" | "exit" => break,
+            "\\catalog" => writeln!(out, "{}", sampler.catalog())?,
+            cmd if cmd.strip_prefix("\\explain").is_some_and(|r| r.is_empty() || r.starts_with(char::is_whitespace)) => {
+                let sql = cmd.trim_start_matches("\\explain").trim();
+                if sql.is_empty() {
+                    writeln!(out, "usage: \\explain SELECT ...")?;
+                } else {
+                    match parse_query(sql) {
+                        Ok(parsed) => writeln!(out, "{}", sampler.explain(&parsed.query))?,
+                        Err(e) => writeln!(out, "error: {e}")?,
+                    }
+                }
+            }
+            sql => {
+                let want_exact = view.is_some();
+                if let Err(e) = answer_one(&sampler, view.as_ref(), sql, want_exact, 0.95, out) {
+                    writeln!(out, "error: {e}")?;
+                }
+            }
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::args::Args;
+
+    fn run_cli(parts: &[&str]) -> Result<String, CliError> {
+        let args = Args::parse(parts.iter().map(|s| (*s).to_owned()))?;
+        let mut out = Vec::new();
+        run(args, &mut out)?;
+        Ok(String::from_utf8(out).expect("utf8 output"))
+    }
+
+    fn temp_dir() -> std::path::PathBuf {
+        let dir = std::env::temp_dir().join(format!(
+            "aqp_cli_test_{}_{:?}",
+            std::process::id(),
+            std::thread::current().id()
+        ));
+        std::fs::create_dir_all(&dir).unwrap();
+        dir
+    }
+
+    #[test]
+    fn full_workflow() {
+        let dir = temp_dir();
+        let view = dir.join("v.aqpt");
+        let family = dir.join("f.aqps");
+
+        let msg = run_cli(&[
+            "generate", "tpch", "--scale", "0.02", "--skew", "2.0", "--out",
+            view.to_str().unwrap(),
+        ])
+        .unwrap();
+        assert!(msg.contains("generated tpch"), "{msg}");
+
+        let msg = run_cli(&[
+            "preprocess", "--view", view.to_str().unwrap(), "--rate", "0.1", "--gamma",
+            "0.5", "--out", family.to_str().unwrap(),
+        ])
+        .unwrap();
+        assert!(msg.contains("small group tables"), "{msg}");
+
+        let msg = run_cli(&["catalog", "--family", family.to_str().unwrap()]).unwrap();
+        assert!(msg.contains("overall sample"), "{msg}");
+
+        let msg = run_cli(&[
+            "query",
+            "--family",
+            family.to_str().unwrap(),
+            "--view",
+            view.to_str().unwrap(),
+            "--exact",
+            "SELECT lineitem.shipmode, COUNT(*) FROM v GROUP BY lineitem.shipmode",
+        ])
+        .unwrap();
+        assert!(msg.contains("groups"), "{msg}");
+        assert!(msg.contains("exact"), "{msg}");
+
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn sales_generation_and_sum_query() {
+        let dir = temp_dir();
+        let view = dir.join("s.aqpt");
+        let family = dir.join("s.aqps");
+        run_cli(&[
+            "generate", "sales", "--rows", "2000", "--out", view.to_str().unwrap(),
+        ])
+        .unwrap();
+        run_cli(&[
+            "preprocess", "--view", view.to_str().unwrap(), "--rate", "0.05", "--out",
+            family.to_str().unwrap(),
+        ])
+        .unwrap();
+        let msg = run_cli(&[
+            "query",
+            "--family",
+            family.to_str().unwrap(),
+            "SELECT store.region, SUM(sales.revenue) FROM s GROUP BY store.region",
+        ])
+        .unwrap();
+        assert!(msg.contains("sum_sales_revenue"), "{msg}");
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn csv_import_export_workflow() {
+        let dir = temp_dir();
+        let csv = dir.join("data.csv");
+        let view = dir.join("v.aqpt");
+        let family = dir.join("f.aqps");
+        let back = dir.join("back.csv");
+
+        // Write a small CSV by hand: 190 common rows, 10 rare rows.
+        let mut text = String::from("product,price\n");
+        for i in 0..190 {
+            text.push_str(&format!("stereo,{}.5\n", i % 7));
+        }
+        for i in 0..10 {
+            text.push_str(&format!("tv,{}\n", 100 + i));
+        }
+        std::fs::write(&csv, text).unwrap();
+
+        let msg = run_cli(&[
+            "import", "--csv", csv.to_str().unwrap(), "--name", "shop", "--out",
+            view.to_str().unwrap(),
+        ])
+        .unwrap();
+        assert!(msg.contains("200 rows"), "{msg}");
+
+        run_cli(&[
+            "preprocess", "--view", view.to_str().unwrap(), "--rate", "0.1", "--out",
+            family.to_str().unwrap(),
+        ])
+        .unwrap();
+        let msg = run_cli(&[
+            "query",
+            "--family",
+            family.to_str().unwrap(),
+            "SELECT product, COUNT(*) FROM shop GROUP BY product",
+        ])
+        .unwrap();
+        assert!(msg.contains("tv"), "{msg}");
+        assert!(msg.contains("10.00*"), "rare group exact: {msg}");
+
+        let msg = run_cli(&[
+            "export", "--view", view.to_str().unwrap(), "--out", back.to_str().unwrap(),
+        ])
+        .unwrap();
+        assert!(msg.contains("exported 200 rows"), "{msg}");
+        assert!(std::fs::read_to_string(&back).unwrap().starts_with("product,price"));
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn error_paths() {
+        assert!(run_cli(&["frobnicate"]).is_err());
+        assert!(run_cli(&["generate"]).is_err());
+        assert!(run_cli(&["generate", "tpch"]).is_err(), "missing --out");
+        assert!(run_cli(&["generate", "mars", "--out", "/tmp/x"]).is_err());
+        assert!(run_cli(&["query", "--family", "/nonexistent.aqps", "SELECT"]).is_err());
+        // --exact without --view.
+        assert!(run_cli(&["query", "--family", "/nonexistent.aqps", "--exact", "SQL"]).is_err());
+        // Typo guard.
+        assert!(run_cli(&["catalog", "--famly", "/tmp/x"]).is_err());
+        // Help always works.
+        assert!(run_cli(&["help"]).unwrap().contains("USAGE"));
+    }
+
+    #[test]
+    fn repl_session() {
+        let dir = temp_dir();
+        let view = dir.join("v.aqpt");
+        let family = dir.join("f.aqps");
+        run_cli(&[
+            "generate", "tpch", "--scale", "0.02", "--out", view.to_str().unwrap(),
+        ])
+        .unwrap();
+        run_cli(&[
+            "preprocess", "--view", view.to_str().unwrap(), "--rate", "0.1", "--out",
+            family.to_str().unwrap(),
+        ])
+        .unwrap();
+
+        let args = Args::parse(
+            ["repl", "--family", family.to_str().unwrap()]
+                .iter()
+                .map(|s| (*s).to_owned()),
+        )
+        .unwrap();
+        let script = "\\catalog\nSELECT COUNT(*) FROM v\n\\explain SELECT COUNT(*) FROM v GROUP BY lineitem.shipmode\nbad sql here\n\\quit\n";
+        let mut input = std::io::BufReader::new(script.as_bytes());
+        let mut out = Vec::new();
+        repl(&args, &mut out, &mut input).unwrap();
+        let text = String::from_utf8(out).unwrap();
+        assert!(text.contains("sample tables over"), "{text}");
+        assert!(text.contains("cnt"), "{text}");
+        assert!(text.contains("error:"), "{text}");
+        assert!(text.contains("plan for:"), "{text}");
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+}

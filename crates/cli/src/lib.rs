@@ -1,0 +1,29 @@
+//! # aqp-cli
+//!
+//! Command-line workflow for the dynamic-sample-selection AQP system —
+//! the paper's architecture as a tool:
+//!
+//! ```text
+//! aqp-cli generate tpch  --scale 0.5 --skew 2.0 --out tpch.aqpt
+//! aqp-cli generate sales --rows 50000 --out sales.aqpt
+//! aqp-cli preprocess --view tpch.aqpt --rate 0.02 --gamma 0.5 --out tpch.aqps
+//! aqp-cli catalog --family tpch.aqps
+//! aqp-cli query --view tpch.aqpt --family tpch.aqps --exact \
+//!     "SELECT part.brand, COUNT(*) FROM v GROUP BY part.brand"
+//! aqp-cli repl --view tpch.aqpt --family tpch.aqps
+//! ```
+//!
+//! `generate` writes the joined wide view as a binary table file;
+//! `preprocess` runs the two-pass small-group preprocessing and persists
+//! the whole sample family; `query`/`repl` parse SQL, answer it from the
+//! samples in milliseconds, and (optionally) compare against the exact
+//! answer.
+
+#![warn(missing_docs)]
+#![deny(unsafe_code)]
+
+pub mod args;
+pub mod commands;
+
+pub use args::{ArgError, Args};
+pub use commands::{run, CliError};

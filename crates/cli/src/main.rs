@@ -1,0 +1,17 @@
+//! `aqp-cli` binary entry point.
+
+fn main() {
+    let raw: Vec<String> = std::env::args().skip(1).collect();
+    let args = match aqp_cli::Args::parse(raw) {
+        Ok(a) => a,
+        Err(e) => {
+            eprintln!("{e}");
+            std::process::exit(2);
+        }
+    };
+    let mut stdout = std::io::stdout().lock();
+    if let Err(e) = aqp_cli::run(args, &mut stdout) {
+        eprintln!("{e}");
+        std::process::exit(1);
+    }
+}

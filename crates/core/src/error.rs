@@ -1,0 +1,70 @@
+//! Error types for the AQP layer.
+
+use std::fmt;
+
+/// Result alias for AQP operations.
+pub type AqpResult<T> = Result<T, AqpError>;
+
+/// Errors raised by AQP preprocessing or approximate query answering.
+#[derive(Debug, Clone, PartialEq)]
+pub enum AqpError {
+    /// The query uses an aggregate the sampling estimators cannot bound
+    /// (MIN/MAX).
+    Unsupported(String),
+    /// A configuration parameter was out of range.
+    InvalidConfig(String),
+    /// The query references a column the sample family does not cover.
+    UncoveredColumn(String),
+    /// An underlying query-execution error.
+    Query(aqp_query::QueryError),
+}
+
+impl fmt::Display for AqpError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            AqpError::Unsupported(msg) => write!(f, "unsupported by sampling AQP: {msg}"),
+            AqpError::InvalidConfig(msg) => write!(f, "invalid configuration: {msg}"),
+            AqpError::UncoveredColumn(name) => {
+                write!(f, "column {name:?} is not covered by the sample family")
+            }
+            AqpError::Query(e) => write!(f, "query error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for AqpError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            AqpError::Query(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<aqp_query::QueryError> for AqpError {
+    fn from(e: aqp_query::QueryError) -> Self {
+        AqpError::Query(e)
+    }
+}
+
+impl From<aqp_storage::StorageError> for AqpError {
+    fn from(e: aqp_storage::StorageError) -> Self {
+        AqpError::Query(aqp_query::QueryError::Storage(e))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_and_conversions() {
+        let e = AqpError::Unsupported("MIN".into());
+        assert!(e.to_string().contains("MIN"));
+        let e: AqpError = aqp_query::QueryError::UnknownColumn { name: "c".into() }.into();
+        assert!(matches!(e, AqpError::Query(_)));
+        assert!(std::error::Error::source(&e).is_some());
+        let e: AqpError = aqp_storage::StorageError::DuplicateField("f".into()).into();
+        assert!(e.to_string().contains("f"));
+    }
+}

@@ -1,0 +1,100 @@
+//! Shared runtime machinery: execute a query against several sample-table
+//! strata and merge the per-group tallies into one approximate answer.
+//!
+//! Every AQP system in this crate reduces to this shape at runtime — a
+//! UNION ALL over differently-weighted strata (paper Section 4.2.2) —
+//! differing only in which strata they assemble and how exactness is
+//! decided per group.
+
+use crate::answer::{state_to_estimate, ApproxAnswer, ApproxGroup, ApproxValue};
+use crate::error::AqpResult;
+use aqp_query::{execute, AggState, DataSource, ExecOptions, Query, Weighting};
+use aqp_sampling::Estimate;
+use aqp_storage::{BitSet, Table, Value};
+use std::collections::HashMap;
+
+/// One stratum of a rewritten query plan.
+pub(crate) struct Part<'a> {
+    /// The sample table to scan.
+    pub table: &'a Table,
+    /// Bitmask exclusion filter (rows intersecting it are skipped); only
+    /// valid for tables carrying a bitmask column.
+    pub mask: Option<BitSet>,
+    /// Row weighting for this stratum.
+    pub weighting: PartWeight<'a>,
+}
+
+/// Stratum weighting: a constant inverse rate, or per-row weights.
+pub(crate) enum PartWeight<'a> {
+    Constant(f64),
+    PerRow(&'a [f64]),
+}
+
+/// Execute every part and merge the tallies per group, forming estimates
+/// and confidence intervals. `is_exact` decides, per decoded group key,
+/// whether the answer for that group is exact.
+pub(crate) fn answer_from_parts(
+    query: &Query,
+    parts: &[Part<'_>],
+    confidence: f64,
+    is_exact: &dyn Fn(&[Value]) -> bool,
+) -> AqpResult<ApproxAnswer> {
+    let mut merged: HashMap<Vec<Value>, Vec<AggState>> = HashMap::new();
+    let mut rows_scanned = 0usize;
+
+    for part in parts {
+        rows_scanned += part.table.num_rows();
+        let weight = match part.weighting {
+            PartWeight::Constant(w) => Weighting::Constant(w),
+            PartWeight::PerRow(ws) => Weighting::PerRow(ws),
+        };
+        let opts = ExecOptions {
+            weight,
+            bitmask_exclude: part.mask.as_ref(),
+            parallelism: 1,
+        };
+        let out = execute(&DataSource::Wide(part.table), query, &opts)?;
+        for g in out.groups {
+            match merged.entry(g.key) {
+                std::collections::hash_map::Entry::Occupied(mut e) => {
+                    for (a, b) in e.get_mut().iter_mut().zip(&g.aggs) {
+                        a.merge(b);
+                    }
+                }
+                std::collections::hash_map::Entry::Vacant(e) => {
+                    e.insert(g.aggs);
+                }
+            }
+        }
+    }
+
+    let mut groups = Vec::with_capacity(merged.len());
+    for (key, states) in merged {
+        let exact = is_exact(&key);
+        let values = query
+            .aggregates
+            .iter()
+            .zip(&states)
+            .map(|(agg, state)| {
+                // No estimate (e.g. AVG over a group whose sampled rows
+                // were all NULL): report value 0 with infinite variance so
+                // the interval is honest about knowing nothing, instead of
+                // a confidently-zero answer.
+                let estimate = state_to_estimate(agg.func, state, exact)
+                    .unwrap_or_else(|| Estimate::with_variance(0.0, f64::INFINITY));
+                ApproxValue {
+                    estimate,
+                    ci: estimate.confidence_interval(confidence),
+                }
+            })
+            .collect();
+        groups.push(ApproxGroup { key, values });
+    }
+
+    Ok(ApproxAnswer {
+        group_names: query.group_by.clone(),
+        agg_aliases: query.aggregates.iter().map(|a| a.alias.clone()).collect(),
+        groups,
+        rows_scanned,
+    })
+}

@@ -1,0 +1,503 @@
+//! Sample-family persistence.
+//!
+//! The dynamic-sample-selection architecture builds its sample family once
+//! during an offline pre-processing phase and uses it across many runtime
+//! sessions ("the samples are created ... and stored in the database along
+//! with metadata that identifies the characteristics of each sample" —
+//! paper Section 3.1). This module serialises a complete
+//! [`SmallGroupSampler`] — every small group table with its bitmasks, the
+//! overall sample strata with their weights, the `L(C)` common-value sets,
+//! the configuration, and the catalog — into one self-describing binary
+//! file, so preprocessing cost is paid once per database.
+
+use crate::catalog::{SampleCatalog, SampleColumnMeta};
+use crate::error::{AqpError, AqpResult};
+use crate::smallgroup::{
+    CommonValues, OverallKind, OverallPart, SgEntry, SgUnit, SmallGroupConfig,
+    SmallGroupSampler,
+};
+use aqp_storage::io::{decode_table, encode_table, get_string, get_value, put_string, put_value};
+use aqp_storage::{StorageError, Value};
+use bytes::{Buf, BufMut, BytesMut};
+use std::collections::HashSet;
+
+const MAGIC: &[u8; 4] = b"AQPS";
+// v2: added max_tables_per_query and preprocess_threads to the config
+// block. Older files are rejected with a clean version error.
+const VERSION: u16 = 2;
+
+fn corrupt(msg: impl Into<String>) -> AqpError {
+    AqpError::from(StorageError::Codec(msg.into()))
+}
+
+fn put_bytes(buf: &mut BytesMut, bytes: &[u8]) {
+    buf.put_u64_le(bytes.len() as u64);
+    buf.put_slice(bytes);
+}
+
+fn get_bytes<'a>(buf: &mut &'a [u8]) -> AqpResult<&'a [u8]> {
+    if buf.remaining() < 8 {
+        return Err(corrupt("truncated byte-block length"));
+    }
+    let len = buf.get_u64_le() as usize;
+    if buf.remaining() < len {
+        return Err(corrupt("truncated byte block"));
+    }
+    let (head, tail) = buf.split_at(len);
+    *buf = tail;
+    Ok(head)
+}
+
+fn put_string_list(buf: &mut BytesMut, list: &[String]) {
+    buf.put_u32_le(list.len() as u32);
+    for s in list {
+        put_string(buf, s);
+    }
+}
+
+fn get_string_list(buf: &mut &[u8]) -> AqpResult<Vec<String>> {
+    if buf.remaining() < 4 {
+        return Err(corrupt("truncated string list"));
+    }
+    let n = buf.get_u32_le() as usize;
+    // Cap the pre-allocation: a corrupt count must produce a clean decode
+    // error when the elements run out, never an allocation failure.
+    let mut out = Vec::with_capacity(n.min(buf.remaining()));
+    for _ in 0..n {
+        out.push(get_string(buf).map_err(AqpError::from)?);
+    }
+    Ok(out)
+}
+
+/// Serialise a sampler to bytes.
+pub fn encode_sampler(sampler: &SmallGroupSampler) -> Vec<u8> {
+    let mut buf = BytesMut::new();
+    buf.put_slice(MAGIC);
+    buf.put_u16_le(VERSION);
+
+    // --- Config ---
+    let cfg = sampler.config.clone();
+    buf.put_f64_le(cfg.base_rate);
+    buf.put_f64_le(cfg.small_group_fraction);
+    buf.put_u64_le(cfg.tau as u64);
+    buf.put_u64_le(cfg.seed);
+    match &cfg.overall {
+        OverallKind::Uniform => buf.put_u8(0),
+        OverallKind::OutlierIndexed { column } => {
+            buf.put_u8(1);
+            put_string(&mut buf, column);
+        }
+    }
+    match &cfg.restrict_columns {
+        None => buf.put_u8(0),
+        Some(cols) => {
+            buf.put_u8(1);
+            put_string_list(&mut buf, cols);
+        }
+    }
+    put_string_list(&mut buf, &cfg.exclude_columns);
+    buf.put_u32_le(cfg.column_pairs.len() as u32);
+    for (a, b) in &cfg.column_pairs {
+        put_string(&mut buf, a);
+        put_string(&mut buf, b);
+    }
+    match cfg.max_tables_per_query {
+        None => buf.put_u8(0),
+        Some(cap) => {
+            buf.put_u8(1);
+            buf.put_u64_le(cap as u64);
+        }
+    }
+    buf.put_u64_le(cfg.preprocess_threads as u64);
+
+    buf.put_u64_le(sampler.view_rows as u64);
+    buf.put_f64_le(sampler.overall_rate);
+
+    // --- Entries ---
+    buf.put_u32_le(sampler.entries.len() as u32);
+    for entry in &sampler.entries {
+        match &entry.unit {
+            SgUnit::Single(c) => {
+                buf.put_u8(0);
+                put_string(&mut buf, c);
+            }
+            SgUnit::Pair(a, b) => {
+                buf.put_u8(1);
+                put_string(&mut buf, a);
+                put_string(&mut buf, b);
+            }
+        }
+        match &entry.common {
+            CommonValues::Single(set) => {
+                buf.put_u8(0);
+                let mut values: Vec<&Value> = set.iter().collect();
+                values.sort(); // determinism
+                buf.put_u64_le(values.len() as u64);
+                for v in values {
+                    put_value(&mut buf, v);
+                }
+            }
+            CommonValues::Pair(set) => {
+                buf.put_u8(1);
+                let mut values: Vec<&(Value, Value)> = set.iter().collect();
+                values.sort();
+                buf.put_u64_le(values.len() as u64);
+                for (a, b) in values {
+                    put_value(&mut buf, a);
+                    put_value(&mut buf, b);
+                }
+            }
+        }
+        put_bytes(&mut buf, &encode_table(&entry.table));
+    }
+
+    // --- Overall parts ---
+    buf.put_u32_le(sampler.overall.len() as u32);
+    for part in &sampler.overall {
+        buf.put_f64_le(part.weight);
+        put_bytes(&mut buf, &encode_table(&part.table));
+    }
+
+    // --- Catalog ---
+    let cat = &sampler.catalog;
+    buf.put_u64_le(cat.view_rows as u64);
+    buf.put_u32_le(cat.columns.len() as u32);
+    for c in &cat.columns {
+        put_string(&mut buf, &c.name);
+        buf.put_u64_le(c.index as u64);
+        buf.put_u64_le(c.num_common as u64);
+        buf.put_u64_le(c.rows as u64);
+    }
+    put_string_list(&mut buf, &cat.dropped_tau);
+    put_string_list(&mut buf, &cat.dropped_no_small_groups);
+    buf.put_u64_le(cat.overall_rows as u64);
+    buf.put_f64_le(cat.overall_rate);
+    buf.put_u64_le(cat.total_bytes as u64);
+
+    buf.to_vec()
+}
+
+/// Deserialise a sampler from bytes produced by [`encode_sampler`].
+pub fn decode_sampler(bytes: &[u8]) -> AqpResult<SmallGroupSampler> {
+    let mut buf = bytes;
+    if buf.remaining() < 6 || &buf[..4] != MAGIC {
+        return Err(corrupt("bad sampler magic"));
+    }
+    buf.advance(4);
+    let version = buf.get_u16_le();
+    if version != VERSION {
+        return Err(corrupt(format!("unsupported sampler version {version}")));
+    }
+
+    // --- Config ---
+    if buf.remaining() < 8 * 4 + 1 {
+        return Err(corrupt("truncated config"));
+    }
+    let base_rate = buf.get_f64_le();
+    let small_group_fraction = buf.get_f64_le();
+    let tau = buf.get_u64_le() as usize;
+    let seed = buf.get_u64_le();
+    let overall_kind = match buf.get_u8() {
+        0 => OverallKind::Uniform,
+        1 => OverallKind::OutlierIndexed {
+            column: get_string(&mut buf).map_err(AqpError::from)?,
+        },
+        other => return Err(corrupt(format!("unknown overall kind {other}"))),
+    };
+    if buf.remaining() < 1 {
+        return Err(corrupt("truncated restrict flag"));
+    }
+    let restrict_columns = match buf.get_u8() {
+        0 => None,
+        _ => Some(get_string_list(&mut buf)?),
+    };
+    let exclude_columns = get_string_list(&mut buf)?;
+    if buf.remaining() < 4 {
+        return Err(corrupt("truncated pairs"));
+    }
+    let n_pairs = buf.get_u32_le() as usize;
+    let mut column_pairs = Vec::with_capacity(n_pairs.min(buf.remaining()));
+    for _ in 0..n_pairs {
+        let a = get_string(&mut buf).map_err(AqpError::from)?;
+        let b = get_string(&mut buf).map_err(AqpError::from)?;
+        column_pairs.push((a, b));
+    }
+    if buf.remaining() < 1 {
+        return Err(corrupt("truncated table cap"));
+    }
+    let max_tables_per_query = match buf.get_u8() {
+        0 => None,
+        _ => {
+            if buf.remaining() < 8 {
+                return Err(corrupt("truncated table cap value"));
+            }
+            Some(buf.get_u64_le() as usize)
+        }
+    };
+    if buf.remaining() < 8 {
+        return Err(corrupt("truncated preprocess threads"));
+    }
+    let preprocess_threads = buf.get_u64_le() as usize;
+    let config = SmallGroupConfig {
+        base_rate,
+        small_group_fraction,
+        tau,
+        seed,
+        overall: overall_kind,
+        restrict_columns,
+        exclude_columns,
+        column_pairs,
+        max_tables_per_query,
+        preprocess_threads,
+    };
+
+    if buf.remaining() < 16 {
+        return Err(corrupt("truncated sampler header"));
+    }
+    let view_rows = buf.get_u64_le() as usize;
+    let overall_rate = buf.get_f64_le();
+
+    // --- Entries ---
+    if buf.remaining() < 4 {
+        return Err(corrupt("truncated entries"));
+    }
+    let n_entries = buf.get_u32_le() as usize;
+    let mut entries = Vec::with_capacity(n_entries.min(buf.remaining()));
+    for _ in 0..n_entries {
+        if buf.remaining() < 1 {
+            return Err(corrupt("truncated unit tag"));
+        }
+        let unit = match buf.get_u8() {
+            0 => SgUnit::Single(get_string(&mut buf).map_err(AqpError::from)?),
+            1 => {
+                let a = get_string(&mut buf).map_err(AqpError::from)?;
+                let b = get_string(&mut buf).map_err(AqpError::from)?;
+                SgUnit::Pair(a, b)
+            }
+            other => return Err(corrupt(format!("unknown unit tag {other}"))),
+        };
+        if buf.remaining() < 1 + 8 {
+            return Err(corrupt("truncated common values"));
+        }
+        let common = match buf.get_u8() {
+            0 => {
+                let n = buf.get_u64_le() as usize;
+                let mut set = HashSet::with_capacity(n.min(buf.remaining()));
+                for _ in 0..n {
+                    set.insert(get_value(&mut buf).map_err(AqpError::from)?);
+                }
+                CommonValues::Single(set)
+            }
+            1 => {
+                let n = buf.get_u64_le() as usize;
+                let mut set = HashSet::with_capacity(n.min(buf.remaining()));
+                for _ in 0..n {
+                    let a = get_value(&mut buf).map_err(AqpError::from)?;
+                    let b = get_value(&mut buf).map_err(AqpError::from)?;
+                    set.insert((a, b));
+                }
+                CommonValues::Pair(set)
+            }
+            other => return Err(corrupt(format!("unknown common tag {other}"))),
+        };
+        let table = decode_table(get_bytes(&mut buf)?).map_err(AqpError::from)?;
+        entries.push(SgEntry { unit, table, common });
+    }
+
+    // --- Overall parts ---
+    if buf.remaining() < 4 {
+        return Err(corrupt("truncated overall parts"));
+    }
+    let n_parts = buf.get_u32_le() as usize;
+    let mut overall = Vec::with_capacity(n_parts.min(buf.remaining()));
+    for _ in 0..n_parts {
+        if buf.remaining() < 8 {
+            return Err(corrupt("truncated part weight"));
+        }
+        let weight = buf.get_f64_le();
+        let table = decode_table(get_bytes(&mut buf)?).map_err(AqpError::from)?;
+        overall.push(OverallPart { table, weight });
+    }
+
+    // --- Catalog ---
+    if buf.remaining() < 12 {
+        return Err(corrupt("truncated catalog"));
+    }
+    let cat_view_rows = buf.get_u64_le() as usize;
+    let n_cols = buf.get_u32_le() as usize;
+    let mut columns = Vec::with_capacity(n_cols.min(buf.remaining()));
+    for _ in 0..n_cols {
+        let name = get_string(&mut buf).map_err(AqpError::from)?;
+        if buf.remaining() < 24 {
+            return Err(corrupt("truncated catalog column"));
+        }
+        columns.push(SampleColumnMeta {
+            name,
+            index: buf.get_u64_le() as usize,
+            num_common: buf.get_u64_le() as usize,
+            rows: buf.get_u64_le() as usize,
+        });
+    }
+    let dropped_tau = get_string_list(&mut buf)?;
+    let dropped_no_small_groups = get_string_list(&mut buf)?;
+    if buf.remaining() < 24 {
+        return Err(corrupt("truncated catalog tail"));
+    }
+    let catalog = SampleCatalog {
+        view_rows: cat_view_rows,
+        columns,
+        dropped_tau,
+        dropped_no_small_groups,
+        overall_rows: buf.get_u64_le() as usize,
+        overall_rate: buf.get_f64_le(),
+        total_bytes: buf.get_u64_le() as usize,
+    };
+
+    if buf.has_remaining() {
+        return Err(corrupt(format!("{} trailing bytes", buf.remaining())));
+    }
+
+    Ok(SmallGroupSampler {
+        config,
+        view_rows,
+        entries,
+        overall,
+        overall_rate,
+        catalog,
+    })
+}
+
+impl SmallGroupSampler {
+    /// Persist the whole sample family to a file.
+    pub fn save(&self, path: impl AsRef<std::path::Path>) -> std::io::Result<()> {
+        std::fs::write(path, encode_sampler(self))
+    }
+
+    /// Load a sample family previously written by [`Self::save`].
+    pub fn load(path: impl AsRef<std::path::Path>) -> std::io::Result<Self> {
+        let bytes = std::fs::read(path)?;
+        decode_sampler(&bytes).map_err(std::io::Error::other)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::system::AqpSystem;
+    use aqp_storage::{DataType, SchemaBuilder, Table};
+    use aqp_query::Query;
+
+    fn view() -> Table {
+        let schema = SchemaBuilder::new()
+            .field("g", DataType::Utf8)
+            .field("h", DataType::Utf8)
+            .field("x", DataType::Float64)
+            .build()
+            .unwrap();
+        let mut t = Table::empty("v", schema);
+        for i in 0..400 {
+            let g = if i % 40 == 0 { format!("rare{}", i / 40) } else { "common".into() };
+            t.push_row(&[g.into(), format!("h{}", i % 3).into(), (i as f64).into()])
+                .unwrap();
+        }
+        t
+    }
+
+    fn build() -> SmallGroupSampler {
+        SmallGroupSampler::build(
+            &view(),
+            SmallGroupConfig {
+                base_rate: 0.1,
+                small_group_fraction: 0.05,
+                seed: 3,
+                column_pairs: vec![("g".into(), "h".into())],
+                exclude_columns: vec!["x".into()],
+                ..Default::default()
+            },
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn roundtrip_preserves_answers() {
+        let sampler = build();
+        let bytes = encode_sampler(&sampler);
+        let back = decode_sampler(&bytes).unwrap();
+
+        assert_eq!(back.config(), sampler.config());
+        assert_eq!(back.catalog(), sampler.catalog());
+        assert_eq!(back.sample_columns(), sampler.sample_columns());
+        assert_eq!(back.view_rows(), sampler.view_rows());
+        assert!((back.overall_rate() - sampler.overall_rate()).abs() < 1e-15);
+
+        // Identical answers on several queries.
+        for q in [
+            Query::builder().count().group_by("g").build().unwrap(),
+            Query::builder().count().sum("x").group_by("g").group_by("h").build().unwrap(),
+            Query::builder().count().build().unwrap(),
+        ] {
+            let mut a = sampler.answer(&q, 0.95).unwrap();
+            let mut b = back.answer(&q, 0.95).unwrap();
+            a.sort_by_key();
+            b.sort_by_key();
+            assert_eq!(a.num_groups(), b.num_groups());
+            for (x, y) in a.groups.iter().zip(&b.groups) {
+                assert_eq!(x.key, y.key);
+                for (vx, vy) in x.values.iter().zip(&y.values) {
+                    assert_eq!(vx.value(), vy.value());
+                    assert_eq!(vx.is_exact(), vy.is_exact());
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn roundtrip_outlier_enhanced() {
+        let sampler = SmallGroupSampler::build(
+            &view(),
+            SmallGroupConfig {
+                base_rate: 0.1,
+                small_group_fraction: 0.05,
+                overall: OverallKind::OutlierIndexed { column: "x".into() },
+                ..Default::default()
+            },
+        )
+        .unwrap();
+        let back = decode_sampler(&encode_sampler(&sampler)).unwrap();
+        assert_eq!(back.name(), "SmGroup+Outlier");
+        let q = Query::builder().sum("x").group_by("g").build().unwrap();
+        let a = sampler.answer(&q, 0.95).unwrap();
+        let b = back.answer(&q, 0.95).unwrap();
+        assert_eq!(a.num_groups(), b.num_groups());
+    }
+
+    #[test]
+    fn corruption_detected_never_panics() {
+        let bytes = encode_sampler(&build());
+        for len in 0..bytes.len().min(600) {
+            assert!(decode_sampler(&bytes[..len]).is_err(), "prefix {len}");
+        }
+        // Also truncations around the table blocks.
+        for len in (bytes.len() - 200)..bytes.len() {
+            assert!(decode_sampler(&bytes[..len]).is_err(), "prefix {len}");
+        }
+        let mut bad = bytes.clone();
+        bad[0] = b'X';
+        assert!(decode_sampler(&bad).is_err());
+        let mut bad = bytes;
+        bad.push(7);
+        assert!(decode_sampler(&bad).is_err());
+    }
+
+    #[test]
+    fn file_roundtrip() {
+        let sampler = build();
+        let dir = std::env::temp_dir().join(format!("aqp_persist_{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("family.aqps");
+        sampler.save(&path).unwrap();
+        let back = SmallGroupSampler::load(&path).unwrap();
+        assert_eq!(back.catalog(), sampler.catalog());
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+}

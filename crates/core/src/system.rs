@@ -1,0 +1,62 @@
+//! The common interface all AQP systems implement.
+
+use crate::answer::ApproxAnswer;
+use crate::error::AqpResult;
+use aqp_query::Query;
+
+/// An approximate query processing system: something built during a
+/// pre-processing phase that can answer aggregation queries approximately
+/// at runtime.
+///
+/// All four systems of the paper's experimental comparison implement this
+/// trait — small group sampling, uniform sampling, basic congress and
+/// outlier indexing — so the experiment harness can treat them uniformly
+/// and enforce the equal-sample-space fairness rule.
+pub trait AqpSystem {
+    /// Human-readable system name (e.g. `"SmGroup"`, `"Uniform"`).
+    fn name(&self) -> &str;
+
+    /// Produce an approximate answer for `query` at the given confidence
+    /// level for the reported intervals.
+    fn answer(&self, query: &Query, confidence: f64) -> AqpResult<ApproxAnswer>;
+
+    /// Total bytes of sample tables held by this system (the paper's
+    /// Section 5.4.2 space-overhead metric).
+    fn sample_bytes(&self) -> usize;
+
+    /// Number of sample rows this system would scan to answer `query`
+    /// (before predicate filtering) — the runtime sample-space cost the
+    /// fairness rule of Section 5.2.3 equalises across systems.
+    fn runtime_rows(&self, query: &Query) -> usize;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::answer::ApproxAnswer;
+
+    /// The trait must be object-safe: the harness stores `Box<dyn AqpSystem>`.
+    struct Dummy;
+    impl AqpSystem for Dummy {
+        fn name(&self) -> &str {
+            "dummy"
+        }
+        fn answer(&self, _q: &Query, _c: f64) -> AqpResult<ApproxAnswer> {
+            Ok(ApproxAnswer::default())
+        }
+        fn sample_bytes(&self) -> usize {
+            0
+        }
+        fn runtime_rows(&self, _q: &Query) -> usize {
+            0
+        }
+    }
+
+    #[test]
+    fn object_safety() {
+        let boxed: Box<dyn AqpSystem> = Box::new(Dummy);
+        assert_eq!(boxed.name(), "dummy");
+        let q = Query::builder().count().build().unwrap();
+        assert_eq!(boxed.answer(&q, 0.95).unwrap().num_groups(), 0);
+    }
+}

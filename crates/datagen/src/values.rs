@@ -1,0 +1,99 @@
+//! Shared helpers for generating categorical value pools.
+
+use aqp_sampling::TruncatedZipf;
+use rand::Rng;
+
+/// A pool of `c` named categorical values sampled with Zipf(z) skew.
+///
+/// Rank 0 ("PREFIX#000") is the most common value.
+pub(crate) struct CategoricalPool {
+    names: Vec<String>,
+    dist: TruncatedZipf,
+}
+
+impl CategoricalPool {
+    pub(crate) fn new(prefix: &str, c: usize, z: f64) -> Self {
+        CategoricalPool {
+            names: (0..c).map(|i| format!("{prefix}#{i:03}")).collect(),
+            dist: TruncatedZipf::new(c, z),
+        }
+    }
+
+    pub(crate) fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> &str {
+        &self.names[self.dist.sample(rng)]
+    }
+}
+
+/// A pool of `c` integer values (1-based ranks) sampled with Zipf(z) skew.
+pub(crate) struct IntPool {
+    dist: TruncatedZipf,
+}
+
+impl IntPool {
+    pub(crate) fn new(c: usize, z: f64) -> Self {
+        IntPool {
+            dist: TruncatedZipf::new(c, z),
+        }
+    }
+
+    /// Sample a value in `1..=c` (rank + 1).
+    pub(crate) fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> i64 {
+        self.dist.sample(rng) as i64 + 1
+    }
+
+    /// Sample a 0-based rank in `0..c`.
+    pub(crate) fn sample_rank<R: Rng + ?Sized>(&self, rng: &mut R) -> usize {
+        self.dist.sample(rng)
+    }
+}
+
+/// A heavy-tailed positive measure: `scale · U^{-1/alpha}` capped at
+/// `cap · scale` (a truncated Pareto). Used for price-like columns so the
+/// outlier-indexing experiments see genuinely skewed aggregate inputs.
+pub(crate) fn pareto<R: Rng + ?Sized>(rng: &mut R, scale: f64, alpha: f64, cap: f64) -> f64 {
+    use rand::RngExt;
+    let u: f64 = rng.random::<f64>().max(1e-12);
+    (scale * u.powf(-1.0 / alpha)).min(scale * cap)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn categorical_pool_names_and_skew() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let pool = CategoricalPool::new("BRAND", 10, 2.0);
+        let mut counts = std::collections::HashMap::new();
+        for _ in 0..10_000 {
+            *counts.entry(pool.sample(&mut rng).to_owned()).or_insert(0usize) += 1;
+        }
+        assert!(counts.keys().all(|k| k.starts_with("BRAND#")));
+        // Rank 0 dominates at z = 2.
+        let top = counts.get("BRAND#000").copied().unwrap_or(0);
+        assert!(top > 5000, "rank 0 got {top}");
+    }
+
+    #[test]
+    fn int_pool_range() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let pool = IntPool::new(50, 1.0);
+        for _ in 0..1000 {
+            let v = pool.sample(&mut rng);
+            assert!((1..=50).contains(&v));
+            let r = pool.sample_rank(&mut rng);
+            assert!(r < 50);
+        }
+    }
+
+    #[test]
+    fn pareto_is_positive_and_capped() {
+        let mut rng = StdRng::seed_from_u64(3);
+        for _ in 0..10_000 {
+            let x = pareto(&mut rng, 100.0, 1.5, 1000.0);
+            assert!((100.0 - 1e-9..=100_000.0 + 1e-9).contains(&x));
+        }
+    }
+}

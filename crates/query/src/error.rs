@@ -1,0 +1,87 @@
+//! Error types for query planning and execution.
+
+use std::fmt;
+
+/// Result alias for query operations.
+pub type QueryResult<T> = Result<T, QueryError>;
+
+/// Errors raised during query validation or execution.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum QueryError {
+    /// A referenced column exists in no table of the data source.
+    UnknownColumn {
+        /// The unresolved column name.
+        name: String,
+    },
+    /// An aggregate was applied to a column of an unsupported type.
+    InvalidAggregate {
+        /// Human-readable description of the problem.
+        reason: String,
+    },
+    /// A foreign-key value had no matching dimension row.
+    DanglingForeignKey {
+        /// The fact table's FK column.
+        fk_column: String,
+        /// The unmatched key value.
+        key: i64,
+    },
+    /// A join column had an unsupported type (keys must be Int64).
+    InvalidJoinKey {
+        /// The offending column.
+        column: String,
+    },
+    /// The query is structurally invalid (e.g. no aggregates).
+    InvalidQuery(String),
+    /// An underlying storage error.
+    Storage(aqp_storage::StorageError),
+}
+
+impl fmt::Display for QueryError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            QueryError::UnknownColumn { name } => write!(f, "unknown column: {name:?}"),
+            QueryError::InvalidAggregate { reason } => {
+                write!(f, "invalid aggregate: {reason}")
+            }
+            QueryError::DanglingForeignKey { fk_column, key } => {
+                write!(f, "dangling foreign key {key} in column {fk_column:?}")
+            }
+            QueryError::InvalidJoinKey { column } => {
+                write!(f, "join key column {column:?} must be Int64")
+            }
+            QueryError::InvalidQuery(msg) => write!(f, "invalid query: {msg}"),
+            QueryError::Storage(e) => write!(f, "storage error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for QueryError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            QueryError::Storage(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<aqp_storage::StorageError> for QueryError {
+    fn from(e: aqp_storage::StorageError) -> Self {
+        QueryError::Storage(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_and_source() {
+        let e = QueryError::UnknownColumn { name: "x".into() };
+        assert!(e.to_string().contains("x"));
+        let e: QueryError = aqp_storage::StorageError::ColumnNotFound { name: "y".into() }.into();
+        assert!(matches!(e, QueryError::Storage(_)));
+        assert!(std::error::Error::source(&e).is_some());
+        let e = QueryError::DanglingForeignKey { fk_column: "fk".into(), key: 3 };
+        assert!(e.to_string().contains("fk"));
+    }
+}

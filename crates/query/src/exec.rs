@@ -1,0 +1,939 @@
+//! The hash group-by executor.
+//!
+//! Executes a [`Query`] against a [`DataSource`] in a single scan:
+//! compiled-predicate filter → compact group-key extraction → per-group
+//! [`AggState`] accumulation. Three features exist specifically for the
+//! AQP runtime of the paper:
+//!
+//! * **weights** ([`Weighting`]) — every row can carry an inverse-sampling-
+//!   rate weight (constant for uniform samples, per-row for congress-style
+//!   stratified samples); weight 1 gives exact evaluation;
+//! * **bitmask exclusion** — rows whose sample-membership bitmask intersects
+//!   a given mask are skipped, which is the paper's
+//!   `WHERE bitmask & M = 0` double-counting filter (Section 4.2.2);
+//! * **parallel partitions** — the scan can be split across threads with
+//!   per-thread hash tables merged at the end (crossbeam scoped threads).
+
+use crate::error::{QueryError, QueryResult};
+use crate::expr::{CmpOp, Expr};
+use crate::output::{AggState, GroupResult, QueryOutput};
+use crate::plan::{AggFunc, Query};
+use crate::source::{DataSource, ResolvedColumn};
+use aqp_storage::{BitSet, DataType, Value};
+use std::collections::{HashMap, HashSet};
+
+/// Maximum grouping columns handled by the compact fixed-size key. Queries
+/// with more grouping columns still work via the heap-allocated fallback.
+const MAX_FAST_KEY: usize = 6;
+
+/// Per-row weighting applied during aggregation.
+#[derive(Debug, Clone, Copy)]
+pub enum Weighting<'a> {
+    /// Every row has weight 1 (exact evaluation, or 100 %-rate strata).
+    Unweighted,
+    /// Every row has the same weight (inverse of a uniform sampling rate).
+    Constant(f64),
+    /// `weights[row]` per row (stratified samples with varying rates).
+    PerRow(&'a [f64]),
+}
+
+impl Weighting<'_> {
+    #[inline]
+    fn weight(&self, row: usize) -> f64 {
+        match self {
+            Weighting::Unweighted => 1.0,
+            Weighting::Constant(w) => *w,
+            Weighting::PerRow(ws) => ws[row],
+        }
+    }
+}
+
+/// Execution options.
+#[derive(Debug, Clone, Copy)]
+pub struct ExecOptions<'a> {
+    /// Row weighting (default: unweighted).
+    pub weight: Weighting<'a>,
+    /// Skip rows whose bitmask intersects this mask (sample tables only).
+    pub bitmask_exclude: Option<&'a BitSet>,
+    /// Number of scan partitions (1 = serial).
+    pub parallelism: usize,
+}
+
+impl Default for ExecOptions<'static> {
+    fn default() -> Self {
+        ExecOptions {
+            weight: Weighting::Unweighted,
+            bitmask_exclude: None,
+            parallelism: 1,
+        }
+    }
+}
+
+/// Execute `query` against `source`.
+pub fn execute(
+    source: &DataSource<'_>,
+    query: &Query,
+    opts: &ExecOptions<'_>,
+) -> QueryResult<QueryOutput> {
+    if query.aggregates.is_empty() {
+        return Err(QueryError::InvalidQuery("no aggregates".into()));
+    }
+    if let Weighting::PerRow(ws) = opts.weight {
+        if ws.len() != source.num_rows() {
+            return Err(QueryError::InvalidQuery(format!(
+                "per-row weights: {} weights for {} rows",
+                ws.len(),
+                source.num_rows()
+            )));
+        }
+    }
+
+    // Resolve group-by columns.
+    let group_cols: Vec<ResolvedColumn<'_>> = query
+        .group_by
+        .iter()
+        .map(|name| source.resolve(name))
+        .collect::<QueryResult<_>>()?;
+
+    // Resolve aggregate input columns; validate types.
+    let agg_cols: Vec<Option<ResolvedColumn<'_>>> = query
+        .aggregates
+        .iter()
+        .map(|agg| match (&agg.column, agg.func.needs_column()) {
+            (None, false) => Ok(None),
+            (Some(name), true) => {
+                let col = source.resolve(name)?;
+                if !col.data_type().is_numeric() {
+                    return Err(QueryError::InvalidAggregate {
+                        reason: format!(
+                            "{}({name}) over non-numeric column of type {}",
+                            agg.func,
+                            col.data_type()
+                        ),
+                    });
+                }
+                Ok(Some(col))
+            }
+            (None, true) => Err(QueryError::InvalidAggregate {
+                reason: format!("{} requires a column", agg.func),
+            }),
+            (Some(_), false) => Err(QueryError::InvalidAggregate {
+                reason: "COUNT(*) takes no column".into(),
+            }),
+        })
+        .collect::<QueryResult<_>>()?;
+
+    // Compile the predicate.
+    let predicate = query
+        .predicate
+        .as_ref()
+        .map(|p| compile(p, source))
+        .transpose()?;
+
+    // Bitmask exclusion requires the source to actually carry a bitmask.
+    let bitmask = match opts.bitmask_exclude {
+        Some(mask) => match source.bitmask() {
+            Some(col) => Some((col, mask)),
+            None => {
+                return Err(QueryError::InvalidQuery(
+                    "bitmask filter requested but source has no bitmask column".into(),
+                ))
+            }
+        },
+        None => None,
+    };
+
+    let n = source.num_rows();
+    let num_aggs = query.aggregates.len();
+    let scan = Scan {
+        group_cols: &group_cols,
+        agg_cols: &agg_cols,
+        agg_funcs: &query.aggregates.iter().map(|a| a.func).collect::<Vec<_>>(),
+        predicate: predicate.as_ref(),
+        bitmask,
+        weight: opts.weight,
+    };
+
+    let mut groups: HashMap<GroupKey, Vec<AggState>> =
+        if opts.parallelism > 1 && n >= 4096 {
+            run_parallel(&scan, n, num_aggs, opts.parallelism)
+        } else {
+            let mut map = HashMap::new();
+            scan.run_range(0, n, num_aggs, &mut map);
+            map
+        };
+
+    // Aggregation without GROUP BY always yields exactly one row.
+    if query.group_by.is_empty() && groups.is_empty() {
+        groups.insert(
+            GroupKey::Fast {
+                codes: [0; MAX_FAST_KEY],
+                nulls: 0,
+                len: 0,
+            },
+            vec![AggState::new(); num_aggs],
+        );
+    }
+
+    // Decode keys.
+    let mut out_groups = Vec::with_capacity(groups.len());
+    for (key, aggs) in groups {
+        let key_values = decode_key(&key, &group_cols);
+        out_groups.push(GroupResult {
+            key: key_values,
+            aggs,
+        });
+    }
+
+    Ok(QueryOutput {
+        group_names: query.group_by.clone(),
+        agg_aliases: query.aggregates.iter().map(|a| a.alias.clone()).collect(),
+        groups: out_groups,
+    })
+}
+
+/// Compact or heap-allocated group key.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+enum GroupKey {
+    /// Up to [`MAX_FAST_KEY`] per-column codes plus a null bitmap.
+    Fast {
+        codes: [u64; MAX_FAST_KEY],
+        nulls: u8,
+        len: u8,
+    },
+    /// Arbitrary-arity fallback.
+    Slow(Vec<(u64, bool)>),
+}
+
+fn decode_key(key: &GroupKey, group_cols: &[ResolvedColumn<'_>]) -> Vec<Value> {
+    match key {
+        GroupKey::Fast { codes, nulls, len } => (0..*len as usize)
+            .map(|i| group_cols[i].decode_key(codes[i], nulls & (1 << i) != 0))
+            .collect(),
+        GroupKey::Slow(parts) => parts
+            .iter()
+            .enumerate()
+            .map(|(i, (code, null))| group_cols[i].decode_key(*code, *null))
+            .collect(),
+    }
+}
+
+/// Everything a scan partition needs, shareable across threads.
+struct Scan<'a, 'b> {
+    group_cols: &'b [ResolvedColumn<'a>],
+    agg_cols: &'b [Option<ResolvedColumn<'a>>],
+    agg_funcs: &'b [AggFunc],
+    predicate: Option<&'b CompiledExpr<'a>>,
+    bitmask: Option<(&'a aqp_storage::BitmaskColumn, &'b BitSet)>,
+    weight: Weighting<'b>,
+}
+
+impl Scan<'_, '_> {
+    fn run_range(
+        &self,
+        start: usize,
+        end: usize,
+        num_aggs: usize,
+        groups: &mut HashMap<GroupKey, Vec<AggState>>,
+    ) {
+        let fast = self.group_cols.len() <= MAX_FAST_KEY;
+        for row in start..end {
+            if let Some((col, mask)) = self.bitmask {
+                if col.row_intersects(row, mask) {
+                    continue;
+                }
+            }
+            if let Some(p) = self.predicate {
+                if !p.eval(row) {
+                    continue;
+                }
+            }
+            let key = if fast {
+                let mut codes = [0u64; MAX_FAST_KEY];
+                let mut nulls = 0u8;
+                for (i, col) in self.group_cols.iter().enumerate() {
+                    let (code, is_null) = col.key_code(row);
+                    codes[i] = code;
+                    if is_null {
+                        nulls |= 1 << i;
+                    }
+                }
+                GroupKey::Fast {
+                    codes,
+                    nulls,
+                    len: self.group_cols.len() as u8,
+                }
+            } else {
+                GroupKey::Slow(
+                    self.group_cols
+                        .iter()
+                        .map(|c| c.key_code(row))
+                        .collect(),
+                )
+            };
+
+            let w = self.weight.weight(row);
+            let states = groups
+                .entry(key)
+                .or_insert_with(|| vec![AggState::new(); num_aggs]);
+            for (i, func) in self.agg_funcs.iter().enumerate() {
+                match func {
+                    AggFunc::Count => states[i].update(1.0, w),
+                    AggFunc::Sum | AggFunc::Avg | AggFunc::Min | AggFunc::Max => {
+                        if let Some(x) = self.agg_cols[i]
+                            .as_ref()
+                            .expect("validated: column aggregate has a column")
+                            .numeric(row)
+                        {
+                            states[i].update(x, w);
+                        }
+                    }
+                }
+            }
+        }
+    }
+}
+
+fn run_parallel(
+    scan: &Scan<'_, '_>,
+    n: usize,
+    num_aggs: usize,
+    parallelism: usize,
+) -> HashMap<GroupKey, Vec<AggState>> {
+    let chunks = parallelism.min(n).max(1);
+    let chunk_size = n.div_ceil(chunks);
+    let mut partials: Vec<HashMap<GroupKey, Vec<AggState>>> = Vec::new();
+
+    crossbeam::thread::scope(|s| {
+        let handles: Vec<_> = (0..chunks)
+            .map(|c| {
+                let start = c * chunk_size;
+                let end = ((c + 1) * chunk_size).min(n);
+                s.spawn(move |_| {
+                    let mut map = HashMap::new();
+                    if start < end {
+                        scan.run_range(start, end, num_aggs, &mut map);
+                    }
+                    map
+                })
+            })
+            .collect();
+        for h in handles {
+            partials.push(h.join().expect("scan partition panicked"));
+        }
+    })
+    .expect("crossbeam scope failed");
+
+    // Merge per-thread maps into the largest one.
+    partials.sort_by_key(|m| std::cmp::Reverse(m.len()));
+    let mut iter = partials.into_iter();
+    let mut merged = iter.next().unwrap_or_default();
+    for partial in iter {
+        for (key, states) in partial {
+            match merged.entry(key) {
+                std::collections::hash_map::Entry::Occupied(mut e) => {
+                    for (a, b) in e.get_mut().iter_mut().zip(&states) {
+                        a.merge(b);
+                    }
+                }
+                std::collections::hash_map::Entry::Vacant(e) => {
+                    e.insert(states);
+                }
+            }
+        }
+    }
+    merged
+}
+
+/// A predicate compiled against a concrete data source.
+enum CompiledExpr<'a> {
+    /// IN-list over a dictionary column, resolved to codes. Values absent
+    /// from the dictionary can never match and are dropped at compile time.
+    DictInSet {
+        col: ResolvedColumn<'a>,
+        codes: HashSet<u32>,
+    },
+    /// IN-list over an integer column.
+    IntInSet {
+        col: ResolvedColumn<'a>,
+        values: HashSet<i64>,
+    },
+    /// Comparison over an integer column.
+    IntCmp {
+        col: ResolvedColumn<'a>,
+        op: CmpOp,
+        literal: i64,
+    },
+    /// Comparison over a float column (integer literals coerce).
+    FloatCmp {
+        col: ResolvedColumn<'a>,
+        op: CmpOp,
+        literal: f64,
+    },
+    /// Generic fallback comparison via dynamic values.
+    GenericCmp {
+        col: ResolvedColumn<'a>,
+        op: CmpOp,
+        literal: Value,
+    },
+    /// Generic fallback IN-list.
+    GenericInSet {
+        col: ResolvedColumn<'a>,
+        values: Vec<Value>,
+    },
+    /// Conjunction.
+    And(Vec<CompiledExpr<'a>>),
+    /// Disjunction.
+    Or(Vec<CompiledExpr<'a>>),
+    /// Negation.
+    Not(Box<CompiledExpr<'a>>),
+}
+
+impl CompiledExpr<'_> {
+    fn eval(&self, row: usize) -> bool {
+        match self {
+            CompiledExpr::DictInSet { col, codes } => {
+                let prow = col.physical_row(row);
+                if col.column.is_null(prow) {
+                    return false;
+                }
+                match col.column.as_utf8() {
+                    Some((col_codes, _)) => codes.contains(&col_codes[prow]),
+                    None => false,
+                }
+            }
+            CompiledExpr::IntInSet { col, values } => {
+                let prow = col.physical_row(row);
+                if col.column.is_null(prow) {
+                    return false;
+                }
+                match col.column.as_int64() {
+                    Some(data) => values.contains(&data[prow]),
+                    None => false,
+                }
+            }
+            CompiledExpr::IntCmp { col, op, literal } => {
+                let prow = col.physical_row(row);
+                if col.column.is_null(prow) {
+                    return false;
+                }
+                match col.column.as_int64() {
+                    Some(data) => op.evaluate(data[prow].cmp(literal)),
+                    None => false,
+                }
+            }
+            CompiledExpr::FloatCmp { col, op, literal } => {
+                let prow = col.physical_row(row);
+                if col.column.is_null(prow) {
+                    return false;
+                }
+                match col.column.as_float64() {
+                    Some(data) => op.evaluate(data[prow].total_cmp(literal)),
+                    None => false,
+                }
+            }
+            CompiledExpr::GenericCmp { col, op, literal } => {
+                let v = col.value(row);
+                if v.is_null() {
+                    return false;
+                }
+                op.evaluate(v.cmp(&literal.as_ref()))
+            }
+            CompiledExpr::GenericInSet { col, values } => {
+                let v = col.value(row);
+                if v.is_null() {
+                    return false;
+                }
+                values.iter().any(|lit| v == lit.as_ref())
+            }
+            CompiledExpr::And(es) => es.iter().all(|e| e.eval(row)),
+            CompiledExpr::Or(es) => es.iter().any(|e| e.eval(row)),
+            CompiledExpr::Not(e) => !e.eval(row),
+        }
+    }
+}
+
+fn compile<'a>(expr: &Expr, source: &DataSource<'a>) -> QueryResult<CompiledExpr<'a>> {
+    Ok(match expr {
+        Expr::InSet { column, values } => {
+            let col = source.resolve(column)?;
+            match col.data_type() {
+                DataType::Utf8 => {
+                    let (_, dict) = col.column.as_utf8().expect("utf8 column");
+                    let codes: HashSet<u32> = values
+                        .iter()
+                        .filter_map(|v| v.as_str().and_then(|s| dict.code(s)))
+                        .collect();
+                    CompiledExpr::DictInSet { col, codes }
+                }
+                DataType::Int64 => {
+                    // Coerce integral float literals (IN (2.0) must match
+                    // an Int64 2, consistently with `= 2.0`); non-integral
+                    // floats can never match an integer and are dropped.
+                    let ints: Option<HashSet<i64>> = values
+                        .iter()
+                        .filter(|v| !matches!(v, Value::Float64(f) if f.fract() != 0.0))
+                        .map(|v| match v {
+                            Value::Float64(f) => Some(*f as i64),
+                            other => other.as_i64(),
+                        })
+                        .collect();
+                    match ints {
+                        Some(values) => CompiledExpr::IntInSet { col, values },
+                        None => CompiledExpr::GenericInSet {
+                            col,
+                            values: values.clone(),
+                        },
+                    }
+                }
+                _ => CompiledExpr::GenericInSet {
+                    col,
+                    values: values.clone(),
+                },
+            }
+        }
+        Expr::Cmp { column, op, literal } => {
+            let col = source.resolve(column)?;
+            match (col.data_type(), literal) {
+                (DataType::Int64, Value::Int64(l)) => CompiledExpr::IntCmp {
+                    col,
+                    op: *op,
+                    literal: *l,
+                },
+                (DataType::Float64, lit) if lit.as_f64().is_some() => CompiledExpr::FloatCmp {
+                    col,
+                    op: *op,
+                    literal: lit.as_f64().expect("checked"),
+                },
+                _ => CompiledExpr::GenericCmp {
+                    col,
+                    op: *op,
+                    literal: literal.clone(),
+                },
+            }
+        }
+        Expr::And(es) => CompiledExpr::And(
+            es.iter()
+                .map(|e| compile(e, source))
+                .collect::<QueryResult<_>>()?,
+        ),
+        Expr::Or(es) => CompiledExpr::Or(
+            es.iter()
+                .map(|e| compile(e, source))
+                .collect::<QueryResult<_>>()?,
+        ),
+        Expr::Not(e) => CompiledExpr::Not(Box::new(compile(e, source)?)),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::plan::AggExpr;
+    use aqp_storage::{SchemaBuilder, Table};
+    use std::sync::Arc;
+
+    fn table() -> Table {
+        let schema = SchemaBuilder::new()
+            .field("t.cat", DataType::Utf8)
+            .field("t.sub", DataType::Int64)
+            .field("t.val", DataType::Float64)
+            .build()
+            .unwrap();
+        let mut t = Table::empty("t", schema);
+        let rows: Vec<(&str, i64, f64)> = vec![
+            ("a", 1, 10.0),
+            ("a", 1, 20.0),
+            ("a", 2, 30.0),
+            ("b", 1, 40.0),
+            ("b", 2, 50.0),
+            ("b", 2, 60.0),
+            ("c", 3, 70.0),
+        ];
+        for (c, s, v) in rows {
+            t.push_row(&[c.into(), s.into(), v.into()]).unwrap();
+        }
+        t
+    }
+
+    fn count_query(group: &[&str]) -> Query {
+        let mut b = Query::builder().count();
+        for g in group {
+            b = b.group_by(*g);
+        }
+        b.build().unwrap()
+    }
+
+    fn run(t: &Table, q: &Query) -> QueryOutput {
+        execute(&DataSource::Wide(t), q, &ExecOptions::default()).unwrap()
+    }
+
+    #[test]
+    fn ungrouped_count() {
+        let t = table();
+        let out = run(&t, &count_query(&[]));
+        assert_eq!(out.num_groups(), 1);
+        assert_eq!(out.groups[0].aggs[0].rows, 7);
+        assert_eq!(out.groups[0].aggs[0].sum_w, 7.0);
+    }
+
+    #[test]
+    fn grouped_count() {
+        let t = table();
+        let mut out = run(&t, &count_query(&["t.cat"]));
+        out.sort_by_key();
+        assert_eq!(out.num_groups(), 3);
+        let counts: Vec<u64> = out.groups.iter().map(|g| g.aggs[0].rows).collect();
+        assert_eq!(counts, vec![3, 3, 1]);
+        assert_eq!(out.groups[0].key, vec![Value::Utf8("a".into())]);
+    }
+
+    #[test]
+    fn multi_column_group_sum() {
+        let t = table();
+        let q = Query::builder()
+            .count()
+            .sum("t.val")
+            .group_by("t.cat")
+            .group_by("t.sub")
+            .build()
+            .unwrap();
+        let mut out = run(&t, &q);
+        out.sort_by_key();
+        assert_eq!(out.num_groups(), 5);
+        // (a,1): count 2, sum 30.
+        let g = out
+            .group(&[Value::Utf8("a".into()), Value::Int64(1)])
+            .unwrap();
+        assert_eq!(g.aggs[0].rows, 2);
+        assert_eq!(g.aggs[1].sum_wx, 30.0);
+        assert_eq!(g.aggs[1].min, 10.0);
+        assert_eq!(g.aggs[1].max, 20.0);
+    }
+
+    #[test]
+    fn predicate_filters() {
+        let t = table();
+        let q = Query::builder()
+            .count()
+            .group_by("t.cat")
+            .filter(Expr::in_set("t.sub", vec![2i64.into()]))
+            .build()
+            .unwrap();
+        let mut out = run(&t, &q);
+        out.sort_by_key();
+        assert_eq!(out.num_groups(), 2);
+        assert_eq!(out.group(&[Value::Utf8("a".into())]).unwrap().aggs[0].rows, 1);
+        assert_eq!(out.group(&[Value::Utf8("b".into())]).unwrap().aggs[0].rows, 2);
+    }
+
+    #[test]
+    fn dict_in_set_predicate() {
+        let t = table();
+        let q = Query::builder()
+            .count()
+            .filter(Expr::in_set("t.cat", vec!["a".into(), "zz".into()]))
+            .build()
+            .unwrap();
+        let out = run(&t, &q);
+        assert_eq!(out.groups[0].aggs[0].rows, 3, "zz not in dictionary, a matches 3");
+    }
+
+    #[test]
+    fn float_and_int_comparisons() {
+        let t = table();
+        let q = Query::builder()
+            .count()
+            .filter(Expr::And(vec![
+                Expr::cmp("t.val", CmpOp::Ge, 30.0f64),
+                Expr::cmp("t.sub", CmpOp::Lt, 3i64),
+            ]))
+            .build()
+            .unwrap();
+        assert_eq!(run(&t, &q).groups[0].aggs[0].rows, 4);
+        // Int literal against float column coerces.
+        let q = Query::builder()
+            .count()
+            .filter(Expr::cmp("t.val", CmpOp::Gt, 60i64))
+            .build()
+            .unwrap();
+        assert_eq!(run(&t, &q).groups[0].aggs[0].rows, 1);
+    }
+
+    #[test]
+    fn or_and_not() {
+        let t = table();
+        let q = Query::builder()
+            .count()
+            .filter(Expr::Or(vec![
+                Expr::eq("t.cat", "c"),
+                Expr::Not(Box::new(Expr::cmp("t.sub", CmpOp::Le, 2i64))),
+            ]))
+            .build()
+            .unwrap();
+        assert_eq!(run(&t, &q).groups[0].aggs[0].rows, 1, "both branches match row 6 only");
+    }
+
+    #[test]
+    fn constant_weight_scales() {
+        let t = table();
+        let q = count_query(&["t.cat"]);
+        let opts = ExecOptions {
+            weight: Weighting::Constant(10.0),
+            ..ExecOptions::default()
+        };
+        let out = execute(&DataSource::Wide(&t), &q, &opts).unwrap();
+        let g = out.group(&[Value::Utf8("a".into())]).unwrap();
+        assert_eq!(g.aggs[0].rows, 3);
+        assert_eq!(g.aggs[0].sum_w, 30.0);
+        assert!(g.aggs[0].var_acc > 0.0);
+    }
+
+    #[test]
+    fn per_row_weights() {
+        let t = table();
+        let weights = vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0, 7.0];
+        let q = count_query(&[]);
+        let opts = ExecOptions {
+            weight: Weighting::PerRow(&weights),
+            ..ExecOptions::default()
+        };
+        let out = execute(&DataSource::Wide(&t), &q, &opts).unwrap();
+        assert_eq!(out.groups[0].aggs[0].sum_w, 28.0);
+        // Wrong-length weights rejected.
+        let bad = vec![1.0];
+        let opts = ExecOptions {
+            weight: Weighting::PerRow(&bad),
+            ..ExecOptions::default()
+        };
+        assert!(execute(&DataSource::Wide(&t), &q, &opts).is_err());
+    }
+
+    #[test]
+    fn bitmask_exclusion() {
+        let src = table();
+        let mut t = Table::empty("s", Arc::clone(src.schema()));
+        t.enable_bitmask(2);
+        t.push_row_from_with_mask(&src, 0, &BitSet::from_bits(2, [0])).unwrap();
+        t.push_row_from_with_mask(&src, 1, &BitSet::from_bits(2, [1])).unwrap();
+        t.push_row_from_with_mask(&src, 2, &BitSet::with_capacity(2)).unwrap();
+
+        let q = count_query(&[]);
+        let mask = BitSet::from_bits(2, [0]);
+        let opts = ExecOptions {
+            bitmask_exclude: Some(&mask),
+            ..ExecOptions::default()
+        };
+        let out = execute(&DataSource::Wide(&t), &q, &opts).unwrap();
+        assert_eq!(out.groups[0].aggs[0].rows, 2, "row with bit 0 skipped");
+
+        // Requesting a bitmask filter on a mask-less table is an error.
+        assert!(execute(&DataSource::Wide(&src), &q, &opts).is_err());
+    }
+
+    #[test]
+    fn unknown_column_and_bad_aggregates() {
+        let t = table();
+        let q = count_query(&["t.zzz"]);
+        assert!(matches!(
+            execute(&DataSource::Wide(&t), &q, &ExecOptions::default()),
+            Err(QueryError::UnknownColumn { .. })
+        ));
+        let q = Query::builder().sum("t.cat").build().unwrap();
+        assert!(matches!(
+            execute(&DataSource::Wide(&t), &q, &ExecOptions::default()),
+            Err(QueryError::InvalidAggregate { .. })
+        ));
+    }
+
+    #[test]
+    fn min_max_avg() {
+        let t = table();
+        let q = Query::builder()
+            .aggregate(AggExpr::min("t.val", "mn"))
+            .aggregate(AggExpr::max("t.val", "mx"))
+            .aggregate(AggExpr::avg("t.val", "av"))
+            .build()
+            .unwrap();
+        let out = run(&t, &q);
+        let aggs = &out.groups[0].aggs;
+        assert_eq!(aggs[0].min, 10.0);
+        assert_eq!(aggs[1].max, 70.0);
+        // AVG consumers divide sum_wx by sum_w.
+        assert!((aggs[2].sum_wx / aggs[2].sum_w - 40.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn nulls_excluded_from_aggregates_and_predicates() {
+        let schema = SchemaBuilder::new()
+            .field("x", DataType::Float64)
+            .build()
+            .unwrap();
+        let mut t = Table::empty("t", schema);
+        t.push_row(&[1.0f64.into()]).unwrap();
+        t.push_row(&[Value::Null]).unwrap();
+        t.push_row(&[3.0f64.into()]).unwrap();
+
+        let q = Query::builder().count().sum("x").build().unwrap();
+        let out = run(&t, &q);
+        assert_eq!(out.groups[0].aggs[0].rows, 3, "COUNT(*) counts all rows");
+        assert_eq!(out.groups[0].aggs[1].rows, 2, "SUM skips nulls");
+        assert_eq!(out.groups[0].aggs[1].sum_wx, 4.0);
+
+        let q = Query::builder()
+            .count()
+            .filter(Expr::cmp("x", CmpOp::Ge, 0.0f64))
+            .build()
+            .unwrap();
+        assert_eq!(run(&t, &q).groups[0].aggs[0].rows, 2, "null fails predicate");
+    }
+
+    #[test]
+    fn null_group_keys() {
+        let schema = SchemaBuilder::new()
+            .field("g", DataType::Utf8)
+            .build()
+            .unwrap();
+        let mut t = Table::empty("t", schema);
+        t.push_row(&[Value::Null]).unwrap();
+        t.push_row(&["x".into()]).unwrap();
+        t.push_row(&[Value::Null]).unwrap();
+        let out = run(&t, &count_query(&["g"]));
+        assert_eq!(out.num_groups(), 2);
+        let null_group = out.group(&[Value::Null]).unwrap();
+        assert_eq!(null_group.aggs[0].rows, 2);
+    }
+
+    #[test]
+    fn empty_input_grouped_vs_ungrouped() {
+        let schema = SchemaBuilder::new()
+            .field("g", DataType::Int64)
+            .build()
+            .unwrap();
+        let t = Table::empty("t", schema);
+        let out = run(&t, &count_query(&["g"]));
+        assert_eq!(out.num_groups(), 0, "grouped query over empty table: no groups");
+        let out = run(&t, &count_query(&[]));
+        assert_eq!(out.num_groups(), 1, "ungrouped query always yields one row");
+        assert_eq!(out.groups[0].aggs[0].rows, 0);
+    }
+
+    #[test]
+    fn more_than_max_fast_key_columns() {
+        let mut b = SchemaBuilder::new();
+        for i in 0..8 {
+            b = b.field(format!("c{i}"), DataType::Int64);
+        }
+        let schema = b.build().unwrap();
+        let mut t = Table::empty("t", schema);
+        for r in 0..10i64 {
+            let row: Vec<Value> = (0..8).map(|c| Value::Int64(r % (c + 1))).collect();
+            t.push_row(&row).unwrap();
+        }
+        let cols: Vec<String> = (0..8).map(|i| format!("c{i}")).collect();
+        let q = Query::builder()
+            .count()
+            .group_by_all(cols.clone())
+            .build()
+            .unwrap();
+        let out = run(&t, &q);
+        let total: u64 = out.groups.iter().map(|g| g.aggs[0].rows).sum();
+        assert_eq!(total, 10);
+        assert!(out.num_groups() > 1);
+    }
+
+    #[test]
+    fn parallel_matches_serial() {
+        // Build a larger table to trigger the parallel path.
+        let schema = SchemaBuilder::new()
+            .field("g", DataType::Int64)
+            .field("v", DataType::Float64)
+            .build()
+            .unwrap();
+        let mut t = Table::empty("t", schema);
+        for i in 0..20_000i64 {
+            t.push_row(&[(i % 37).into(), ((i % 11) as f64).into()]).unwrap();
+        }
+        let q = Query::builder()
+            .count()
+            .sum("v")
+            .group_by("g")
+            .filter(Expr::cmp("v", CmpOp::Ge, 3.0f64))
+            .build()
+            .unwrap();
+        let mut serial = run(&t, &q);
+        let opts = ExecOptions {
+            parallelism: 4,
+            ..ExecOptions::default()
+        };
+        let mut parallel = execute(&DataSource::Wide(&t), &q, &opts).unwrap();
+        serial.sort_by_key();
+        parallel.sort_by_key();
+        assert_eq!(serial.num_groups(), parallel.num_groups());
+        for (a, b) in serial.groups.iter().zip(&parallel.groups) {
+            assert_eq!(a.key, b.key);
+            assert_eq!(a.aggs[0].rows, b.aggs[0].rows);
+            assert!((a.aggs[1].sum_wx - b.aggs[1].sum_wx).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn star_source_execution() {
+        use crate::join::{Dimension, StarSchema};
+        // Dimension: 2 parts.
+        let dschema = SchemaBuilder::new()
+            .field("part.partkey", DataType::Int64)
+            .field("part.brand", DataType::Utf8)
+            .build()
+            .unwrap();
+        let mut dim = Table::empty("part", dschema);
+        dim.push_row(&[1i64.into(), "X".into()]).unwrap();
+        dim.push_row(&[2i64.into(), "Y".into()]).unwrap();
+        // Fact: 5 rows.
+        let fschema = SchemaBuilder::new()
+            .field("f.partkey", DataType::Int64)
+            .field("f.qty", DataType::Float64)
+            .build()
+            .unwrap();
+        let mut fact = Table::empty("f", fschema);
+        for (fk, q) in [(1i64, 10.0), (2, 20.0), (1, 30.0), (1, 40.0), (2, 50.0)] {
+            fact.push_row(&[fk.into(), q.into()]).unwrap();
+        }
+        let star = StarSchema::new(
+            fact,
+            vec![Dimension::new(dim, "part.partkey", "f.partkey")],
+        )
+        .unwrap();
+
+        let q = Query::builder()
+            .count()
+            .sum("f.qty")
+            .group_by("part.brand")
+            .build()
+            .unwrap();
+        let mut out = execute(&DataSource::Star(&star), &q, &ExecOptions::default()).unwrap();
+        out.sort_by_key();
+        let gx = out.group(&[Value::Utf8("X".into())]).unwrap();
+        assert_eq!(gx.aggs[0].rows, 3);
+        assert_eq!(gx.aggs[1].sum_wx, 80.0);
+
+        // The same query over the denormalised view gives identical results.
+        let wide = star.denormalize("wide").unwrap();
+        let mut out2 = execute(&DataSource::Wide(&wide), &q, &ExecOptions::default()).unwrap();
+        out2.sort_by_key();
+        assert_eq!(out.num_groups(), out2.num_groups());
+        for (a, b) in out.groups.iter().zip(&out2.groups) {
+            assert_eq!(a.key, b.key);
+            assert_eq!(a.aggs[1].sum_wx, b.aggs[1].sum_wx);
+        }
+
+        // Predicates on dimension columns work against the star.
+        let q = Query::builder()
+            .count()
+            .filter(Expr::eq("part.brand", "Y"))
+            .build()
+            .unwrap();
+        let out = execute(&DataSource::Star(&star), &q, &ExecOptions::default()).unwrap();
+        assert_eq!(out.groups[0].aggs[0].rows, 2);
+    }
+}

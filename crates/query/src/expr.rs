@@ -1,0 +1,222 @@
+//! Predicate expressions.
+//!
+//! The workload class of the paper (Section 5.2.3) uses conjunctions of
+//! per-column predicates whose most common form is "column value belongs to
+//! a randomly-chosen subset of its distinct values" — an IN-list. [`Expr`]
+//! covers that plus ordinary comparisons and boolean combinators, which is
+//! everything the select–project–join–group-by class needs.
+
+use aqp_storage::Value;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Comparison operators.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum CmpOp {
+    /// `=`
+    Eq,
+    /// `<>`
+    Ne,
+    /// `<`
+    Lt,
+    /// `<=`
+    Le,
+    /// `>`
+    Gt,
+    /// `>=`
+    Ge,
+}
+
+impl CmpOp {
+    /// Apply the operator to an ordering outcome.
+    pub fn evaluate(self, ord: std::cmp::Ordering) -> bool {
+        use std::cmp::Ordering::*;
+        match self {
+            CmpOp::Eq => ord == Equal,
+            CmpOp::Ne => ord != Equal,
+            CmpOp::Lt => ord == Less,
+            CmpOp::Le => ord != Greater,
+            CmpOp::Gt => ord == Greater,
+            CmpOp::Ge => ord != Less,
+        }
+    }
+}
+
+impl fmt::Display for CmpOp {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            CmpOp::Eq => "=",
+            CmpOp::Ne => "<>",
+            CmpOp::Lt => "<",
+            CmpOp::Le => "<=",
+            CmpOp::Gt => ">",
+            CmpOp::Ge => ">=",
+        };
+        f.write_str(s)
+    }
+}
+
+/// A boolean predicate expression over named columns.
+///
+/// NULL semantics are SQL-like for the supported fragment: a comparison or
+/// IN-list over a NULL cell is false (not unknown-propagating three-valued
+/// logic — `Not` is plain negation — which is sufficient because the
+/// workload generator never wraps nullable comparisons in NOT).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum Expr {
+    /// `column op literal`.
+    Cmp {
+        /// Column name.
+        column: String,
+        /// Operator.
+        op: CmpOp,
+        /// Literal to compare against.
+        literal: Value,
+    },
+    /// `column IN (v1, v2, ...)` — the workload's dominant predicate form.
+    InSet {
+        /// Column name.
+        column: String,
+        /// The accepted values.
+        values: Vec<Value>,
+    },
+    /// Conjunction; empty = TRUE.
+    And(Vec<Expr>),
+    /// Disjunction; empty = FALSE.
+    Or(Vec<Expr>),
+    /// Negation.
+    Not(Box<Expr>),
+}
+
+impl Expr {
+    /// Convenience: `column = literal`.
+    pub fn eq(column: impl Into<String>, literal: impl Into<Value>) -> Expr {
+        Expr::Cmp {
+            column: column.into(),
+            op: CmpOp::Eq,
+            literal: literal.into(),
+        }
+    }
+
+    /// Convenience: `column IN (values)`.
+    pub fn in_set(column: impl Into<String>, values: Vec<Value>) -> Expr {
+        Expr::InSet {
+            column: column.into(),
+            values,
+        }
+    }
+
+    /// Convenience: comparison with an arbitrary operator.
+    pub fn cmp(column: impl Into<String>, op: CmpOp, literal: impl Into<Value>) -> Expr {
+        Expr::Cmp {
+            column: column.into(),
+            op,
+            literal: literal.into(),
+        }
+    }
+
+    /// All column names referenced by the expression.
+    pub fn referenced_columns(&self) -> Vec<&str> {
+        let mut out = Vec::new();
+        self.collect_columns(&mut out);
+        out.sort_unstable();
+        out.dedup();
+        out
+    }
+
+    fn collect_columns<'a>(&'a self, out: &mut Vec<&'a str>) {
+        match self {
+            Expr::Cmp { column, .. } | Expr::InSet { column, .. } => out.push(column),
+            Expr::And(es) | Expr::Or(es) => {
+                for e in es {
+                    e.collect_columns(out);
+                }
+            }
+            Expr::Not(e) => e.collect_columns(out),
+        }
+    }
+}
+
+impl fmt::Display for Expr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Expr::Cmp { column, op, literal } => write!(f, "{column} {op} {literal}"),
+            Expr::InSet { column, values } => {
+                write!(f, "{column} IN (")?;
+                for (i, v) in values.iter().enumerate() {
+                    if i > 0 {
+                        f.write_str(", ")?;
+                    }
+                    write!(f, "{v}")?;
+                }
+                f.write_str(")")
+            }
+            Expr::And(es) => {
+                if es.is_empty() {
+                    return f.write_str("TRUE");
+                }
+                for (i, e) in es.iter().enumerate() {
+                    if i > 0 {
+                        f.write_str(" AND ")?;
+                    }
+                    write!(f, "({e})")?;
+                }
+                Ok(())
+            }
+            Expr::Or(es) => {
+                if es.is_empty() {
+                    return f.write_str("FALSE");
+                }
+                for (i, e) in es.iter().enumerate() {
+                    if i > 0 {
+                        f.write_str(" OR ")?;
+                    }
+                    write!(f, "({e})")?;
+                }
+                Ok(())
+            }
+            Expr::Not(e) => write!(f, "NOT ({e})"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cmp_op_semantics() {
+        use std::cmp::Ordering::*;
+        assert!(CmpOp::Eq.evaluate(Equal));
+        assert!(!CmpOp::Eq.evaluate(Less));
+        assert!(CmpOp::Ne.evaluate(Greater));
+        assert!(CmpOp::Lt.evaluate(Less));
+        assert!(CmpOp::Le.evaluate(Equal));
+        assert!(!CmpOp::Le.evaluate(Greater));
+        assert!(CmpOp::Gt.evaluate(Greater));
+        assert!(CmpOp::Ge.evaluate(Equal));
+    }
+
+    #[test]
+    fn referenced_columns_deduped_sorted() {
+        let e = Expr::And(vec![
+            Expr::eq("b", 1i64),
+            Expr::Or(vec![Expr::eq("a", 2i64), Expr::in_set("b", vec![3i64.into()])]),
+            Expr::Not(Box::new(Expr::eq("c", 4i64))),
+        ]);
+        assert_eq!(e.referenced_columns(), vec!["a", "b", "c"]);
+    }
+
+    #[test]
+    fn display_renders_sql_like() {
+        let e = Expr::And(vec![
+            Expr::cmp("price", CmpOp::Ge, 10.0f64),
+            Expr::in_set("brand", vec!["X".into(), "Y".into()]),
+        ]);
+        let s = e.to_string();
+        assert!(s.contains("price >= 10"));
+        assert!(s.contains("brand IN (X, Y)"));
+        assert_eq!(Expr::And(vec![]).to_string(), "TRUE");
+        assert_eq!(Expr::Or(vec![]).to_string(), "FALSE");
+    }
+}

@@ -1,0 +1,47 @@
+//! # aqp-query
+//!
+//! The relational executor substrate for the dynamic-sample-selection AQP
+//! system. It executes the paper's query class — select–project–(foreign-key
+//! join)–group-by–aggregate over a single fact table or a star schema
+//! (Section 4: "queries against a single fact table without any joins or ...
+//! over a 'star schema' where a fact table is joined to a number of
+//! dimension tables using foreign-key joins") — and nothing more general,
+//! because sampling-based AQP is provably hopeless for arbitrary joins
+//! (\[3, 12\]).
+//!
+//! Pieces:
+//!
+//! * [`Expr`] / [`CmpOp`] — predicate expressions with typed fast paths
+//!   (IN-lists over dictionary codes, range scans over numeric slices);
+//! * [`Query`] — aggregation queries with group-bys ([`AggFunc`]:
+//!   COUNT/SUM/AVG/MIN/MAX);
+//! * [`StarSchema`] — a fact table plus dimensions with precomputed
+//!   fact-row → dimension-row join maps, and join-synopsis
+//!   denormalisation (after \[3\]);
+//! * [`execute`] — the hash group-by executor. It accepts per-row
+//!   [`Weighting`]s (inverse sampling rates) and an optional bitmask
+//!   exclusion filter, which is exactly the shape of the rewritten sample
+//!   queries of paper Section 4.2.2 (`WHERE bitmask & M = 0`, aggregates
+//!   scaled by the inverse sampling rate);
+//! * [`QueryOutput`] / [`AggState`] — per-group raw tallies (weighted and
+//!   unweighted sums, sums of squares) from which the AQP layer forms
+//!   estimates and confidence intervals.
+
+#![warn(missing_docs)]
+#![deny(unsafe_code)]
+
+pub mod error;
+pub mod exec;
+pub mod expr;
+pub mod join;
+pub mod output;
+pub mod plan;
+pub mod source;
+
+pub use error::{QueryError, QueryResult};
+pub use exec::{execute, ExecOptions, Weighting};
+pub use expr::{CmpOp, Expr};
+pub use join::{Dimension, StarSchema};
+pub use output::{AggState, GroupResult, QueryOutput};
+pub use plan::{AggExpr, AggFunc, Query};
+pub use source::DataSource;

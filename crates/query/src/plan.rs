@@ -1,0 +1,313 @@
+//! Aggregation queries with group-bys — the paper's query class.
+
+use crate::expr::Expr;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Aggregate functions.
+///
+/// COUNT and SUM are the functions the paper's estimators target (its
+/// footnote 1 notes "smallness" is monotone for COUNT and SUM); AVG is
+/// estimated as SUM/COUNT; MIN and MAX are supported by the exact executor
+/// but rejected by the sampling-based AQP systems, which cannot bound them.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum AggFunc {
+    /// `COUNT(*)`.
+    Count,
+    /// `SUM(column)`.
+    Sum,
+    /// `AVG(column)`.
+    Avg,
+    /// `MIN(column)`.
+    Min,
+    /// `MAX(column)`.
+    Max,
+}
+
+impl AggFunc {
+    /// Whether sampling-based estimation supports this function.
+    pub fn estimable(self) -> bool {
+        matches!(self, AggFunc::Count | AggFunc::Sum | AggFunc::Avg)
+    }
+
+    /// Whether the function requires an input column.
+    pub fn needs_column(self) -> bool {
+        !matches!(self, AggFunc::Count)
+    }
+}
+
+impl fmt::Display for AggFunc {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            AggFunc::Count => "COUNT",
+            AggFunc::Sum => "SUM",
+            AggFunc::Avg => "AVG",
+            AggFunc::Min => "MIN",
+            AggFunc::Max => "MAX",
+        };
+        f.write_str(s)
+    }
+}
+
+/// One aggregate expression in the SELECT list.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct AggExpr {
+    /// The aggregate function.
+    pub func: AggFunc,
+    /// Input column (`None` only for COUNT(*)).
+    pub column: Option<String>,
+    /// Output name.
+    pub alias: String,
+}
+
+impl AggExpr {
+    /// `COUNT(*) AS alias`.
+    pub fn count(alias: impl Into<String>) -> Self {
+        AggExpr {
+            func: AggFunc::Count,
+            column: None,
+            alias: alias.into(),
+        }
+    }
+
+    /// `SUM(column) AS alias`.
+    pub fn sum(column: impl Into<String>, alias: impl Into<String>) -> Self {
+        AggExpr {
+            func: AggFunc::Sum,
+            column: Some(column.into()),
+            alias: alias.into(),
+        }
+    }
+
+    /// `AVG(column) AS alias`.
+    pub fn avg(column: impl Into<String>, alias: impl Into<String>) -> Self {
+        AggExpr {
+            func: AggFunc::Avg,
+            column: Some(column.into()),
+            alias: alias.into(),
+        }
+    }
+
+    /// `MIN(column) AS alias`.
+    pub fn min(column: impl Into<String>, alias: impl Into<String>) -> Self {
+        AggExpr {
+            func: AggFunc::Min,
+            column: Some(column.into()),
+            alias: alias.into(),
+        }
+    }
+
+    /// `MAX(column) AS alias`.
+    pub fn max(column: impl Into<String>, alias: impl Into<String>) -> Self {
+        AggExpr {
+            func: AggFunc::Max,
+            column: Some(column.into()),
+            alias: alias.into(),
+        }
+    }
+}
+
+impl fmt::Display for AggExpr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match &self.column {
+            Some(c) => write!(f, "{}({c}) AS {}", self.func, self.alias),
+            None => write!(f, "{}(*) AS {}", self.func, self.alias),
+        }
+    }
+}
+
+/// An aggregation query with group-bys.
+///
+/// The FROM clause is implicit: a `Query` runs against whatever
+/// [`crate::DataSource`] it is handed (the base star schema for exact
+/// execution, or a sample table for approximate execution — the essence of
+/// the paper's query-rewriting runtime phase).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Query {
+    /// Aggregates in the SELECT list (at least one).
+    pub aggregates: Vec<AggExpr>,
+    /// Grouping columns (possibly empty: plain aggregation).
+    pub group_by: Vec<String>,
+    /// Optional WHERE predicate.
+    pub predicate: Option<Expr>,
+}
+
+impl Query {
+    /// Start building a query.
+    pub fn builder() -> QueryBuilder {
+        QueryBuilder::default()
+    }
+
+    /// All column names the query touches (group-bys, aggregate inputs,
+    /// predicate columns), deduplicated.
+    pub fn referenced_columns(&self) -> Vec<&str> {
+        let mut out: Vec<&str> = self.group_by.iter().map(String::as_str).collect();
+        for a in &self.aggregates {
+            if let Some(c) = &a.column {
+                out.push(c);
+            }
+        }
+        if let Some(p) = &self.predicate {
+            out.extend(p.referenced_columns());
+        }
+        out.sort_unstable();
+        out.dedup();
+        out
+    }
+
+    /// Whether every aggregate is COUNT/SUM/AVG (estimable from samples).
+    pub fn estimable(&self) -> bool {
+        self.aggregates.iter().all(|a| a.func.estimable())
+    }
+}
+
+impl fmt::Display for Query {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str("SELECT ")?;
+        for (i, g) in self.group_by.iter().enumerate() {
+            if i > 0 {
+                f.write_str(", ")?;
+            }
+            f.write_str(g)?;
+        }
+        for (i, a) in self.aggregates.iter().enumerate() {
+            if i > 0 || !self.group_by.is_empty() {
+                f.write_str(", ")?;
+            }
+            write!(f, "{a}")?;
+        }
+        if let Some(p) = &self.predicate {
+            write!(f, " WHERE {p}")?;
+        }
+        if !self.group_by.is_empty() {
+            f.write_str(" GROUP BY ")?;
+            for (i, g) in self.group_by.iter().enumerate() {
+                if i > 0 {
+                    f.write_str(", ")?;
+                }
+                f.write_str(g)?;
+            }
+        }
+        Ok(())
+    }
+}
+
+/// Fluent builder for [`Query`].
+#[derive(Debug, Default)]
+pub struct QueryBuilder {
+    aggregates: Vec<AggExpr>,
+    group_by: Vec<String>,
+    predicate: Option<Expr>,
+}
+
+impl QueryBuilder {
+    /// Add an aggregate.
+    pub fn aggregate(mut self, agg: AggExpr) -> Self {
+        self.aggregates.push(agg);
+        self
+    }
+
+    /// Shorthand for `COUNT(*) AS cnt`.
+    pub fn count(self) -> Self {
+        self.aggregate(AggExpr::count("cnt"))
+    }
+
+    /// Shorthand for `SUM(column) AS sum_<column>`.
+    pub fn sum(self, column: impl Into<String>) -> Self {
+        let column = column.into();
+        let alias = format!("sum_{column}");
+        self.aggregate(AggExpr::sum(column, alias))
+    }
+
+    /// Add a grouping column.
+    pub fn group_by(mut self, column: impl Into<String>) -> Self {
+        self.group_by.push(column.into());
+        self
+    }
+
+    /// Add grouping columns.
+    pub fn group_by_all<I, S>(mut self, columns: I) -> Self
+    where
+        I: IntoIterator<Item = S>,
+        S: Into<String>,
+    {
+        self.group_by.extend(columns.into_iter().map(Into::into));
+        self
+    }
+
+    /// Set the WHERE predicate.
+    pub fn filter(mut self, predicate: Expr) -> Self {
+        self.predicate = Some(predicate);
+        self
+    }
+
+    /// Finish. Requires at least one aggregate.
+    pub fn build(self) -> crate::error::QueryResult<Query> {
+        if self.aggregates.is_empty() {
+            return Err(crate::error::QueryError::InvalidQuery(
+                "query must have at least one aggregate".into(),
+            ));
+        }
+        Ok(Query {
+            aggregates: self.aggregates,
+            group_by: self.group_by,
+            predicate: self.predicate,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builder_roundtrip() {
+        let q = Query::builder()
+            .count()
+            .sum("t.price")
+            .group_by("t.brand")
+            .group_by_all(["t.region"])
+            .filter(Expr::eq("t.year", 2002i64))
+            .build()
+            .unwrap();
+        assert_eq!(q.aggregates.len(), 2);
+        assert_eq!(q.group_by, vec!["t.brand", "t.region"]);
+        assert_eq!(
+            q.referenced_columns(),
+            vec!["t.brand", "t.price", "t.region", "t.year"]
+        );
+        assert!(q.estimable());
+    }
+
+    #[test]
+    fn empty_query_rejected() {
+        assert!(Query::builder().build().is_err());
+    }
+
+    #[test]
+    fn min_max_not_estimable() {
+        let q = Query::builder()
+            .aggregate(AggExpr::min("x", "m"))
+            .build()
+            .unwrap();
+        assert!(!q.estimable());
+        assert!(AggFunc::Count.estimable());
+        assert!(!AggFunc::Max.estimable());
+        assert!(AggFunc::Sum.needs_column());
+        assert!(!AggFunc::Count.needs_column());
+    }
+
+    #[test]
+    fn display_renders_sql_like() {
+        let q = Query::builder()
+            .count()
+            .group_by("a")
+            .filter(Expr::eq("b", 1i64))
+            .build()
+            .unwrap();
+        let s = q.to_string();
+        assert!(s.starts_with("SELECT a, COUNT(*) AS cnt"));
+        assert!(s.contains("WHERE b = 1"));
+        assert!(s.ends_with("GROUP BY a"));
+    }
+}

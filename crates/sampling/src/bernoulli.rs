@@ -1,0 +1,84 @@
+//! Bernoulli (independent coin-flip) sampling.
+//!
+//! The paper's analytical model (Section 4.4) assumes Bernoulli sampling —
+//! "each tuple is independently included in the sample with probability p" —
+//! and several baselines use it for per-stratum sampling.
+
+use rand::{Rng, RngExt};
+
+/// An independent per-item sampler with fixed inclusion probability.
+#[derive(Debug, Clone, Copy)]
+pub struct BernoulliSampler {
+    p: f64,
+}
+
+impl BernoulliSampler {
+    /// Create a sampler with inclusion probability `p ∈ [0, 1]`.
+    ///
+    /// # Panics
+    /// If `p` is not a probability.
+    pub fn new(p: f64) -> Self {
+        assert!((0.0..=1.0).contains(&p), "p must be in [0,1], got {p}");
+        BernoulliSampler { p }
+    }
+
+    /// The inclusion probability.
+    pub fn probability(&self) -> f64 {
+        self.p
+    }
+
+    /// Flip the coin for one item.
+    pub fn include<R: Rng + ?Sized>(&self, rng: &mut R) -> bool {
+        if self.p >= 1.0 {
+            return true;
+        }
+        if self.p <= 0.0 {
+            return false;
+        }
+        rng.random::<f64>() < self.p
+    }
+
+    /// Sample indices `0..n`, returning the selected ones in order.
+    pub fn sample_indices<R: Rng + ?Sized>(&self, n: usize, rng: &mut R) -> Vec<usize> {
+        (0..n).filter(|_| self.include(rng)).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn extremes() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let all = BernoulliSampler::new(1.0);
+        let none = BernoulliSampler::new(0.0);
+        assert_eq!(all.sample_indices(100, &mut rng).len(), 100);
+        assert!(none.sample_indices(100, &mut rng).is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "must be in [0,1]")]
+    fn invalid_probability_panics() {
+        let _ = BernoulliSampler::new(1.5);
+    }
+
+    #[test]
+    fn rate_is_respected() {
+        // n=100k, p=0.1 => sd ≈ 95; ±6σ band.
+        let mut rng = StdRng::seed_from_u64(7);
+        let s = BernoulliSampler::new(0.1);
+        let k = s.sample_indices(100_000, &mut rng).len() as f64;
+        assert!((k - 10_000.0).abs() < 6.0 * 95.0, "got {k}");
+    }
+
+    #[test]
+    fn indices_are_sorted_and_unique() {
+        let mut rng = StdRng::seed_from_u64(9);
+        let s = BernoulliSampler::new(0.5);
+        let idx = s.sample_indices(1000, &mut rng);
+        assert!(idx.windows(2).all(|w| w[0] < w[1]));
+    }
+}

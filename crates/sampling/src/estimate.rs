@@ -1,0 +1,356 @@
+//! Estimators and confidence intervals.
+//!
+//! Approximate answers produced by the AQP runtime carry an estimate, its
+//! variance, and an exactness flag. Small group sampling restricts the
+//! source of inaccuracy to a single stratum (the overall sample — paper
+//! Section 4.2.2), so variances from the sampled stratum add directly and
+//! groups served entirely by small group tables are flagged exact.
+//!
+//! Confidence intervals use standard statistical methods as the paper
+//! prescribes: a normal (CLT) interval for general aggregates, and the
+//! Agresti–Coull interval \[5, 7\] for proportions/counts with small
+//! sample support.
+
+use serde::{Deserialize, Serialize};
+
+/// An estimated aggregate value with variance bookkeeping.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Estimate {
+    /// The (already inverse-scaled) point estimate.
+    pub value: f64,
+    /// Variance of the point estimate. Zero for exact answers.
+    pub variance: f64,
+    /// Whether the answer is exact (came entirely from 100 %-rate strata).
+    pub exact: bool,
+}
+
+impl Estimate {
+    /// An exact value (zero variance).
+    pub fn exact(value: f64) -> Self {
+        Estimate {
+            value,
+            variance: 0.0,
+            exact: true,
+        }
+    }
+
+    /// An estimate with explicit variance.
+    pub fn with_variance(value: f64, variance: f64) -> Self {
+        Estimate {
+            value,
+            variance: variance.max(0.0),
+            exact: false,
+        }
+    }
+
+    /// Horvitz–Thompson count estimate from a Bernoulli(p) sample in which
+    /// `k` sample rows matched: estimate `k/p`, variance `k·(1−p)/p²`.
+    pub fn from_bernoulli_count(k: u64, p: f64) -> Self {
+        assert!(p > 0.0 && p <= 1.0, "sampling rate must be in (0,1], got {p}");
+        if p >= 1.0 {
+            return Estimate::exact(k as f64);
+        }
+        Estimate {
+            value: k as f64 / p,
+            variance: k as f64 * (1.0 - p) / (p * p),
+            exact: false,
+        }
+    }
+
+    /// Horvitz–Thompson sum estimate from a Bernoulli(p) sample:
+    /// estimate `Σxᵢ/p`, variance `Σxᵢ²·(1−p)/p²`.
+    pub fn from_bernoulli_sum(sum: f64, sum_sq: f64, p: f64) -> Self {
+        assert!(p > 0.0 && p <= 1.0, "sampling rate must be in (0,1], got {p}");
+        if p >= 1.0 {
+            return Estimate::exact(sum);
+        }
+        Estimate {
+            value: sum / p,
+            variance: sum_sq.max(0.0) * (1.0 - p) / (p * p),
+            exact: false,
+        }
+    }
+
+    /// Sum of two contributions from independent (or disjoint) strata:
+    /// values add, variances add, exactness requires both sides exact.
+    pub fn combine(self, other: Estimate) -> Estimate {
+        Estimate {
+            value: self.value + other.value,
+            variance: self.variance + other.variance,
+            exact: self.exact && other.exact,
+        }
+    }
+
+    /// Ratio estimate `self / other` (used for AVG = SUM/COUNT) with the
+    /// first-order delta-method variance.
+    pub fn ratio(self, other: Estimate) -> Option<Estimate> {
+        if other.value == 0.0 {
+            return None;
+        }
+        let r = self.value / other.value;
+        let variance = if self.exact && other.exact {
+            0.0
+        } else {
+            // Var(X/Y) ≈ (1/Y²)·Var(X) + (X²/Y⁴)·Var(Y) (independence
+            // approximation; adequate for reporting purposes).
+            let y2 = other.value * other.value;
+            self.variance / y2 + (self.value * self.value) * other.variance / (y2 * y2)
+        };
+        Some(Estimate {
+            value: r,
+            variance,
+            exact: self.exact && other.exact,
+        })
+    }
+
+    /// Standard error.
+    pub fn std_error(&self) -> f64 {
+        self.variance.sqrt()
+    }
+
+    /// Normal-theory confidence interval at the given confidence level
+    /// (e.g. `0.95`).
+    pub fn confidence_interval(&self, confidence: f64) -> ConfidenceInterval {
+        if self.exact {
+            return ConfidenceInterval {
+                lo: self.value,
+                hi: self.value,
+                confidence,
+            };
+        }
+        let z = normal_quantile(0.5 + confidence / 2.0);
+        let half = z * self.std_error();
+        ConfidenceInterval {
+            lo: self.value - half,
+            hi: self.value + half,
+            confidence,
+        }
+    }
+}
+
+/// A two-sided confidence interval.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ConfidenceInterval {
+    /// Lower bound.
+    pub lo: f64,
+    /// Upper bound.
+    pub hi: f64,
+    /// Nominal confidence level (e.g. 0.95).
+    pub confidence: f64,
+}
+
+impl ConfidenceInterval {
+    /// Whether `x` lies within the interval.
+    pub fn contains(&self, x: f64) -> bool {
+        self.lo <= x && x <= self.hi
+    }
+
+    /// Interval width.
+    pub fn width(&self) -> f64 {
+        self.hi - self.lo
+    }
+}
+
+/// Agresti–Coull interval for a binomial proportion: observe `successes`
+/// out of `trials`, return an interval for the true proportion.
+///
+/// "Approximate is better than 'exact'" \[5\]: add `z²/2` pseudo-successes
+/// and `z²` pseudo-trials, then use the Wald interval on the adjusted
+/// proportion. Clamped to `[0, 1]`.
+pub fn agresti_coull(successes: u64, trials: u64, confidence: f64) -> ConfidenceInterval {
+    let z = normal_quantile(0.5 + confidence / 2.0);
+    let n_adj = trials as f64 + z * z;
+    let p_adj = (successes as f64 + z * z / 2.0) / n_adj;
+    let half = z * (p_adj * (1.0 - p_adj) / n_adj).sqrt();
+    ConfidenceInterval {
+        lo: (p_adj - half).max(0.0),
+        hi: (p_adj + half).min(1.0),
+        confidence,
+    }
+}
+
+/// Inverse CDF of the standard normal distribution (Acklam's rational
+/// approximation; absolute error below 1.15e-9 over the open unit
+/// interval).
+///
+/// # Panics
+/// If `p` is outside `(0, 1)`.
+pub fn normal_quantile(p: f64) -> f64 {
+    assert!(p > 0.0 && p < 1.0, "quantile argument must be in (0,1), got {p}");
+
+    const A: [f64; 6] = [
+        -3.969683028665376e+01,
+        2.209460984245205e+02,
+        -2.759285104469687e+02,
+        1.383_577_518_672_69e2,
+        -3.066479806614716e+01,
+        2.506628277459239e+00,
+    ];
+    const B: [f64; 5] = [
+        -5.447609879822406e+01,
+        1.615858368580409e+02,
+        -1.556989798598866e+02,
+        6.680131188771972e+01,
+        -1.328068155288572e+01,
+    ];
+    const C: [f64; 6] = [
+        -7.784894002430293e-03,
+        -3.223964580411365e-01,
+        -2.400758277161838e+00,
+        -2.549732539343734e+00,
+        4.374664141464968e+00,
+        2.938163982698783e+00,
+    ];
+    const D: [f64; 4] = [
+        7.784695709041462e-03,
+        3.224671290700398e-01,
+        2.445134137142996e+00,
+        3.754408661907416e+00,
+    ];
+    const P_LOW: f64 = 0.02425;
+
+    if p < P_LOW {
+        let q = (-2.0 * p.ln()).sqrt();
+        (((((C[0] * q + C[1]) * q + C[2]) * q + C[3]) * q + C[4]) * q + C[5])
+            / ((((D[0] * q + D[1]) * q + D[2]) * q + D[3]) * q + 1.0)
+    } else if p <= 1.0 - P_LOW {
+        let q = p - 0.5;
+        let r = q * q;
+        (((((A[0] * r + A[1]) * r + A[2]) * r + A[3]) * r + A[4]) * r + A[5]) * q
+            / (((((B[0] * r + B[1]) * r + B[2]) * r + B[3]) * r + B[4]) * r + 1.0)
+    } else {
+        let q = (-2.0 * (1.0 - p).ln()).sqrt();
+        -(((((C[0] * q + C[1]) * q + C[2]) * q + C[3]) * q + C[4]) * q + C[5])
+            / ((((D[0] * q + D[1]) * q + D[2]) * q + D[3]) * q + 1.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn normal_quantile_known_values() {
+        // Standard z-scores.
+        assert!((normal_quantile(0.975) - 1.959964).abs() < 1e-4);
+        assert!((normal_quantile(0.95) - 1.644854).abs() < 1e-4);
+        assert!((normal_quantile(0.5)).abs() < 1e-9);
+        assert!((normal_quantile(0.025) + 1.959964).abs() < 1e-4);
+        // Tails.
+        assert!((normal_quantile(0.001) + 3.090232).abs() < 1e-4);
+        assert!((normal_quantile(0.999) - 3.090232).abs() < 1e-4);
+    }
+
+    #[test]
+    #[should_panic(expected = "must be in (0,1)")]
+    fn quantile_rejects_bounds() {
+        let _ = normal_quantile(0.0);
+    }
+
+    #[test]
+    fn exact_estimates() {
+        let e = Estimate::exact(42.0);
+        assert!(e.exact);
+        assert_eq!(e.std_error(), 0.0);
+        let ci = e.confidence_interval(0.95);
+        assert_eq!(ci.lo, 42.0);
+        assert_eq!(ci.hi, 42.0);
+        assert!(ci.contains(42.0));
+        assert_eq!(ci.width(), 0.0);
+    }
+
+    #[test]
+    fn bernoulli_count_estimator() {
+        let e = Estimate::from_bernoulli_count(10, 0.01);
+        assert!((e.value - 1000.0).abs() < 1e-9);
+        assert!((e.variance - 10.0 * 0.99 / 0.0001).abs() < 1e-6);
+        assert!(!e.exact);
+        // p = 1 is exact.
+        let e = Estimate::from_bernoulli_count(7, 1.0);
+        assert!(e.exact);
+        assert_eq!(e.value, 7.0);
+    }
+
+    #[test]
+    fn bernoulli_sum_estimator() {
+        let e = Estimate::from_bernoulli_sum(50.0, 600.0, 0.1);
+        assert!((e.value - 500.0).abs() < 1e-9);
+        assert!((e.variance - 600.0 * 0.9 / 0.01).abs() < 1e-6);
+    }
+
+    #[test]
+    fn combine_adds() {
+        let a = Estimate::exact(10.0);
+        let b = Estimate::with_variance(90.0, 25.0);
+        let c = a.combine(b);
+        assert_eq!(c.value, 100.0);
+        assert_eq!(c.variance, 25.0);
+        assert!(!c.exact);
+        let d = Estimate::exact(1.0).combine(Estimate::exact(2.0));
+        assert!(d.exact);
+    }
+
+    #[test]
+    fn ratio_for_avg() {
+        let sum = Estimate::exact(100.0);
+        let count = Estimate::exact(4.0);
+        let avg = sum.ratio(count).unwrap();
+        assert_eq!(avg.value, 25.0);
+        assert!(avg.exact);
+        assert!(Estimate::exact(1.0).ratio(Estimate::exact(0.0)).is_none());
+
+        let sum = Estimate::with_variance(100.0, 16.0);
+        let count = Estimate::with_variance(4.0, 0.25);
+        let avg = sum.ratio(count).unwrap();
+        assert_eq!(avg.value, 25.0);
+        assert!(avg.variance > 0.0 && !avg.exact);
+    }
+
+    #[test]
+    fn ci_width_scales_with_confidence() {
+        let e = Estimate::with_variance(100.0, 100.0);
+        let c90 = e.confidence_interval(0.90);
+        let c99 = e.confidence_interval(0.99);
+        assert!(c99.width() > c90.width());
+        assert!(c90.contains(100.0));
+        // 95% CI: 100 ± 1.96·10
+        let c95 = e.confidence_interval(0.95);
+        assert!((c95.lo - (100.0 - 19.59964)).abs() < 1e-2);
+    }
+
+    #[test]
+    fn agresti_coull_basics() {
+        let ci = agresti_coull(50, 100, 0.95);
+        assert!(ci.contains(0.5));
+        assert!(ci.lo > 0.35 && ci.hi < 0.65);
+        // Extreme proportions stay within [0,1].
+        let ci = agresti_coull(0, 10, 0.95);
+        assert!(ci.lo >= 0.0);
+        let ci = agresti_coull(10, 10, 0.95);
+        assert!(ci.hi <= 1.0);
+        // More trials → narrower interval.
+        let wide = agresti_coull(5, 10, 0.95);
+        let narrow = agresti_coull(500, 1000, 0.95);
+        assert!(narrow.width() < wide.width());
+    }
+
+    /// Statistical CI coverage check: Bernoulli count CIs should cover the
+    /// true count at roughly the nominal rate.
+    #[test]
+    fn ci_coverage_near_nominal() {
+        use rand::rngs::StdRng;
+        use rand::{RngExt, SeedableRng};
+        let mut rng = StdRng::seed_from_u64(17);
+        let (n, p, trials) = (20_000u64, 0.05f64, 400usize);
+        let mut covered = 0usize;
+        for _ in 0..trials {
+            let k = (0..n).filter(|_| rng.random::<f64>() < p).count() as u64;
+            let est = Estimate::from_bernoulli_count(k, p);
+            if est.confidence_interval(0.95).contains(n as f64) {
+                covered += 1;
+            }
+        }
+        let rate = covered as f64 / trials as f64;
+        assert!((0.90..=0.99).contains(&rate), "coverage {rate}");
+    }
+}

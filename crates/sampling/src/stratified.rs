@@ -1,0 +1,210 @@
+//! Per-stratum sample-size allocation rules.
+//!
+//! Congressional sampling \[2\] frames stratified allocation in terms of a
+//! legislature: the *house* allocates sample slots to strata proportionally
+//! to their populations (equivalent to uniform sampling), the *senate*
+//! allocates them equally, and *basic congress* gives every stratum the
+//! maximum of its house and senate shares, rescaled to fit the total
+//! budget. The `aqp-core` basic-congress baseline uses these rules over the
+//! joint grouping-column stratification.
+
+use serde::{Deserialize, Serialize};
+
+/// An allocation strategy mapping stratum sizes to per-stratum sample sizes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum StratifiedAllocation {
+    /// Proportional to stratum size ("house"); equivalent to uniform
+    /// sampling of the whole table.
+    Proportional,
+    /// Equal share per stratum ("senate").
+    Equal,
+    /// max(house, senate) rescaled to the budget — basic congress \[2\].
+    BasicCongress,
+}
+
+impl StratifiedAllocation {
+    /// Compute expected sample sizes per stratum.
+    ///
+    /// `sizes[i]` is the population of stratum `i`; `budget` is the total
+    /// number of sample rows to allocate. The result sums to
+    /// `min(budget, Σ sizes)` (up to floating-point rounding) and never
+    /// exceeds any stratum's population: allocations that would oversample a
+    /// stratum are capped at the population and the excess is redistributed
+    /// over the remaining strata (iterative water-filling).
+    pub fn allocate(self, sizes: &[u64], budget: u64) -> Vec<f64> {
+        let m = sizes.len();
+        if m == 0 || budget == 0 {
+            return vec![0.0; m];
+        }
+        let total: u64 = sizes.iter().sum();
+        if total == 0 {
+            return vec![0.0; m];
+        }
+        let budget = budget.min(total) as f64;
+
+        // Raw (unnormalised) desirability of each stratum.
+        let raw: Vec<f64> = match self {
+            StratifiedAllocation::Proportional => {
+                sizes.iter().map(|&s| s as f64).collect()
+            }
+            StratifiedAllocation::Equal => vec![1.0; m],
+            StratifiedAllocation::BasicCongress => {
+                let house: Vec<f64> = sizes.iter().map(|&s| s as f64 / total as f64).collect();
+                let senate = 1.0 / m as f64;
+                house.iter().map(|&h| h.max(senate)).collect()
+            }
+        };
+
+        water_fill(&raw, sizes, budget)
+    }
+}
+
+/// Distribute `budget` across strata proportionally to `weights`, capping
+/// each stratum at its population and redistributing the excess until every
+/// stratum is either uncapped or at its cap. Public so callers with custom
+/// per-stratum desirabilities (e.g. full Congress) reuse the same
+/// budget-preserving redistribution the built-in strategies use.
+pub fn water_fill(weights: &[f64], sizes: &[u64], budget: f64) -> Vec<f64> {
+    let m = weights.len();
+    let mut alloc = vec![0.0f64; m];
+    let mut capped = vec![false; m];
+    let mut remaining = budget;
+
+    // At most m rounds: each round caps at least one stratum or terminates.
+    for _ in 0..m {
+        let weight_sum: f64 = (0..m)
+            .filter(|&i| !capped[i])
+            .map(|i| weights[i])
+            .sum();
+        if weight_sum <= 0.0 || remaining <= 0.0 {
+            break;
+        }
+        let mut newly_capped = false;
+        let mut spent = 0.0;
+        for i in 0..m {
+            if capped[i] {
+                continue;
+            }
+            let share = remaining * weights[i] / weight_sum;
+            let cap = sizes[i] as f64;
+            let current = alloc[i];
+            if current + share >= cap {
+                spent += cap - current;
+                alloc[i] = cap;
+                capped[i] = true;
+                newly_capped = true;
+            } else {
+                alloc[i] = current + share;
+                spent += share;
+            }
+        }
+        remaining -= spent;
+        if !newly_capped {
+            break;
+        }
+    }
+    alloc
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn assert_sums_to(alloc: &[f64], expected: f64) {
+        let sum: f64 = alloc.iter().sum();
+        assert!(
+            (sum - expected).abs() < 1e-6,
+            "allocation sums to {sum}, expected {expected}"
+        );
+    }
+
+    #[test]
+    fn proportional_matches_uniform() {
+        let sizes = [900u64, 100];
+        let alloc = StratifiedAllocation::Proportional.allocate(&sizes, 100);
+        assert!((alloc[0] - 90.0).abs() < 1e-9);
+        assert!((alloc[1] - 10.0).abs() < 1e-9);
+        assert_sums_to(&alloc, 100.0);
+    }
+
+    #[test]
+    fn equal_splits_evenly() {
+        let sizes = [900u64, 100, 500];
+        let alloc = StratifiedAllocation::Equal.allocate(&sizes, 90);
+        for a in &alloc {
+            assert!((a - 30.0).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn equal_caps_tiny_strata_and_redistributes() {
+        // Stratum 1 has only 5 rows; equal share would be 50.
+        let sizes = [1000u64, 5];
+        let alloc = StratifiedAllocation::Equal.allocate(&sizes, 100);
+        assert!((alloc[1] - 5.0).abs() < 1e-9, "capped at population");
+        assert!((alloc[0] - 95.0).abs() < 1e-9, "excess redistributed");
+    }
+
+    #[test]
+    fn basic_congress_blends_house_and_senate() {
+        // Sizes 80/10/10, budget 30. House shares: .8/.1/.1; senate: 1/3.
+        // Raw: .8, 1/3, 1/3 (sum 22/15 ≈ 1.4667). Scaled to 30:
+        // 16.36 / 6.82 / 6.82 — small strata get boosted vs proportional
+        // (3 each) but the big stratum still dominates vs equal (10 each).
+        let sizes = [80u64, 10, 10];
+        let alloc = StratifiedAllocation::BasicCongress.allocate(&sizes, 30);
+        assert_sums_to(&alloc, 30.0);
+        assert!(alloc[0] > 10.0 && alloc[0] < 24.0, "got {}", alloc[0]);
+        assert!(alloc[1] > 3.0, "small stratum boosted, got {}", alloc[1]);
+        assert!((alloc[1] - alloc[2]).abs() < 1e-9);
+    }
+
+    #[test]
+    fn degenerates_to_uniform_with_many_tiny_strata() {
+        // The paper's Fig. 8 observation: with ~equal tiny strata, basic
+        // congress ≈ proportional ≈ uniform.
+        let sizes: Vec<u64> = vec![10; 100];
+        let bc = StratifiedAllocation::BasicCongress.allocate(&sizes, 200);
+        let prop = StratifiedAllocation::Proportional.allocate(&sizes, 200);
+        for (a, b) in bc.iter().zip(prop.iter()) {
+            assert!((a - b).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn budget_larger_than_population() {
+        let sizes = [3u64, 4];
+        let alloc = StratifiedAllocation::Proportional.allocate(&sizes, 1000);
+        assert!((alloc[0] - 3.0).abs() < 1e-9);
+        assert!((alloc[1] - 4.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn empty_and_zero_cases() {
+        assert!(StratifiedAllocation::Equal.allocate(&[], 10).is_empty());
+        assert_eq!(
+            StratifiedAllocation::Equal.allocate(&[5, 5], 0),
+            vec![0.0, 0.0]
+        );
+        assert_eq!(
+            StratifiedAllocation::Equal.allocate(&[0, 0], 10),
+            vec![0.0, 0.0]
+        );
+    }
+
+    #[test]
+    fn never_exceeds_population() {
+        let sizes = [1u64, 2, 3, 1000];
+        for strat in [
+            StratifiedAllocation::Proportional,
+            StratifiedAllocation::Equal,
+            StratifiedAllocation::BasicCongress,
+        ] {
+            let alloc = strat.allocate(&sizes, 500);
+            for (a, &s) in alloc.iter().zip(&sizes) {
+                assert!(*a <= s as f64 + 1e-9, "{strat:?}: {a} > {s}");
+            }
+            assert_sums_to(&alloc, 500.0);
+        }
+    }
+}

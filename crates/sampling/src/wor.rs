@@ -1,0 +1,81 @@
+//! Fixed-size sampling without replacement.
+//!
+//! Robert Floyd's algorithm: draws a uniform `k`-subset of `0..n` in `O(k)`
+//! expected time and `O(k)` space, without materialising or shuffling the
+//! full index range. Used to draw fixed-size uniform samples when the
+//! population size is known (e.g. the space-matched uniform baseline).
+
+use rand::{Rng, RngExt};
+use std::collections::HashSet;
+
+/// Draw a uniform random `k`-subset of `0..n`, returned sorted ascending.
+///
+/// # Panics
+/// If `k > n`.
+pub fn sample_without_replacement<R: Rng + ?Sized>(n: usize, k: usize, rng: &mut R) -> Vec<usize> {
+    assert!(k <= n, "cannot draw {k} items from a population of {n}");
+    if k == 0 {
+        return Vec::new();
+    }
+    if k == n {
+        return (0..n).collect();
+    }
+    // Floyd's algorithm: for j = n-k .. n-1, draw t uniform in [0, j];
+    // insert t if unseen, else insert j.
+    let mut chosen: HashSet<usize> = HashSet::with_capacity(k);
+    for j in (n - k)..n {
+        let t = rng.random_range(0..=j);
+        if !chosen.insert(t) {
+            chosen.insert(j);
+        }
+    }
+    let mut out: Vec<usize> = chosen.into_iter().collect();
+    out.sort_unstable();
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn basic_properties() {
+        let mut rng = StdRng::seed_from_u64(5);
+        for &(n, k) in &[(10usize, 3usize), (100, 100), (50, 0), (1, 1), (1000, 999)] {
+            let s = sample_without_replacement(n, k, &mut rng);
+            assert_eq!(s.len(), k, "n={n} k={k}");
+            assert!(s.windows(2).all(|w| w[0] < w[1]), "sorted unique");
+            assert!(s.iter().all(|&i| i < n), "in range");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot draw")]
+    fn oversized_panics() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let _ = sample_without_replacement(3, 4, &mut rng);
+    }
+
+    /// Every element should appear with probability k/n.
+    #[test]
+    fn uniformity() {
+        let (n, k, trials) = (20usize, 4usize, 5000usize);
+        let mut counts = vec![0usize; n];
+        let mut rng = StdRng::seed_from_u64(11);
+        for _ in 0..trials {
+            for i in sample_without_replacement(n, k, &mut rng) {
+                counts[i] += 1;
+            }
+        }
+        let expected = trials as f64 * k as f64 / n as f64; // 1000
+        let sd = (trials as f64 * 0.2 * 0.8).sqrt(); // ≈ 28.3
+        for (i, &c) in counts.iter().enumerate() {
+            assert!(
+                (c as f64 - expected).abs() < 6.0 * sd,
+                "element {i}: count {c}"
+            );
+        }
+    }
+}

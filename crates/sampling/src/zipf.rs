@@ -1,0 +1,143 @@
+//! Truncated Zipfian distributions.
+//!
+//! The paper's analytical model and its skewed TPC-H generator both assume
+//! attributes whose i-th most common value has frequency proportional to
+//! `i^{-z}`, truncated to `c` distinct values (Section 4.4: "the frequency
+//! of the ith most common value for an attribute is proportional to i^{-z}
+//! ... except that the frequency is 0 if i > c").
+
+use rand::{Rng, RngExt};
+
+/// A truncated Zipf(z) distribution over ranks `0..c` (rank 0 most common).
+#[derive(Debug, Clone)]
+pub struct TruncatedZipf {
+    probs: Vec<f64>,
+    cdf: Vec<f64>,
+    z: f64,
+}
+
+impl TruncatedZipf {
+    /// Create a Zipf distribution with `c` distinct values and skew `z ≥ 0`.
+    /// `z = 0` gives the uniform distribution.
+    ///
+    /// # Panics
+    /// If `c == 0` or `z < 0` or `z` is not finite.
+    pub fn new(c: usize, z: f64) -> Self {
+        assert!(c > 0, "need at least one distinct value");
+        assert!(z >= 0.0 && z.is_finite(), "skew must be finite and >= 0");
+        let mut probs: Vec<f64> = (1..=c).map(|i| (i as f64).powf(-z)).collect();
+        let total: f64 = probs.iter().sum();
+        for p in &mut probs {
+            *p /= total;
+        }
+        let mut cdf = Vec::with_capacity(c);
+        let mut acc = 0.0;
+        for &p in &probs {
+            acc += p;
+            cdf.push(acc);
+        }
+        // Guard against rounding: the last CDF entry must be exactly 1.
+        if let Some(last) = cdf.last_mut() {
+            *last = 1.0;
+        }
+        TruncatedZipf { probs, cdf, z }
+    }
+
+    /// Number of distinct values `c`.
+    pub fn num_values(&self) -> usize {
+        self.probs.len()
+    }
+
+    /// The skew parameter `z`.
+    pub fn skew(&self) -> f64 {
+        self.z
+    }
+
+    /// Probability of rank `i` (0-based; rank 0 most common).
+    pub fn probability(&self, rank: usize) -> f64 {
+        self.probs[rank]
+    }
+
+    /// All rank probabilities, descending.
+    pub fn probabilities(&self) -> &[f64] {
+        &self.probs
+    }
+
+    /// Draw one rank.
+    pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> usize {
+        let u: f64 = rng.random();
+        // First index whose CDF weakly exceeds u.
+        self.cdf.partition_point(|&c| c < u)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn probabilities_sum_to_one_and_decrease() {
+        for &z in &[0.0, 0.5, 1.0, 1.8, 2.5] {
+            let d = TruncatedZipf::new(50, z);
+            let sum: f64 = d.probabilities().iter().sum();
+            assert!((sum - 1.0).abs() < 1e-9, "z={z}: sum {sum}");
+            assert!(
+                d.probabilities().windows(2).all(|w| w[0] >= w[1]),
+                "z={z}: not non-increasing"
+            );
+        }
+    }
+
+    #[test]
+    fn zero_skew_is_uniform() {
+        let d = TruncatedZipf::new(10, 0.0);
+        for i in 0..10 {
+            assert!((d.probability(i) - 0.1).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn higher_skew_concentrates_mass() {
+        let lo = TruncatedZipf::new(100, 1.0);
+        let hi = TruncatedZipf::new(100, 2.0);
+        assert!(hi.probability(0) > lo.probability(0));
+        assert!(hi.probability(99) < lo.probability(99));
+    }
+
+    #[test]
+    fn sampling_matches_probabilities() {
+        let d = TruncatedZipf::new(5, 1.5);
+        let mut rng = StdRng::seed_from_u64(3);
+        let n = 100_000usize;
+        let mut counts = [0usize; 5];
+        for _ in 0..n {
+            counts[d.sample(&mut rng)] += 1;
+        }
+        for (i, &count) in counts.iter().enumerate() {
+            let p = d.probability(i);
+            let expected = n as f64 * p;
+            let sd = (n as f64 * p * (1.0 - p)).sqrt();
+            assert!(
+                (count as f64 - expected).abs() < 6.0 * sd.max(1.0),
+                "rank {i}: {count} vs {expected}"
+            );
+        }
+    }
+
+    #[test]
+    fn single_value_always_sampled() {
+        let d = TruncatedZipf::new(1, 2.0);
+        let mut rng = StdRng::seed_from_u64(4);
+        for _ in 0..100 {
+            assert_eq!(d.sample(&mut rng), 0);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one")]
+    fn zero_values_panics() {
+        let _ = TruncatedZipf::new(0, 1.0);
+    }
+}

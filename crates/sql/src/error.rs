@@ -1,0 +1,45 @@
+//! SQL parsing errors with positional context.
+
+use std::fmt;
+
+/// Result alias for SQL operations.
+pub type SqlResult<T> = Result<T, SqlError>;
+
+/// A parse error with the byte offset where it occurred.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SqlError {
+    /// What went wrong.
+    pub message: String,
+    /// Byte offset into the input.
+    pub position: usize,
+}
+
+impl SqlError {
+    /// Create an error at a position.
+    pub fn new(message: impl Into<String>, position: usize) -> Self {
+        SqlError {
+            message: message.into(),
+            position,
+        }
+    }
+}
+
+impl fmt::Display for SqlError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "SQL error at byte {}: {}", self.position, self.message)
+    }
+}
+
+impl std::error::Error for SqlError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_includes_position() {
+        let e = SqlError::new("unexpected token", 17);
+        let s = e.to_string();
+        assert!(s.contains("17") && s.contains("unexpected token"));
+    }
+}

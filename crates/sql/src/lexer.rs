@@ -1,0 +1,367 @@
+//! Tokeniser for the supported SQL fragment.
+
+use crate::error::{SqlError, SqlResult};
+
+/// A lexical token.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Token {
+    /// A keyword (stored uppercase).
+    Keyword(Keyword),
+    /// A (possibly qualified) identifier, e.g. `lineitem.shipmode`.
+    Ident(String),
+    /// An integer literal.
+    Int(i64),
+    /// A float literal.
+    Float(f64),
+    /// A single-quoted string literal (quotes stripped, `''` unescaped).
+    Str(String),
+    /// `,`
+    Comma,
+    /// `(`
+    LParen,
+    /// `)`
+    RParen,
+    /// `*`
+    Star,
+    /// `=`
+    Eq,
+    /// `<>` or `!=`
+    Ne,
+    /// `<`
+    Lt,
+    /// `<=`
+    Le,
+    /// `>`
+    Gt,
+    /// `>=`
+    Ge,
+}
+
+/// Recognised keywords.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[allow(missing_docs)]
+pub enum Keyword {
+    Select,
+    From,
+    Where,
+    Group,
+    By,
+    As,
+    And,
+    Or,
+    Not,
+    In,
+    Between,
+    Count,
+    Sum,
+    Avg,
+    Min,
+    Max,
+    True,
+    False,
+    Null,
+}
+
+impl Keyword {
+    fn from_word(word: &str) -> Option<Keyword> {
+        let upper = word.to_ascii_uppercase();
+        Some(match upper.as_str() {
+            "SELECT" => Keyword::Select,
+            "FROM" => Keyword::From,
+            "WHERE" => Keyword::Where,
+            "GROUP" => Keyword::Group,
+            "BY" => Keyword::By,
+            "AS" => Keyword::As,
+            "AND" => Keyword::And,
+            "OR" => Keyword::Or,
+            "NOT" => Keyword::Not,
+            "IN" => Keyword::In,
+            "BETWEEN" => Keyword::Between,
+            "COUNT" => Keyword::Count,
+            "SUM" => Keyword::Sum,
+            "AVG" => Keyword::Avg,
+            "MIN" => Keyword::Min,
+            "MAX" => Keyword::Max,
+            "TRUE" => Keyword::True,
+            "FALSE" => Keyword::False,
+            "NULL" => Keyword::Null,
+            _ => return None,
+        })
+    }
+}
+
+/// A token plus its byte offset (for error messages).
+#[derive(Debug, Clone, PartialEq)]
+pub struct Spanned {
+    /// The token.
+    pub token: Token,
+    /// Byte offset of the token start.
+    pub position: usize,
+}
+
+/// Tokenise an input string.
+pub fn tokenize(input: &str) -> SqlResult<Vec<Spanned>> {
+    let bytes = input.as_bytes();
+    let mut tokens = Vec::new();
+    let mut i = 0usize;
+
+    while i < bytes.len() {
+        let c = bytes[i] as char;
+        let start = i;
+        match c {
+            c if c.is_ascii_whitespace() => {
+                i += 1;
+            }
+            ',' => {
+                tokens.push(Spanned { token: Token::Comma, position: start });
+                i += 1;
+            }
+            '(' => {
+                tokens.push(Spanned { token: Token::LParen, position: start });
+                i += 1;
+            }
+            ')' => {
+                tokens.push(Spanned { token: Token::RParen, position: start });
+                i += 1;
+            }
+            '*' => {
+                tokens.push(Spanned { token: Token::Star, position: start });
+                i += 1;
+            }
+            '=' => {
+                tokens.push(Spanned { token: Token::Eq, position: start });
+                i += 1;
+            }
+            '!' => {
+                if bytes.get(i + 1) == Some(&b'=') {
+                    tokens.push(Spanned { token: Token::Ne, position: start });
+                    i += 2;
+                } else {
+                    return Err(SqlError::new("expected '=' after '!'", start));
+                }
+            }
+            '<' => {
+                match bytes.get(i + 1) {
+                    Some(&b'=') => {
+                        tokens.push(Spanned { token: Token::Le, position: start });
+                        i += 2;
+                    }
+                    Some(&b'>') => {
+                        tokens.push(Spanned { token: Token::Ne, position: start });
+                        i += 2;
+                    }
+                    _ => {
+                        tokens.push(Spanned { token: Token::Lt, position: start });
+                        i += 1;
+                    }
+                }
+            }
+            '>' => {
+                if bytes.get(i + 1) == Some(&b'=') {
+                    tokens.push(Spanned { token: Token::Ge, position: start });
+                    i += 2;
+                } else {
+                    tokens.push(Spanned { token: Token::Gt, position: start });
+                    i += 1;
+                }
+            }
+            '\'' => {
+                // String literal; '' escapes a quote.
+                let mut s = String::new();
+                i += 1;
+                loop {
+                    match bytes.get(i) {
+                        None => return Err(SqlError::new("unterminated string literal", start)),
+                        Some(&b'\'') => {
+                            if bytes.get(i + 1) == Some(&b'\'') {
+                                s.push('\'');
+                                i += 2;
+                            } else {
+                                i += 1;
+                                break;
+                            }
+                        }
+                        Some(&b) => {
+                            // Multi-byte UTF-8: copy the whole char.
+                            let ch_len = utf8_len(b);
+                            s.push_str(
+                                std::str::from_utf8(&bytes[i..i + ch_len])
+                                    .map_err(|_| SqlError::new("invalid UTF-8", i))?,
+                            );
+                            i += ch_len;
+                        }
+                    }
+                }
+                tokens.push(Spanned { token: Token::Str(s), position: start });
+            }
+            c if c.is_ascii_digit() || (c == '-' && bytes.get(i + 1).is_some_and(|b| b.is_ascii_digit())) => {
+                let mut end = i + 1;
+                let mut is_float = false;
+                while end < bytes.len() {
+                    let d = bytes[end] as char;
+                    if d.is_ascii_digit() {
+                        end += 1;
+                    } else if d == '.' && !is_float && bytes.get(end + 1).is_some_and(|b| b.is_ascii_digit()) {
+                        is_float = true;
+                        end += 1;
+                    } else if (d == 'e' || d == 'E')
+                        && bytes.get(end + 1).is_some_and(|b| b.is_ascii_digit() || *b == b'-' || *b == b'+')
+                    {
+                        is_float = true;
+                        end += 2;
+                    } else {
+                        break;
+                    }
+                }
+                let text = &input[i..end];
+                let token = if is_float {
+                    Token::Float(
+                        text.parse()
+                            .map_err(|_| SqlError::new(format!("bad float {text:?}"), start))?,
+                    )
+                } else {
+                    Token::Int(
+                        text.parse()
+                            .map_err(|_| SqlError::new(format!("bad integer {text:?}"), start))?,
+                    )
+                };
+                tokens.push(Spanned { token, position: start });
+                i = end;
+            }
+            c if c.is_ascii_alphabetic() || c == '_' => {
+                // Identifier, possibly dotted-qualified; keywords only when
+                // the whole (undotted) word matches.
+                let mut end = i;
+                let mut dotted = false;
+                while end < bytes.len() {
+                    let d = bytes[end] as char;
+                    if d.is_ascii_alphanumeric() || d == '_' || d == '#' {
+                        end += 1;
+                    } else if d == '.'
+                        && bytes
+                            .get(end + 1)
+                            .is_some_and(|b| (*b as char).is_ascii_alphabetic() || *b == b'_')
+                    {
+                        dotted = true;
+                        end += 1;
+                    } else {
+                        break;
+                    }
+                }
+                let word = &input[i..end];
+                let token = if !dotted {
+                    match Keyword::from_word(word) {
+                        Some(k) => Token::Keyword(k),
+                        None => Token::Ident(word.to_owned()),
+                    }
+                } else {
+                    Token::Ident(word.to_owned())
+                };
+                tokens.push(Spanned { token, position: start });
+                i = end;
+            }
+            other => {
+                return Err(SqlError::new(format!("unexpected character {other:?}"), start));
+            }
+        }
+    }
+    Ok(tokens)
+}
+
+fn utf8_len(first_byte: u8) -> usize {
+    match first_byte {
+        b if b < 0x80 => 1,
+        b if b >> 5 == 0b110 => 2,
+        b if b >> 4 == 0b1110 => 3,
+        _ => 4,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn toks(input: &str) -> Vec<Token> {
+        tokenize(input).unwrap().into_iter().map(|s| s.token).collect()
+    }
+
+    #[test]
+    fn keywords_case_insensitive() {
+        assert_eq!(
+            toks("select FROM gRoUp by"),
+            vec![
+                Token::Keyword(Keyword::Select),
+                Token::Keyword(Keyword::From),
+                Token::Keyword(Keyword::Group),
+                Token::Keyword(Keyword::By),
+            ]
+        );
+    }
+
+    #[test]
+    fn qualified_idents_are_not_keywords() {
+        assert_eq!(
+            toks("count.x count"),
+            vec![
+                Token::Ident("count.x".into()),
+                Token::Keyword(Keyword::Count),
+            ]
+        );
+        assert_eq!(toks("lineitem.ship_mode"), vec![Token::Ident("lineitem.ship_mode".into())]);
+    }
+
+    #[test]
+    fn numbers() {
+        assert_eq!(
+            toks("42 -7 3.5 1e3 2.5e-2"),
+            vec![
+                Token::Int(42),
+                Token::Int(-7),
+                Token::Float(3.5),
+                Token::Float(1000.0),
+                Token::Float(0.025),
+            ]
+        );
+    }
+
+    #[test]
+    fn strings_with_escapes() {
+        assert_eq!(toks("'hello'"), vec![Token::Str("hello".into())]);
+        assert_eq!(toks("'it''s'"), vec![Token::Str("it's".into())]);
+        assert_eq!(toks("'Ünïcode'"), vec![Token::Str("Ünïcode".into())]);
+        assert!(tokenize("'oops").is_err());
+    }
+
+    #[test]
+    fn operators() {
+        assert_eq!(
+            toks("= <> != < <= > >= ( ) , *"),
+            vec![
+                Token::Eq,
+                Token::Ne,
+                Token::Ne,
+                Token::Lt,
+                Token::Le,
+                Token::Gt,
+                Token::Ge,
+                Token::LParen,
+                Token::RParen,
+                Token::Comma,
+                Token::Star,
+            ]
+        );
+    }
+
+    #[test]
+    fn hash_in_identifiers() {
+        // Generated categorical values look like SHIP#000; allow them as
+        // bare identifiers too (though they normally appear as strings).
+        assert_eq!(toks("SHIP#000"), vec![Token::Ident("SHIP#000".into())]);
+    }
+
+    #[test]
+    fn error_positions() {
+        let err = tokenize("a @ b").unwrap_err();
+        assert_eq!(err.position, 2);
+    }
+}

@@ -1,0 +1,49 @@
+//! # aqp-sql
+//!
+//! A SQL front-end for the AQP middleware. The paper's runtime phase
+//! intercepts SQL text and rewrites it against sample tables; this crate
+//! supplies the text-side half: it parses the supported query class —
+//! aggregation queries with group-bys over one (joined) view —
+//! into [`aqp_query::Query`] plans.
+//!
+//! Supported grammar (keywords case-insensitive):
+//!
+//! ```sql
+//! SELECT [grouping columns,] aggregates...
+//! FROM view
+//! [WHERE predicate]
+//! [GROUP BY columns]
+//! ```
+//!
+//! * aggregates: `COUNT(*)`, `SUM(col)`, `AVG(col)`, `MIN(col)`,
+//!   `MAX(col)`, each with an optional `AS alias`;
+//! * predicates: comparisons (`= <> < <= > >=`), `IN (v, ...)`,
+//!   `BETWEEN lo AND hi`, combined with `AND`, `OR`, `NOT` and
+//!   parentheses;
+//! * literals: integers, floats, `'strings'`, `TRUE`/`FALSE`/`NULL`;
+//! * column names may be qualified (`lineitem.shipmode`).
+//!
+//! ```
+//! use aqp_sql::parse_query;
+//!
+//! let parsed = parse_query(
+//!     "SELECT part.brand, COUNT(*) AS cnt, SUM(lineitem.extendedprice) \
+//!      FROM tpch \
+//!      WHERE lineitem.shipmode IN ('SHIP#000', 'SHIP#001') AND lineitem.quantity >= 5 \
+//!      GROUP BY part.brand",
+//! )
+//! .unwrap();
+//! assert_eq!(parsed.table, "tpch");
+//! assert_eq!(parsed.query.group_by, vec!["part.brand".to_owned()]);
+//! assert_eq!(parsed.query.aggregates.len(), 2);
+//! ```
+
+#![warn(missing_docs)]
+#![deny(unsafe_code)]
+
+pub mod error;
+pub mod lexer;
+pub mod parser;
+
+pub use error::{SqlError, SqlResult};
+pub use parser::{parse_query, ParsedQuery};

@@ -1,0 +1,428 @@
+//! Recursive-descent parser for the supported SQL fragment.
+
+use crate::error::{SqlError, SqlResult};
+use crate::lexer::{tokenize, Keyword, Spanned, Token};
+use aqp_query::{AggExpr, AggFunc, CmpOp, Expr, Query};
+use aqp_storage::Value;
+
+/// A parsed SQL query: the FROM-clause view name plus the logical plan.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ParsedQuery {
+    /// The single table/view named in FROM.
+    pub table: String,
+    /// The logical aggregation query.
+    pub query: Query,
+}
+
+/// Parse one SQL query of the supported class.
+pub fn parse_query(input: &str) -> SqlResult<ParsedQuery> {
+    let tokens = tokenize(input)?;
+    let mut p = Parser { tokens, pos: 0, input_len: input.len() };
+    let parsed = p.query()?;
+    if p.pos != p.tokens.len() {
+        return Err(p.err_here("trailing input after query"));
+    }
+    Ok(parsed)
+}
+
+struct Parser {
+    tokens: Vec<Spanned>,
+    pos: usize,
+    input_len: usize,
+}
+
+impl Parser {
+    fn peek(&self) -> Option<&Token> {
+        self.tokens.get(self.pos).map(|s| &s.token)
+    }
+
+    fn position(&self) -> usize {
+        self.tokens
+            .get(self.pos)
+            .map(|s| s.position)
+            .unwrap_or(self.input_len)
+    }
+
+    fn err_here(&self, msg: impl Into<String>) -> SqlError {
+        SqlError::new(msg, self.position())
+    }
+
+    fn advance(&mut self) -> Option<Token> {
+        let t = self.tokens.get(self.pos).map(|s| s.token.clone());
+        if t.is_some() {
+            self.pos += 1;
+        }
+        t
+    }
+
+    fn expect_keyword(&mut self, kw: Keyword) -> SqlResult<()> {
+        match self.peek() {
+            Some(Token::Keyword(k)) if *k == kw => {
+                self.pos += 1;
+                Ok(())
+            }
+            _ => Err(self.err_here(format!("expected {kw:?}"))),
+        }
+    }
+
+    fn eat_keyword(&mut self, kw: Keyword) -> bool {
+        matches!(self.peek(), Some(Token::Keyword(k)) if *k == kw) && {
+            self.pos += 1;
+            true
+        }
+    }
+
+    fn expect_token(&mut self, t: &Token, what: &str) -> SqlResult<()> {
+        if self.peek() == Some(t) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(self.err_here(format!("expected {what}")))
+        }
+    }
+
+    fn ident(&mut self, what: &str) -> SqlResult<String> {
+        match self.peek() {
+            Some(Token::Ident(name)) => {
+                let name = name.clone();
+                self.pos += 1;
+                Ok(name)
+            }
+            _ => Err(self.err_here(format!("expected {what}"))),
+        }
+    }
+
+    // query := SELECT items FROM ident (WHERE expr)? (GROUP BY idents)?
+    fn query(&mut self) -> SqlResult<ParsedQuery> {
+        self.expect_keyword(Keyword::Select)?;
+
+        let mut aggregates = Vec::new();
+        let mut select_columns: Vec<String> = Vec::new();
+        loop {
+            if let Some(agg) = self.try_aggregate()? {
+                aggregates.push(agg);
+            } else {
+                select_columns.push(self.ident("column or aggregate in SELECT list")?);
+            }
+            if !matches!(self.peek(), Some(Token::Comma)) {
+                break;
+            }
+            self.pos += 1;
+        }
+        if aggregates.is_empty() {
+            return Err(self.err_here("SELECT list needs at least one aggregate"));
+        }
+
+        self.expect_keyword(Keyword::From)?;
+        let table = self.ident("table name after FROM")?;
+
+        let predicate = if self.eat_keyword(Keyword::Where) {
+            Some(self.expr()?)
+        } else {
+            None
+        };
+
+        let group_by = if self.eat_keyword(Keyword::Group) {
+            self.expect_keyword(Keyword::By)?;
+            let mut cols = vec![self.ident("grouping column")?];
+            while matches!(self.peek(), Some(Token::Comma)) {
+                self.pos += 1;
+                cols.push(self.ident("grouping column")?);
+            }
+            cols
+        } else {
+            Vec::new()
+        };
+
+        // Every non-aggregate SELECT column must be a grouping column
+        // (standard SQL semantics for aggregation queries).
+        for c in &select_columns {
+            if !group_by.contains(c) {
+                return Err(SqlError::new(
+                    format!("column {c:?} in SELECT list is not in GROUP BY"),
+                    0,
+                ));
+            }
+        }
+
+        Ok(ParsedQuery {
+            table,
+            query: Query {
+                aggregates,
+                group_by,
+                predicate,
+            },
+        })
+    }
+
+    // agg := COUNT '(' '*' ')' | (SUM|AVG|MIN|MAX) '(' ident ')' [AS ident]
+    fn try_aggregate(&mut self) -> SqlResult<Option<AggExpr>> {
+        let func = match self.peek() {
+            Some(Token::Keyword(Keyword::Count)) => AggFunc::Count,
+            Some(Token::Keyword(Keyword::Sum)) => AggFunc::Sum,
+            Some(Token::Keyword(Keyword::Avg)) => AggFunc::Avg,
+            Some(Token::Keyword(Keyword::Min)) => AggFunc::Min,
+            Some(Token::Keyword(Keyword::Max)) => AggFunc::Max,
+            _ => return Ok(None),
+        };
+        self.pos += 1;
+        self.expect_token(&Token::LParen, "'(' after aggregate")?;
+        let column = if func == AggFunc::Count {
+            self.expect_token(&Token::Star, "'*' in COUNT(*)")?;
+            None
+        } else {
+            Some(self.ident("aggregate input column")?)
+        };
+        self.expect_token(&Token::RParen, "')'")?;
+
+        let alias = if self.eat_keyword(Keyword::As) {
+            self.ident("alias after AS")?
+        } else {
+            match &column {
+                Some(c) => format!("{}_{}", func.to_string().to_ascii_lowercase(), c.replace('.', "_")),
+                None => "cnt".to_owned(),
+            }
+        };
+        Ok(Some(AggExpr { func, column, alias }))
+    }
+
+    // Pratt-free precedence: OR < AND < NOT < primary.
+    fn expr(&mut self) -> SqlResult<Expr> {
+        let mut terms = vec![self.and_expr()?];
+        while self.eat_keyword(Keyword::Or) {
+            terms.push(self.and_expr()?);
+        }
+        Ok(if terms.len() == 1 {
+            terms.pop().expect("nonempty")
+        } else {
+            Expr::Or(terms)
+        })
+    }
+
+    fn and_expr(&mut self) -> SqlResult<Expr> {
+        let mut terms = vec![self.unary_expr()?];
+        while self.eat_keyword(Keyword::And) {
+            terms.push(self.unary_expr()?);
+        }
+        Ok(if terms.len() == 1 {
+            terms.pop().expect("nonempty")
+        } else {
+            Expr::And(terms)
+        })
+    }
+
+    fn unary_expr(&mut self) -> SqlResult<Expr> {
+        if self.eat_keyword(Keyword::Not) {
+            return Ok(Expr::Not(Box::new(self.unary_expr()?)));
+        }
+        if matches!(self.peek(), Some(Token::LParen)) {
+            self.pos += 1;
+            let inner = self.expr()?;
+            self.expect_token(&Token::RParen, "')'")?;
+            return Ok(inner);
+        }
+        self.comparison()
+    }
+
+    // comparison := ident (op literal | [NOT] IN '(' literals ')' |
+    //               BETWEEN literal AND literal)
+    fn comparison(&mut self) -> SqlResult<Expr> {
+        let column = self.ident("column name in predicate")?;
+        let negated_in = self.eat_keyword(Keyword::Not);
+        if self.eat_keyword(Keyword::In) {
+            self.expect_token(&Token::LParen, "'(' after IN")?;
+            let mut values = vec![self.literal()?];
+            while matches!(self.peek(), Some(Token::Comma)) {
+                self.pos += 1;
+                values.push(self.literal()?);
+            }
+            self.expect_token(&Token::RParen, "')'")?;
+            let e = Expr::InSet { column, values };
+            return Ok(if negated_in { Expr::Not(Box::new(e)) } else { e });
+        }
+        if negated_in {
+            return Err(self.err_here("expected IN after NOT"));
+        }
+        if self.eat_keyword(Keyword::Between) {
+            let lo = self.literal()?;
+            self.expect_keyword(Keyword::And)?;
+            let hi = self.literal()?;
+            return Ok(Expr::And(vec![
+                Expr::Cmp { column: column.clone(), op: CmpOp::Ge, literal: lo },
+                Expr::Cmp { column, op: CmpOp::Le, literal: hi },
+            ]));
+        }
+        let op = match self.advance() {
+            Some(Token::Eq) => CmpOp::Eq,
+            Some(Token::Ne) => CmpOp::Ne,
+            Some(Token::Lt) => CmpOp::Lt,
+            Some(Token::Le) => CmpOp::Le,
+            Some(Token::Gt) => CmpOp::Gt,
+            Some(Token::Ge) => CmpOp::Ge,
+            _ => {
+                self.pos = self.pos.saturating_sub(1);
+                return Err(self.err_here("expected comparison operator"));
+            }
+        };
+        let literal = self.literal()?;
+        Ok(Expr::Cmp { column, op, literal })
+    }
+
+    fn literal(&mut self) -> SqlResult<Value> {
+        match self.advance() {
+            Some(Token::Int(v)) => Ok(Value::Int64(v)),
+            Some(Token::Float(v)) => Ok(Value::Float64(v)),
+            Some(Token::Str(s)) => Ok(Value::Utf8(s)),
+            Some(Token::Keyword(Keyword::True)) => Ok(Value::Bool(true)),
+            Some(Token::Keyword(Keyword::False)) => Ok(Value::Bool(false)),
+            Some(Token::Keyword(Keyword::Null)) => Ok(Value::Null),
+            _ => {
+                self.pos = self.pos.saturating_sub(1);
+                Err(self.err_here("expected literal"))
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn minimal_query() {
+        let p = parse_query("SELECT COUNT(*) FROM t").unwrap();
+        assert_eq!(p.table, "t");
+        assert_eq!(p.query.aggregates.len(), 1);
+        assert_eq!(p.query.aggregates[0].func, AggFunc::Count);
+        assert_eq!(p.query.aggregates[0].alias, "cnt");
+        assert!(p.query.group_by.is_empty());
+        assert!(p.query.predicate.is_none());
+    }
+
+    #[test]
+    fn full_query() {
+        let p = parse_query(
+            "SELECT part.brand, lineitem.shipmode, COUNT(*) AS c, SUM(lineitem.extendedprice) AS total \
+             FROM tpch \
+             WHERE lineitem.quantity BETWEEN 5 AND 20 AND part.brand IN ('BRAND#000', 'BRAND#001') \
+             GROUP BY part.brand, lineitem.shipmode",
+        )
+        .unwrap();
+        assert_eq!(p.table, "tpch");
+        assert_eq!(p.query.group_by, vec!["part.brand", "lineitem.shipmode"]);
+        assert_eq!(p.query.aggregates[0].alias, "c");
+        assert_eq!(p.query.aggregates[1].alias, "total");
+        let Some(Expr::And(terms)) = &p.query.predicate else {
+            panic!("expected AND")
+        };
+        assert_eq!(terms.len(), 2);
+        // BETWEEN expands to Ge AND Le.
+        let Expr::And(between) = &terms[0] else { panic!("expected expanded BETWEEN") };
+        assert!(matches!(&between[0], Expr::Cmp { op: CmpOp::Ge, .. }));
+        assert!(matches!(&between[1], Expr::Cmp { op: CmpOp::Le, .. }));
+    }
+
+    #[test]
+    fn default_aliases() {
+        let p = parse_query("SELECT SUM(sales.revenue), AVG(sales.units) FROM s").unwrap();
+        assert_eq!(p.query.aggregates[0].alias, "sum_sales_revenue");
+        assert_eq!(p.query.aggregates[1].alias, "avg_sales_units");
+    }
+
+    #[test]
+    fn or_not_parens_precedence() {
+        let p = parse_query(
+            "SELECT COUNT(*) FROM t WHERE a = 1 OR b = 2 AND NOT (c = 3 OR d = 4)",
+        )
+        .unwrap();
+        // OR binds loosest: Or[a=1, And[b=2, Not(Or[c=3, d=4])]].
+        let Some(Expr::Or(or_terms)) = &p.query.predicate else {
+            panic!("expected OR at top")
+        };
+        assert_eq!(or_terms.len(), 2);
+        let Expr::And(and_terms) = &or_terms[1] else { panic!("expected AND") };
+        assert!(matches!(&and_terms[1], Expr::Not(_)));
+    }
+
+    #[test]
+    fn not_in() {
+        let p = parse_query("SELECT COUNT(*) FROM t WHERE x NOT IN (1, 2)").unwrap();
+        let Some(Expr::Not(inner)) = &p.query.predicate else { panic!("expected NOT") };
+        assert!(matches!(**inner, Expr::InSet { .. }));
+    }
+
+    #[test]
+    fn literal_types() {
+        let p = parse_query(
+            "SELECT COUNT(*) FROM t WHERE a = 1 AND b = 2.5 AND c = 'x' AND d = TRUE AND e <> FALSE",
+        )
+        .unwrap();
+        let Some(Expr::And(terms)) = &p.query.predicate else { panic!() };
+        let lits: Vec<&Value> = terms
+            .iter()
+            .map(|t| match t {
+                Expr::Cmp { literal, .. } => literal,
+                _ => panic!("expected comparison"),
+            })
+            .collect();
+        assert_eq!(lits[0], &Value::Int64(1));
+        assert_eq!(lits[1], &Value::Float64(2.5));
+        assert_eq!(lits[2], &Value::Utf8("x".into()));
+        assert_eq!(lits[3], &Value::Bool(true));
+        assert_eq!(lits[4], &Value::Bool(false));
+    }
+
+    #[test]
+    fn min_max_parse() {
+        let p = parse_query("SELECT MIN(x) AS lo, MAX(x) AS hi FROM t").unwrap();
+        assert_eq!(p.query.aggregates[0].func, AggFunc::Min);
+        assert_eq!(p.query.aggregates[1].func, AggFunc::Max);
+    }
+
+    #[test]
+    fn select_columns_must_be_grouped() {
+        let err = parse_query("SELECT a, COUNT(*) FROM t GROUP BY b").unwrap_err();
+        assert!(err.message.contains("not in GROUP BY"), "{err}");
+        assert!(parse_query("SELECT a, COUNT(*) FROM t GROUP BY a").is_ok());
+    }
+
+    #[test]
+    fn error_cases() {
+        for (sql, needle) in [
+            ("SELECT FROM t", "column or aggregate"),
+            ("SELECT a FROM t GROUP BY a", "at least one aggregate"),
+            ("SELECT COUNT(*)", "expected From"),
+            ("SELECT COUNT(x) FROM t", "'*' in COUNT(*)"),
+            ("SELECT SUM(*) FROM t", "aggregate input column"),
+            ("SELECT COUNT(*) FROM t WHERE", "column name in predicate"),
+            ("SELECT COUNT(*) FROM t WHERE a", "comparison operator"),
+            ("SELECT COUNT(*) FROM t WHERE a = ", "expected literal"),
+            ("SELECT COUNT(*) FROM t WHERE a NOT b", "expected IN after NOT"),
+            ("SELECT COUNT(*) FROM t trailing", "trailing input"),
+            ("SELECT COUNT(*) FROM t GROUP BY", "grouping column"),
+        ] {
+            let err = parse_query(sql).unwrap_err();
+            assert!(
+                err.message.contains(needle),
+                "for {sql:?}: got {:?}, wanted {needle:?}",
+                err.message
+            );
+        }
+    }
+
+    #[test]
+    fn roundtrip_display_reparses() {
+        // Query::Display emits SQL-ish text (without FROM); re-wrapping it
+        // in a FROM clause must reparse to the same logical plan.
+        let original = parse_query(
+            "SELECT g, COUNT(*) AS cnt FROM t WHERE a IN (1, 2) AND b >= 3.5 GROUP BY g",
+        )
+        .unwrap();
+        let rendered = original.query.to_string();
+        let (head, tail) = rendered
+            .split_once(" WHERE ")
+            .expect("rendered query has WHERE");
+        let again = parse_query(&format!("{head} FROM t WHERE {tail}")).unwrap();
+        assert_eq!(original.query, again.query);
+    }
+}

@@ -1,0 +1,378 @@
+//! CSV import/export.
+//!
+//! Lets adopters run the AQP system over their own data: load a CSV into
+//! a [`Table`] (with schema inference or an explicit schema), preprocess
+//! it, and answer queries approximately. The dialect is deliberately
+//! plain — comma separator, `"` quoting with `""` escapes, a mandatory
+//! header row, empty fields as NULL — which covers what warehouse exports
+//! produce.
+
+use crate::error::{StorageError, StorageResult};
+use crate::schema::{Field, Schema};
+use crate::table::Table;
+use crate::value::{DataType, Value};
+use std::sync::Arc;
+
+fn bad(msg: impl Into<String>) -> StorageError {
+    StorageError::Codec(msg.into())
+}
+
+/// Split one CSV record into fields, honouring quotes. Returns `None` for
+/// an unterminated quote (caller reports the line number).
+fn split_record(line: &str) -> Option<Vec<String>> {
+    let mut fields = Vec::new();
+    let mut current = String::new();
+    let mut chars = line.chars().peekable();
+    let mut in_quotes = false;
+    while let Some(c) = chars.next() {
+        match c {
+            '"' if in_quotes => {
+                if chars.peek() == Some(&'"') {
+                    chars.next();
+                    current.push('"');
+                } else {
+                    in_quotes = false;
+                }
+            }
+            '"' if current.is_empty() => in_quotes = true,
+            ',' if !in_quotes => {
+                fields.push(std::mem::take(&mut current));
+            }
+            c => current.push(c),
+        }
+    }
+    if in_quotes {
+        return None;
+    }
+    fields.push(current);
+    Some(fields)
+}
+
+/// Quote a field if it needs it.
+fn quote_field(s: &str) -> String {
+    if s.contains(',') || s.contains('"') || s.contains('\n') {
+        format!("\"{}\"", s.replace('"', "\"\""))
+    } else {
+        s.to_owned()
+    }
+}
+
+/// Infer the narrowest column type consistent with a set of raw fields.
+/// Empty strings are NULL and don't constrain the type; the priority is
+/// Int64 → Float64 → Bool → Utf8.
+fn infer_type<'a>(samples: impl Iterator<Item = &'a str>) -> DataType {
+    let mut any = false;
+    let mut all_int = true;
+    let mut all_float = true;
+    let mut all_bool = true;
+    for s in samples {
+        if s.is_empty() {
+            continue;
+        }
+        any = true;
+        all_int &= s.parse::<i64>().is_ok();
+        all_float &= s.parse::<f64>().is_ok();
+        all_bool &= matches!(s.to_ascii_lowercase().as_str(), "true" | "false");
+    }
+    if !any {
+        return DataType::Utf8; // all-NULL column: default to string
+    }
+    if all_int {
+        DataType::Int64
+    } else if all_float {
+        DataType::Float64
+    } else if all_bool {
+        DataType::Bool
+    } else {
+        DataType::Utf8
+    }
+}
+
+fn parse_cell(raw: &str, dt: DataType, line: usize, column: &str) -> StorageResult<Value> {
+    if raw.is_empty() {
+        return Ok(Value::Null);
+    }
+    let err = || bad(format!("line {line}: cannot parse {raw:?} as {dt} for column {column:?}"));
+    Ok(match dt {
+        DataType::Int64 => Value::Int64(raw.parse().map_err(|_| err())?),
+        DataType::Float64 => Value::Float64(raw.parse().map_err(|_| err())?),
+        DataType::Bool => match raw.to_ascii_lowercase().as_str() {
+            "true" => Value::Bool(true),
+            "false" => Value::Bool(false),
+            _ => return Err(err()),
+        },
+        DataType::Utf8 => Value::Utf8(raw.to_owned()),
+    })
+}
+
+/// Parse CSV text into a table, inferring column types from the data.
+///
+/// The first record is the header. Types are inferred over all rows
+/// (narrowest of Int64 → Float64 → Bool → Utf8); empty fields are NULL.
+pub fn table_from_csv(name: impl Into<String>, text: &str) -> StorageResult<Table> {
+    let mut lines = text.lines().enumerate();
+    let (_, header) = lines
+        .next()
+        .ok_or_else(|| bad("empty CSV: missing header"))?;
+    let names = split_record(header).ok_or_else(|| bad("line 1: unterminated quote"))?;
+    if names.iter().any(String::is_empty) {
+        return Err(bad("header has an empty column name"));
+    }
+
+    // Materialise raw records once (type inference needs two looks).
+    let mut records: Vec<(usize, Vec<String>)> = Vec::new();
+    for (idx, line) in lines {
+        if line.is_empty() {
+            continue;
+        }
+        let record =
+            split_record(line).ok_or_else(|| bad(format!("line {}: unterminated quote", idx + 1)))?;
+        if record.len() != names.len() {
+            return Err(bad(format!(
+                "line {}: {} fields, header has {}",
+                idx + 1,
+                record.len(),
+                names.len()
+            )));
+        }
+        records.push((idx + 1, record));
+    }
+
+    let types: Vec<DataType> = (0..names.len())
+        .map(|c| infer_type(records.iter().map(|(_, r)| r[c].as_str())))
+        .collect();
+    let schema = Schema::new(
+        names
+            .iter()
+            .zip(&types)
+            .map(|(n, t)| Field::new(n.clone(), *t))
+            .collect(),
+    )?;
+    table_from_records(name, schema, &names, &records)
+}
+
+/// Parse CSV text against an explicit schema (header columns may appear
+/// in any order; extra CSV columns are rejected).
+pub fn table_from_csv_with_schema(
+    name: impl Into<String>,
+    schema: Arc<Schema>,
+    text: &str,
+) -> StorageResult<Table> {
+    let mut lines = text.lines().enumerate();
+    let (_, header) = lines
+        .next()
+        .ok_or_else(|| bad("empty CSV: missing header"))?;
+    let names = split_record(header).ok_or_else(|| bad("line 1: unterminated quote"))?;
+    for n in &names {
+        if !schema.contains(n) {
+            return Err(bad(format!("CSV column {n:?} not in schema")));
+        }
+    }
+    if names.len() != schema.len() {
+        return Err(bad(format!(
+            "CSV has {} columns, schema expects {}",
+            names.len(),
+            schema.len()
+        )));
+    }
+    let mut records = Vec::new();
+    for (idx, line) in lines {
+        if line.is_empty() {
+            continue;
+        }
+        let record =
+            split_record(line).ok_or_else(|| bad(format!("line {}: unterminated quote", idx + 1)))?;
+        if record.len() != names.len() {
+            return Err(bad(format!(
+                "line {}: {} fields, header has {}",
+                idx + 1,
+                record.len(),
+                names.len()
+            )));
+        }
+        records.push((idx + 1, record));
+    }
+    table_from_records(name, schema, &names, &records)
+}
+
+fn table_from_records(
+    name: impl Into<String>,
+    schema: Arc<Schema>,
+    csv_order: &[String],
+    records: &[(usize, Vec<String>)],
+) -> StorageResult<Table> {
+    // Map schema position → CSV field position.
+    let positions: Vec<usize> = schema
+        .fields()
+        .iter()
+        .map(|f| {
+            csv_order
+                .iter()
+                .position(|n| *n == f.name)
+                .ok_or_else(|| bad(format!("schema column {:?} missing from CSV", f.name)))
+        })
+        .collect::<StorageResult<_>>()?;
+
+    let mut table = Table::empty(name, Arc::clone(&schema));
+    let mut row = Vec::with_capacity(schema.len());
+    for (line, record) in records {
+        row.clear();
+        for (field, &pos) in schema.fields().iter().zip(&positions) {
+            row.push(parse_cell(&record[pos], field.data_type, *line, &field.name)?);
+        }
+        table.push_row(&row)?;
+    }
+    Ok(table)
+}
+
+/// Render a table as CSV text (header + one record per row; NULL as
+/// empty field).
+pub fn table_to_csv(table: &Table) -> String {
+    let mut out = String::new();
+    let header: Vec<String> = table
+        .schema()
+        .names()
+        .map(quote_field)
+        .collect();
+    out.push_str(&header.join(","));
+    out.push('\n');
+    for row in 0..table.num_rows() {
+        let record: Vec<String> = (0..table.schema().len())
+            .map(|c| {
+                let v = table.value(row, c);
+                if v.is_null() {
+                    String::new()
+                } else {
+                    quote_field(&v.to_string())
+                }
+            })
+            .collect();
+        out.push_str(&record.join(","));
+        out.push('\n');
+    }
+    out
+}
+
+/// Read a table from a CSV file with schema inference.
+pub fn read_csv_file(
+    name: impl Into<String>,
+    path: impl AsRef<std::path::Path>,
+) -> std::io::Result<Table> {
+    let text = std::fs::read_to_string(path)?;
+    table_from_csv(name, &text).map_err(std::io::Error::other)
+}
+
+/// Write a table to a CSV file.
+pub fn write_csv_file(table: &Table, path: impl AsRef<std::path::Path>) -> std::io::Result<()> {
+    std::fs::write(path, table_to_csv(table))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schema::SchemaBuilder;
+
+    const SAMPLE: &str = "\
+id,name,price,active
+1,tv,9.5,true
+2,stereo,19.25,false
+3,,3.0,true
+4,\"with, comma\",,false
+";
+
+    #[test]
+    fn infer_and_parse() {
+        let t = table_from_csv("demo", SAMPLE).unwrap();
+        assert_eq!(t.num_rows(), 4);
+        let s = t.schema();
+        assert_eq!(s.field("id").unwrap().data_type, DataType::Int64);
+        assert_eq!(s.field("name").unwrap().data_type, DataType::Utf8);
+        assert_eq!(s.field("price").unwrap().data_type, DataType::Float64);
+        assert_eq!(s.field("active").unwrap().data_type, DataType::Bool);
+        assert_eq!(t.value(0, 1).to_owned(), Value::Utf8("tv".into()));
+        assert!(t.value(2, 1).is_null(), "empty field is NULL");
+        assert!(t.value(3, 2).is_null());
+        assert_eq!(t.value(3, 1).to_owned(), Value::Utf8("with, comma".into()));
+    }
+
+    #[test]
+    fn int_column_with_floats_widens() {
+        let t = table_from_csv("t", "x\n1\n2.5\n3\n").unwrap();
+        assert_eq!(t.schema().field("x").unwrap().data_type, DataType::Float64);
+        assert_eq!(t.value(0, 0).to_owned(), Value::Float64(1.0));
+    }
+
+    #[test]
+    fn mixed_column_falls_back_to_string() {
+        let t = table_from_csv("t", "x\n1\nhello\n").unwrap();
+        assert_eq!(t.schema().field("x").unwrap().data_type, DataType::Utf8);
+    }
+
+    #[test]
+    fn all_null_column_is_string() {
+        let t = table_from_csv("t", "x,y\n,1\n,2\n").unwrap();
+        assert_eq!(t.schema().field("x").unwrap().data_type, DataType::Utf8);
+        assert_eq!(t.column_by_name("x").unwrap().null_count(), 2);
+    }
+
+    #[test]
+    fn quotes_and_escapes() {
+        let t = table_from_csv("t", "a\n\"says \"\"hi\"\"\"\n").unwrap();
+        assert_eq!(t.value(0, 0).to_owned(), Value::Utf8("says \"hi\"".into()));
+    }
+
+    #[test]
+    fn errors() {
+        assert!(table_from_csv("t", "").is_err(), "empty input");
+        assert!(table_from_csv("t", "a,\n1,2\n").is_err(), "empty header name");
+        assert!(table_from_csv("t", "a,b\n1\n").is_err(), "ragged row");
+        assert!(table_from_csv("t", "a\n\"oops\n").is_err(), "unterminated quote");
+    }
+
+    #[test]
+    fn explicit_schema_reorders_and_validates() {
+        let schema = SchemaBuilder::new()
+            .field("price", DataType::Float64)
+            .field("id", DataType::Int64)
+            .build()
+            .unwrap();
+        // CSV order differs from schema order.
+        let t = table_from_csv_with_schema("t", schema, "id,price\n7,1.5\n").unwrap();
+        assert_eq!(t.value(0, 0).to_owned(), Value::Float64(1.5));
+        assert_eq!(t.value(0, 1).to_owned(), Value::Int64(7));
+
+        let schema = SchemaBuilder::new().field("id", DataType::Int64).build().unwrap();
+        assert!(table_from_csv_with_schema("t", Arc::clone(&schema), "zz\n1\n").is_err());
+        assert!(table_from_csv_with_schema("t", schema, "id\nnotanint\n").is_err());
+    }
+
+    #[test]
+    fn roundtrip() {
+        let t = table_from_csv("demo", SAMPLE).unwrap();
+        let rendered = table_to_csv(&t);
+        let back = table_from_csv("demo", &rendered).unwrap();
+        assert_eq!(back.num_rows(), t.num_rows());
+        for row in 0..t.num_rows() {
+            for col in 0..t.schema().len() {
+                assert_eq!(
+                    t.value(row, col).to_owned(),
+                    back.value(row, col).to_owned(),
+                    "cell ({row},{col})"
+                );
+            }
+        }
+        assert!(rendered.contains("\"with, comma\""));
+    }
+
+    #[test]
+    fn file_roundtrip() {
+        let t = table_from_csv("demo", SAMPLE).unwrap();
+        let dir = std::env::temp_dir().join(format!("aqp_csv_{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("t.csv");
+        write_csv_file(&t, &path).unwrap();
+        let back = read_csv_file("demo", &path).unwrap();
+        assert_eq!(back.num_rows(), 4);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+}

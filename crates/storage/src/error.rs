@@ -1,0 +1,88 @@
+//! Error types for the storage engine.
+
+use std::fmt;
+
+/// Result alias used throughout the storage crate.
+pub type StorageResult<T> = Result<T, StorageError>;
+
+/// Errors raised by storage operations.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum StorageError {
+    /// A column name was not found in a schema.
+    ColumnNotFound {
+        /// The requested column name.
+        name: String,
+    },
+    /// A value's type did not match the column's declared type.
+    TypeMismatch {
+        /// Expected data type (the column's declared type).
+        expected: crate::value::DataType,
+        /// What was actually supplied.
+        actual: String,
+    },
+    /// A row index was out of bounds.
+    RowOutOfBounds {
+        /// The requested row.
+        row: usize,
+        /// The number of rows in the table/column.
+        len: usize,
+    },
+    /// A row had the wrong number of values for the schema.
+    ArityMismatch {
+        /// Number of values supplied.
+        supplied: usize,
+        /// Number of fields in the schema.
+        expected: usize,
+    },
+    /// Two schemas or column sets that must match did not.
+    SchemaMismatch(String),
+    /// A duplicate field name was supplied to a schema builder.
+    DuplicateField(String),
+    /// Persisted table data was malformed or truncated.
+    Codec(String),
+}
+
+impl fmt::Display for StorageError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            StorageError::ColumnNotFound { name } => {
+                write!(f, "column not found: {name:?}")
+            }
+            StorageError::TypeMismatch { expected, actual } => {
+                write!(f, "type mismatch: expected {expected:?}, got {actual}")
+            }
+            StorageError::RowOutOfBounds { row, len } => {
+                write!(f, "row {row} out of bounds (len {len})")
+            }
+            StorageError::ArityMismatch { supplied, expected } => {
+                write!(f, "row arity mismatch: got {supplied} values, schema has {expected} fields")
+            }
+            StorageError::SchemaMismatch(msg) => write!(f, "schema mismatch: {msg}"),
+            StorageError::DuplicateField(name) => write!(f, "duplicate field name: {name:?}"),
+            StorageError::Codec(msg) => write!(f, "codec error: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for StorageError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::value::DataType;
+
+    #[test]
+    fn display_is_informative() {
+        let e = StorageError::ColumnNotFound { name: "x".into() };
+        assert!(e.to_string().contains("x"));
+        let e = StorageError::TypeMismatch {
+            expected: DataType::Int64,
+            actual: "Utf8".into(),
+        };
+        assert!(e.to_string().contains("Int64"));
+        let e = StorageError::RowOutOfBounds { row: 9, len: 3 };
+        assert!(e.to_string().contains('9') && e.to_string().contains('3'));
+        let e = StorageError::ArityMismatch { supplied: 2, expected: 5 };
+        assert!(e.to_string().contains('2') && e.to_string().contains('5'));
+    }
+}

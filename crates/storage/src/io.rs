@@ -1,0 +1,581 @@
+//! Binary table persistence.
+//!
+//! The paper's pre-processing phase writes its sample tables to disk so
+//! the runtime phase can use them across sessions ("the samples are
+//! created ... and stored in the database along with metadata"). This
+//! module provides a compact, self-describing little-endian binary codec
+//! for [`Table`]s — columns, dictionaries, null masks, and the sample
+//! bitmask column — plus file convenience wrappers.
+//!
+//! Format (version 1):
+//!
+//! ```text
+//! magic "AQPT" | u16 version | name | schema | u64 rows
+//! per column: u8 type tag | null mask | payload
+//! u8 bitmask-present | (u32 width | rows*width u64 words)
+//! ```
+//!
+//! Strings are `u32` length + UTF-8 bytes; vectors are `u64` count +
+//! elements.
+
+use crate::bitmask::{BitSet, BitmaskColumn};
+use crate::column::Column;
+use crate::error::{StorageError, StorageResult};
+use crate::schema::{Field, Schema};
+use crate::table::Table;
+use crate::value::DataType;
+use bytes::{Buf, BufMut, BytesMut};
+
+const MAGIC: &[u8; 4] = b"AQPT";
+const VERSION: u16 = 1;
+
+fn corrupt(msg: impl Into<String>) -> StorageError {
+    StorageError::Codec(msg.into())
+}
+
+fn put_str(buf: &mut BytesMut, s: &str) {
+    buf.put_u32_le(s.len() as u32);
+    buf.put_slice(s.as_bytes());
+}
+
+fn get_str(buf: &mut &[u8]) -> StorageResult<String> {
+    if buf.remaining() < 4 {
+        return Err(corrupt("truncated string length"));
+    }
+    let len = buf.get_u32_le() as usize;
+    if buf.remaining() < len {
+        return Err(corrupt("truncated string payload"));
+    }
+    let s = std::str::from_utf8(&buf[..len])
+        .map_err(|_| corrupt("invalid UTF-8 in string"))?
+        .to_owned();
+    buf.advance(len);
+    Ok(s)
+}
+
+fn type_tag(dt: DataType) -> u8 {
+    match dt {
+        DataType::Int64 => 0,
+        DataType::Float64 => 1,
+        DataType::Utf8 => 2,
+        DataType::Bool => 3,
+    }
+}
+
+fn tag_type(tag: u8) -> StorageResult<DataType> {
+    Ok(match tag {
+        0 => DataType::Int64,
+        1 => DataType::Float64,
+        2 => DataType::Utf8,
+        3 => DataType::Bool,
+        other => return Err(corrupt(format!("unknown type tag {other}"))),
+    })
+}
+
+/// Append one dynamically-typed value to a buffer (tag byte + payload).
+pub fn put_value(buf: &mut BytesMut, value: &crate::value::Value) {
+    use crate::value::Value;
+    match value {
+        Value::Null => buf.put_u8(0),
+        Value::Int64(v) => {
+            buf.put_u8(1);
+            buf.put_i64_le(*v);
+        }
+        Value::Float64(v) => {
+            buf.put_u8(2);
+            buf.put_f64_le(*v);
+        }
+        Value::Utf8(s) => {
+            buf.put_u8(3);
+            put_str(buf, s);
+        }
+        Value::Bool(b) => {
+            buf.put_u8(4);
+            buf.put_u8(*b as u8);
+        }
+    }
+}
+
+/// Decode one value written by [`put_value`].
+pub fn get_value(buf: &mut &[u8]) -> StorageResult<crate::value::Value> {
+    use crate::value::Value;
+    if buf.remaining() < 1 {
+        return Err(corrupt("truncated value tag"));
+    }
+    Ok(match buf.get_u8() {
+        0 => Value::Null,
+        1 => {
+            if buf.remaining() < 8 {
+                return Err(corrupt("truncated int value"));
+            }
+            Value::Int64(buf.get_i64_le())
+        }
+        2 => {
+            if buf.remaining() < 8 {
+                return Err(corrupt("truncated float value"));
+            }
+            Value::Float64(buf.get_f64_le())
+        }
+        3 => Value::Utf8(get_str(buf)?),
+        4 => {
+            if buf.remaining() < 1 {
+                return Err(corrupt("truncated bool value"));
+            }
+            Value::Bool(buf.get_u8() != 0)
+        }
+        other => return Err(corrupt(format!("unknown value tag {other}"))),
+    })
+}
+
+/// Append a length-prefixed string (public for sibling codecs).
+pub fn put_string(buf: &mut BytesMut, s: &str) {
+    put_str(buf, s);
+}
+
+/// Decode a string written by [`put_string`].
+pub fn get_string(buf: &mut &[u8]) -> StorageResult<String> {
+    get_str(buf)
+}
+
+/// Encode a table to bytes.
+pub fn encode_table(table: &Table) -> Vec<u8> {
+    let mut buf = BytesMut::with_capacity(table.byte_size() + 1024);
+    buf.put_slice(MAGIC);
+    buf.put_u16_le(VERSION);
+    put_str(&mut buf, table.name());
+
+    // Schema.
+    buf.put_u32_le(table.schema().len() as u32);
+    for f in table.schema().fields() {
+        put_str(&mut buf, &f.name);
+        buf.put_u8(type_tag(f.data_type));
+    }
+    let rows = table.num_rows();
+    buf.put_u64_le(rows as u64);
+
+    // Columns.
+    for col in table.columns() {
+        buf.put_u8(type_tag(col.data_type()));
+        // Null mask: packed bits, omitted entirely when fully valid.
+        let has_nulls = col.null_count() > 0;
+        buf.put_u8(has_nulls as u8);
+        if has_nulls {
+            let mut word = 0u64;
+            for row in 0..rows {
+                if col.is_null(row) {
+                    word |= 1 << (row % 64);
+                }
+                if row % 64 == 63 {
+                    buf.put_u64_le(word);
+                    word = 0;
+                }
+            }
+            if !rows.is_multiple_of(64) {
+                buf.put_u64_le(word);
+            }
+        }
+        match col {
+            Column::Int64 { data, .. } => {
+                for v in data {
+                    buf.put_i64_le(*v);
+                }
+            }
+            Column::Float64 { data, .. } => {
+                for v in data {
+                    buf.put_f64_le(*v);
+                }
+            }
+            Column::Utf8 { codes, dict, .. } => {
+                buf.put_u32_le(dict.len() as u32);
+                for (_, s) in dict.iter() {
+                    put_str(&mut buf, s);
+                }
+                for c in codes {
+                    buf.put_u32_le(*c);
+                }
+            }
+            Column::Bool { data, .. } => {
+                for v in data {
+                    buf.put_u8(*v as u8);
+                }
+            }
+        }
+    }
+
+    // Bitmask column.
+    match table.bitmask() {
+        Some(bm) => {
+            buf.put_u8(1);
+            buf.put_u32_le(bm.width() as u32);
+            for row in 0..bm.len() {
+                for w in bm.row(row).words().iter().take(bm.width()) {
+                    buf.put_u64_le(*w);
+                }
+            }
+        }
+        None => buf.put_u8(0),
+    }
+
+    buf.to_vec()
+}
+
+/// Decode a table from bytes produced by [`encode_table`].
+pub fn decode_table(bytes: &[u8]) -> StorageResult<Table> {
+    let mut buf = bytes;
+    if buf.remaining() < 6 || &buf[..4] != MAGIC {
+        return Err(corrupt("bad magic"));
+    }
+    buf.advance(4);
+    let version = buf.get_u16_le();
+    if version != VERSION {
+        return Err(corrupt(format!("unsupported version {version}")));
+    }
+    let name = get_str(&mut buf)?;
+
+    // Schema.
+    if buf.remaining() < 4 {
+        return Err(corrupt("truncated schema"));
+    }
+    let num_fields = buf.get_u32_le() as usize;
+    // Cap pre-allocations by the bytes actually present: corrupt counts
+    // must fail element-by-element with a clean error, not abort on an
+    // absurd allocation.
+    let mut fields = Vec::with_capacity(num_fields.min(buf.remaining()));
+    for _ in 0..num_fields {
+        let fname = get_str(&mut buf)?;
+        if buf.remaining() < 1 {
+            return Err(corrupt("truncated field type"));
+        }
+        let dt = tag_type(buf.get_u8())?;
+        fields.push(Field::new(fname, dt));
+    }
+    let schema = Schema::new(fields)?;
+    if buf.remaining() < 8 {
+        return Err(corrupt("truncated row count"));
+    }
+    let rows = buf.get_u64_le() as usize;
+
+    // Columns.
+    let mut columns = Vec::with_capacity(num_fields);
+    for field in schema.fields() {
+        if buf.remaining() < 2 {
+            return Err(corrupt("truncated column header"));
+        }
+        let dt = tag_type(buf.get_u8())?;
+        if dt != field.data_type {
+            return Err(corrupt(format!(
+                "column {:?}: stored type {dt:?} != schema {:?}",
+                field.name, field.data_type
+            )));
+        }
+        let has_nulls = buf.get_u8() != 0;
+        let null_words = if has_nulls {
+            let n_words = rows.div_ceil(64);
+            if n_words.checked_mul(8).is_none_or(|b| buf.remaining() < b) {
+                return Err(corrupt("truncated null mask"));
+            }
+            let mut words = Vec::with_capacity(n_words);
+            for _ in 0..n_words {
+                words.push(buf.get_u64_le());
+            }
+            Some(words)
+        } else {
+            None
+        };
+        let is_null = |row: usize| -> bool {
+            null_words
+                .as_ref()
+                .is_some_and(|w| (w[row / 64] >> (row % 64)) & 1 == 1)
+        };
+
+        let mut col = Column::new(dt);
+        match dt {
+            DataType::Int64 => {
+                if rows.checked_mul(8).is_none_or(|b| buf.remaining() < b) {
+                    return Err(corrupt("truncated int column"));
+                }
+                for row in 0..rows {
+                    let v = buf.get_i64_le();
+                    if is_null(row) {
+                        col.push_null();
+                    } else {
+                        col.push(crate::value::ValueRef::Int64(v))?;
+                    }
+                }
+            }
+            DataType::Float64 => {
+                if rows.checked_mul(8).is_none_or(|b| buf.remaining() < b) {
+                    return Err(corrupt("truncated float column"));
+                }
+                for row in 0..rows {
+                    let v = buf.get_f64_le();
+                    if is_null(row) {
+                        col.push_null();
+                    } else {
+                        col.push(crate::value::ValueRef::Float64(v))?;
+                    }
+                }
+            }
+            DataType::Utf8 => {
+                if buf.remaining() < 4 {
+                    return Err(corrupt("truncated dictionary"));
+                }
+                let dict_len = buf.get_u32_le() as usize;
+                let mut dict_strings = Vec::with_capacity(dict_len.min(buf.remaining()));
+                for _ in 0..dict_len {
+                    dict_strings.push(get_str(&mut buf)?);
+                }
+                if rows.checked_mul(4).is_none_or(|b| buf.remaining() < b) {
+                    return Err(corrupt("truncated codes"));
+                }
+                for row in 0..rows {
+                    let code = buf.get_u32_le() as usize;
+                    if is_null(row) {
+                        col.push_null();
+                    } else {
+                        let s = dict_strings
+                            .get(code)
+                            .ok_or_else(|| corrupt(format!("dictionary code {code} out of range")))?;
+                        col.push(crate::value::ValueRef::Utf8(s))?;
+                    }
+                }
+            }
+            DataType::Bool => {
+                if buf.remaining() < rows {
+                    return Err(corrupt("truncated bool column"));
+                }
+                for row in 0..rows {
+                    let v = buf.get_u8() != 0;
+                    if is_null(row) {
+                        col.push_null();
+                    } else {
+                        col.push(crate::value::ValueRef::Bool(v))?;
+                    }
+                }
+            }
+        }
+        columns.push(col);
+    }
+
+    let mut table = Table::from_columns(name, schema, columns)?;
+
+    // Bitmask column.
+    if buf.remaining() < 1 {
+        return Err(corrupt("truncated bitmask flag"));
+    }
+    if buf.get_u8() != 0 {
+        if buf.remaining() < 4 {
+            return Err(corrupt("truncated bitmask width"));
+        }
+        let width = buf.get_u32_le() as usize;
+        if rows
+            .checked_mul(width)
+            .and_then(|w| w.checked_mul(8))
+            .is_none_or(|b| buf.remaining() < b)
+        {
+            return Err(corrupt("truncated bitmask words"));
+        }
+        let mut bm = BitmaskColumn::new(width * 64);
+        for _ in 0..rows {
+            let mut words = Vec::with_capacity(width);
+            for _ in 0..width {
+                words.push(buf.get_u64_le());
+            }
+            bm.push(&BitSet::from_raw_words(words));
+        }
+        table.attach_bitmask(bm)?;
+    }
+
+    if buf.has_remaining() {
+        return Err(corrupt(format!("{} trailing bytes", buf.remaining())));
+    }
+    Ok(table)
+}
+
+/// Write a table to a file.
+pub fn write_table_file(table: &Table, path: impl AsRef<std::path::Path>) -> std::io::Result<()> {
+    std::fs::write(path, encode_table(table))
+}
+
+/// Read a table from a file.
+pub fn read_table_file(path: impl AsRef<std::path::Path>) -> std::io::Result<Table> {
+    let bytes = std::fs::read(path)?;
+    decode_table(&bytes).map_err(std::io::Error::other)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schema::SchemaBuilder;
+    use crate::value::Value;
+
+    fn sample_table() -> Table {
+        let schema = SchemaBuilder::new()
+            .field("id", DataType::Int64)
+            .field("price", DataType::Float64)
+            .field("name", DataType::Utf8)
+            .field("active", DataType::Bool)
+            .build()
+            .unwrap();
+        let mut t = Table::empty("demo", schema);
+        t.push_row(&[1i64.into(), 9.5f64.into(), "tv".into(), true.into()]).unwrap();
+        t.push_row(&[2i64.into(), Value::Null, "stereo".into(), false.into()]).unwrap();
+        t.push_row(&[Value::Null, 3.25f64.into(), Value::Null, Value::Null]).unwrap();
+        t.push_row(&[4i64.into(), (-0.0f64).into(), "tv".into(), true.into()]).unwrap();
+        t
+    }
+
+    fn assert_tables_equal(a: &Table, b: &Table) {
+        assert_eq!(a.name(), b.name());
+        assert_eq!(a.schema(), b.schema());
+        assert_eq!(a.num_rows(), b.num_rows());
+        for row in 0..a.num_rows() {
+            for col in 0..a.schema().len() {
+                assert_eq!(
+                    a.value(row, col).to_owned(),
+                    b.value(row, col).to_owned(),
+                    "cell ({row}, {col})"
+                );
+            }
+        }
+        match (a.bitmask(), b.bitmask()) {
+            (None, None) => {}
+            (Some(x), Some(y)) => {
+                assert_eq!(x.len(), y.len());
+                for row in 0..x.len() {
+                    assert_eq!(x.row(row), y.row(row), "bitmask row {row}");
+                }
+            }
+            _ => panic!("bitmask presence differs"),
+        }
+    }
+
+    #[test]
+    fn roundtrip_plain_table() {
+        let t = sample_table();
+        let bytes = encode_table(&t);
+        let back = decode_table(&bytes).unwrap();
+        assert_tables_equal(&t, &back);
+    }
+
+    #[test]
+    fn roundtrip_empty_table() {
+        let schema = SchemaBuilder::new().field("x", DataType::Utf8).build().unwrap();
+        let t = Table::empty("empty", schema);
+        let back = decode_table(&encode_table(&t)).unwrap();
+        assert_eq!(back.num_rows(), 0);
+        assert_eq!(back.name(), "empty");
+    }
+
+    #[test]
+    fn roundtrip_with_bitmask() {
+        let src = sample_table();
+        let mut t = Table::empty("s", src.schema().clone());
+        t.enable_bitmask(130); // 3 words per row
+        t.push_row_from_with_mask(&src, 0, &BitSet::from_bits(130, [0, 129])).unwrap();
+        t.push_row_from_with_mask(&src, 1, &BitSet::from_bits(130, [64])).unwrap();
+        let back = decode_table(&encode_table(&t)).unwrap();
+        assert_tables_equal(&t, &back);
+        assert!(back.bitmask().unwrap().row(0).contains(129));
+    }
+
+    #[test]
+    fn roundtrip_long_table_null_mask() {
+        // > 64 rows exercises multi-word null masks.
+        let schema = SchemaBuilder::new().field("v", DataType::Int64).build().unwrap();
+        let mut t = Table::empty("long", schema);
+        for i in 0..200i64 {
+            if i % 7 == 0 {
+                t.push_row(&[Value::Null]).unwrap();
+            } else {
+                t.push_row(&[i.into()]).unwrap();
+            }
+        }
+        let back = decode_table(&encode_table(&t)).unwrap();
+        assert_tables_equal(&t, &back);
+    }
+
+    #[test]
+    fn corruption_detected() {
+        let t = sample_table();
+        let good = encode_table(&t);
+
+        // Bad magic.
+        let mut bad = good.clone();
+        bad[0] = b'X';
+        assert!(matches!(decode_table(&bad), Err(StorageError::Codec(_))));
+
+        // Bad version.
+        let mut bad = good.clone();
+        bad[4] = 99;
+        assert!(decode_table(&bad).is_err());
+
+        // Truncation at every prefix must error, never panic.
+        for len in 0..good.len() {
+            assert!(decode_table(&good[..len]).is_err(), "prefix {len}");
+        }
+
+        // Trailing garbage.
+        let mut bad = good.clone();
+        bad.push(0);
+        assert!(decode_table(&bad).is_err());
+    }
+
+    #[test]
+    fn file_roundtrip() {
+        let t = sample_table();
+        let dir = std::env::temp_dir().join(format!("aqp_io_test_{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("demo.aqpt");
+        write_table_file(&t, &path).unwrap();
+        let back = read_table_file(&path).unwrap();
+        assert_tables_equal(&t, &back);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn value_codec_roundtrip() {
+        let values = [
+            Value::Null,
+            Value::Int64(-42),
+            Value::Float64(2.5),
+            Value::Float64(f64::NAN),
+            Value::Utf8("héllo".into()),
+            Value::Bool(true),
+        ];
+        let mut buf = BytesMut::new();
+        for v in &values {
+            put_value(&mut buf, v);
+        }
+        let bytes = buf.to_vec();
+        let mut slice = bytes.as_slice();
+        for v in &values {
+            let back = get_value(&mut slice).unwrap();
+            assert_eq!(&back, v);
+        }
+        assert!(!slice.has_remaining());
+        // Truncations error.
+        for len in 0..bytes.len() {
+            let mut s = &bytes[..len];
+            let mut ok = true;
+            for _ in 0..values.len() {
+                if get_value(&mut s).is_err() {
+                    ok = false;
+                    break;
+                }
+            }
+            assert!(!ok, "prefix {len} decoded fully");
+        }
+    }
+
+    #[test]
+    fn negative_zero_preserved() {
+        // -0.0 and 0.0 differ bitwise and must survive the roundtrip
+        // (group keys distinguish them).
+        let t = sample_table();
+        let back = decode_table(&encode_table(&t)).unwrap();
+        let col = back.column_by_name("price").unwrap();
+        let v = col.as_float64().unwrap()[3];
+        assert!(v == 0.0 && v.is_sign_negative());
+    }
+}

@@ -1,0 +1,144 @@
+//! Lightweight per-column statistics.
+//!
+//! These mirror the "histograms built for the query optimizer" the paper
+//! mentions as an alternative source of value-frequency information for the
+//! first preprocessing pass (Section 4.2.1).
+
+use crate::column::Column;
+use crate::value::Value;
+use std::collections::HashMap;
+
+/// Summary statistics for one column.
+#[derive(Debug, Clone)]
+pub struct ColumnStats {
+    /// Number of rows examined.
+    pub row_count: usize,
+    /// Number of null rows.
+    pub null_count: usize,
+    /// Exact distinct-value count, or `None` if it exceeded the cap while
+    /// scanning (mirrors the paper's τ distinct-value cut-off).
+    pub distinct_count: Option<usize>,
+    /// Minimum non-null value, if any row was non-null.
+    pub min: Option<Value>,
+    /// Maximum non-null value, if any row was non-null.
+    pub max: Option<Value>,
+    /// Value frequencies (present only when `distinct_count` is `Some`).
+    pub frequencies: Option<HashMap<Value, usize>>,
+}
+
+impl ColumnStats {
+    /// Compute statistics for `column`, abandoning frequency tracking once
+    /// more than `distinct_cap` distinct values are seen.
+    pub fn compute(column: &Column, distinct_cap: usize) -> Self {
+        let mut freq: Option<HashMap<Value, usize>> = Some(HashMap::new());
+        let mut min: Option<Value> = None;
+        let mut max: Option<Value> = None;
+        let mut null_count = 0usize;
+
+        for row in 0..column.len() {
+            let v = column.value(row);
+            if v.is_null() {
+                null_count += 1;
+                continue;
+            }
+            let owned = v.to_owned();
+            if min.as_ref().is_none_or(|m| owned < *m) {
+                min = Some(owned.clone());
+            }
+            if max.as_ref().is_none_or(|m| owned > *m) {
+                max = Some(owned.clone());
+            }
+            if let Some(map) = freq.as_mut() {
+                *map.entry(owned).or_insert(0) += 1;
+                if map.len() > distinct_cap {
+                    freq = None;
+                }
+            }
+        }
+
+        ColumnStats {
+            row_count: column.len(),
+            null_count,
+            distinct_count: freq.as_ref().map(HashMap::len),
+            min,
+            max,
+            frequencies: freq,
+        }
+    }
+
+    /// Distinct values sorted by descending frequency (ties broken by value
+    /// for determinism). Empty when frequency tracking was abandoned.
+    pub fn values_by_frequency(&self) -> Vec<(Value, usize)> {
+        let Some(freq) = &self.frequencies else {
+            return Vec::new();
+        };
+        let mut pairs: Vec<(Value, usize)> =
+            freq.iter().map(|(v, c)| (v.clone(), *c)).collect();
+        pairs.sort_by(|a, b| b.1.cmp(&a.1).then_with(|| a.0.cmp(&b.0)));
+        pairs
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::value::{DataType, ValueRef};
+
+    fn int_column(vals: &[Option<i64>]) -> Column {
+        let mut c = Column::new(DataType::Int64);
+        for v in vals {
+            match v {
+                Some(x) => c.push(ValueRef::Int64(*x)).unwrap(),
+                None => c.push_null(),
+            }
+        }
+        c
+    }
+
+    #[test]
+    fn basic_stats() {
+        let c = int_column(&[Some(3), Some(1), None, Some(3), Some(2)]);
+        let s = ColumnStats::compute(&c, 100);
+        assert_eq!(s.row_count, 5);
+        assert_eq!(s.null_count, 1);
+        assert_eq!(s.distinct_count, Some(3));
+        assert_eq!(s.min, Some(Value::Int64(1)));
+        assert_eq!(s.max, Some(Value::Int64(3)));
+        let by_freq = s.values_by_frequency();
+        assert_eq!(by_freq[0], (Value::Int64(3), 2));
+    }
+
+    #[test]
+    fn distinct_cap_abandons_tracking() {
+        let vals: Vec<Option<i64>> = (0..50).map(Some).collect();
+        let c = int_column(&vals);
+        let s = ColumnStats::compute(&c, 10);
+        assert_eq!(s.distinct_count, None);
+        assert!(s.frequencies.is_none());
+        assert!(s.values_by_frequency().is_empty());
+        // min/max still tracked.
+        assert_eq!(s.min, Some(Value::Int64(0)));
+        assert_eq!(s.max, Some(Value::Int64(49)));
+    }
+
+    #[test]
+    fn all_null_column() {
+        let c = int_column(&[None, None]);
+        let s = ColumnStats::compute(&c, 10);
+        assert_eq!(s.null_count, 2);
+        assert_eq!(s.min, None);
+        assert_eq!(s.max, None);
+        assert_eq!(s.distinct_count, Some(0));
+    }
+
+    #[test]
+    fn frequency_ordering_is_deterministic() {
+        let c = int_column(&[Some(5), Some(7), Some(5), Some(7), Some(1)]);
+        let s = ColumnStats::compute(&c, 100);
+        let pairs = s.values_by_frequency();
+        // 5 and 7 tie at 2; tie broken by value order.
+        assert_eq!(pairs[0].0, Value::Int64(5));
+        assert_eq!(pairs[1].0, Value::Int64(7));
+        assert_eq!(pairs[2].0, Value::Int64(1));
+    }
+}

@@ -1,0 +1,386 @@
+//! Scalar values and data types.
+//!
+//! [`Value`] is the owned dynamic scalar used at API boundaries (row
+//! construction, query literals, group keys). [`ValueRef`] is its borrowed
+//! counterpart used on hot read paths to avoid allocating strings.
+//!
+//! `Value` implements `Eq`/`Hash`/`Ord` with a total order (floats are
+//! compared by their IEEE-754 total ordering via `f64::total_cmp`, and hashed
+//! by bit pattern) so that values can serve directly as hash-aggregation
+//! group keys.
+
+use serde::{Deserialize, Serialize};
+use std::cmp::Ordering;
+use std::fmt;
+use std::hash::{Hash, Hasher};
+
+/// The logical type of a column.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum DataType {
+    /// 64-bit signed integer.
+    Int64,
+    /// 64-bit IEEE-754 float.
+    Float64,
+    /// UTF-8 string (dictionary-encoded in storage).
+    Utf8,
+    /// Boolean.
+    Bool,
+}
+
+impl fmt::Display for DataType {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            DataType::Int64 => "Int64",
+            DataType::Float64 => "Float64",
+            DataType::Utf8 => "Utf8",
+            DataType::Bool => "Bool",
+        };
+        f.write_str(s)
+    }
+}
+
+impl DataType {
+    /// Whether the type is numeric (usable as a SUM/AVG aggregation input).
+    pub fn is_numeric(self) -> bool {
+        matches!(self, DataType::Int64 | DataType::Float64)
+    }
+}
+
+/// An owned dynamically-typed scalar value.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub enum Value {
+    /// SQL NULL.
+    Null,
+    /// 64-bit signed integer.
+    Int64(i64),
+    /// 64-bit float.
+    Float64(f64),
+    /// UTF-8 string.
+    Utf8(String),
+    /// Boolean.
+    Bool(bool),
+}
+
+impl Value {
+    /// The data type of this value, or `None` for NULL.
+    pub fn data_type(&self) -> Option<DataType> {
+        match self {
+            Value::Null => None,
+            Value::Int64(_) => Some(DataType::Int64),
+            Value::Float64(_) => Some(DataType::Float64),
+            Value::Utf8(_) => Some(DataType::Utf8),
+            Value::Bool(_) => Some(DataType::Bool),
+        }
+    }
+
+    /// Whether this value is NULL.
+    pub fn is_null(&self) -> bool {
+        matches!(self, Value::Null)
+    }
+
+    /// Interpret the value as an `f64` if it is numeric.
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Value::Int64(v) => Some(*v as f64),
+            Value::Float64(v) => Some(*v),
+            _ => None,
+        }
+    }
+
+    /// Interpret the value as an `i64` if it is an integer.
+    pub fn as_i64(&self) -> Option<i64> {
+        match self {
+            Value::Int64(v) => Some(*v),
+            _ => None,
+        }
+    }
+
+    /// Interpret the value as a string slice if it is a string.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::Utf8(s) => Some(s.as_str()),
+            _ => None,
+        }
+    }
+
+    /// Borrow this value as a [`ValueRef`].
+    pub fn as_ref(&self) -> ValueRef<'_> {
+        match self {
+            Value::Null => ValueRef::Null,
+            Value::Int64(v) => ValueRef::Int64(*v),
+            Value::Float64(v) => ValueRef::Float64(*v),
+            Value::Utf8(s) => ValueRef::Utf8(s.as_str()),
+            Value::Bool(b) => ValueRef::Bool(*b),
+        }
+    }
+}
+
+impl PartialEq for Value {
+    fn eq(&self, other: &Self) -> bool {
+        self.as_ref() == other.as_ref()
+    }
+}
+
+impl Eq for Value {}
+
+impl PartialOrd for Value {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for Value {
+    fn cmp(&self, other: &Self) -> Ordering {
+        self.as_ref().cmp(&other.as_ref())
+    }
+}
+
+impl Hash for Value {
+    fn hash<H: Hasher>(&self, state: &mut H) {
+        self.as_ref().hash(state)
+    }
+}
+
+impl fmt::Display for Value {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        self.as_ref().fmt(f)
+    }
+}
+
+impl From<i64> for Value {
+    fn from(v: i64) -> Self {
+        Value::Int64(v)
+    }
+}
+impl From<f64> for Value {
+    fn from(v: f64) -> Self {
+        Value::Float64(v)
+    }
+}
+impl From<&str> for Value {
+    fn from(v: &str) -> Self {
+        Value::Utf8(v.to_owned())
+    }
+}
+impl From<String> for Value {
+    fn from(v: String) -> Self {
+        Value::Utf8(v)
+    }
+}
+impl From<bool> for Value {
+    fn from(v: bool) -> Self {
+        Value::Bool(v)
+    }
+}
+
+/// A borrowed dynamically-typed scalar value.
+///
+/// Used on read paths so string cells can be inspected without allocation.
+#[derive(Debug, Clone, Copy)]
+pub enum ValueRef<'a> {
+    /// SQL NULL.
+    Null,
+    /// 64-bit signed integer.
+    Int64(i64),
+    /// 64-bit float.
+    Float64(f64),
+    /// UTF-8 string slice.
+    Utf8(&'a str),
+    /// Boolean.
+    Bool(bool),
+}
+
+impl<'a> ValueRef<'a> {
+    /// Convert into an owned [`Value`].
+    pub fn to_owned(self) -> Value {
+        match self {
+            ValueRef::Null => Value::Null,
+            ValueRef::Int64(v) => Value::Int64(v),
+            ValueRef::Float64(v) => Value::Float64(v),
+            ValueRef::Utf8(s) => Value::Utf8(s.to_owned()),
+            ValueRef::Bool(b) => Value::Bool(b),
+        }
+    }
+
+    /// Whether this value is NULL.
+    pub fn is_null(self) -> bool {
+        matches!(self, ValueRef::Null)
+    }
+
+    /// Interpret the value as an `f64` if it is numeric.
+    pub fn as_f64(self) -> Option<f64> {
+        match self {
+            ValueRef::Int64(v) => Some(v as f64),
+            ValueRef::Float64(v) => Some(v),
+            _ => None,
+        }
+    }
+
+    /// Rank used to give values of different types a consistent total order.
+    fn type_rank(self) -> u8 {
+        match self {
+            ValueRef::Null => 0,
+            ValueRef::Bool(_) => 1,
+            ValueRef::Int64(_) => 2,
+            ValueRef::Float64(_) => 3,
+            ValueRef::Utf8(_) => 4,
+        }
+    }
+}
+
+impl PartialEq for ValueRef<'_> {
+    fn eq(&self, other: &Self) -> bool {
+        match (self, other) {
+            (ValueRef::Null, ValueRef::Null) => true,
+            (ValueRef::Int64(a), ValueRef::Int64(b)) => a == b,
+            // Floats compare by bit pattern so that Eq/Hash agree; NaN == NaN
+            // as a group key, which is what hash aggregation needs.
+            (ValueRef::Float64(a), ValueRef::Float64(b)) => a.to_bits() == b.to_bits(),
+            (ValueRef::Utf8(a), ValueRef::Utf8(b)) => a == b,
+            (ValueRef::Bool(a), ValueRef::Bool(b)) => a == b,
+            _ => false,
+        }
+    }
+}
+
+impl Eq for ValueRef<'_> {}
+
+impl PartialOrd for ValueRef<'_> {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for ValueRef<'_> {
+    fn cmp(&self, other: &Self) -> Ordering {
+        match (self, other) {
+            (ValueRef::Null, ValueRef::Null) => Ordering::Equal,
+            (ValueRef::Int64(a), ValueRef::Int64(b)) => a.cmp(b),
+            (ValueRef::Float64(a), ValueRef::Float64(b)) => a.total_cmp(b),
+            (ValueRef::Utf8(a), ValueRef::Utf8(b)) => a.cmp(b),
+            (ValueRef::Bool(a), ValueRef::Bool(b)) => a.cmp(b),
+            // Mixed numeric comparison: compare as f64 where both numeric.
+            (ValueRef::Int64(a), ValueRef::Float64(b)) => (*a as f64).total_cmp(b),
+            (ValueRef::Float64(a), ValueRef::Int64(b)) => a.total_cmp(&(*b as f64)),
+            (a, b) => a.type_rank().cmp(&b.type_rank()),
+        }
+    }
+}
+
+impl Hash for ValueRef<'_> {
+    fn hash<H: Hasher>(&self, state: &mut H) {
+        match self {
+            ValueRef::Null => 0u8.hash(state),
+            ValueRef::Bool(b) => {
+                1u8.hash(state);
+                b.hash(state);
+            }
+            ValueRef::Int64(v) => {
+                2u8.hash(state);
+                v.hash(state);
+            }
+            ValueRef::Float64(v) => {
+                3u8.hash(state);
+                v.to_bits().hash(state);
+            }
+            ValueRef::Utf8(s) => {
+                4u8.hash(state);
+                s.hash(state);
+            }
+        }
+    }
+}
+
+impl fmt::Display for ValueRef<'_> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ValueRef::Null => f.write_str("NULL"),
+            ValueRef::Int64(v) => write!(f, "{v}"),
+            ValueRef::Float64(v) => write!(f, "{v}"),
+            ValueRef::Utf8(s) => write!(f, "{s}"),
+            ValueRef::Bool(b) => write!(f, "{b}"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::hash_map::DefaultHasher;
+
+    fn hash_of<T: Hash>(v: &T) -> u64 {
+        let mut h = DefaultHasher::new();
+        v.hash(&mut h);
+        h.finish()
+    }
+
+    #[test]
+    fn value_roundtrip_ref() {
+        let vals = [
+            Value::Null,
+            Value::Int64(-7),
+            Value::Float64(3.25),
+            Value::Utf8("abc".into()),
+            Value::Bool(true),
+        ];
+        for v in &vals {
+            assert_eq!(&v.as_ref().to_owned(), v);
+        }
+    }
+
+    #[test]
+    fn eq_hash_agree_for_floats() {
+        let a = Value::Float64(f64::NAN);
+        let b = Value::Float64(f64::NAN);
+        assert_eq!(a, b);
+        assert_eq!(hash_of(&a), hash_of(&b));
+        // Positive and negative zero differ bitwise, so they are distinct keys.
+        assert_ne!(Value::Float64(0.0), Value::Float64(-0.0));
+    }
+
+    #[test]
+    fn ordering_is_total() {
+        let mut vals = [Value::Utf8("b".into()),
+            Value::Int64(2),
+            Value::Null,
+            Value::Float64(1.5),
+            Value::Bool(false),
+            Value::Utf8("a".into()),
+            Value::Int64(1)];
+        vals.sort();
+        assert_eq!(vals[0], Value::Null);
+        // Mixed numerics interleave by value.
+        let pos_int = vals.iter().position(|v| *v == Value::Int64(1)).unwrap();
+        let pos_float = vals.iter().position(|v| *v == Value::Float64(1.5)).unwrap();
+        let pos_int2 = vals.iter().position(|v| *v == Value::Int64(2)).unwrap();
+        assert!(pos_int < pos_float && pos_float < pos_int2);
+    }
+
+    #[test]
+    fn conversions() {
+        assert_eq!(Value::from(4i64).as_i64(), Some(4));
+        assert_eq!(Value::from(4i64).as_f64(), Some(4.0));
+        assert_eq!(Value::from(2.5f64).as_f64(), Some(2.5));
+        assert_eq!(Value::from("hi").as_str(), Some("hi"));
+        assert!(Value::from(true) == Value::Bool(true));
+        assert!(Value::Null.is_null());
+        assert_eq!(Value::Null.data_type(), None);
+        assert_eq!(Value::from(1i64).data_type(), Some(DataType::Int64));
+    }
+
+    #[test]
+    fn numeric_types() {
+        assert!(DataType::Int64.is_numeric());
+        assert!(DataType::Float64.is_numeric());
+        assert!(!DataType::Utf8.is_numeric());
+        assert!(!DataType::Bool.is_numeric());
+    }
+
+    #[test]
+    fn display_forms() {
+        assert_eq!(Value::Null.to_string(), "NULL");
+        assert_eq!(Value::Int64(5).to_string(), "5");
+        assert_eq!(Value::Utf8("x".into()).to_string(), "x");
+        assert_eq!(DataType::Utf8.to_string(), "Utf8");
+    }
+}

@@ -1,0 +1,134 @@
+//! A dashboard over the SALES-like star schema.
+//!
+//! The workload the paper's introduction motivates: interactive,
+//! exploratory aggregation over a corporate sales warehouse where ballpark
+//! answers in milliseconds beat exact answers in minutes. We generate the
+//! synthetic SALES star (six dimensions, wide fact table), preprocess it
+//! once with small group sampling, then answer a batch of dashboard-style
+//! queries approximately and compare each against the exact answer.
+//!
+//! Run with: `cargo run --release --example sales_dashboard`
+
+use aqp::prelude::*;
+use aqp::workload::harness::approx_map;
+use aqp::workload::metrics::metric_report;
+use std::time::Instant;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // ----- Generate the warehouse and join it into the wide view -----
+    let t0 = Instant::now();
+    let star = gen_sales(&SalesConfig {
+        fact_rows: 60_000,
+        ..Default::default()
+    })?;
+    let view = star.denormalize("sales_view")?;
+    println!(
+        "generated SALES star: {} fact rows x {} dimensions, {} columns joined, in {:?}",
+        star.fact().num_rows(),
+        star.num_dimensions(),
+        view.schema().len(),
+        t0.elapsed()
+    );
+
+    // ----- Pre-processing phase (once, offline) -----
+    let t0 = Instant::now();
+    let sampler = SmallGroupSampler::build(
+        &view,
+        SmallGroupConfig::with_rates(0.01, 0.5), // r = 1%, γ = 0.5
+    )?;
+    println!(
+        "preprocessing took {:?}; {} small group tables, overall sample {} rows\n",
+        t0.elapsed(),
+        sampler.catalog().num_tables(),
+        sampler.catalog().overall_rows,
+    );
+
+    // ----- Dashboard queries -----
+    let dashboards: Vec<(&str, Query)> = vec![
+        (
+            "revenue by region",
+            Query::builder()
+                .sum("sales.revenue")
+                .group_by("store.region")
+                .build()?,
+        ),
+        (
+            "orders by channel and payment",
+            Query::builder()
+                .count()
+                .group_by("channel.name")
+                .group_by("sales.paymethod")
+                .build()?,
+        ),
+        (
+            "units by category in the web channel",
+            Query::builder()
+                .sum("sales.units")
+                .group_by("product.category")
+                .filter(Expr::eq("channel.name", "Web"))
+                .build()?,
+        ),
+        (
+            "revenue by segment and age band",
+            Query::builder()
+                .sum("sales.revenue")
+                .group_by("customer.segment")
+                .group_by("customer.ageband")
+                .build()?,
+        ),
+    ];
+
+    println!(
+        "{:<42} {:>8} {:>8} {:>9} {:>9} {:>9}",
+        "dashboard query", "groups", "exact", "RelErr", "approx", "speedup"
+    );
+    for (label, query) in &dashboards {
+        let t0 = Instant::now();
+        let exact = exact_answer(&DataSource::Wide(&view), query)?;
+        let exact_time = t0.elapsed();
+
+        let t0 = Instant::now();
+        let approx = sampler.answer(query, 0.95)?;
+        let approx_time = t0.elapsed();
+
+        let report = metric_report(&exact.per_agg[0], &approx_map(&approx, 0));
+        let exact_groups = approx
+            .groups
+            .iter()
+            .filter(|g| g.values[0].is_exact())
+            .count();
+        println!(
+            "{:<42} {:>8} {:>8} {:>8.3} {:>8.1?} {:>8.1}x",
+            label,
+            approx.num_groups(),
+            exact_groups,
+            report.rel_err,
+            approx_time,
+            exact_time.as_secs_f64() / approx_time.as_secs_f64().max(1e-9),
+        );
+    }
+
+    // ----- Drill into one answer to show confidence intervals -----
+    let query = Query::builder()
+        .sum("sales.revenue")
+        .group_by("store.region")
+        .build()?;
+    let mut answer = sampler.answer(&query, 0.95)?;
+    answer.sort_by_key();
+    println!("\nrevenue by region, with 95% confidence intervals:");
+    for g in answer.groups.iter().take(8) {
+        let v = &g.values[0];
+        if v.is_exact() {
+            println!("  {:<12} {:>14.0} (exact)", g.key[0], v.value());
+        } else {
+            println!(
+                "  {:<12} {:>14.0} in [{:.0}, {:.0}]",
+                g.key[0],
+                v.value(),
+                v.ci.lo,
+                v.ci.hi
+            );
+        }
+    }
+    Ok(())
+}

@@ -1,0 +1,164 @@
+//! All four AQP systems side by side on one workload.
+//!
+//! Builds small group sampling, uniform sampling, basic congress and
+//! outlier indexing over the same skewed TPC-H view, gives each the same
+//! runtime sample budget (the paper's fairness rule), and prints average
+//! RelErr / PctGroups / speedup over a generated COUNT workload plus a SUM
+//! workload for the outlier comparison — a miniature of the paper's
+//! Section 5 in one binary.
+//!
+//! Run with: `cargo run --release --example system_comparison`
+
+use aqp::prelude::*;
+use aqp::workload::EvalSummary;
+
+fn row(name: &str, s: &EvalSummary, bytes: usize, view_bytes: usize) {
+    println!(
+        "{:<18} {:>8.3} {:>9.1}% {:>9.1}x {:>9.1} {:>8.1}%",
+        name,
+        s.rel_err,
+        s.pct_groups,
+        s.speedup,
+        s.approx_ms,
+        100.0 * bytes as f64 / view_bytes as f64
+    );
+}
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // Micro-scale calibration: 60k rows at a 4% base rate keeps the
+    // rows-per-answer-group regime of the paper's 1%-of-6M setup (see
+    // aqp-bench's crate docs).
+    let star = gen_tpch(&TpchConfig {
+        scale_factor: 1.0,
+        zipf_z: 2.0,
+        seed: 7,
+    })?;
+    let view = star.denormalize("view")?;
+    let view_bytes = view.byte_size();
+    println!(
+        "database: {} rows, {} columns, {:.1} MB\n",
+        view.num_rows(),
+        view.schema().len(),
+        view_bytes as f64 / 1e6
+    );
+
+    // ----- Build every system -----
+    let base_rate = 0.04;
+    let gamma = 0.5;
+    // τ scaled to micro row counts (5000 would let key-like columns keep
+    // small group tables that a full-scale run's cut-off would drop).
+    let tau = 800;
+    let sgs = SmallGroupSampler::build(
+        &view,
+        SmallGroupConfig {
+            tau,
+            ..SmallGroupConfig::with_rates(base_rate, gamma)
+        },
+    )?;
+
+    // COUNT workload: 2 grouping columns ⇒ matched uniform rate (1 + γ·2)·r.
+    let g = 2usize;
+    let matched = UniformAqp::matched_rate(base_rate, gamma, g);
+    let uniform = UniformAqp::build(&view, matched, 7)?;
+
+    // Congress stratifies on the candidate categorical grouping columns.
+    let congress_cols: Vec<String> =
+        ["lineitem.shipmode", "lineitem.returnflag", "part.brand", "supplier.region"]
+            .iter()
+            .map(|s| (*s).to_owned())
+            .collect();
+    let budget = (view.num_rows() as f64 * matched) as usize;
+    let congress = BasicCongress::build(&view, &congress_cols, budget, 7)?;
+
+    // SUM comparison runs at g=1 (the regime of the paper's Section 5.3.3
+    // experiment); fairness: same total budget, same half-outlier split.
+    let sum_budget = (view.num_rows() as f64
+        * UniformAqp::matched_rate(base_rate, gamma, 1)) as usize;
+    let outlier = OutlierIndex::build(
+        &view,
+        "lineitem.extendedprice",
+        sum_budget / 2,
+        (sum_budget as f64 / 2.0) / view.num_rows() as f64,
+        7,
+    )?;
+    let sgs_outlier = SmallGroupSampler::build(
+        &view,
+        SmallGroupConfig {
+            tau,
+            overall: OverallKind::OutlierIndexed {
+                column: "lineitem.extendedprice".into(),
+            },
+            ..SmallGroupConfig::with_rates(base_rate, gamma)
+        },
+    )?;
+
+    // ----- COUNT workload -----
+    let profile = DatasetProfile::new(
+        &view,
+        aqp::datagen::tpch::TPCH_MEASURE_COLUMNS,
+        aqp::datagen::tpch::TPCH_EXCLUDED_GROUPING,
+        5000,
+    );
+    let count_queries = generate_queries(
+        &profile,
+        &QueryGenConfig {
+            grouping_columns: g,
+            num_predicates: 1,
+            aggregate: WorkloadAggregate::Count,
+            seed: 99,
+            ..Default::default()
+        },
+        12,
+    );
+
+    println!(
+        "COUNT workload ({} queries, {} grouping columns):",
+        count_queries.len(),
+        g
+    );
+    println!(
+        "{:<18} {:>8} {:>10} {:>10} {:>9} {:>9}",
+        "system", "RelErr", "PctGroups", "speedup", "ms/query", "space"
+    );
+    let src = DataSource::Wide(&view);
+    for (name, system) in [
+        ("SmGroup", &sgs as &dyn AqpSystem),
+        ("Uniform", &uniform),
+        ("BasicCongress", &congress),
+    ] {
+        let summary = evaluate_queries(system, &src, &count_queries, 0.95)?;
+        row(name, &summary, system.sample_bytes(), view_bytes);
+    }
+
+    // ----- SUM workload (the Section 5.3.3 comparison) -----
+    let sum_queries = generate_queries(
+        &profile,
+        &QueryGenConfig {
+            grouping_columns: 1,
+            num_predicates: 1,
+            aggregate: WorkloadAggregate::Sum,
+            seed: 100,
+            ..Default::default()
+        },
+        12,
+    );
+    println!("\nSUM workload ({} queries):", sum_queries.len());
+    println!(
+        "{:<18} {:>8} {:>10} {:>10} {:>9} {:>9}",
+        "system", "RelErr", "PctGroups", "speedup", "ms/query", "space"
+    );
+    for (name, system) in [
+        ("SmGroup+Outlier", &sgs_outlier as &dyn AqpSystem),
+        ("OutlierIndex", &outlier),
+        ("Uniform", &uniform),
+    ] {
+        let summary = evaluate_queries(system, &src, &sum_queries, 0.95)?;
+        row(name, &summary, system.sample_bytes(), view_bytes);
+    }
+
+    println!("\nexpected shape (paper Sections 5.3, 5.4): SmGroup leads on COUNT;");
+    println!("SmGroup+Outlier leads OutlierIndex on SUM; basic congress tracks uniform.");
+    println!("Exact numbers vary with the seed — run the aqp-bench drivers for the");
+    println!("full averaged experiments behind EXPERIMENTS.md.");
+    Ok(())
+}

@@ -1,0 +1,141 @@
+//! Fairness accounting: the paper's equal-sample-space rule
+//! (Section 5.2.3) must be enforceable from the public API.
+
+use aqp::prelude::*;
+
+fn view() -> Table {
+    gen_tpch(&TpchConfig {
+        scale_factor: 0.1,
+        zipf_z: 2.0,
+        seed: 31,
+    })
+    .unwrap()
+    .denormalize("v")
+    .unwrap()
+}
+
+#[test]
+fn runtime_rows_scale_with_grouping_columns() {
+    let view = view();
+    let sampler =
+        SmallGroupSampler::build(&view, SmallGroupConfig::with_rates(0.01, 0.5)).unwrap();
+
+    // Pick grouping columns actually in S.
+    let cols = sampler.sample_columns();
+    let in_s: Vec<&String> = cols
+        .iter()
+        .filter(|c| !c.contains('+'))
+        .take(3)
+        .collect();
+    assert!(in_s.len() >= 3, "need at least 3 sampled columns, have {cols:?}");
+
+    let mut prev = 0usize;
+    for g in 1..=3 {
+        let mut b = Query::builder().count();
+        for c in in_s.iter().take(g) {
+            b = b.group_by((*c).clone());
+        }
+        let q = b.build().unwrap();
+        let rows = sampler.runtime_rows(&q);
+        assert!(
+            rows > prev,
+            "runtime rows must grow with grouping columns: g={g} rows={rows} prev={prev}"
+        );
+        prev = rows;
+    }
+}
+
+#[test]
+fn matched_uniform_budget_is_close() {
+    // The uniform baseline at the matched rate touches approximately the
+    // same number of rows as SGS does for the query.
+    let view = view();
+    let base = 0.01;
+    let gamma = 0.5;
+    let sampler =
+        SmallGroupSampler::build(&view, SmallGroupConfig::with_rates(base, gamma)).unwrap();
+
+    let cols = sampler.sample_columns();
+    let in_s: Vec<&String> = cols.iter().filter(|c| !c.contains('+')).take(2).collect();
+    let q = Query::builder()
+        .count()
+        .group_by(in_s[0].clone())
+        .group_by(in_s[1].clone())
+        .build()
+        .unwrap();
+
+    let sgs_rows = sampler.runtime_rows(&q);
+    let uniform = UniformAqp::build(
+        &view,
+        UniformAqp::matched_rate(base, gamma, q.group_by.len()),
+        3,
+    )
+    .unwrap();
+    let uni_rows = uniform.runtime_rows(&q);
+
+    // Small group tables hold *at most* t·N rows, so SGS can come in under
+    // budget; the matched uniform sample is the upper envelope.
+    assert!(
+        sgs_rows as f64 <= uni_rows as f64 * 1.05,
+        "SGS rows {sgs_rows} exceed matched uniform budget {uni_rows}"
+    );
+    assert!(
+        sgs_rows as f64 >= uni_rows as f64 * 0.3,
+        "budgets should be same order: {sgs_rows} vs {uni_rows}"
+    );
+}
+
+#[test]
+fn rows_scanned_matches_runtime_rows() {
+    let view = view();
+    let sampler =
+        SmallGroupSampler::build(&view, SmallGroupConfig::with_rates(0.02, 0.5)).unwrap();
+    let q = Query::builder()
+        .count()
+        .group_by("lineitem.shipmode")
+        .group_by("part.brand")
+        .build()
+        .unwrap();
+    let answer = sampler.answer(&q, 0.95).unwrap();
+    assert_eq!(answer.rows_scanned, sampler.runtime_rows(&q));
+}
+
+#[test]
+fn space_overhead_is_modest() {
+    // Section 5.4.2: at a 1% base rate the total sample space is a few
+    // percent of the database (the paper reports ≈6% for TPC-H).
+    let view = view();
+    let sampler =
+        SmallGroupSampler::build(&view, SmallGroupConfig::with_rates(0.01, 0.5)).unwrap();
+    let overhead = sampler.sample_bytes() as f64 / view.byte_size() as f64;
+    assert!(
+        overhead < 0.25,
+        "sample space overhead {:.1}% too large",
+        overhead * 100.0
+    );
+    // And reducing the base rate reduces the overhead (paper: 0.25% rate
+    // ⇒ ≈1.8%).
+    let small =
+        SmallGroupSampler::build(&view, SmallGroupConfig::with_rates(0.0025, 0.5)).unwrap();
+    assert!(small.sample_bytes() < sampler.sample_bytes());
+}
+
+#[test]
+fn preprocessing_scales_linearly_not_exponentially() {
+    // The motivation for small group sampling over congress: preprocessing
+    // is linear in columns. Building on a view with ~30 columns must be
+    // quick, and the catalog must cover (roughly) the eligible columns.
+    let view = view();
+    let start = std::time::Instant::now();
+    let sampler =
+        SmallGroupSampler::build(&view, SmallGroupConfig::with_rates(0.01, 0.5)).unwrap();
+    let elapsed = start.elapsed();
+    assert!(
+        elapsed.as_secs() < 60,
+        "preprocessing took {elapsed:?} — should be linear in columns"
+    );
+    let covered = sampler.catalog().num_tables()
+        + sampler.catalog().dropped_tau.len()
+        + sampler.catalog().dropped_no_small_groups.len();
+    assert_eq!(covered, view.schema().len(), "every column considered once");
+}

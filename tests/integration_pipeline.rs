@@ -1,0 +1,239 @@
+//! End-to-end pipeline tests: generate → join → preprocess → query →
+//! compare against exact answers, on both experimental databases.
+
+use aqp::prelude::*;
+use aqp::workload::harness::approx_map;
+use aqp::workload::metrics::metric_report;
+
+fn tpch_view(sf: f64, z: f64) -> Table {
+    let star = gen_tpch(&TpchConfig {
+        scale_factor: sf,
+        zipf_z: z,
+        seed: 21,
+    })
+    .expect("tpch generation");
+    star.denormalize("tpch_view").expect("denormalize")
+}
+
+fn sales_view(rows: usize) -> Table {
+    let star = gen_sales(&SalesConfig {
+        fact_rows: rows,
+        ..Default::default()
+    })
+    .expect("sales generation");
+    star.denormalize("sales_view").expect("denormalize")
+}
+
+#[test]
+fn tpch_full_pipeline_count_queries() {
+    let view = tpch_view(0.1, 2.0);
+    let sampler = SmallGroupSampler::build(&view, SmallGroupConfig::with_rates(0.02, 0.5))
+        .expect("preprocessing");
+
+    let profile = DatasetProfile::new(
+        &view,
+        aqp::datagen::tpch::TPCH_MEASURE_COLUMNS,
+        aqp::datagen::tpch::TPCH_EXCLUDED_GROUPING,
+        5000,
+    );
+    let queries = generate_queries(
+        &profile,
+        &QueryGenConfig {
+            grouping_columns: 2,
+            num_predicates: 1,
+            aggregate: WorkloadAggregate::Count,
+            seed: 5,
+            ..Default::default()
+        },
+        10,
+    );
+
+    let src = DataSource::Wide(&view);
+    for q in &queries {
+        let exact = exact_answer(&src, q).expect("exact");
+        let approx = sampler.answer(q, 0.95).expect("approx");
+        let report = metric_report(&exact.per_agg[0], &approx_map(&approx, 0));
+        // Sampling never invents groups.
+        assert_eq!(report.spurious_groups, 0, "query {q}");
+        // Groups flagged exact must match the exact answer exactly.
+        for g in &approx.groups {
+            if g.values[0].is_exact() {
+                let truth = exact.per_agg[0].get(&g.key).copied().unwrap_or(f64::NAN);
+                assert!(
+                    (g.values[0].value() - truth).abs() < 1e-6,
+                    "exact-flagged group {:?} disagrees: {} vs {truth} in {q}",
+                    g.key,
+                    g.values[0].value(),
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn sales_full_pipeline_sum_queries() {
+    let view = sales_view(20_000);
+    let sampler = SmallGroupSampler::build(&view, SmallGroupConfig::with_rates(0.02, 0.5))
+        .expect("preprocessing");
+
+    let profile = DatasetProfile::new(
+        &view,
+        aqp::datagen::sales::SALES_MEASURE_COLUMNS,
+        aqp::datagen::sales::SALES_EXCLUDED_GROUPING,
+        5000,
+    );
+    let queries = generate_queries(
+        &profile,
+        &QueryGenConfig {
+            grouping_columns: 1,
+            num_predicates: 1,
+            aggregate: WorkloadAggregate::Sum,
+            seed: 6,
+            ..Default::default()
+        },
+        8,
+    );
+
+    let src = DataSource::Wide(&view);
+    let summary = evaluate_queries(&sampler, &src, &queries, 0.95).expect("evaluate");
+    assert_eq!(summary.queries, 8);
+    // Ballpark sanity: moderate-skew SUM at 2% should not be catastrophic.
+    assert!(summary.rel_err < 1.5, "RelErr {}", summary.rel_err);
+    assert!(summary.pct_groups < 60.0, "PctGroups {}", summary.pct_groups);
+}
+
+#[test]
+fn tau_path_exercised_on_both_databases() {
+    // Both generators deliberately carry near-unique columns; preprocessing
+    // must drop them via the τ cut-off rather than build giant tables.
+    // τ is lowered to match the micro-scale distinct counts (the paper's
+    // τ = 5000 assumes full-scale tables).
+    let tau = 300;
+    let view = tpch_view(0.1, 1.5);
+    let sampler = SmallGroupSampler::build(
+        &view,
+        SmallGroupConfig {
+            tau,
+            ..SmallGroupConfig::with_rates(0.01, 0.5)
+        },
+    )
+    .unwrap();
+    assert!(
+        sampler
+            .catalog()
+            .dropped_tau
+            .iter()
+            .any(|c| c == "orders.clerk"),
+        "clerk column must hit the tau cut-off; dropped: {:?}",
+        sampler.catalog().dropped_tau
+    );
+
+    let view = sales_view(15_000);
+    let sampler = SmallGroupSampler::build(
+        &view,
+        SmallGroupConfig {
+            tau,
+            ..SmallGroupConfig::with_rates(0.01, 0.5)
+        },
+    )
+    .unwrap();
+    let dropped = &sampler.catalog().dropped_tau;
+    assert!(
+        dropped.iter().any(|c| c == "customer.phone") || dropped.iter().any(|c| c == "sales.orderid"),
+        "near-unique SALES columns must hit tau; dropped: {dropped:?}"
+    );
+}
+
+#[test]
+fn small_group_tables_respect_size_bound() {
+    let view = tpch_view(0.1, 2.0);
+    let t = 0.01;
+    let sampler = SmallGroupSampler::build(
+        &view,
+        SmallGroupConfig {
+            base_rate: 0.02,
+            small_group_fraction: t,
+            ..Default::default()
+        },
+    )
+    .unwrap();
+    let n = view.num_rows() as f64;
+    for meta in &sampler.catalog().columns {
+        assert!(
+            meta.rows as f64 <= n * t + 1.0,
+            "sg table {} has {} rows > N*t = {}",
+            meta.name,
+            meta.rows,
+            n * t
+        );
+    }
+    // Overall sample ≈ r·N.
+    let overall = sampler.catalog().overall_rows as f64;
+    assert!((overall - n * 0.02).abs() <= 1.0, "overall {} vs {}", overall, n * 0.02);
+}
+
+#[test]
+fn multilevel_and_smallgroup_coexist() {
+    let view = sales_view(10_000);
+    let sg = SmallGroupSampler::build(&view, SmallGroupConfig::with_rates(0.02, 0.5)).unwrap();
+    let ml = MultiLevelSampler::build(
+        &view,
+        MultiLevelConfig {
+            base_rate: 0.02,
+            levels: vec![(0.01, 1.0), (0.04, 0.25)],
+            ..Default::default()
+        },
+    )
+    .unwrap();
+    let q = Query::builder()
+        .count()
+        .group_by("product.subcategory")
+        .build()
+        .unwrap();
+    let exact = exact_answer(&DataSource::Wide(&view), &q).unwrap();
+    for system in [&sg as &dyn AqpSystem, &ml] {
+        let ans = system.answer(&q, 0.95).unwrap();
+        let report = metric_report(&exact.per_agg[0], &approx_map(&ans, 0));
+        assert_eq!(report.spurious_groups, 0, "{}", system.name());
+        assert!(report.rel_err < 1.0, "{}: RelErr {}", system.name(), report.rel_err);
+    }
+}
+
+#[test]
+fn congress_and_outlier_run_end_to_end() {
+    let view = tpch_view(0.05, 1.5);
+    let budget = view.num_rows() / 50;
+    let cols = vec![
+        "lineitem.shipmode".to_owned(),
+        "lineitem.returnflag".to_owned(),
+        "part.brand".to_owned(),
+    ];
+    let congress = BasicCongress::build(&view, &cols, budget, 3).unwrap();
+    let outlier =
+        OutlierIndex::build(&view, "lineitem.extendedprice", budget / 2, 0.01, 3).unwrap();
+
+    let q = Query::builder()
+        .count()
+        .sum("lineitem.extendedprice")
+        .group_by("lineitem.shipmode")
+        .build()
+        .unwrap();
+    let exact = exact_answer(&DataSource::Wide(&view), &q).unwrap();
+    for system in [&congress as &dyn AqpSystem, &outlier] {
+        let ans = system.answer(&q, 0.95).unwrap();
+        let report = metric_report(&exact.per_agg[0], &approx_map(&ans, 0));
+        assert_eq!(report.spurious_groups, 0, "{}", system.name());
+        // The dominant group (shipmode is heavily skewed at z=1.5) must be
+        // estimated within 50%.
+        let (top_key, top_val) = exact.per_agg[0]
+            .iter()
+            .max_by(|a, b| a.1.total_cmp(b.1))
+            .unwrap();
+        let est = ans.group(top_key).expect("top group present").values[0].value();
+        assert!(
+            (est - top_val).abs() / top_val < 0.5,
+            "{}: top group {est} vs {top_val}",
+            system.name()
+        );
+    }
+}

@@ -1,0 +1,205 @@
+//! Rewriter correctness: the UNION ALL plan with bitmask filters must
+//! partition the data exactly — no row double-counted, no row lost.
+//!
+//! The decisive test: build small group sampling with a 100% base rate, so
+//! the "overall sample" holds every row. Then every rewritten query's
+//! merged answer must equal the exact answer *identically* for any query —
+//! any double counting (a row surviving two strata) or loss (over-eager
+//! masking) shows up as a wrong count.
+
+use aqp::prelude::*;
+
+fn exact_matches_rewritten(view: &Table, sampler: &SmallGroupSampler, query: &Query) {
+    let exact = exact_answer(&DataSource::Wide(view), query).expect("exact");
+    let approx = sampler.answer(query, 0.95).expect("approx");
+    assert_eq!(
+        exact.per_agg[0].len(),
+        approx.num_groups(),
+        "group count mismatch for {query}"
+    );
+    for g in &approx.groups {
+        let truth = exact.per_agg[0]
+            .get(&g.key)
+            .copied()
+            .unwrap_or_else(|| panic!("spurious group {:?} for {query}", g.key));
+        assert!(
+            (g.values[0].value() - truth).abs() < 1e-6,
+            "group {:?}: rewritten {} vs exact {truth} for {query}",
+            g.key,
+            g.values[0].value(),
+        );
+    }
+}
+
+#[test]
+fn full_rate_rewriting_is_lossless_tpch() {
+    let star = gen_tpch(&TpchConfig {
+        scale_factor: 0.05,
+        zipf_z: 2.0,
+        seed: 13,
+    })
+    .unwrap();
+    let view = star.denormalize("v").unwrap();
+    let sampler = SmallGroupSampler::build(
+        &view,
+        SmallGroupConfig {
+            base_rate: 1.0, // overall sample = whole table
+            small_group_fraction: 0.01,
+            ..Default::default()
+        },
+    )
+    .unwrap();
+
+    let queries = vec![
+        Query::builder().count().group_by("lineitem.shipmode").build().unwrap(),
+        Query::builder()
+            .count()
+            .group_by("lineitem.shipmode")
+            .group_by("part.brand")
+            .build()
+            .unwrap(),
+        Query::builder()
+            .count()
+            .group_by("part.brand")
+            .group_by("supplier.nation")
+            .group_by("lineitem.returnflag")
+            .build()
+            .unwrap(),
+        Query::builder()
+            .sum("lineitem.extendedprice")
+            .group_by("customer.segment")
+            .filter(Expr::cmp("lineitem.quantity", CmpOp::Le, 25i64))
+            .build()
+            .unwrap(),
+        Query::builder().count().build().unwrap(),
+        Query::builder()
+            .count()
+            .group_by("orders.year")
+            .group_by("orders.month")
+            .group_by("lineitem.shipyear")
+            .group_by("lineitem.shipmonth")
+            .build()
+            .unwrap(),
+    ];
+    for q in &queries {
+        exact_matches_rewritten(&view, &sampler, q);
+    }
+}
+
+#[test]
+fn full_rate_rewriting_is_lossless_sales() {
+    let star = gen_sales(&SalesConfig {
+        fact_rows: 4_000,
+        ..Default::default()
+    })
+    .unwrap();
+    let view = star.denormalize("v").unwrap();
+    let sampler = SmallGroupSampler::build(
+        &view,
+        SmallGroupConfig {
+            base_rate: 1.0,
+            small_group_fraction: 0.02,
+            ..Default::default()
+        },
+    )
+    .unwrap();
+    let queries = vec![
+        Query::builder()
+            .count()
+            .group_by("product.category")
+            .group_by("store.region")
+            .build()
+            .unwrap(),
+        Query::builder()
+            .sum("sales.revenue")
+            .group_by("customer.segment")
+            .group_by("channel.name")
+            .filter(Expr::in_set(
+                "sales.paymethod",
+                vec!["PAY#000".into(), "PAY#001".into()],
+            ))
+            .build()
+            .unwrap(),
+    ];
+    for q in &queries {
+        exact_matches_rewritten(&view, &sampler, q);
+    }
+}
+
+#[test]
+fn full_rate_multilevel_is_lossless() {
+    // The multi-level variant must obey the same partition invariant when
+    // every stratum is sampled at 100%.
+    let star = gen_tpch(&TpchConfig {
+        scale_factor: 0.05,
+        zipf_z: 1.5,
+        seed: 17,
+    })
+    .unwrap();
+    let view = star.denormalize("v").unwrap();
+    let ml = MultiLevelSampler::build(
+        &view,
+        MultiLevelConfig {
+            base_rate: 1.0,
+            levels: vec![(0.01, 1.0), (0.05, 1.0)],
+            ..Default::default()
+        },
+    )
+    .unwrap();
+    let q = Query::builder()
+        .count()
+        .group_by("part.brand")
+        .group_by("lineitem.shipmode")
+        .build()
+        .unwrap();
+    let exact = exact_answer(&DataSource::Wide(&view), &q).unwrap();
+    let approx = ml.answer(&q, 0.95).unwrap();
+    assert_eq!(exact.per_agg[0].len(), approx.num_groups());
+    for g in &approx.groups {
+        let truth = exact.per_agg[0][&g.key];
+        assert!(
+            (g.values[0].value() - truth).abs() < 1e-6,
+            "group {:?}: {} vs {truth}",
+            g.key,
+            g.values[0].value()
+        );
+    }
+}
+
+#[test]
+fn sgs_outlier_combination_is_lossless_at_full_rate() {
+    let star = gen_sales(&SalesConfig {
+        fact_rows: 3_000,
+        ..Default::default()
+    })
+    .unwrap();
+    let view = star.denormalize("v").unwrap();
+    let sampler = SmallGroupSampler::build(
+        &view,
+        SmallGroupConfig {
+            base_rate: 1.0,
+            small_group_fraction: 0.02,
+            overall: OverallKind::OutlierIndexed {
+                column: "sales.revenue".into(),
+            },
+            ..Default::default()
+        },
+    )
+    .unwrap();
+    let q = Query::builder()
+        .sum("sales.revenue")
+        .group_by("store.region")
+        .build()
+        .unwrap();
+    let exact = exact_answer(&DataSource::Wide(&view), &q).unwrap();
+    let approx = sampler.answer(&q, 0.95).unwrap();
+    for g in &approx.groups {
+        let truth = exact.per_agg[0][&g.key];
+        assert!(
+            (g.values[0].value() - truth).abs() / truth.abs().max(1.0) < 1e-9,
+            "group {:?}: {} vs {truth}",
+            g.key,
+            g.values[0].value()
+        );
+    }
+}

@@ -1,0 +1,125 @@
+//! SQL front-end end-to-end: text in, approximate answers out — the full
+//! middleware path of the paper (SQL → logical plan → dynamic sample
+//! selection → rewritten UNION ALL → merged answer).
+
+use aqp::prelude::*;
+
+fn setup() -> (Table, SmallGroupSampler) {
+    let star = gen_tpch(&TpchConfig {
+        scale_factor: 0.1,
+        zipf_z: 2.0,
+        seed: 77,
+    })
+    .unwrap();
+    let view = star.denormalize("tpch").unwrap();
+    let sampler = SmallGroupSampler::build(
+        &view,
+        SmallGroupConfig {
+            base_rate: 1.0, // full rate: answers must be exact
+            small_group_fraction: 0.02,
+            ..Default::default()
+        },
+    )
+    .unwrap();
+    (view, sampler)
+}
+
+#[test]
+fn sql_text_to_exact_matching_answers() {
+    let (view, sampler) = setup();
+    let statements = [
+        "SELECT COUNT(*) FROM tpch",
+        "SELECT lineitem.shipmode, COUNT(*) AS cnt FROM tpch GROUP BY lineitem.shipmode",
+        "SELECT part.brand, SUM(lineitem.extendedprice) AS revenue FROM tpch \
+         WHERE lineitem.quantity >= 3 GROUP BY part.brand",
+        "SELECT customer.segment, supplier.region, COUNT(*) FROM tpch \
+         WHERE lineitem.shipmode IN ('SHIP#000', 'SHIP#001') \
+           AND lineitem.quantity BETWEEN 1 AND 40 \
+         GROUP BY customer.segment, supplier.region",
+        "SELECT orders.priority, AVG(lineitem.extendedprice) AS avg_price FROM tpch \
+         GROUP BY orders.priority",
+    ];
+    for sql in statements {
+        let parsed = parse_query(sql).unwrap_or_else(|e| panic!("{sql}: {e}"));
+        let approx = sampler
+            .answer(&parsed.query, 0.95)
+            .unwrap_or_else(|e| panic!("{sql}: {e}"));
+        let exact = exact_answer(&DataSource::Wide(&view), &parsed.query).unwrap();
+        assert_eq!(
+            exact.per_agg[0].len(),
+            approx.num_groups(),
+            "group counts for {sql}"
+        );
+        for g in &approx.groups {
+            let truth = exact.per_agg[0][&g.key];
+            assert!(
+                (g.values[0].value() - truth).abs() / truth.abs().max(1.0) < 1e-9,
+                "{sql}: group {:?} got {} expected {truth}",
+                g.key,
+                g.values[0].value()
+            );
+        }
+    }
+}
+
+#[test]
+fn sql_min_max_rejected_by_aqp_but_fine_exactly() {
+    let (view, sampler) = setup();
+    let parsed = parse_query("SELECT MAX(lineitem.extendedprice) AS m FROM tpch").unwrap();
+    // The AQP layer refuses MIN/MAX (samples cannot bound them)…
+    assert!(matches!(
+        sampler.answer(&parsed.query, 0.95),
+        Err(AqpError::Unsupported(_))
+    ));
+    // …while the exact executor handles them.
+    let exact = exact_answer(&DataSource::Wide(&view), &parsed.query).unwrap();
+    assert_eq!(exact.num_groups(), 1);
+}
+
+#[test]
+fn sql_unknown_column_surfaces_cleanly() {
+    let (_, sampler) = setup();
+    let parsed = parse_query("SELECT nonexistent.col, COUNT(*) FROM tpch GROUP BY nonexistent.col")
+        .unwrap();
+    let err = sampler.answer(&parsed.query, 0.95).unwrap_err();
+    assert!(err.to_string().contains("nonexistent.col"), "{err}");
+}
+
+#[test]
+fn sql_errors_do_not_reach_execution() {
+    for bad in [
+        "SELEKT COUNT(*) FROM t",
+        "SELECT COUNT(*) FROM",
+        "SELECT COUNT(*) FROM t WHERE x ===",
+        "SELECT a FROM t GROUP BY b",
+    ] {
+        assert!(parse_query(bad).is_err(), "{bad} should not parse");
+    }
+}
+
+#[test]
+fn sql_roundtrip_through_persistence() {
+    // Save the family, reload it, and answer SQL identically — the full
+    // offline-preprocess / online-query split of the architecture.
+    let (_, sampler) = setup();
+    let dir = std::env::temp_dir().join(format!("aqp_sql_it_{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join("family.aqps");
+    sampler.save(&path).unwrap();
+    let restored = SmallGroupSampler::load(&path).unwrap();
+
+    let parsed = parse_query(
+        "SELECT lineitem.returnflag, COUNT(*) AS c FROM tpch GROUP BY lineitem.returnflag",
+    )
+    .unwrap();
+    let mut a = sampler.answer(&parsed.query, 0.95).unwrap();
+    let mut b = restored.answer(&parsed.query, 0.95).unwrap();
+    a.sort_by_key();
+    b.sort_by_key();
+    assert_eq!(a.num_groups(), b.num_groups());
+    for (x, y) in a.groups.iter().zip(&b.groups) {
+        assert_eq!(x.key, y.key);
+        assert_eq!(x.values[0].value(), y.values[0].value());
+    }
+    std::fs::remove_dir_all(&dir).unwrap();
+}

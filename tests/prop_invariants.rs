@@ -1,0 +1,188 @@
+//! Property-based invariants over randomly generated databases.
+//!
+//! The central one is the **partition property** behind the paper's
+//! bitmask scheme: for any data distribution, any choice of rates, and any
+//! grouping set, the rewritten UNION ALL plan at a 100 % overall rate
+//! reproduces the exact answer — meaning the strata partition every row
+//! exactly once. The others pin the preprocessing size bounds and the
+//! never-spurious-groups guarantee at arbitrary rates.
+
+use aqp::prelude::*;
+use proptest::prelude::*;
+
+/// A random small categorical table: 1–3 group columns over small
+/// alphabets (with skewed value draws), plus one measure column.
+fn arb_table() -> impl Strategy<Value = Table> {
+    let row = (0usize..6, 0usize..10, 0usize..4, 0i64..100);
+    (proptest::collection::vec(row, 1..300)).prop_map(|rows| {
+        let schema = SchemaBuilder::new()
+            .field("a", DataType::Utf8)
+            .field("b", DataType::Int64)
+            .field("c", DataType::Utf8)
+            .field("x", DataType::Int64)
+            .build()
+            .unwrap();
+        let mut t = Table::empty("t", schema);
+        for (a, b, c, x) in rows {
+            // Skew: square the draw so low indexes dominate.
+            let a = a * a / 6;
+            t.push_row(&[
+                format!("a{a}").into(),
+                (b as i64 * b as i64 / 10).into(),
+                format!("c{c}").into(),
+                x.into(),
+            ])
+            .unwrap();
+        }
+        t
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Partition property: at base_rate = 1.0 the rewritten plan equals
+    /// the exact answer for every grouping set, bit-for-bit.
+    #[test]
+    fn full_rate_partition_property(
+        view in arb_table(),
+        t in 0.01f64..0.4,
+        seed in 0u64..50,
+        group_mask in 1usize..8, // nonempty subset of {a, b, c}
+    ) {
+        let sampler = SmallGroupSampler::build(
+            &view,
+            SmallGroupConfig {
+                base_rate: 1.0,
+                small_group_fraction: t,
+                seed,
+                ..Default::default()
+            },
+        ).unwrap();
+
+        let all = ["a", "b", "c"];
+        let group_by: Vec<&str> = all
+            .iter()
+            .enumerate()
+            .filter(|(i, _)| group_mask & (1 << i) != 0)
+            .map(|(_, c)| *c)
+            .collect();
+        let mut b = Query::builder().count().sum("x");
+        for g in &group_by {
+            b = b.group_by(*g);
+        }
+        let q = b.build().unwrap();
+
+        let exact = exact_answer(&DataSource::Wide(&view), &q).unwrap();
+        let approx = sampler.answer(&q, 0.95).unwrap();
+        prop_assert_eq!(exact.per_agg[0].len(), approx.num_groups());
+        for g in &approx.groups {
+            let count_truth = exact.per_agg[0][&g.key];
+            let sum_truth = exact.per_agg[1][&g.key];
+            prop_assert!((g.values[0].value() - count_truth).abs() < 1e-6,
+                "count {:?}: {} vs {}", g.key, g.values[0].value(), count_truth);
+            prop_assert!((g.values[1].value() - sum_truth).abs() < 1e-6,
+                "sum {:?}: {} vs {}", g.key, g.values[1].value(), sum_truth);
+        }
+    }
+
+    /// At any rate: answers never contain spurious groups, estimates are
+    /// finite and non-negative for COUNT, and exact-flagged groups agree
+    /// with the exact answer.
+    #[test]
+    fn sampled_answers_sound(
+        view in arb_table(),
+        rate in 0.05f64..1.0,
+        t in 0.01f64..0.3,
+        seed in 0u64..50,
+    ) {
+        let sampler = SmallGroupSampler::build(
+            &view,
+            SmallGroupConfig {
+                base_rate: rate,
+                small_group_fraction: t,
+                seed,
+                ..Default::default()
+            },
+        ).unwrap();
+        let q = Query::builder().count().group_by("a").group_by("c").build().unwrap();
+        let exact = exact_answer(&DataSource::Wide(&view), &q).unwrap();
+        let approx = sampler.answer(&q, 0.95).unwrap();
+        for g in &approx.groups {
+            prop_assert!(exact.per_agg[0].contains_key(&g.key),
+                "spurious group {:?}", g.key);
+            let v = &g.values[0];
+            prop_assert!(v.value().is_finite() && v.value() >= 0.0);
+            prop_assert!(v.ci.lo <= v.value() + 1e-9 && v.value() <= v.ci.hi + 1e-9);
+            if v.is_exact() {
+                prop_assert!((v.value() - exact.per_agg[0][&g.key]).abs() < 1e-6);
+            }
+        }
+    }
+
+    /// Preprocessing size bounds hold for any data: every small group
+    /// table ≤ N·t rows (+1 for rounding), overall sample ≈ N·r.
+    #[test]
+    fn preprocessing_size_bounds(
+        view in arb_table(),
+        rate in 0.05f64..1.0,
+        t in 0.01f64..0.3,
+        seed in 0u64..50,
+    ) {
+        let sampler = SmallGroupSampler::build(
+            &view,
+            SmallGroupConfig {
+                base_rate: rate,
+                small_group_fraction: t,
+                seed,
+                ..Default::default()
+            },
+        ).unwrap();
+        let n = view.num_rows() as f64;
+        for meta in &sampler.catalog().columns {
+            prop_assert!(meta.rows as f64 <= n * t + 1.0,
+                "{}: {} rows > N*t {}", meta.name, meta.rows, n * t);
+        }
+        let target = (n * rate).round().min(n);
+        prop_assert!((sampler.catalog().overall_rows as f64 - target).abs() <= 1.0);
+    }
+
+    /// Congress weights are Horvitz–Thompson consistent for any data: the
+    /// ungrouped COUNT estimate equals the weight total (an identity), the
+    /// weighted total is the right order of magnitude (unbiasedness is
+    /// checked statistically in the unit tests), and every weight is a
+    /// valid inverse inclusion probability (≥ 1).
+    #[test]
+    fn congress_weight_consistency(
+        view in arb_table(),
+        budget_frac in 0.2f64..1.0,
+        seed in 0u64..50,
+    ) {
+        let budget = ((view.num_rows() as f64 * budget_frac) as usize).max(1);
+        let cols = vec!["a".to_owned()];
+        let congress = BasicCongress::build(&view, &cols, budget, seed).unwrap();
+        let q = Query::builder().count().build().unwrap();
+        let ans = congress.answer(&q, 0.95).unwrap();
+        prop_assert!((ans.groups[0].values[0].value() - congress.weight_total()).abs() < 1e-6);
+        let n = view.num_rows() as f64;
+        prop_assert!(congress.weight_total() <= 2.5 * n + 1.0,
+            "total {} vs n {}", congress.weight_total(), n);
+        // Randomized rounding can draw zero rows at tiny budgets; a zero
+        // weight total is only legal alongside an empty sample.
+        prop_assert!(congress.weight_total() > 0.0 || congress.sample_rows() == 0);
+    }
+
+    /// Outlier selection always returns exactly min(k, n) indices, within
+    /// bounds, sorted, and with no duplicates.
+    #[test]
+    fn outlier_selection_well_formed(
+        values in proptest::collection::vec(-1e6f64..1e6, 0..60),
+        k in 0usize..70,
+    ) {
+        use aqp::core::select_outliers;
+        let out = select_outliers(&values, k);
+        prop_assert_eq!(out.len(), k.min(values.len()));
+        prop_assert!(out.windows(2).all(|w| w[0] < w[1]));
+        prop_assert!(out.iter().all(|&i| i < values.len()));
+    }
+}
