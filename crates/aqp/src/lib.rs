@@ -75,9 +75,10 @@ pub use aqp_workload as workload;
 pub mod prelude {
     pub use aqp_core::{
         ApproxAnswer, ApproxGroup, ApproxValue, AqpError, AqpResult, AqpSystem,
-        BasicCongress, Congress, MultiLevelConfig, MultiLevelSampler, OutlierIndex,
-        OverallKind,
-        SampleCatalog, SmallGroupConfig, SmallGroupSampler, UniformAqp,
+        BasicCongress, Congress, MultiLevelConfig, MultiLevelSampler, OpenReport,
+        OutlierIndex, OverallKind, ResilientSystem,
+        SampleCatalog, ServingTier, SmallGroupConfig, SmallGroupSampler, TierCounts,
+        UniformAqp,
     };
     pub use aqp_datagen::{gen_sales, gen_tpch, SalesConfig, TpchConfig};
     pub use aqp_query::{

@@ -31,8 +31,36 @@ impl From<std::io::Error> for CliError {
     }
 }
 
+impl From<aqp::storage::StorageError> for CliError {
+    fn from(e: aqp::storage::StorageError) -> Self {
+        CliError(e.to_string())
+    }
+}
+
+impl From<AqpError> for CliError {
+    fn from(e: AqpError) -> Self {
+        CliError(e.to_string())
+    }
+}
+
 fn boxed<E: std::fmt::Display>(e: E) -> CliError {
     CliError(e.to_string())
+}
+
+/// Add the offending path to a load/save error so the user knows which
+/// file to look at.
+fn at_path<E: std::fmt::Display>(path: &str) -> impl Fn(E) -> CliError + '_ {
+    move |e| CliError(format!("{path}: {e}"))
+}
+
+fn opt_usize(args: &Args, name: &str) -> Result<Option<usize>, CliError> {
+    match args.optional(name) {
+        None => Ok(None),
+        Some(v) => v
+            .parse::<usize>()
+            .map(Some)
+            .map_err(|_| CliError(format!("invalid value {v:?} for --{name}"))),
+    }
 }
 
 /// Usage text.
@@ -47,12 +75,20 @@ USAGE:
   aqp-cli preprocess --view FILE [--rate F] [--gamma F] [--tau N] [--seed N]
                      [--outlier-column COL] --out FILE
   aqp-cli catalog --family FILE
-  aqp-cli query --family FILE [--view FILE] [--exact] [--confidence F] SQL
-  aqp-cli repl --family FILE [--view FILE]
+  aqp-cli query --family FILE [--view FILE] [--exact] [--confidence F]
+                [--row-budget N] SQL
+  aqp-cli repl --family FILE [--view FILE] [--row-budget N]
+  aqp-cli workload --family FILE --view FILE [--queries N] [--grouping N]
+                   [--seed N] [--confidence F] [--row-budget N]
 
 Views are stored as .aqpt binary tables; sample families as .aqps files.
 In SQL the FROM clause names are ignored — queries always run against the
-loaded family/view.";
+loaded family/view.
+
+query/repl/workload serve through the degradation ladder: a missing or
+corrupt sample family is salvaged or bypassed (warning printed) and each
+answer is tagged with the tier that served it; --row-budget caps the rows
+any single query may scan.";
 
 /// Dispatch one CLI invocation. `out` receives user-facing output.
 pub fn run(args: Args, out: &mut dyn Write) -> Result<(), CliError> {
@@ -68,6 +104,7 @@ pub fn run(args: Args, out: &mut dyn Write) -> Result<(), CliError> {
         "preprocess" => preprocess(&args, out),
         "catalog" => catalog(&args, out),
         "query" => query_command(&args, out),
+        "workload" => workload_command(&args, out),
         "repl" => repl(&args, out, &mut std::io::stdin().lock()),
         "help" | "--help" => {
             writeln!(out, "{USAGE}")?;
@@ -177,7 +214,7 @@ fn preprocess(args: &Args, out: &mut dyn Write) -> Result<(), CliError> {
     }
     let t0 = Instant::now();
     let sampler = SmallGroupSampler::build(&view, config).map_err(boxed)?;
-    sampler.save(&out_path)?;
+    sampler.save(&out_path).map_err(at_path(&out_path))?;
     writeln!(
         out,
         "preprocessed {} rows in {:?}: {} small group tables, overall sample {} rows -> {out_path}",
@@ -192,9 +229,35 @@ fn preprocess(args: &Args, out: &mut dyn Write) -> Result<(), CliError> {
 fn catalog(args: &Args, out: &mut dyn Write) -> Result<(), CliError> {
     let family = args.required("family")?;
     args.finish()?;
-    let sampler = SmallGroupSampler::load(&family)?;
+    let sampler = SmallGroupSampler::load(&family).map_err(at_path(&family))?;
     writeln!(out, "{}", sampler.catalog())?;
     Ok(())
+}
+
+/// Open a sample family through the degradation ladder, printing warnings
+/// for anything short of a fully intact load.
+fn open_family(family: &str, out: &mut dyn Write) -> Result<ResilientSystem, CliError> {
+    let (system, report) = ResilientSystem::open(family);
+    if !report.primary_intact {
+        if let Some(err) = &report.primary_error {
+            writeln!(out, "-- warning: {family}: {err}")?;
+        }
+        if !report.disabled_units.is_empty() {
+            writeln!(
+                out,
+                "-- warning: serving degraded; disabled small group tables: {}",
+                report.disabled_units.join(", ")
+            )?;
+        } else if system.primary().is_some() {
+            writeln!(out, "-- warning: file framing damaged but all sample tables salvaged")?;
+        } else {
+            writeln!(
+                out,
+                "-- warning: sample family unusable; only the exact tier can serve (needs --view)"
+            )?;
+        }
+    }
+    Ok(system)
 }
 
 fn query_command(args: &Args, out: &mut dyn Write) -> Result<(), CliError> {
@@ -202,6 +265,7 @@ fn query_command(args: &Args, out: &mut dyn Write) -> Result<(), CliError> {
     let view_path = args.optional("view");
     let want_exact = args.flag("exact");
     let confidence = args.get_or("confidence", 0.95f64)?;
+    let row_budget = opt_usize(args, "row-budget")?;
     // Join all trailing positionals so unquoted SQL still forms the full
     // statement instead of silently truncating to its first word.
     let sql = args.positionals()[1..].join(" ");
@@ -213,14 +277,22 @@ fn query_command(args: &Args, out: &mut dyn Write) -> Result<(), CliError> {
     if want_exact && view_path.is_none() {
         return Err(CliError("--exact needs --view to compute the exact answer".into()));
     }
-    let sampler = SmallGroupSampler::load(&family)?;
-    let view = view_path.map(read_table_file).transpose()?;
-    answer_one(&sampler, view.as_ref(), &sql, want_exact, confidence, out)
+    let mut system = open_family(&family, out)?;
+    let view = view_path
+        .map(|p| read_table_file(&p).map_err(at_path(&p)))
+        .transpose()?;
+    if let Some(v) = &view {
+        system = system.with_view(v.clone());
+    }
+    if let Some(budget) = row_budget {
+        system = system.with_row_budget(budget);
+    }
+    answer_one(&system, view.as_ref(), &sql, want_exact, confidence, out)
 }
 
 /// Parse, answer and print one SQL query.
 fn answer_one(
-    sampler: &SmallGroupSampler,
+    system: &ResilientSystem,
     view: Option<&Table>,
     sql: &str,
     want_exact: bool,
@@ -229,7 +301,7 @@ fn answer_one(
 ) -> Result<(), CliError> {
     let parsed = parse_query(sql).map_err(boxed)?;
     let t0 = Instant::now();
-    let mut answer = sampler.answer(&parsed.query, confidence).map_err(boxed)?;
+    let mut answer = system.answer(&parsed.query, confidence).map_err(boxed)?;
     let approx_time = t0.elapsed();
     answer.sort_by_key();
 
@@ -278,16 +350,81 @@ fn answer_one(
     }
     write!(
         out,
-        "-- {} groups, {} sample rows scanned, {approx_time:?}",
+        "-- {} groups, {} rows scanned, tier {}{}, {approx_time:?}",
         answer.num_groups(),
         answer.rows_scanned,
+        answer.tier,
+        if answer.partial { " (partial: row budget hit)" } else { "" },
     )?;
     if let Some(ex) = &exact {
         let missed = ex.per_agg[0].keys().filter(|k| answer.group(k).is_none()).count();
         write!(out, "; exact has {} groups ({missed} missed)", ex.num_groups())?;
     }
     writeln!(out)?;
-    writeln!(out, "-- * = exact from small group tables")?;
+    match answer.tier {
+        ServingTier::Primary | ServingTier::DegradedPrimary => {
+            writeln!(out, "-- * = exact from small group tables")?
+        }
+        ServingTier::Overall | ServingTier::Exact => writeln!(out, "-- * = exact")?,
+    }
+    Ok(())
+}
+
+/// Run a generated query workload through the degradation ladder and
+/// report accuracy plus per-tier serving counts.
+fn workload_command(args: &Args, out: &mut dyn Write) -> Result<(), CliError> {
+    let family = args.required("family")?;
+    let view_path = args.required("view")?;
+    let count = args.get_or("queries", 20usize)?;
+    let grouping = args.get_or("grouping", 1usize)?;
+    let seed = args.get_or("seed", 42u64)?;
+    let confidence = args.get_or("confidence", 0.95f64)?;
+    let row_budget = opt_usize(args, "row-budget")?;
+    args.finish()?;
+
+    let view = read_table_file(&view_path).map_err(at_path(&view_path))?;
+    let mut system = open_family(&family, out)?.with_view(view.clone());
+    if let Some(budget) = row_budget {
+        system = system.with_row_budget(budget);
+    }
+
+    let profile = DatasetProfile::new(&view, &[], &[], 100);
+    let eligible = profile.column_names().len();
+    if eligible < grouping {
+        return Err(CliError(format!(
+            "view has {eligible} group-by-eligible columns but --grouping is {grouping}"
+        )));
+    }
+    let queries = generate_queries(
+        &profile,
+        &QueryGenConfig {
+            grouping_columns: grouping,
+            seed,
+            ..QueryGenConfig::default()
+        },
+        count,
+    );
+    let t0 = Instant::now();
+    let summary = evaluate_queries(&system, &DataSource::Wide(&view), &queries, confidence)
+        .map_err(boxed)?;
+    writeln!(
+        out,
+        "{} queries in {:?}: RelErr {:.4}, PctGroups {:.1}%, mean approx {:.2} ms",
+        summary.queries,
+        t0.elapsed(),
+        summary.rel_err,
+        summary.pct_groups,
+        summary.approx_ms,
+    )?;
+    writeln!(out, "tiers: {}", summary.tiers)?;
+    if summary.tiers.degraded_total() > 0 {
+        writeln!(
+            out,
+            "-- {} of {} answers served below the primary tier",
+            summary.tiers.degraded_total(),
+            summary.tiers.total(),
+        )?;
+    }
     Ok(())
 }
 
@@ -295,16 +432,32 @@ fn answer_one(
 pub fn repl(args: &Args, out: &mut dyn Write, input: &mut dyn BufRead) -> Result<(), CliError> {
     let family = args.required("family")?;
     let view_path = args.optional("view");
+    let row_budget = opt_usize(args, "row-budget")?;
     args.finish()?;
-    let sampler = SmallGroupSampler::load(&family)?;
-    let view = view_path.map(read_table_file).transpose()?;
+    let mut system = open_family(&family, out)?;
+    let view = view_path
+        .map(|p| read_table_file(&p).map_err(at_path(&p)))
+        .transpose()?;
+    if let Some(v) = &view {
+        system = system.with_view(v.clone());
+    }
+    if let Some(budget) = row_budget {
+        system = system.with_row_budget(budget);
+    }
 
-    writeln!(
-        out,
-        "aqp repl — {} sample tables over {} rows; commands: \\catalog, \\explain SQL, \\quit",
-        sampler.catalog().num_tables(),
-        sampler.view_rows(),
-    )?;
+    match system.primary() {
+        Some(sampler) => writeln!(
+            out,
+            "aqp repl — {} sample tables over {} rows; commands: \\catalog, \\explain SQL, \\quit",
+            sampler.catalog().num_tables(),
+            sampler.view_rows(),
+        )?,
+        None => writeln!(
+            out,
+            "aqp repl — exact tier only, {} view rows; commands: \\catalog, \\explain SQL, \\quit",
+            view.as_ref().map_or(0, Table::num_rows),
+        )?,
+    }
     let mut line = String::new();
     loop {
         write!(out, "aqp> ")?;
@@ -317,9 +470,16 @@ pub fn repl(args: &Args, out: &mut dyn Write, input: &mut dyn BufRead) -> Result
         match trimmed {
             "" => continue,
             "\\quit" | "\\q" | "exit" => break,
-            "\\catalog" => writeln!(out, "{}", sampler.catalog())?,
+            "\\catalog" => match system.primary() {
+                Some(sampler) => writeln!(out, "{}", sampler.catalog())?,
+                None => writeln!(out, "no sample family loaded; serving from the exact tier")?,
+            },
             cmd if cmd.strip_prefix("\\explain").is_some_and(|r| r.is_empty() || r.starts_with(char::is_whitespace)) => {
                 let sql = cmd.trim_start_matches("\\explain").trim();
+                let Some(sampler) = system.primary() else {
+                    writeln!(out, "no sample family loaded; \\explain unavailable")?;
+                    continue;
+                };
                 if sql.is_empty() {
                     writeln!(out, "usage: \\explain SELECT ...")?;
                 } else {
@@ -331,7 +491,7 @@ pub fn repl(args: &Args, out: &mut dyn Write, input: &mut dyn BufRead) -> Result
             }
             sql => {
                 let want_exact = view.is_some();
-                if let Err(e) = answer_one(&sampler, view.as_ref(), sql, want_exact, 0.95, out) {
+                if let Err(e) = answer_one(&system, view.as_ref(), sql, want_exact, 0.95, out) {
                     writeln!(out, "error: {e}")?;
                 }
             }
@@ -472,6 +632,101 @@ mod tests {
         .unwrap();
         assert!(msg.contains("exported 200 rows"), "{msg}");
         assert!(std::fs::read_to_string(&back).unwrap().starts_with("product,price"));
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn workload_reports_tier_counts() {
+        let dir = temp_dir();
+        let view = dir.join("w.aqpt");
+        let family = dir.join("w.aqps");
+        run_cli(&[
+            "generate", "sales", "--rows", "2000", "--out", view.to_str().unwrap(),
+        ])
+        .unwrap();
+        run_cli(&[
+            "preprocess", "--view", view.to_str().unwrap(), "--rate", "0.05", "--out",
+            family.to_str().unwrap(),
+        ])
+        .unwrap();
+        let msg = run_cli(&[
+            "workload", "--family", family.to_str().unwrap(), "--view",
+            view.to_str().unwrap(), "--queries", "4",
+        ])
+        .unwrap();
+        assert!(msg.contains("4 queries"), "{msg}");
+        assert!(msg.contains("tiers: primary"), "{msg}");
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn missing_family_degrades_to_exact_with_view() {
+        let dir = temp_dir();
+        let view = dir.join("d.aqpt");
+        run_cli(&[
+            "generate", "sales", "--rows", "1000", "--out", view.to_str().unwrap(),
+        ])
+        .unwrap();
+        let msg = run_cli(&[
+            "query",
+            "--family",
+            dir.join("never_written.aqps").to_str().unwrap(),
+            "--view",
+            view.to_str().unwrap(),
+            "SELECT store.region, COUNT(*) FROM s GROUP BY store.region",
+        ])
+        .unwrap();
+        assert!(msg.contains("warning"), "{msg}");
+        assert!(msg.contains("tier exact"), "{msg}");
+
+        // Same degradation with a corrupt (not just missing) family file.
+        let family = dir.join("c.aqps");
+        run_cli(&[
+            "preprocess", "--view", view.to_str().unwrap(), "--rate", "0.05", "--out",
+            family.to_str().unwrap(),
+        ])
+        .unwrap();
+        let mut bytes = std::fs::read(&family).unwrap();
+        let mid = bytes.len() / 2;
+        bytes[mid] ^= 0x01;
+        std::fs::write(&family, &bytes).unwrap();
+        let msg = run_cli(&[
+            "query",
+            "--family",
+            family.to_str().unwrap(),
+            "--view",
+            view.to_str().unwrap(),
+            "SELECT store.region, COUNT(*) FROM s GROUP BY store.region",
+        ])
+        .unwrap();
+        assert!(msg.contains("warning"), "{msg}");
+        assert!(msg.contains("tier "), "{msg}");
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn row_budget_flags_partial_answers() {
+        let dir = temp_dir();
+        let view = dir.join("b.aqpt");
+        run_cli(&[
+            "generate", "sales", "--rows", "1000", "--out", view.to_str().unwrap(),
+        ])
+        .unwrap();
+        // No family + tiny budget: the exact scan is truncated and flagged.
+        let msg = run_cli(&[
+            "query",
+            "--family",
+            dir.join("absent.aqps").to_str().unwrap(),
+            "--view",
+            view.to_str().unwrap(),
+            "--row-budget",
+            "100",
+            "SELECT COUNT(*) FROM s",
+        ])
+        .unwrap();
+        assert!(msg.contains("tier exact"), "{msg}");
+        assert!(msg.contains("partial"), "{msg}");
+        assert!(run_cli(&["query", "--family", "/tmp/x.aqps", "--row-budget", "abc", "SQL"]).is_err());
         std::fs::remove_dir_all(&dir).unwrap();
     }
 

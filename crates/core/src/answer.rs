@@ -42,6 +42,38 @@ pub struct ApproxGroup {
     pub values: Vec<ApproxValue>,
 }
 
+/// Which rung of the degradation ladder produced an answer.
+///
+/// A healthy system answers every query at [`ServingTier::Primary`]. When
+/// sample tables are missing or corrupt, or a query falls outside what the
+/// samplers support, the resilient runtime steps down the ladder rather
+/// than failing the query.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum ServingTier {
+    /// The full small-group sampler answered with all its sample tables.
+    #[default]
+    Primary,
+    /// The small-group sampler answered, but one or more of its sample
+    /// tables were unavailable; the overall sample covered their rows.
+    DegradedPrimary,
+    /// Only the uniform overall sample was used (no small-group tables).
+    Overall,
+    /// The base table was scanned directly (exact, possibly budget-capped).
+    Exact,
+}
+
+impl fmt::Display for ServingTier {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            ServingTier::Primary => "primary",
+            ServingTier::DegradedPrimary => "degraded",
+            ServingTier::Overall => "overall",
+            ServingTier::Exact => "exact",
+        };
+        f.write_str(s)
+    }
+}
+
 /// A complete approximate answer to an aggregation query.
 #[derive(Debug, Clone, Default)]
 pub struct ApproxAnswer {
@@ -54,6 +86,11 @@ pub struct ApproxAnswer {
     /// Total sample rows scanned to produce this answer (the runtime cost
     /// the paper's fairness rule equalises across AQP systems).
     pub rows_scanned: usize,
+    /// Which rung of the degradation ladder served this answer.
+    pub tier: ServingTier,
+    /// True when a row budget truncated the scan, so the answer covers
+    /// only part of the data it should have seen.
+    pub partial: bool,
 }
 
 impl ApproxAnswer {
@@ -205,8 +242,13 @@ mod tests {
                 }],
             }],
             rows_scanned: 10,
+            tier: ServingTier::Primary,
+            partial: false,
         };
         assert_eq!(ans.num_groups(), 1);
+        assert_eq!(ans.tier.to_string(), "primary");
+        assert_eq!(ServingTier::DegradedPrimary.to_string(), "degraded");
+        assert_eq!(ServingTier::Exact.to_string(), "exact");
         let g = ans.group(&[Value::Utf8("x".into())]).unwrap();
         assert!(g.values[0].is_exact());
         assert_eq!(g.values[0].value(), 5.0);

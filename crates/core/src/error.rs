@@ -17,6 +17,11 @@ pub enum AqpError {
     UncoveredColumn(String),
     /// An underlying query-execution error.
     Query(aqp_query::QueryError),
+    /// A persisted sample family failed integrity checks (bad checksum,
+    /// unreadable version, truncated structure) and cannot be trusted.
+    Corrupt(String),
+    /// File IO failed while loading or saving persisted state.
+    Io(String),
 }
 
 impl fmt::Display for AqpError {
@@ -28,6 +33,8 @@ impl fmt::Display for AqpError {
                 write!(f, "column {name:?} is not covered by the sample family")
             }
             AqpError::Query(e) => write!(f, "query error: {e}"),
+            AqpError::Corrupt(msg) => write!(f, "corrupt sample family: {msg}"),
+            AqpError::Io(msg) => write!(f, "io error: {msg}"),
         }
     }
 }

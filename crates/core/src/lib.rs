@@ -59,16 +59,18 @@ pub mod multilevel;
 pub mod outlier;
 mod parts;
 pub mod persist;
+pub mod resilience;
 pub mod smallgroup;
 pub mod system;
 pub mod uniform;
 
-pub use answer::{ApproxAnswer, ApproxGroup, ApproxValue};
+pub use answer::{ApproxAnswer, ApproxGroup, ApproxValue, ServingTier};
 pub use catalog::{SampleCatalog, SampleColumnMeta};
 pub use congress::{BasicCongress, Congress};
 pub use error::{AqpError, AqpResult};
 pub use multilevel::{MultiLevelConfig, MultiLevelSampler};
 pub use outlier::{select_outliers, OutlierIndex};
+pub use resilience::{OpenReport, ResilientSystem, TierCounts};
 pub use smallgroup::{OverallKind, SmallGroupConfig, SmallGroupSampler};
 pub use system::AqpSystem;
 pub use uniform::UniformAqp;

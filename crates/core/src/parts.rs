@@ -52,6 +52,7 @@ pub(crate) fn answer_from_parts(
             weight,
             bitmask_exclude: part.mask.as_ref(),
             parallelism: 1,
+            row_limit: None,
         };
         let out = execute(&DataSource::Wide(part.table), query, &opts)?;
         for g in out.groups {
@@ -96,5 +97,6 @@ pub(crate) fn answer_from_parts(
         agg_aliases: query.aggregates.iter().map(|a| a.alias.clone()).collect(),
         groups,
         rows_scanned,
+        ..ApproxAnswer::default()
     })
 }

@@ -9,6 +9,25 @@
 //! overall sample strata with their weights, the `L(C)` common-value sets,
 //! the configuration, and the catalog — into one self-describing binary
 //! file, so preprocessing cost is paid once per database.
+//!
+//! # v3 on-disk layout
+//!
+//! ```text
+//! "AQPS" | u16 version=3 | u32 file_crc32c          (header, 10 bytes)
+//! u64 meta_len | u32 meta_crc32c | meta bytes        (metadata section)
+//! per table block: u64 len | AQPT-v2 bytes           (entry tables, then
+//!                                                     overall part tables)
+//! ```
+//!
+//! `file_crc` covers everything after the header. The metadata section
+//! (config, common-value sets, part weights, catalog) carries its own CRC,
+//! and every table block is a self-checksummed `AQPT` v2 blob. This
+//! segregation is what makes *salvage* possible: when only a small group
+//! table's block is corrupt, [`decode_sampler_salvage`] can still recover a
+//! working sampler with that one unit disabled (its slot — and therefore
+//! every bitmask bit index — is preserved; the overall sample serves its
+//! rows). A corrupt metadata section or overall-sample block is
+//! unrecoverable and yields [`AqpError::Corrupt`].
 
 use crate::catalog::{SampleCatalog, SampleColumnMeta};
 use crate::error::{AqpError, AqpResult};
@@ -17,20 +36,22 @@ use crate::smallgroup::{
     SmallGroupSampler,
 };
 use aqp_storage::io::{decode_table, encode_table, get_string, get_value, put_string, put_value};
-use aqp_storage::{StorageError, Value};
+use aqp_storage::{crc32c, fault, Table, Value};
 use bytes::{Buf, BufMut, BytesMut};
 use std::collections::HashSet;
 
 const MAGIC: &[u8; 4] = b"AQPS";
-// v2: added max_tables_per_query and preprocess_threads to the config
-// block. Older files are rejected with a clean version error.
-const VERSION: u16 = 2;
+// v3: checksummed header + segregated metadata section + self-checksummed
+// table blocks (salvageable). v2 and older files are rejected with a clean
+// version error telling the user how to migrate.
+const VERSION: u16 = 3;
+const HEADER_LEN: usize = 10;
 
 fn corrupt(msg: impl Into<String>) -> AqpError {
-    AqpError::from(StorageError::Codec(msg.into()))
+    AqpError::Corrupt(msg.into())
 }
 
-fn put_bytes(buf: &mut BytesMut, bytes: &[u8]) {
+fn put_bytes(buf: &mut Vec<u8>, bytes: &[u8]) {
     buf.put_u64_le(bytes.len() as u64);
     buf.put_slice(bytes);
 }
@@ -48,11 +69,12 @@ fn get_bytes<'a>(buf: &mut &'a [u8]) -> AqpResult<&'a [u8]> {
     Ok(head)
 }
 
-fn put_string_list(buf: &mut BytesMut, list: &[String]) {
+fn put_string_list(buf: &mut BytesMut, list: &[String]) -> AqpResult<()> {
     buf.put_u32_le(list.len() as u32);
     for s in list {
-        put_string(buf, s);
+        put_string(buf, s).map_err(AqpError::from)?;
     }
+    Ok(())
 }
 
 fn get_string_list(buf: &mut &[u8]) -> AqpResult<Vec<String>> {
@@ -69,14 +91,12 @@ fn get_string_list(buf: &mut &[u8]) -> AqpResult<Vec<String>> {
     Ok(out)
 }
 
-/// Serialise a sampler to bytes.
-pub fn encode_sampler(sampler: &SmallGroupSampler) -> Vec<u8> {
+/// Serialise the metadata section payload (everything except the tables).
+fn encode_meta(sampler: &SmallGroupSampler) -> AqpResult<Vec<u8>> {
     let mut buf = BytesMut::new();
-    buf.put_slice(MAGIC);
-    buf.put_u16_le(VERSION);
 
     // --- Config ---
-    let cfg = sampler.config.clone();
+    let cfg = &sampler.config;
     buf.put_f64_le(cfg.base_rate);
     buf.put_f64_le(cfg.small_group_fraction);
     buf.put_u64_le(cfg.tau as u64);
@@ -85,21 +105,21 @@ pub fn encode_sampler(sampler: &SmallGroupSampler) -> Vec<u8> {
         OverallKind::Uniform => buf.put_u8(0),
         OverallKind::OutlierIndexed { column } => {
             buf.put_u8(1);
-            put_string(&mut buf, column);
+            put_string(&mut buf, column).map_err(AqpError::from)?;
         }
     }
     match &cfg.restrict_columns {
         None => buf.put_u8(0),
         Some(cols) => {
             buf.put_u8(1);
-            put_string_list(&mut buf, cols);
+            put_string_list(&mut buf, cols)?;
         }
     }
-    put_string_list(&mut buf, &cfg.exclude_columns);
+    put_string_list(&mut buf, &cfg.exclude_columns)?;
     buf.put_u32_le(cfg.column_pairs.len() as u32);
     for (a, b) in &cfg.column_pairs {
-        put_string(&mut buf, a);
-        put_string(&mut buf, b);
+        put_string(&mut buf, a).map_err(AqpError::from)?;
+        put_string(&mut buf, b).map_err(AqpError::from)?;
     }
     match cfg.max_tables_per_query {
         None => buf.put_u8(0),
@@ -113,18 +133,18 @@ pub fn encode_sampler(sampler: &SmallGroupSampler) -> Vec<u8> {
     buf.put_u64_le(sampler.view_rows as u64);
     buf.put_f64_le(sampler.overall_rate);
 
-    // --- Entries ---
+    // --- Entry metadata (units + common-value sets) ---
     buf.put_u32_le(sampler.entries.len() as u32);
     for entry in &sampler.entries {
         match &entry.unit {
             SgUnit::Single(c) => {
                 buf.put_u8(0);
-                put_string(&mut buf, c);
+                put_string(&mut buf, c).map_err(AqpError::from)?;
             }
             SgUnit::Pair(a, b) => {
                 buf.put_u8(1);
-                put_string(&mut buf, a);
-                put_string(&mut buf, b);
+                put_string(&mut buf, a).map_err(AqpError::from)?;
+                put_string(&mut buf, b).map_err(AqpError::from)?;
             }
         }
         match &entry.common {
@@ -134,7 +154,7 @@ pub fn encode_sampler(sampler: &SmallGroupSampler) -> Vec<u8> {
                 values.sort(); // determinism
                 buf.put_u64_le(values.len() as u64);
                 for v in values {
-                    put_value(&mut buf, v);
+                    put_value(&mut buf, v).map_err(AqpError::from)?;
                 }
             }
             CommonValues::Pair(set) => {
@@ -143,19 +163,17 @@ pub fn encode_sampler(sampler: &SmallGroupSampler) -> Vec<u8> {
                 values.sort();
                 buf.put_u64_le(values.len() as u64);
                 for (a, b) in values {
-                    put_value(&mut buf, a);
-                    put_value(&mut buf, b);
+                    put_value(&mut buf, a).map_err(AqpError::from)?;
+                    put_value(&mut buf, b).map_err(AqpError::from)?;
                 }
             }
         }
-        put_bytes(&mut buf, &encode_table(&entry.table));
     }
 
-    // --- Overall parts ---
+    // --- Overall part weights ---
     buf.put_u32_le(sampler.overall.len() as u32);
     for part in &sampler.overall {
         buf.put_f64_le(part.weight);
-        put_bytes(&mut buf, &encode_table(&part.table));
     }
 
     // --- Catalog ---
@@ -163,31 +181,32 @@ pub fn encode_sampler(sampler: &SmallGroupSampler) -> Vec<u8> {
     buf.put_u64_le(cat.view_rows as u64);
     buf.put_u32_le(cat.columns.len() as u32);
     for c in &cat.columns {
-        put_string(&mut buf, &c.name);
+        put_string(&mut buf, &c.name).map_err(AqpError::from)?;
         buf.put_u64_le(c.index as u64);
         buf.put_u64_le(c.num_common as u64);
         buf.put_u64_le(c.rows as u64);
     }
-    put_string_list(&mut buf, &cat.dropped_tau);
-    put_string_list(&mut buf, &cat.dropped_no_small_groups);
+    put_string_list(&mut buf, &cat.dropped_tau)?;
+    put_string_list(&mut buf, &cat.dropped_no_small_groups)?;
     buf.put_u64_le(cat.overall_rows as u64);
     buf.put_f64_le(cat.overall_rate);
     buf.put_u64_le(cat.total_bytes as u64);
 
-    buf.to_vec()
+    Ok(buf.to_vec())
 }
 
-/// Deserialise a sampler from bytes produced by [`encode_sampler`].
-pub fn decode_sampler(bytes: &[u8]) -> AqpResult<SmallGroupSampler> {
-    let mut buf = bytes;
-    if buf.remaining() < 6 || &buf[..4] != MAGIC {
-        return Err(corrupt("bad sampler magic"));
-    }
-    buf.advance(4);
-    let version = buf.get_u16_le();
-    if version != VERSION {
-        return Err(corrupt(format!("unsupported sampler version {version}")));
-    }
+/// Everything the metadata section describes, minus the tables themselves.
+struct Meta {
+    config: SmallGroupConfig,
+    view_rows: usize,
+    overall_rate: f64,
+    units: Vec<(SgUnit, CommonValues)>,
+    part_weights: Vec<f64>,
+    catalog: SampleCatalog,
+}
+
+fn decode_meta(meta: &[u8]) -> AqpResult<Meta> {
+    let mut buf = meta;
 
     // --- Config ---
     if buf.remaining() < 8 * 4 + 1 {
@@ -257,12 +276,12 @@ pub fn decode_sampler(bytes: &[u8]) -> AqpResult<SmallGroupSampler> {
     let view_rows = buf.get_u64_le() as usize;
     let overall_rate = buf.get_f64_le();
 
-    // --- Entries ---
+    // --- Entry metadata ---
     if buf.remaining() < 4 {
         return Err(corrupt("truncated entries"));
     }
     let n_entries = buf.get_u32_le() as usize;
-    let mut entries = Vec::with_capacity(n_entries.min(buf.remaining()));
+    let mut units = Vec::with_capacity(n_entries.min(buf.remaining()));
     for _ in 0..n_entries {
         if buf.remaining() < 1 {
             return Err(corrupt("truncated unit tag"));
@@ -300,24 +319,18 @@ pub fn decode_sampler(bytes: &[u8]) -> AqpResult<SmallGroupSampler> {
             }
             other => return Err(corrupt(format!("unknown common tag {other}"))),
         };
-        let table = decode_table(get_bytes(&mut buf)?).map_err(AqpError::from)?;
-        entries.push(SgEntry { unit, table, common });
+        units.push((unit, common));
     }
 
-    // --- Overall parts ---
+    // --- Overall part weights ---
     if buf.remaining() < 4 {
         return Err(corrupt("truncated overall parts"));
     }
     let n_parts = buf.get_u32_le() as usize;
-    let mut overall = Vec::with_capacity(n_parts.min(buf.remaining()));
-    for _ in 0..n_parts {
-        if buf.remaining() < 8 {
-            return Err(corrupt("truncated part weight"));
-        }
-        let weight = buf.get_f64_le();
-        let table = decode_table(get_bytes(&mut buf)?).map_err(AqpError::from)?;
-        overall.push(OverallPart { table, weight });
+    if buf.remaining() < n_parts.saturating_mul(8) {
+        return Err(corrupt("truncated part weights"));
     }
+    let part_weights: Vec<f64> = (0..n_parts).map(|_| buf.get_f64_le()).collect();
 
     // --- Catalog ---
     if buf.remaining() < 12 {
@@ -354,29 +367,226 @@ pub fn decode_sampler(bytes: &[u8]) -> AqpResult<SmallGroupSampler> {
     };
 
     if buf.has_remaining() {
-        return Err(corrupt(format!("{} trailing bytes", buf.remaining())));
+        return Err(corrupt(format!("{} trailing metadata bytes", buf.remaining())));
     }
 
-    Ok(SmallGroupSampler {
+    Ok(Meta {
         config,
         view_rows,
-        entries,
-        overall,
         overall_rate,
+        units,
+        part_weights,
         catalog,
     })
 }
 
-impl SmallGroupSampler {
-    /// Persist the whole sample family to a file.
-    pub fn save(&self, path: impl AsRef<std::path::Path>) -> std::io::Result<()> {
-        std::fs::write(path, encode_sampler(self))
+/// Serialise a sampler to bytes.
+pub fn encode_sampler(sampler: &SmallGroupSampler) -> AqpResult<Vec<u8>> {
+    let meta = encode_meta(sampler)?;
+
+    let mut body = Vec::new();
+    body.put_u64_le(meta.len() as u64);
+    body.put_u32_le(crc32c(&meta));
+    body.put_slice(&meta);
+    for entry in &sampler.entries {
+        put_bytes(&mut body, &encode_table(&entry.table).map_err(AqpError::from)?);
+    }
+    for part in &sampler.overall {
+        put_bytes(&mut body, &encode_table(&part.table).map_err(AqpError::from)?);
     }
 
-    /// Load a sample family previously written by [`Self::save`].
-    pub fn load(path: impl AsRef<std::path::Path>) -> std::io::Result<Self> {
-        let bytes = std::fs::read(path)?;
-        decode_sampler(&bytes).map_err(std::io::Error::other)
+    let mut out = Vec::with_capacity(HEADER_LEN + body.len());
+    out.put_slice(MAGIC);
+    out.put_u16_le(VERSION);
+    out.put_u32_le(crc32c(&body));
+    out.extend_from_slice(&body);
+    Ok(out)
+}
+
+/// Validate the header; on success return the body (post-header bytes) and
+/// the recorded file checksum.
+fn check_header(bytes: &[u8]) -> AqpResult<(&[u8], u32)> {
+    let mut buf = bytes;
+    if buf.remaining() < HEADER_LEN || &buf[..4] != MAGIC {
+        return Err(corrupt("bad sampler magic or truncated header"));
+    }
+    buf.advance(4);
+    let version = buf.get_u16_le();
+    if version != VERSION {
+        return Err(corrupt(format!(
+            "file is AQPS format v{version}, but this build reads v{VERSION}; \
+             re-run preprocessing with this build to regenerate the sample family"
+        )));
+    }
+    let file_crc = buf.get_u32_le();
+    Ok((buf, file_crc))
+}
+
+/// Assemble a sampler from decoded metadata plus per-slot tables.
+/// `tables[i] = None` means slot `i`'s table was corrupt (salvage mode);
+/// the slot is kept with an empty placeholder and marked disabled.
+fn assemble(meta: Meta, tables: Vec<Option<Table>>, parts: Vec<Table>) -> SmallGroupSampler {
+    let mut disabled = HashSet::new();
+    let entries: Vec<SgEntry> = meta
+        .units
+        .into_iter()
+        .zip(tables)
+        .enumerate()
+        .map(|(i, ((unit, common), table))| {
+            let table = table.unwrap_or_else(|| {
+                disabled.insert(i);
+                let schema = aqp_storage::Schema::new(Vec::new()).expect("empty schema");
+                Table::empty(format!("sg_{} (unavailable)", unit.name()), schema)
+            });
+            SgEntry { unit, table, common }
+        })
+        .collect();
+    let overall: Vec<OverallPart> = parts
+        .into_iter()
+        .zip(meta.part_weights)
+        .map(|(table, weight)| OverallPart { table, weight })
+        .collect();
+    SmallGroupSampler {
+        config: meta.config,
+        view_rows: meta.view_rows,
+        entries,
+        overall,
+        overall_rate: meta.overall_rate,
+        catalog: meta.catalog,
+        disabled,
+    }
+}
+
+/// Split the body into (metadata section, table blocks) and verify the
+/// metadata CRC.
+fn split_body<'a>(body: &mut &'a [u8]) -> AqpResult<&'a [u8]> {
+    if body.remaining() < 12 {
+        return Err(corrupt("truncated metadata header"));
+    }
+    let meta_len = body.get_u64_le() as usize;
+    let meta_crc = body.get_u32_le();
+    if body.remaining() < meta_len {
+        return Err(corrupt("truncated metadata section"));
+    }
+    let (meta, rest) = body.split_at(meta_len);
+    *body = rest;
+    let actual = crc32c(meta);
+    if actual != meta_crc {
+        return Err(corrupt(format!(
+            "metadata checksum mismatch (header says {meta_crc:#010x}, \
+             payload hashes to {actual:#010x})"
+        )));
+    }
+    Ok(meta)
+}
+
+/// Deserialise a sampler from bytes produced by [`encode_sampler`],
+/// rejecting any corruption outright.
+pub fn decode_sampler(bytes: &[u8]) -> AqpResult<SmallGroupSampler> {
+    let (mut body, file_crc) = check_header(bytes)?;
+    let actual = crc32c(body);
+    if actual != file_crc {
+        return Err(corrupt(format!(
+            "file checksum mismatch (header says {file_crc:#010x}, \
+             payload hashes to {actual:#010x})"
+        )));
+    }
+    let meta = decode_meta(split_body(&mut body)?)?;
+
+    let mut tables = Vec::with_capacity(meta.units.len());
+    for _ in 0..meta.units.len() {
+        tables.push(Some(decode_table(get_bytes(&mut body)?).map_err(AqpError::from)?));
+    }
+    let mut parts = Vec::with_capacity(meta.part_weights.len());
+    for _ in 0..meta.part_weights.len() {
+        parts.push(decode_table(get_bytes(&mut body)?).map_err(AqpError::from)?);
+    }
+    if body.has_remaining() {
+        return Err(corrupt(format!("{} trailing bytes", body.remaining())));
+    }
+    Ok(assemble(meta, tables, parts))
+}
+
+/// Best-effort deserialisation: recover as much of the sampler as the
+/// checksums can vouch for.
+///
+/// The metadata section and every overall-sample block must be intact
+/// (without them no sound answer can be formed). A small group table whose
+/// block fails its own checksum is *disabled* instead of failing the load:
+/// its slot is preserved (bitmask bit indices stay valid) and the overall
+/// sample serves its rows. Returns the sampler plus the names of the
+/// disabled units (empty = fully intact).
+pub fn decode_sampler_salvage(bytes: &[u8]) -> AqpResult<(SmallGroupSampler, Vec<String>)> {
+    // Deliberately skip the whole-file CRC: salvage exists precisely for
+    // files where it no longer matches.
+    let (mut body, _file_crc) = check_header(bytes)?;
+    let meta = decode_meta(split_body(&mut body)?)?;
+
+    let mut tables: Vec<Option<Table>> = Vec::with_capacity(meta.units.len());
+    let mut lost = Vec::new();
+    for (unit, _) in &meta.units {
+        match get_bytes(&mut body).and_then(|b| decode_table(b).map_err(AqpError::from)) {
+            Ok(t) => tables.push(Some(t)),
+            Err(_) => {
+                lost.push(unit.name());
+                tables.push(None);
+            }
+        }
+    }
+    let mut parts = Vec::with_capacity(meta.part_weights.len());
+    for _ in 0..meta.part_weights.len() {
+        let table = get_bytes(&mut body)
+            .and_then(|b| decode_table(b).map_err(AqpError::from))
+            .map_err(|e| corrupt(format!("overall sample unrecoverable: {e}")))?;
+        parts.push(table);
+    }
+    Ok((assemble(meta, tables, parts), lost))
+}
+
+impl SmallGroupSampler {
+    /// Persist the whole sample family to a file. The write goes to a
+    /// temporary file first and is renamed into place, so a crash mid-write
+    /// never leaves a half-written family at `path`.
+    pub fn save(&self, path: impl AsRef<std::path::Path>) -> AqpResult<()> {
+        let path = path.as_ref();
+        let bytes = encode_sampler(self)?;
+        fault::write_file_atomic(path, &bytes)
+            .map_err(|e| AqpError::Io(format!("{}: {e}", path.display())))
+    }
+
+    /// Load a sample family previously written by [`Self::save`],
+    /// rejecting corrupt files. A file that fails its checksums is
+    /// quarantined (renamed to `<path>.corrupt`) so repeated loads fail
+    /// fast with a missing-file error instead of re-parsing garbage;
+    /// unreadable-version files are left in place for migration.
+    pub fn load(path: impl AsRef<std::path::Path>) -> AqpResult<Self> {
+        let path = path.as_ref();
+        let bytes = fault::read_file(path)
+            .map_err(|e| AqpError::Io(format!("{}: {e}", path.display())))?;
+        match decode_sampler(&bytes) {
+            Ok(sampler) => Ok(sampler),
+            Err(e) => {
+                let is_version = matches!(
+                    &e,
+                    AqpError::Corrupt(msg) if msg.contains("this build reads")
+                );
+                if !is_version {
+                    let _ = fault::quarantine(path);
+                }
+                Err(e)
+            }
+        }
+    }
+
+    /// Load with salvage: recover a degraded-but-sound sampler from a
+    /// partially corrupt file (see [`decode_sampler_salvage`]). The file is
+    /// never quarantined — the caller decides what to do with it. Returns
+    /// the sampler and the names of any disabled units.
+    pub fn load_salvage(path: impl AsRef<std::path::Path>) -> AqpResult<(Self, Vec<String>)> {
+        let path = path.as_ref();
+        let bytes = fault::read_file(path)
+            .map_err(|e| AqpError::Io(format!("{}: {e}", path.display())))?;
+        decode_sampler_salvage(&bytes)
     }
 }
 
@@ -384,7 +594,7 @@ impl SmallGroupSampler {
 mod tests {
     use super::*;
     use crate::system::AqpSystem;
-    use aqp_storage::{DataType, SchemaBuilder, Table};
+    use aqp_storage::{DataType, SchemaBuilder};
     use aqp_query::Query;
 
     fn view() -> Table {
@@ -421,7 +631,7 @@ mod tests {
     #[test]
     fn roundtrip_preserves_answers() {
         let sampler = build();
-        let bytes = encode_sampler(&sampler);
+        let bytes = encode_sampler(&sampler).unwrap();
         let back = decode_sampler(&bytes).unwrap();
 
         assert_eq!(back.config(), sampler.config());
@@ -429,6 +639,7 @@ mod tests {
         assert_eq!(back.sample_columns(), sampler.sample_columns());
         assert_eq!(back.view_rows(), sampler.view_rows());
         assert!((back.overall_rate() - sampler.overall_rate()).abs() < 1e-15);
+        assert!(back.disabled_units().is_empty());
 
         // Identical answers on several queries.
         for q in [
@@ -463,7 +674,7 @@ mod tests {
             },
         )
         .unwrap();
-        let back = decode_sampler(&encode_sampler(&sampler)).unwrap();
+        let back = decode_sampler(&encode_sampler(&sampler).unwrap()).unwrap();
         assert_eq!(back.name(), "SmGroup+Outlier");
         let q = Query::builder().sum("x").group_by("g").build().unwrap();
         let a = sampler.answer(&q, 0.95).unwrap();
@@ -473,7 +684,7 @@ mod tests {
 
     #[test]
     fn corruption_detected_never_panics() {
-        let bytes = encode_sampler(&build());
+        let bytes = encode_sampler(&build()).unwrap();
         for len in 0..bytes.len().min(600) {
             assert!(decode_sampler(&bytes[..len]).is_err(), "prefix {len}");
         }
@@ -484,13 +695,109 @@ mod tests {
         let mut bad = bytes.clone();
         bad[0] = b'X';
         assert!(decode_sampler(&bad).is_err());
-        let mut bad = bytes;
+        let mut bad = bytes.clone();
         bad.push(7);
         assert!(decode_sampler(&bad).is_err());
+        // Any single byte flip past the header is caught by the file CRC.
+        for pos in [HEADER_LEN, HEADER_LEN + 13, bytes.len() / 2, bytes.len() - 1] {
+            let mut bad = bytes.clone();
+            bad[pos] ^= 0x10;
+            assert!(
+                matches!(decode_sampler(&bad), Err(AqpError::Corrupt(_))),
+                "flip at {pos}"
+            );
+        }
     }
 
     #[test]
-    fn file_roundtrip() {
+    fn version_error_is_actionable() {
+        let mut bytes = encode_sampler(&build()).unwrap();
+        bytes[4] = 2;
+        bytes[5] = 0;
+        match decode_sampler(&bytes) {
+            Err(AqpError::Corrupt(msg)) => {
+                assert!(msg.contains("v2"), "{msg}");
+                assert!(msg.contains(&format!("v{VERSION}")), "{msg}");
+                assert!(msg.contains("re-run preprocessing"), "{msg}");
+            }
+            other => panic!("expected version error, got {other:?}"),
+        }
+    }
+
+    /// Flip a byte inside the Nth embedded AQPT table block's payload.
+    fn corrupt_table_block(bytes: &mut [u8], nth: usize) {
+        let mut found = 0;
+        let mut i = HEADER_LEN;
+        while i + 4 <= bytes.len() {
+            if &bytes[i..i + 4] == b"AQPT" {
+                if found == nth {
+                    // Flip a byte safely inside the block's payload.
+                    bytes[i + 16] ^= 0x20;
+                    return;
+                }
+                found += 1;
+                i += 4;
+            } else {
+                i += 1;
+            }
+        }
+        panic!("table block {nth} not found");
+    }
+
+    #[test]
+    fn salvage_disables_corrupt_small_group_table() {
+        let sampler = build();
+        let mut bytes = encode_sampler(&sampler).unwrap();
+        // Block 0 is the first entry's table.
+        corrupt_table_block(&mut bytes, 0);
+
+        // Strict decode refuses the file outright.
+        assert!(matches!(decode_sampler(&bytes), Err(AqpError::Corrupt(_))));
+
+        // Salvage recovers everything else.
+        let (back, lost) = decode_sampler_salvage(&bytes).unwrap();
+        assert_eq!(lost.len(), 1);
+        assert_eq!(lost[0], sampler.sample_columns()[0]);
+        assert_eq!(back.disabled_units(), lost);
+        // Entry count (and thus bitmask indexing) is preserved.
+        assert_eq!(back.sample_columns(), sampler.sample_columns());
+
+        // The salvaged sampler still answers; the disabled unit's rows are
+        // served by the overall sample, so totals stay in the right range.
+        let q = Query::builder().count().group_by("g").build().unwrap();
+        assert!(back.query_touches_disabled(&q) || !lost.contains(&"g".to_owned()));
+        let ans = back.answer(&q, 0.95).unwrap();
+        let total: f64 = ans.groups.iter().map(|g| g.values[0].value()).sum();
+        assert!(total > 0.0);
+    }
+
+    #[test]
+    fn salvage_rejects_corrupt_meta_or_overall() {
+        let sampler = build();
+        let good = encode_sampler(&sampler).unwrap();
+
+        // Corrupt the metadata section (just past its 12-byte framing).
+        let mut bad = good.clone();
+        bad[HEADER_LEN + 12 + 4] ^= 0x08;
+        assert!(matches!(
+            decode_sampler_salvage(&bad),
+            Err(AqpError::Corrupt(_))
+        ));
+
+        // Corrupt the overall sample (last table block): unrecoverable.
+        let n_blocks = sampler.entries.len() + sampler.overall.len();
+        let mut bad = good.clone();
+        corrupt_table_block(&mut bad, n_blocks - 1);
+        match decode_sampler_salvage(&bad) {
+            Err(AqpError::Corrupt(msg)) => {
+                assert!(msg.contains("overall sample"), "{msg}")
+            }
+            other => panic!("expected corrupt overall, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn file_roundtrip_and_quarantine() {
         let sampler = build();
         let dir = std::env::temp_dir().join(format!("aqp_persist_{}", std::process::id()));
         std::fs::create_dir_all(&dir).unwrap();
@@ -498,6 +805,45 @@ mod tests {
         sampler.save(&path).unwrap();
         let back = SmallGroupSampler::load(&path).unwrap();
         assert_eq!(back.catalog(), sampler.catalog());
+
+        // Corrupt the file on disk: load fails and quarantines.
+        let mut bytes = std::fs::read(&path).unwrap();
+        let mid = bytes.len() / 2;
+        bytes[mid] ^= 1;
+        std::fs::write(&path, &bytes).unwrap();
+        assert!(matches!(SmallGroupSampler::load(&path), Err(AqpError::Corrupt(_))));
+        assert!(!path.exists(), "corrupt family quarantined");
+        let quarantined = dir.join("family.aqps.corrupt");
+        assert!(quarantined.exists());
+
+        // Salvage can still read the quarantined file (the flipped byte
+        // lands in some table block or is fatal — either way, no panic).
+        let _ = SmallGroupSampler::load_salvage(&quarantined);
+
+        // Missing file: Io error naming the path, no quarantine side-effects.
+        match SmallGroupSampler::load(&path) {
+            Err(AqpError::Io(msg)) => assert!(msg.contains("family.aqps")),
+            other => panic!("expected Io error, got {other:?}"),
+        }
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn old_version_file_not_quarantined() {
+        let sampler = build();
+        let dir = std::env::temp_dir().join(format!("aqp_persist_v_{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("family.aqps");
+        sampler.save(&path).unwrap();
+        let mut bytes = std::fs::read(&path).unwrap();
+        bytes[4] = 2;
+        bytes[5] = 0;
+        std::fs::write(&path, &bytes).unwrap();
+        match SmallGroupSampler::load(&path) {
+            Err(AqpError::Corrupt(msg)) => assert!(msg.contains("re-run preprocessing")),
+            other => panic!("expected version error, got {other:?}"),
+        }
+        assert!(path.exists(), "old-version file left in place for migration");
         std::fs::remove_dir_all(&dir).unwrap();
     }
 }

@@ -1,0 +1,505 @@
+//! Graceful degradation: keep answering queries when parts of the sample
+//! family are missing or corrupt.
+//!
+//! The paper's middleware sits between applications and the warehouse; an
+//! operational deployment of it must survive the sample store rotting
+//! underneath it. [`ResilientSystem`] wraps the primary
+//! [`SmallGroupSampler`] and answers every query down a *degradation
+//! ladder*:
+//!
+//! 1. **primary** — the full small-group plan (Section 4.2.2);
+//! 2. **degraded** — the same plan, but one or more small group tables were
+//!    disabled by a salvaged load; the overall sample covers their rows;
+//! 3. **overall** — only the uniform overall sample (no small group
+//!    tables);
+//! 4. **exact** — scan the base view directly (also the only rung that can
+//!    serve MIN/MAX, which sampling cannot bound).
+//!
+//! Every answer is tagged with the [`ServingTier`] that produced it, and an
+//! optional per-query *row budget* picks the highest rung whose scan cost
+//! fits — a budget-capped exact scan inflates weights by `N/k` and flags
+//! the answer [`ApproxAnswer::partial`].
+
+use crate::answer::{state_to_estimate, ApproxAnswer, ApproxGroup, ApproxValue, ServingTier};
+use crate::error::{AqpError, AqpResult};
+use crate::smallgroup::SmallGroupSampler;
+use crate::system::AqpSystem;
+use aqp_query::{execute, AggFunc, DataSource, ExecOptions, Query, Weighting};
+use aqp_sampling::Estimate;
+use aqp_storage::Table;
+use std::fmt;
+use std::path::Path;
+
+/// What [`ResilientSystem::open`] found on disk.
+#[derive(Debug, Clone, Default)]
+pub struct OpenReport {
+    /// The family loaded with every checksum passing.
+    pub primary_intact: bool,
+    /// Units disabled by a salvaged load (empty when intact).
+    pub disabled_units: Vec<String>,
+    /// Why the primary is absent or degraded, for operator logs.
+    pub primary_error: Option<String>,
+}
+
+/// An [`AqpSystem`] that never refuses a query it can possibly serve: it
+/// walks the degradation ladder (primary sampler → overall sample → exact
+/// base-table scan) instead of surfacing missing/corrupt-sample errors.
+#[derive(Debug, Clone)]
+pub struct ResilientSystem {
+    primary: Option<SmallGroupSampler>,
+    view: Option<Table>,
+    row_budget: Option<usize>,
+    name: String,
+}
+
+impl ResilientSystem {
+    /// Wrap an in-memory sampler.
+    pub fn from_sampler(sampler: SmallGroupSampler) -> Self {
+        let name = format!("Resilient({})", sampler.name());
+        ResilientSystem {
+            primary: Some(sampler),
+            view: None,
+            row_budget: None,
+            name,
+        }
+    }
+
+    /// A system with no sample family at all — every query is served from
+    /// the base view at the exact tier.
+    pub fn exact_only(view: Table) -> Self {
+        ResilientSystem {
+            primary: None,
+            view: Some(view),
+            row_budget: None,
+            name: "Resilient(exact)".into(),
+        }
+    }
+
+    /// Open a persisted sample family, degrading instead of failing:
+    /// a fully intact file yields a primary sampler; a partially corrupt
+    /// one is salvaged with the lost units disabled; an unreadable one
+    /// yields a system with no primary (attach a view with
+    /// [`Self::with_view`] so the exact tier can serve). The report says
+    /// which of those happened.
+    pub fn open(path: impl AsRef<Path>) -> (Self, OpenReport) {
+        let path = path.as_ref();
+        match SmallGroupSampler::load(path) {
+            Ok(sampler) => {
+                let report = OpenReport {
+                    primary_intact: true,
+                    ..OpenReport::default()
+                };
+                (Self::from_sampler(sampler), report)
+            }
+            Err(load_err) => {
+                // load() quarantines corrupt files; retry the salvage
+                // against wherever the bytes now live.
+                let quarantined = quarantine_path(path);
+                let salvage_target = if quarantined.exists() { &quarantined } else { path };
+                match SmallGroupSampler::load_salvage(salvage_target) {
+                    Ok((sampler, lost)) if !lost.is_empty() => {
+                        let report = OpenReport {
+                            primary_intact: false,
+                            disabled_units: lost,
+                            primary_error: Some(load_err.to_string()),
+                        };
+                        (Self::from_sampler(sampler), report)
+                    }
+                    Ok((sampler, _)) => {
+                        // Salvage found nothing wrong with the tables; the
+                        // damage was confined to the whole-file checksum
+                        // framing. Serve at full strength but report it.
+                        let report = OpenReport {
+                            primary_intact: false,
+                            disabled_units: Vec::new(),
+                            primary_error: Some(load_err.to_string()),
+                        };
+                        (Self::from_sampler(sampler), report)
+                    }
+                    Err(salvage_err) => {
+                        let report = OpenReport {
+                            primary_intact: false,
+                            disabled_units: Vec::new(),
+                            primary_error: Some(format!("{load_err}; salvage: {salvage_err}")),
+                        };
+                        let sys = ResilientSystem {
+                            primary: None,
+                            view: None,
+                            row_budget: None,
+                            name: "Resilient(exact)".into(),
+                        };
+                        (sys, report)
+                    }
+                }
+            }
+        }
+    }
+
+    /// Attach the base view, enabling the exact tier (and MIN/MAX).
+    pub fn with_view(mut self, view: Table) -> Self {
+        self.view = Some(view);
+        self
+    }
+
+    /// Cap the rows any single query may scan. Tiers whose plan exceeds
+    /// the budget are skipped; a budget-capped exact scan is flagged
+    /// [`ApproxAnswer::partial`].
+    pub fn with_row_budget(mut self, budget: usize) -> Self {
+        self.row_budget = Some(budget);
+        self
+    }
+
+    /// The wrapped primary sampler, if one loaded.
+    pub fn primary(&self) -> Option<&SmallGroupSampler> {
+        self.primary.as_ref()
+    }
+
+    fn fits(&self, rows: usize) -> bool {
+        self.row_budget.is_none_or(|b| rows <= b)
+    }
+
+    /// The exact rung: scan the base view, optionally budget-capped with
+    /// `N/k` weight inflation. The only rung that can serve MIN/MAX.
+    fn answer_exact(&self, query: &Query, confidence: f64) -> AqpResult<ApproxAnswer> {
+        let view = self.view.as_ref().ok_or_else(|| {
+            AqpError::Unsupported(
+                "no tier can serve this query: sample family unavailable and \
+                 no base view attached for exact fallback"
+                    .into(),
+            )
+        })?;
+        let n = view.num_rows();
+        let limit = self.row_budget.filter(|&b| b < n);
+        let weight = match limit {
+            // A truncated scan stands in for the whole view: inflate each
+            // row by N/k so estimates stay centred, and let the w(w−1)
+            // accumulators widen the intervals honestly.
+            Some(k) if k > 0 => Weighting::Constant(n as f64 / k as f64),
+            _ => Weighting::Unweighted,
+        };
+        let opts = ExecOptions {
+            weight,
+            row_limit: limit,
+            ..ExecOptions::default()
+        };
+        let out = execute(&DataSource::Wide(view), query, &opts)?;
+        let truncated = out.truncated;
+        let exact = !truncated;
+
+        let mut groups = Vec::with_capacity(out.groups.len());
+        for g in out.groups {
+            let values = query
+                .aggregates
+                .iter()
+                .zip(&g.aggs)
+                .map(|(agg, state)| {
+                    let estimate = match agg.func {
+                        AggFunc::Min | AggFunc::Max => {
+                            let v = if agg.func == AggFunc::Min { state.min } else { state.max };
+                            if exact {
+                                Estimate::exact(v)
+                            } else {
+                                // Extrema over a prefix bound nothing about
+                                // the unseen rows: infinite variance keeps
+                                // the interval honest.
+                                Estimate::with_variance(v, f64::INFINITY)
+                            }
+                        }
+                        _ => state_to_estimate(agg.func, state, exact)
+                            .unwrap_or_else(|| Estimate::with_variance(0.0, f64::INFINITY)),
+                    };
+                    ApproxValue {
+                        estimate,
+                        ci: estimate.confidence_interval(confidence),
+                    }
+                })
+                .collect();
+            groups.push(ApproxGroup { key: g.key, values });
+        }
+        Ok(ApproxAnswer {
+            group_names: query.group_by.clone(),
+            agg_aliases: query.aggregates.iter().map(|a| a.alias.clone()).collect(),
+            groups,
+            rows_scanned: out.rows_scanned,
+            tier: ServingTier::Exact,
+            partial: truncated,
+        })
+    }
+}
+
+fn quarantine_path(path: &Path) -> std::path::PathBuf {
+    let mut name = path.file_name().unwrap_or_default().to_os_string();
+    name.push(".corrupt");
+    path.with_file_name(name)
+}
+
+impl AqpSystem for ResilientSystem {
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn answer(&self, query: &Query, confidence: f64) -> AqpResult<ApproxAnswer> {
+        // MIN/MAX can only be served exactly.
+        if !query.estimable() {
+            return self.answer_exact(query, confidence);
+        }
+
+        if let Some(primary) = &self.primary {
+            // Rung 1/2: the full small-group plan, tagged degraded when a
+            // disabled table's rows are being covered by the overall sample.
+            if self.fits(primary.runtime_rows(query)) {
+                match primary.answer(query, confidence) {
+                    Ok(mut ans) => {
+                        ans.tier = if primary.query_touches_disabled(query) {
+                            ServingTier::DegradedPrimary
+                        } else {
+                            ServingTier::Primary
+                        };
+                        return Ok(ans);
+                    }
+                    Err(AqpError::Query(_)) | Err(AqpError::Unsupported(_)) => {
+                        // Fall through to the next rung.
+                    }
+                    Err(e) => return Err(e),
+                }
+            }
+            // Rung 3: overall sample only.
+            let overall_rows = primary.catalog().overall_rows;
+            if self.fits(overall_rows) || self.view.is_none() {
+                if let Ok(mut ans) = primary.answer_overall_only(query, confidence) {
+                    ans.tier = ServingTier::Overall;
+                    // Over budget with nowhere cheaper to go: serve it
+                    // anyway rather than refuse — degradation, not denial.
+                    return Ok(ans);
+                }
+            }
+        }
+
+        // Rung 4: exact scan of the base view (budget-capped if needed).
+        self.answer_exact(query, confidence)
+    }
+
+    fn sample_bytes(&self) -> usize {
+        self.primary.as_ref().map_or(0, |p| p.sample_bytes())
+    }
+
+    fn runtime_rows(&self, query: &Query) -> usize {
+        match &self.primary {
+            Some(p) => {
+                let rows = p.runtime_rows(query);
+                if self.fits(rows) {
+                    rows
+                } else {
+                    p.catalog().overall_rows
+                }
+            }
+            None => {
+                let n = self.view.as_ref().map_or(0, |v| v.num_rows());
+                self.row_budget.map_or(n, |b| n.min(b))
+            }
+        }
+    }
+}
+
+/// Per-tier tallies across a workload, for harness and CLI reporting.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct TierCounts {
+    /// Answers served at [`ServingTier::Primary`].
+    pub primary: usize,
+    /// Answers served at [`ServingTier::DegradedPrimary`].
+    pub degraded: usize,
+    /// Answers served at [`ServingTier::Overall`].
+    pub overall: usize,
+    /// Answers served at [`ServingTier::Exact`].
+    pub exact: usize,
+    /// Answers flagged partial (budget-truncated), across all tiers.
+    pub partial: usize,
+}
+
+impl TierCounts {
+    /// Fold one answer into the tallies.
+    pub fn record(&mut self, answer: &ApproxAnswer) {
+        match answer.tier {
+            ServingTier::Primary => self.primary += 1,
+            ServingTier::DegradedPrimary => self.degraded += 1,
+            ServingTier::Overall => self.overall += 1,
+            ServingTier::Exact => self.exact += 1,
+        }
+        if answer.partial {
+            self.partial += 1;
+        }
+    }
+
+    /// Total answers recorded.
+    pub fn total(&self) -> usize {
+        self.primary + self.degraded + self.overall + self.exact
+    }
+
+    /// How many answers were served below the primary tier.
+    pub fn degraded_total(&self) -> usize {
+        self.degraded + self.overall + self.exact
+    }
+}
+
+impl fmt::Display for TierCounts {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "primary {} · degraded {} · overall {} · exact {} (partial {})",
+            self.primary, self.degraded, self.overall, self.exact, self.partial
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::smallgroup::SmallGroupConfig;
+    use aqp_query::AggExpr;
+    use aqp_storage::{DataType, SchemaBuilder, Value};
+
+    fn view() -> Table {
+        let schema = SchemaBuilder::new()
+            .field("g", DataType::Utf8)
+            .field("x", DataType::Float64)
+            .build()
+            .unwrap();
+        let mut t = Table::empty("v", schema);
+        for i in 0..200 {
+            let g = if i % 20 == 0 { "rare" } else { "common" };
+            t.push_row(&[g.into(), (i as f64).into()]).unwrap();
+        }
+        t
+    }
+
+    fn sampler() -> SmallGroupSampler {
+        SmallGroupSampler::build(
+            &view(),
+            SmallGroupConfig {
+                base_rate: 0.2,
+                small_group_fraction: 0.1,
+                seed: 7,
+                exclude_columns: vec!["x".into()],
+                ..Default::default()
+            },
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn healthy_system_serves_primary() {
+        let sys = ResilientSystem::from_sampler(sampler());
+        let q = Query::builder().count().group_by("g").build().unwrap();
+        let ans = sys.answer(&q, 0.95).unwrap();
+        assert_eq!(ans.tier, ServingTier::Primary);
+        assert!(!ans.partial);
+        assert!(sys.name().contains("SmGroup"));
+        assert!(sys.sample_bytes() > 0);
+    }
+
+    #[test]
+    fn min_max_served_by_exact_tier() {
+        let sys = ResilientSystem::from_sampler(sampler()).with_view(view());
+        let q = Query::builder()
+            .aggregate(AggExpr::min("x", "mn"))
+            .aggregate(AggExpr::max("x", "mx"))
+            .build()
+            .unwrap();
+        let ans = sys.answer(&q, 0.95).unwrap();
+        assert_eq!(ans.tier, ServingTier::Exact);
+        assert_eq!(ans.groups[0].values[0].value(), 0.0);
+        assert_eq!(ans.groups[0].values[1].value(), 199.0);
+        assert!(ans.groups[0].values[0].is_exact());
+
+        // Without a view, MIN/MAX has no serving tier.
+        let sys = ResilientSystem::from_sampler(sampler());
+        assert!(matches!(sys.answer(&q, 0.95), Err(AqpError::Unsupported(_))));
+    }
+
+    #[test]
+    fn budget_steps_down_to_overall() {
+        let s = sampler();
+        let q = Query::builder().count().group_by("g").build().unwrap();
+        let primary_cost = s.runtime_rows(&q);
+        let overall_cost = s.catalog().overall_rows;
+        assert!(overall_cost < primary_cost);
+
+        let sys = ResilientSystem::from_sampler(s).with_row_budget(overall_cost);
+        let ans = sys.answer(&q, 0.95).unwrap();
+        assert_eq!(ans.tier, ServingTier::Overall);
+        assert!(sys.runtime_rows(&q) <= overall_cost);
+    }
+
+    #[test]
+    fn budget_caps_exact_scan_and_flags_partial() {
+        let sys = ResilientSystem::exact_only(view()).with_row_budget(50);
+        let q = Query::builder().count().build().unwrap();
+        let ans = sys.answer(&q, 0.95).unwrap();
+        assert_eq!(ans.tier, ServingTier::Exact);
+        assert!(ans.partial);
+        assert_eq!(ans.rows_scanned, 50);
+        // N/k inflation keeps COUNT centred: 50 rows × 4.0 = 200.
+        assert!((ans.groups[0].values[0].value() - 200.0).abs() < 1e-9);
+        assert!(!ans.groups[0].values[0].is_exact());
+
+        // Without a budget the scan is exact and complete.
+        let sys = ResilientSystem::exact_only(view());
+        let ans = sys.answer(&q, 0.95).unwrap();
+        assert!(!ans.partial);
+        assert!(ans.groups[0].values[0].is_exact());
+        assert_eq!(ans.groups[0].values[0].value(), 200.0);
+    }
+
+    #[test]
+    fn open_missing_file_degrades_to_exact() {
+        let dir = std::env::temp_dir().join(format!("aqp_resil_open_{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let (sys, report) = ResilientSystem::open(dir.join("nope.aqps"));
+        assert!(!report.primary_intact);
+        assert!(report.primary_error.is_some());
+        let sys = sys.with_view(view());
+        let q = Query::builder().count().group_by("g").build().unwrap();
+        let ans = sys.answer(&q, 0.95).unwrap();
+        assert_eq!(ans.tier, ServingTier::Exact);
+        assert_eq!(
+            ans.group(&[Value::Utf8("rare".into())]).unwrap().values[0].value(),
+            10.0
+        );
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn open_intact_file() {
+        let dir = std::env::temp_dir().join(format!("aqp_resil_ok_{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("family.aqps");
+        sampler().save(&path).unwrap();
+        let (sys, report) = ResilientSystem::open(&path);
+        assert!(report.primary_intact);
+        assert!(report.disabled_units.is_empty());
+        let q = Query::builder().count().group_by("g").build().unwrap();
+        assert_eq!(sys.answer(&q, 0.95).unwrap().tier, ServingTier::Primary);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn tier_counts_roll_up() {
+        let mut counts = TierCounts::default();
+        let mut ans = ApproxAnswer::default();
+        counts.record(&ans);
+        ans.tier = ServingTier::Exact;
+        ans.partial = true;
+        counts.record(&ans);
+        ans.tier = ServingTier::Overall;
+        ans.partial = false;
+        counts.record(&ans);
+        assert_eq!(counts.total(), 3);
+        assert_eq!(counts.primary, 1);
+        assert_eq!(counts.exact, 1);
+        assert_eq!(counts.overall, 1);
+        assert_eq!(counts.partial, 1);
+        assert_eq!(counts.degraded_total(), 2);
+        let s = counts.to_string();
+        assert!(s.contains("primary 1") && s.contains("partial 1"), "{s}");
+    }
+}

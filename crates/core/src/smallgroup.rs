@@ -219,6 +219,12 @@ pub struct SmallGroupSampler {
     pub(crate) overall: Vec<OverallPart>,
     pub(crate) overall_rate: f64,
     pub(crate) catalog: SampleCatalog,
+    /// Indices of entries whose small group table is unavailable (salvaged
+    /// from a partially corrupt file). Disabled entries keep their slot so
+    /// bitmask bit indices stay valid, but runtime plans never scan them —
+    /// their rows are served by the overall sample instead, exactly like
+    /// tables skipped by [`SmallGroupConfig::max_tables_per_query`].
+    pub(crate) disabled: HashSet<usize>,
 }
 
 impl SmallGroupSampler {
@@ -284,18 +290,17 @@ impl SmallGroupSampler {
             // chunk of (frequency counter, accessor) pairs.
             let threads = config.preprocess_threads.min(freqs.len());
             let chunk = freqs.len().div_ceil(threads);
-            crossbeam::thread::scope(|s| {
+            std::thread::scope(|s| {
                 for (freq_chunk, acc_chunk) in
                     freqs.chunks_mut(chunk).zip(accessors.chunks(chunk))
                 {
-                    s.spawn(move |_| {
+                    s.spawn(move || {
                         for (freq, acc) in freq_chunk.iter_mut().zip(acc_chunk) {
                             count_unit(freq, acc);
                         }
                     });
                 }
-            })
-            .expect("preprocessing scope");
+            });
         } else {
             for (freq, acc) in freqs.iter_mut().zip(&accessors) {
                 count_unit(freq, acc);
@@ -545,6 +550,7 @@ impl SmallGroupSampler {
             overall,
             overall_rate,
             catalog,
+            disabled: HashSet::new(),
         })
     }
 
@@ -648,7 +654,7 @@ impl SmallGroupSampler {
             .entries
             .iter()
             .enumerate()
-            .filter(|(_, e)| e.unit.applies(&query.group_by))
+            .filter(|(i, e)| !self.disabled.contains(i) && e.unit.applies(&query.group_by))
             .map(|(i, _)| i)
             .collect();
         if let Some(cap) = self.config.max_tables_per_query {
@@ -660,6 +666,48 @@ impl SmallGroupSampler {
             }
         }
         units
+    }
+
+    /// Names of sample units whose tables are unavailable (salvaged loads).
+    pub fn disabled_units(&self) -> Vec<String> {
+        let mut names: Vec<(usize, String)> = self
+            .disabled
+            .iter()
+            .filter_map(|&i| self.entries.get(i).map(|e| (i, e.unit.name())))
+            .collect();
+        names.sort_by_key(|(i, _)| *i);
+        names.into_iter().map(|(_, n)| n).collect()
+    }
+
+    /// Whether a query's preferred plan would have used a sample table that
+    /// is currently disabled — i.e. serving it from this sampler degrades
+    /// it to the overall sample for those rows.
+    pub fn query_touches_disabled(&self, query: &Query) -> bool {
+        self.disabled
+            .iter()
+            .any(|&i| self.entries[i].unit.applies(&query.group_by))
+    }
+
+    /// Answer using only the uniform overall sample, ignoring every small
+    /// group table — the middle rung of the degradation ladder. No group is
+    /// exact (unless the overall sample holds 100 % of the rows).
+    pub fn answer_overall_only(&self, query: &Query, confidence: f64) -> AqpResult<ApproxAnswer> {
+        if !query.estimable() {
+            return Err(AqpError::Unsupported(
+                "MIN/MAX aggregates cannot be estimated from samples".into(),
+            ));
+        }
+        let parts: Vec<Part<'_>> = self
+            .overall
+            .iter()
+            .map(|p| Part {
+                table: &p.table,
+                mask: None,
+                weighting: PartWeight::Constant(p.weight),
+            })
+            .collect();
+        let exact = self.overall_rate >= 1.0;
+        answer_from_parts(query, &parts, confidence, &|_| exact)
     }
 }
 

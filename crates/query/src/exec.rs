@@ -12,7 +12,7 @@
 //!   a given mask are skipped, which is the paper's
 //!   `WHERE bitmask & M = 0` double-counting filter (Section 4.2.2);
 //! * **parallel partitions** — the scan can be split across threads with
-//!   per-thread hash tables merged at the end (crossbeam scoped threads).
+//!   per-thread hash tables merged at the end (std scoped threads).
 
 use crate::error::{QueryError, QueryResult};
 use crate::expr::{CmpOp, Expr};
@@ -57,6 +57,10 @@ pub struct ExecOptions<'a> {
     pub bitmask_exclude: Option<&'a BitSet>,
     /// Number of scan partitions (1 = serial).
     pub parallelism: usize,
+    /// Stop the scan after this many rows (a per-query budget used by
+    /// degraded serving). [`QueryOutput::truncated`] reports whether the
+    /// limit actually cut the scan short.
+    pub row_limit: Option<usize>,
 }
 
 impl Default for ExecOptions<'static> {
@@ -65,6 +69,7 @@ impl Default for ExecOptions<'static> {
             weight: Weighting::Unweighted,
             bitmask_exclude: None,
             parallelism: 1,
+            row_limit: None,
         }
     }
 }
@@ -143,7 +148,12 @@ pub fn execute(
         None => None,
     };
 
-    let n = source.num_rows();
+    let total_rows = source.num_rows();
+    let n = match opts.row_limit {
+        Some(limit) => total_rows.min(limit),
+        None => total_rows,
+    };
+    let truncated = n < total_rows;
     let num_aggs = query.aggregates.len();
     let scan = Scan {
         group_cols: &group_cols,
@@ -189,6 +199,8 @@ pub fn execute(
         group_names: query.group_by.clone(),
         agg_aliases: query.aggregates.iter().map(|a| a.alias.clone()).collect(),
         groups: out_groups,
+        rows_scanned: n,
+        truncated,
     })
 }
 
@@ -304,12 +316,12 @@ fn run_parallel(
     let chunk_size = n.div_ceil(chunks);
     let mut partials: Vec<HashMap<GroupKey, Vec<AggState>>> = Vec::new();
 
-    crossbeam::thread::scope(|s| {
+    std::thread::scope(|s| {
         let handles: Vec<_> = (0..chunks)
             .map(|c| {
                 let start = c * chunk_size;
                 let end = ((c + 1) * chunk_size).min(n);
-                s.spawn(move |_| {
+                s.spawn(move || {
                     let mut map = HashMap::new();
                     if start < end {
                         scan.run_range(start, end, num_aggs, &mut map);
@@ -321,8 +333,7 @@ fn run_parallel(
         for h in handles {
             partials.push(h.join().expect("scan partition panicked"));
         }
-    })
-    .expect("crossbeam scope failed");
+    });
 
     // Merge per-thread maps into the largest one.
     partials.sort_by_key(|m| std::cmp::Reverse(m.len()));
@@ -875,6 +886,30 @@ mod tests {
             assert_eq!(a.aggs[0].rows, b.aggs[0].rows);
             assert!((a.aggs[1].sum_wx - b.aggs[1].sum_wx).abs() < 1e-6);
         }
+    }
+
+    #[test]
+    fn row_limit_truncates_scan() {
+        let t = table();
+        let q = count_query(&[]);
+        let opts = ExecOptions {
+            row_limit: Some(4),
+            ..ExecOptions::default()
+        };
+        let out = execute(&DataSource::Wide(&t), &q, &opts).unwrap();
+        assert_eq!(out.groups[0].aggs[0].rows, 4);
+        assert_eq!(out.rows_scanned, 4);
+        assert!(out.truncated);
+
+        // A limit at least as large as the table is a no-op.
+        let opts = ExecOptions {
+            row_limit: Some(100),
+            ..ExecOptions::default()
+        };
+        let out = execute(&DataSource::Wide(&t), &q, &opts).unwrap();
+        assert_eq!(out.groups[0].aggs[0].rows, 7);
+        assert_eq!(out.rows_scanned, 7);
+        assert!(!out.truncated);
     }
 
     #[test]

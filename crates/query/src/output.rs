@@ -125,6 +125,11 @@ pub struct QueryOutput {
     pub agg_aliases: Vec<String>,
     /// The groups, in unspecified order.
     pub groups: Vec<GroupResult>,
+    /// Number of rows the scan actually visited (before predicates).
+    pub rows_scanned: usize,
+    /// True when [`crate::ExecOptions::row_limit`] cut the scan short, so
+    /// the tallies cover only a prefix of the source.
+    pub truncated: bool,
 }
 
 impl QueryOutput {
@@ -210,6 +215,7 @@ mod tests {
                 GroupResult { key: vec![Value::Int64(1)], aggs: vec![AggState::new()] },
                 GroupResult { key: vec![Value::Int64(2)], aggs: vec![AggState::new()] },
             ],
+            ..QueryOutput::default()
         };
         assert_eq!(out.num_groups(), 2);
         assert!(out.group(&[Value::Int64(2)]).is_some());
@@ -227,6 +233,7 @@ mod tests {
                 GroupResult { key: vec![Value::Int64(5)], aggs: vec![] },
                 GroupResult { key: vec![Value::Int64(1)], aggs: vec![] },
             ],
+            ..QueryOutput::default()
         };
         out.sort_by_key();
         assert_eq!(out.groups[0].key, vec![Value::Int64(1)]);

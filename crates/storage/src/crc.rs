@@ -1,0 +1,65 @@
+//! CRC32C (Castagnoli) checksums for persisted files.
+//!
+//! Both binary codecs (`AQPT` tables, `AQPS` sample families) protect their
+//! payloads with a CRC32C so that torn writes, truncation, and bit rot are
+//! detected on load instead of silently misparsing. The Castagnoli
+//! polynomial is the one used by iSCSI, ext4, and most storage systems; the
+//! implementation is a plain byte-at-a-time table lookup (built at compile
+//! time) — plenty fast for sample-family-sized files and dependency-free.
+
+/// Reflected CRC32C (Castagnoli) polynomial.
+const POLY: u32 = 0x82F6_3B78;
+
+const fn build_table() -> [u32; 256] {
+    let mut table = [0u32; 256];
+    let mut i = 0;
+    while i < 256 {
+        let mut crc = i as u32;
+        let mut bit = 0;
+        while bit < 8 {
+            crc = if crc & 1 != 0 { (crc >> 1) ^ POLY } else { crc >> 1 };
+            bit += 1;
+        }
+        table[i] = crc;
+        i += 1;
+    }
+    table
+}
+
+static TABLE: [u32; 256] = build_table();
+
+/// CRC32C of `bytes`.
+pub fn crc32c(bytes: &[u8]) -> u32 {
+    let mut crc = !0u32;
+    for &b in bytes {
+        crc = (crc >> 8) ^ TABLE[((crc ^ u32::from(b)) & 0xFF) as usize];
+    }
+    !crc
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn known_vectors() {
+        // The standard CRC32C check value.
+        assert_eq!(crc32c(b"123456789"), 0xE306_9283);
+        assert_eq!(crc32c(b""), 0);
+        // 32 zero bytes, another published vector.
+        assert_eq!(crc32c(&[0u8; 32]), 0x8A91_36AA);
+    }
+
+    #[test]
+    fn sensitive_to_any_single_bit_flip() {
+        let data: Vec<u8> = (0..=255u8).collect();
+        let base = crc32c(&data);
+        for byte in [0usize, 17, 128, 255] {
+            for bit in 0..8 {
+                let mut flipped = data.clone();
+                flipped[byte] ^= 1 << bit;
+                assert_ne!(crc32c(&flipped), base, "byte {byte} bit {bit}");
+            }
+        }
+    }
+}

@@ -40,6 +40,23 @@ pub enum StorageError {
     DuplicateField(String),
     /// Persisted table data was malformed or truncated.
     Codec(String),
+    /// Stored checksum disagrees with the checksum of the loaded payload:
+    /// the file was corrupted after it was written (bit rot, torn write).
+    ChecksumMismatch {
+        /// Checksum recorded in the file header.
+        expected: u32,
+        /// Checksum computed over the payload actually read.
+        actual: u32,
+    },
+    /// Persisted file has a format version this build cannot read.
+    Version {
+        /// Version found in the file header.
+        found: u16,
+        /// Version this build reads and writes.
+        supported: u16,
+    },
+    /// Underlying file IO failed; the message includes the path.
+    Io(String),
 }
 
 impl fmt::Display for StorageError {
@@ -60,6 +77,17 @@ impl fmt::Display for StorageError {
             StorageError::SchemaMismatch(msg) => write!(f, "schema mismatch: {msg}"),
             StorageError::DuplicateField(name) => write!(f, "duplicate field name: {name:?}"),
             StorageError::Codec(msg) => write!(f, "codec error: {msg}"),
+            StorageError::ChecksumMismatch { expected, actual } => write!(
+                f,
+                "checksum mismatch: header says {expected:#010x}, payload hashes to \
+                 {actual:#010x} — the file is corrupt"
+            ),
+            StorageError::Version { found, supported } => write!(
+                f,
+                "unsupported format version {found}: this build reads v{supported}; \
+                 re-export the file with a matching build to migrate it"
+            ),
+            StorageError::Io(msg) => write!(f, "io error: {msg}"),
         }
     }
 }

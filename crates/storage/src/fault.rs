@@ -1,0 +1,360 @@
+//! Deterministic fault injection for storage IO.
+//!
+//! Corruption, torn writes, and flaky disks are hard to reproduce with
+//! hand-crafted byte surgery. This failpoint-style layer lets tests (and CI
+//! fault-matrix jobs) inject storage faults deterministically: every file
+//! read and write performed by the persistence codecs goes through
+//! [`read_file`] / [`write_file_atomic`], which consult the currently
+//! installed [`FaultPlan`].
+//!
+//! Faults are installed two ways:
+//!
+//! * **Programmatically** — [`install`] returns a [`FaultGuard`]; the plan
+//!   is active until the guard drops. Installation also serializes tests
+//!   through a global lock so concurrent tests cannot see each other's
+//!   faults.
+//! * **Environment-driven** — the `AQP_FAULTS` variable is parsed once per
+//!   process, e.g. `AQP_FAULTS=bitflip@700:envfault`. This is how the CI
+//!   fault matrix runs the integration suite once per fault class without
+//!   code changes.
+//!
+//! The spec grammar is `kind[@arg][:path-substring]`:
+//!
+//! | spec | effect |
+//! |---|---|
+//! | `missing` | reads fail with `NotFound` |
+//! | `read-err@N` | the (N+1)-th matching read fails with an IO error |
+//! | `write-err@N` | the (N+1)-th matching write fails mid-write (torn temp file, destination untouched) |
+//! | `truncate@N` | reads observe only the first N bytes of the file |
+//! | `bitflip@N` | reads observe bit 0 of byte N (mod file length) flipped |
+//!
+//! The optional `:path-substring` scopes the fault to paths containing the
+//! substring, so a fault aimed at one file cannot perturb unrelated IO.
+//! Read-side corruption (`truncate`, `bitflip`) never modifies the on-disk
+//! file — it simulates media corruption while keeping the original bytes
+//! available for post-mortem.
+
+use std::io;
+use std::path::{Path, PathBuf};
+use std::sync::{Mutex, MutexGuard, OnceLock};
+
+/// One class of injected storage fault.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Fault {
+    /// Reads observe only the first N bytes.
+    TruncateAt(usize),
+    /// Reads observe bit 0 of byte N (mod file length) flipped.
+    BitFlip(usize),
+    /// The (nth+1)-th matching read fails with an IO error.
+    ReadErr {
+        /// 0-based index of the failing read.
+        nth: usize,
+    },
+    /// The (nth+1)-th matching write fails after writing half the temp
+    /// file, simulating a crash mid-write. The destination is untouched.
+    WriteErr {
+        /// 0-based index of the failing write.
+        nth: usize,
+    },
+    /// Reads fail with `NotFound`, as if the file were deleted.
+    Missing,
+}
+
+/// A fault plus the paths it applies to.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FaultPlan {
+    /// What goes wrong.
+    pub fault: Fault,
+    /// Only paths containing this substring are affected (`None` = all).
+    pub path_substr: Option<String>,
+}
+
+impl FaultPlan {
+    /// A plan affecting every path.
+    pub fn new(fault: Fault) -> Self {
+        FaultPlan {
+            fault,
+            path_substr: None,
+        }
+    }
+
+    /// Restrict the plan to paths containing `substr`.
+    pub fn for_paths(mut self, substr: impl Into<String>) -> Self {
+        self.path_substr = Some(substr.into());
+        self
+    }
+
+    fn matches(&self, path: &Path) -> bool {
+        match &self.path_substr {
+            None => true,
+            Some(s) => path.to_string_lossy().contains(s.as_str()),
+        }
+    }
+}
+
+struct State {
+    plan: Option<FaultPlan>,
+    reads: usize,
+    writes: usize,
+}
+
+fn state() -> &'static Mutex<State> {
+    static STATE: OnceLock<Mutex<State>> = OnceLock::new();
+    STATE.get_or_init(|| {
+        Mutex::new(State {
+            plan: env_plan(),
+            reads: 0,
+            writes: 0,
+        })
+    })
+}
+
+fn serial_lock() -> &'static Mutex<()> {
+    static SERIAL: Mutex<()> = Mutex::new(());
+    &SERIAL
+}
+
+/// Parse a `kind[@arg][:substr]` spec. Returns `None` for malformed specs.
+pub fn parse_spec(spec: &str) -> Option<FaultPlan> {
+    let (body, substr) = match spec.split_once(':') {
+        Some((b, s)) => (b, Some(s.to_owned())),
+        None => (spec, None),
+    };
+    let (kind, arg) = match body.split_once('@') {
+        Some((k, a)) => (k, Some(a)),
+        None => (body, None),
+    };
+    let num = |a: Option<&str>| a.and_then(|s| s.parse::<usize>().ok());
+    let fault = match kind {
+        "missing" => Fault::Missing,
+        "truncate" => Fault::TruncateAt(num(arg)?),
+        "bitflip" => Fault::BitFlip(num(arg)?),
+        "read-err" => Fault::ReadErr { nth: num(arg)? },
+        "write-err" => Fault::WriteErr { nth: num(arg)? },
+        _ => return None,
+    };
+    Some(FaultPlan {
+        fault,
+        path_substr: substr,
+    })
+}
+
+/// The plan requested via `AQP_FAULTS`, if any (parsed once per process).
+pub fn env_plan() -> Option<FaultPlan> {
+    static ENV: OnceLock<Option<FaultPlan>> = OnceLock::new();
+    ENV.get_or_init(|| std::env::var("AQP_FAULTS").ok().and_then(|s| parse_spec(&s)))
+        .clone()
+}
+
+/// Keeps an installed plan active; dropping it restores the env-driven
+/// plan (or no plan) and releases the cross-test serialization lock.
+pub struct FaultGuard {
+    _serial: MutexGuard<'static, ()>,
+}
+
+impl Drop for FaultGuard {
+    fn drop(&mut self) {
+        let mut st = state().lock().expect("fault state poisoned");
+        st.plan = env_plan();
+        st.reads = 0;
+        st.writes = 0;
+    }
+}
+
+/// Install `plan` until the returned guard drops. Serializes callers: a
+/// second `install` blocks until the first guard is dropped, so parallel
+/// tests never observe each other's faults.
+pub fn install(plan: FaultPlan) -> FaultGuard {
+    let serial = match serial_lock().lock() {
+        Ok(g) => g,
+        Err(poisoned) => poisoned.into_inner(),
+    };
+    let mut st = state().lock().expect("fault state poisoned");
+    st.plan = Some(plan);
+    st.reads = 0;
+    st.writes = 0;
+    drop(st);
+    FaultGuard { _serial: serial }
+}
+
+fn injected(msg: &str) -> io::Error {
+    io::Error::other(format!("injected fault: {msg}"))
+}
+
+/// Read a whole file, applying any installed read-side fault.
+pub fn read_file(path: &Path) -> io::Result<Vec<u8>> {
+    let fault = {
+        let mut st = state().lock().expect("fault state poisoned");
+        match &st.plan {
+            Some(p) if p.matches(path) => match p.fault {
+                Fault::ReadErr { nth } => {
+                    let hit = st.reads == nth;
+                    st.reads += 1;
+                    if hit {
+                        return Err(injected("read error"));
+                    }
+                    None
+                }
+                Fault::Missing => {
+                    return Err(io::Error::new(
+                        io::ErrorKind::NotFound,
+                        format!("injected fault: {} missing", path.display()),
+                    ));
+                }
+                ref f => Some(f.clone()),
+            },
+            _ => None,
+        }
+    };
+    let mut bytes = std::fs::read(path)?;
+    match fault {
+        Some(Fault::TruncateAt(n)) => bytes.truncate(n),
+        Some(Fault::BitFlip(n)) if !bytes.is_empty() => {
+            let i = n % bytes.len();
+            bytes[i] ^= 1;
+        }
+        _ => {}
+    }
+    Ok(bytes)
+}
+
+/// Write a whole file atomically: write to a sibling temp file, then
+/// rename over the destination. A crash (or injected `WriteErr`) mid-write
+/// leaves the destination untouched — readers see either the old bytes or
+/// the new bytes, never a torn mix.
+pub fn write_file_atomic(path: &Path, bytes: &[u8]) -> io::Result<()> {
+    let write_fails = {
+        let mut st = state().lock().expect("fault state poisoned");
+        match &st.plan {
+            Some(p) if p.matches(path) => match p.fault {
+                Fault::WriteErr { nth } => {
+                    let hit = st.writes == nth;
+                    st.writes += 1;
+                    hit
+                }
+                _ => false,
+            },
+            _ => false,
+        }
+    };
+    let mut tmp = path.as_os_str().to_owned();
+    tmp.push(format!(".tmp.{}", std::process::id()));
+    let tmp = PathBuf::from(tmp);
+    if write_fails {
+        // Simulate a crash mid-write: half the payload reaches the temp
+        // file, the destination is never touched.
+        let _ = std::fs::write(&tmp, &bytes[..bytes.len() / 2]);
+        return Err(injected("write error"));
+    }
+    std::fs::write(&tmp, bytes)?;
+    std::fs::rename(&tmp, path)
+}
+
+/// Move a corrupt file aside to `<path>.corrupt` so subsequent loads do
+/// not retry it. Best-effort: returns the quarantine path on success.
+pub fn quarantine(path: &Path) -> Option<PathBuf> {
+    let mut q = path.as_os_str().to_owned();
+    q.push(".corrupt");
+    let q = PathBuf::from(q);
+    std::fs::rename(path, &q).ok().map(|_| q)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn temp_path(name: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!("aqp_fault_test_{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        dir.join(name)
+    }
+
+    #[test]
+    fn spec_parsing() {
+        assert_eq!(
+            parse_spec("missing"),
+            Some(FaultPlan::new(Fault::Missing))
+        );
+        assert_eq!(
+            parse_spec("truncate@64:family"),
+            Some(FaultPlan::new(Fault::TruncateAt(64)).for_paths("family"))
+        );
+        assert_eq!(
+            parse_spec("bitflip@7"),
+            Some(FaultPlan::new(Fault::BitFlip(7)))
+        );
+        assert_eq!(
+            parse_spec("read-err@0"),
+            Some(FaultPlan::new(Fault::ReadErr { nth: 0 }))
+        );
+        assert_eq!(
+            parse_spec("write-err@2:x"),
+            Some(FaultPlan::new(Fault::WriteErr { nth: 2 }).for_paths("x"))
+        );
+        assert_eq!(parse_spec("truncate"), None, "missing arg");
+        assert_eq!(parse_spec("gremlins@9"), None, "unknown kind");
+    }
+
+    #[test]
+    fn read_faults_apply_and_clear() {
+        let path = temp_path("read_faults.bin");
+        write_file_atomic(&path, &[1, 2, 3, 4, 5, 6, 7, 8]).unwrap();
+
+        {
+            let _g = install(FaultPlan::new(Fault::TruncateAt(3)).for_paths("read_faults"));
+            assert_eq!(read_file(&path).unwrap(), vec![1, 2, 3]);
+        }
+        {
+            let _g = install(FaultPlan::new(Fault::BitFlip(1)).for_paths("read_faults"));
+            assert_eq!(read_file(&path).unwrap()[1], 3);
+        }
+        {
+            let _g = install(FaultPlan::new(Fault::Missing).for_paths("read_faults"));
+            assert_eq!(
+                read_file(&path).unwrap_err().kind(),
+                std::io::ErrorKind::NotFound
+            );
+        }
+        {
+            let _g = install(FaultPlan::new(Fault::ReadErr { nth: 1 }).for_paths("read_faults"));
+            assert!(read_file(&path).is_ok(), "read 0 succeeds");
+            assert!(read_file(&path).is_err(), "read 1 fails");
+            assert!(read_file(&path).is_ok(), "read 2 succeeds");
+        }
+        // Guard dropped: no faults remain.
+        assert_eq!(read_file(&path).unwrap().len(), 8);
+    }
+
+    #[test]
+    fn scoped_fault_ignores_other_paths() {
+        let path = temp_path("unrelated.bin");
+        write_file_atomic(&path, b"hello").unwrap();
+        let _g = install(FaultPlan::new(Fault::Missing).for_paths("some-other-file"));
+        assert_eq!(read_file(&path).unwrap(), b"hello");
+    }
+
+    #[test]
+    fn atomic_write_survives_injected_crash() {
+        let path = temp_path("atomic.bin");
+        write_file_atomic(&path, b"generation-1").unwrap();
+        {
+            let _g = install(FaultPlan::new(Fault::WriteErr { nth: 0 }).for_paths("atomic"));
+            assert!(write_file_atomic(&path, b"generation-2").is_err());
+        }
+        // The old bytes survive the torn write.
+        assert_eq!(read_file(&path).unwrap(), b"generation-1");
+        write_file_atomic(&path, b"generation-2").unwrap();
+        assert_eq!(read_file(&path).unwrap(), b"generation-2");
+    }
+
+    #[test]
+    fn quarantine_moves_file_aside() {
+        let path = temp_path("bad.bin");
+        write_file_atomic(&path, b"junk").unwrap();
+        let q = quarantine(&path).expect("quarantine succeeds");
+        assert!(!path.exists());
+        assert!(q.exists());
+        assert!(q.to_string_lossy().ends_with(".corrupt"));
+        assert_eq!(quarantine(&path), None, "already moved");
+    }
+}

@@ -7,35 +7,54 @@
 //! for [`Table`]s — columns, dictionaries, null masks, and the sample
 //! bitmask column — plus file convenience wrappers.
 //!
-//! Format (version 1):
+//! Format (version 2):
 //!
 //! ```text
-//! magic "AQPT" | u16 version | name | schema | u64 rows
-//! per column: u8 type tag | null mask | payload
-//! u8 bitmask-present | (u32 width | rows*width u64 words)
+//! magic "AQPT" | u16 version | u32 crc32c of the payload
+//! payload: name | schema | u64 rows
+//!          per column: u8 type tag | null mask | payload
+//!          u8 bitmask-present | (u32 width | rows*width u64 words)
 //! ```
 //!
 //! Strings are `u32` length + UTF-8 bytes; vectors are `u64` count +
-//! elements.
+//! elements. The checksum covers every byte after the 10-byte header, so
+//! any corruption — truncation, bit rot, trailing garbage — is detected
+//! on load ([`StorageError::ChecksumMismatch`]) instead of misparsing.
+//! File writes go through [`fault::write_file_atomic`] (temp file +
+//! rename), and corrupt files are quarantined to `<path>.corrupt` on load
+//! so a bad file is never re-read in a loop.
+//!
+//! [`fault::write_file_atomic`]: crate::fault::write_file_atomic
 
 use crate::bitmask::{BitSet, BitmaskColumn};
 use crate::column::Column;
+use crate::crc::crc32c;
 use crate::error::{StorageError, StorageResult};
+use crate::fault;
 use crate::schema::{Field, Schema};
 use crate::table::Table;
 use crate::value::DataType;
 use bytes::{Buf, BufMut, BytesMut};
 
 const MAGIC: &[u8; 4] = b"AQPT";
-const VERSION: u16 = 1;
+const VERSION: u16 = 2;
+/// magic (4) + version (2) + crc32c (4).
+const HEADER_LEN: usize = 10;
 
 fn corrupt(msg: impl Into<String>) -> StorageError {
     StorageError::Codec(msg.into())
 }
 
-fn put_str(buf: &mut BytesMut, s: &str) {
-    buf.put_u32_le(s.len() as u32);
+fn put_str(buf: &mut BytesMut, s: &str) -> StorageResult<()> {
+    let len = u32::try_from(s.len()).map_err(|_| {
+        corrupt(format!(
+            "string of {} bytes exceeds the 4 GiB codec limit",
+            s.len()
+        ))
+    })?;
+    buf.put_u32_le(len);
     buf.put_slice(s.as_bytes());
+    Ok(())
 }
 
 fn get_str(buf: &mut &[u8]) -> StorageResult<String> {
@@ -73,7 +92,7 @@ fn tag_type(tag: u8) -> StorageResult<DataType> {
 }
 
 /// Append one dynamically-typed value to a buffer (tag byte + payload).
-pub fn put_value(buf: &mut BytesMut, value: &crate::value::Value) {
+pub fn put_value(buf: &mut BytesMut, value: &crate::value::Value) -> StorageResult<()> {
     use crate::value::Value;
     match value {
         Value::Null => buf.put_u8(0),
@@ -87,13 +106,14 @@ pub fn put_value(buf: &mut BytesMut, value: &crate::value::Value) {
         }
         Value::Utf8(s) => {
             buf.put_u8(3);
-            put_str(buf, s);
+            put_str(buf, s)?;
         }
         Value::Bool(b) => {
             buf.put_u8(4);
             buf.put_u8(*b as u8);
         }
     }
+    Ok(())
 }
 
 /// Decode one value written by [`put_value`].
@@ -128,8 +148,8 @@ pub fn get_value(buf: &mut &[u8]) -> StorageResult<crate::value::Value> {
 }
 
 /// Append a length-prefixed string (public for sibling codecs).
-pub fn put_string(buf: &mut BytesMut, s: &str) {
-    put_str(buf, s);
+pub fn put_string(buf: &mut BytesMut, s: &str) -> StorageResult<()> {
+    put_str(buf, s)
 }
 
 /// Decode a string written by [`put_string`].
@@ -137,17 +157,15 @@ pub fn get_string(buf: &mut &[u8]) -> StorageResult<String> {
     get_str(buf)
 }
 
-/// Encode a table to bytes.
-pub fn encode_table(table: &Table) -> Vec<u8> {
+/// Encode a table to bytes (checksummed v2 format).
+pub fn encode_table(table: &Table) -> StorageResult<Vec<u8>> {
     let mut buf = BytesMut::with_capacity(table.byte_size() + 1024);
-    buf.put_slice(MAGIC);
-    buf.put_u16_le(VERSION);
-    put_str(&mut buf, table.name());
+    put_str(&mut buf, table.name())?;
 
     // Schema.
     buf.put_u32_le(table.schema().len() as u32);
     for f in table.schema().fields() {
-        put_str(&mut buf, &f.name);
+        put_str(&mut buf, &f.name)?;
         buf.put_u8(type_tag(f.data_type));
     }
     let rows = table.num_rows();
@@ -188,7 +206,7 @@ pub fn encode_table(table: &Table) -> Vec<u8> {
             Column::Utf8 { codes, dict, .. } => {
                 buf.put_u32_le(dict.len() as u32);
                 for (_, s) in dict.iter() {
-                    put_str(&mut buf, s);
+                    put_str(&mut buf, s)?;
                 }
                 for c in codes {
                     buf.put_u32_le(*c);
@@ -216,19 +234,40 @@ pub fn encode_table(table: &Table) -> Vec<u8> {
         None => buf.put_u8(0),
     }
 
-    buf.to_vec()
+    let payload = buf.to_vec();
+    let mut out = Vec::with_capacity(HEADER_LEN + payload.len());
+    out.put_slice(MAGIC);
+    out.put_u16_le(VERSION);
+    out.put_u32_le(crc32c(&payload));
+    out.extend_from_slice(&payload);
+    Ok(out)
 }
 
-/// Decode a table from bytes produced by [`encode_table`].
+/// Decode a table from bytes produced by [`encode_table`], verifying the
+/// header checksum first.
 pub fn decode_table(bytes: &[u8]) -> StorageResult<Table> {
     let mut buf = bytes;
-    if buf.remaining() < 6 || &buf[..4] != MAGIC {
+    if buf.remaining() < 4 || &buf[..4] != MAGIC {
         return Err(corrupt("bad magic"));
     }
     buf.advance(4);
+    if buf.remaining() < 2 {
+        return Err(corrupt("truncated version"));
+    }
     let version = buf.get_u16_le();
     if version != VERSION {
-        return Err(corrupt(format!("unsupported version {version}")));
+        return Err(StorageError::Version {
+            found: version,
+            supported: VERSION,
+        });
+    }
+    if buf.remaining() < 4 {
+        return Err(corrupt("truncated checksum"));
+    }
+    let expected = buf.get_u32_le();
+    let actual = crc32c(buf);
+    if actual != expected {
+        return Err(StorageError::ChecksumMismatch { expected, actual });
     }
     let name = get_str(&mut buf)?;
 
@@ -392,15 +431,30 @@ pub fn decode_table(bytes: &[u8]) -> StorageResult<Table> {
     Ok(table)
 }
 
-/// Write a table to a file.
-pub fn write_table_file(table: &Table, path: impl AsRef<std::path::Path>) -> std::io::Result<()> {
-    std::fs::write(path, encode_table(table))
+/// Write a table to a file atomically (temp file + rename): a crash
+/// mid-write leaves any previous version of the file intact.
+pub fn write_table_file(table: &Table, path: impl AsRef<std::path::Path>) -> StorageResult<()> {
+    let path = path.as_ref();
+    let bytes = encode_table(table)?;
+    fault::write_file_atomic(path, &bytes)
+        .map_err(|e| StorageError::Io(format!("{}: {e}", path.display())))
 }
 
-/// Read a table from a file.
-pub fn read_table_file(path: impl AsRef<std::path::Path>) -> std::io::Result<Table> {
-    let bytes = std::fs::read(path)?;
-    decode_table(&bytes).map_err(std::io::Error::other)
+/// Read a table from a file, verifying its checksum. Corrupt files are
+/// quarantined (renamed to `<path>.corrupt`) so they are not retried;
+/// version-mismatched files are rejected but left in place for migration.
+pub fn read_table_file(path: impl AsRef<std::path::Path>) -> StorageResult<Table> {
+    let path = path.as_ref();
+    let bytes = fault::read_file(path)
+        .map_err(|e| StorageError::Io(format!("{}: {e}", path.display())))?;
+    match decode_table(&bytes) {
+        Ok(table) => Ok(table),
+        Err(e @ StorageError::Version { .. }) => Err(e),
+        Err(e) => {
+            let _ = fault::quarantine(path);
+            Err(e)
+        }
+    }
 }
 
 #[cfg(test)]
@@ -453,7 +507,7 @@ mod tests {
     #[test]
     fn roundtrip_plain_table() {
         let t = sample_table();
-        let bytes = encode_table(&t);
+        let bytes = encode_table(&t).unwrap();
         let back = decode_table(&bytes).unwrap();
         assert_tables_equal(&t, &back);
     }
@@ -462,7 +516,7 @@ mod tests {
     fn roundtrip_empty_table() {
         let schema = SchemaBuilder::new().field("x", DataType::Utf8).build().unwrap();
         let t = Table::empty("empty", schema);
-        let back = decode_table(&encode_table(&t)).unwrap();
+        let back = decode_table(&encode_table(&t).unwrap()).unwrap();
         assert_eq!(back.num_rows(), 0);
         assert_eq!(back.name(), "empty");
     }
@@ -474,7 +528,7 @@ mod tests {
         t.enable_bitmask(130); // 3 words per row
         t.push_row_from_with_mask(&src, 0, &BitSet::from_bits(130, [0, 129])).unwrap();
         t.push_row_from_with_mask(&src, 1, &BitSet::from_bits(130, [64])).unwrap();
-        let back = decode_table(&encode_table(&t)).unwrap();
+        let back = decode_table(&encode_table(&t).unwrap()).unwrap();
         assert_tables_equal(&t, &back);
         assert!(back.bitmask().unwrap().row(0).contains(129));
     }
@@ -491,34 +545,52 @@ mod tests {
                 t.push_row(&[i.into()]).unwrap();
             }
         }
-        let back = decode_table(&encode_table(&t)).unwrap();
+        let back = decode_table(&encode_table(&t).unwrap()).unwrap();
         assert_tables_equal(&t, &back);
     }
 
     #[test]
     fn corruption_detected() {
         let t = sample_table();
-        let good = encode_table(&t);
+        let good = encode_table(&t).unwrap();
 
         // Bad magic.
         let mut bad = good.clone();
         bad[0] = b'X';
         assert!(matches!(decode_table(&bad), Err(StorageError::Codec(_))));
 
-        // Bad version.
+        // Bad version: typed error naming found and supported versions.
         let mut bad = good.clone();
         bad[4] = 99;
-        assert!(decode_table(&bad).is_err());
+        match decode_table(&bad) {
+            Err(StorageError::Version { found, supported }) => {
+                assert_eq!(found, 99);
+                assert_eq!(supported, VERSION);
+            }
+            other => panic!("expected Version error, got {other:?}"),
+        }
 
         // Truncation at every prefix must error, never panic.
         for len in 0..good.len() {
             assert!(decode_table(&good[..len]).is_err(), "prefix {len}");
         }
 
-        // Trailing garbage.
+        // Trailing garbage is caught by the checksum.
         let mut bad = good.clone();
         bad.push(0);
-        assert!(decode_table(&bad).is_err());
+        assert!(matches!(
+            decode_table(&bad),
+            Err(StorageError::ChecksumMismatch { .. })
+        ));
+
+        // Any payload byte flip is caught by the checksum.
+        let mut bad = good.clone();
+        let mid = HEADER_LEN + (good.len() - HEADER_LEN) / 2;
+        bad[mid] ^= 0x40;
+        assert!(matches!(
+            decode_table(&bad),
+            Err(StorageError::ChecksumMismatch { .. })
+        ));
     }
 
     #[test]
@@ -528,6 +600,73 @@ mod tests {
         std::fs::create_dir_all(&dir).unwrap();
         let path = dir.join("demo.aqpt");
         write_table_file(&t, &path).unwrap();
+        let back = read_table_file(&path).unwrap();
+        assert_tables_equal(&t, &back);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn corrupt_file_is_quarantined() {
+        let t = sample_table();
+        let dir = std::env::temp_dir().join(format!("aqp_io_quarantine_{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("demo.aqpt");
+        write_table_file(&t, &path).unwrap();
+
+        // Corrupt the file on disk, then load: checksum error + quarantine.
+        let mut bytes = std::fs::read(&path).unwrap();
+        let mid = bytes.len() / 2;
+        bytes[mid] ^= 1;
+        std::fs::write(&path, &bytes).unwrap();
+        assert!(matches!(
+            read_table_file(&path),
+            Err(StorageError::ChecksumMismatch { .. })
+        ));
+        assert!(!path.exists(), "corrupt file moved aside");
+        assert!(dir.join("demo.aqpt.corrupt").exists());
+
+        // A missing file is an Io error naming the path.
+        match read_table_file(&path) {
+            Err(StorageError::Io(msg)) => assert!(msg.contains("demo.aqpt")),
+            other => panic!("expected Io error, got {other:?}"),
+        }
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn injected_faults_are_detected_and_atomicity_holds() {
+        let t = sample_table();
+        let dir = std::env::temp_dir().join(format!("aqp_io_fault_{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("inj.aqpt");
+        write_table_file(&t, &path).unwrap();
+
+        {
+            let _g = fault::install(
+                fault::FaultPlan::new(fault::Fault::BitFlip(40)).for_paths("inj.aqpt"),
+            );
+            assert!(
+                matches!(read_table_file(&path), Err(StorageError::ChecksumMismatch { .. })),
+                "read-side bit flip detected"
+            );
+        }
+        // Read-side corruption quarantined the (actually intact) file;
+        // restore it for the write test.
+        std::fs::rename(dir.join("inj.aqpt.corrupt"), &path).unwrap();
+
+        {
+            let _g = fault::install(
+                fault::FaultPlan::new(fault::Fault::WriteErr { nth: 0 }).for_paths("inj.aqpt"),
+            );
+            let schema =
+                SchemaBuilder::new().field("z", DataType::Int64).build().unwrap();
+            let other = Table::empty("other", schema);
+            assert!(matches!(
+                write_table_file(&other, &path),
+                Err(StorageError::Io(_))
+            ));
+        }
+        // Torn write never reached the destination: old table still loads.
         let back = read_table_file(&path).unwrap();
         assert_tables_equal(&t, &back);
         std::fs::remove_dir_all(&dir).unwrap();
@@ -545,7 +684,7 @@ mod tests {
         ];
         let mut buf = BytesMut::new();
         for v in &values {
-            put_value(&mut buf, v);
+            put_value(&mut buf, v).unwrap();
         }
         let bytes = buf.to_vec();
         let mut slice = bytes.as_slice();
@@ -573,7 +712,7 @@ mod tests {
         // -0.0 and 0.0 differ bitwise and must survive the roundtrip
         // (group keys distinguish them).
         let t = sample_table();
-        let back = decode_table(&encode_table(&t)).unwrap();
+        let back = decode_table(&encode_table(&t).unwrap()).unwrap();
         let col = back.column_by_name("price").unwrap();
         let v = col.as_float64().unwrap()[3];
         assert!(v == 0.0 && v.is_sign_negative());

@@ -24,9 +24,11 @@
 
 pub mod bitmask;
 pub mod column;
+pub mod crc;
 pub mod csv;
 pub mod dictionary;
 pub mod error;
+pub mod fault;
 pub mod io;
 pub mod nulls;
 pub mod schema;
@@ -36,9 +38,11 @@ pub mod value;
 
 pub use bitmask::{BitSet, BitmaskColumn};
 pub use column::{Column, ColumnBuilder};
+pub use crc::crc32c;
 pub use csv::{read_csv_file, table_from_csv, table_to_csv, write_csv_file};
 pub use dictionary::Dictionary;
 pub use error::{StorageError, StorageResult};
+pub use fault::{Fault, FaultGuard, FaultPlan};
 pub use io::{decode_table, encode_table, read_table_file, write_table_file};
 pub use nulls::NullMask;
 pub use schema::{Field, Schema, SchemaBuilder};

@@ -1,7 +1,7 @@
 //! Experiment harness: exact answers, per-query evaluation, averaging.
 
 use crate::metrics::{metric_report, MetricReport};
-use aqp_core::{ApproxAnswer, AqpSystem};
+use aqp_core::{ApproxAnswer, AqpSystem, ServingTier, TierCounts};
 use aqp_query::{execute, AggFunc, DataSource, ExecOptions, Query};
 use aqp_storage::Value;
 use std::collections::HashMap;
@@ -102,6 +102,11 @@ pub struct QueryEval {
     pub approx_time: std::time::Duration,
     /// Sample rows the system scanned.
     pub rows_scanned: usize,
+    /// Which degradation-ladder rung served the answer (always
+    /// [`ServingTier::Primary`] for non-resilient systems).
+    pub tier: ServingTier,
+    /// Whether a row budget truncated the answer.
+    pub partial: bool,
 }
 
 impl QueryEval {
@@ -133,6 +138,8 @@ pub struct EvalSummary {
     pub approx_ms: f64,
     /// Mean exact query time in milliseconds.
     pub exact_ms: f64,
+    /// How many answers each degradation-ladder rung served.
+    pub tiers: TierCounts,
 }
 
 /// Evaluate one query: run it exactly against `exact_source` and
@@ -155,6 +162,8 @@ pub fn evaluate_query(
         exact_time: exact.elapsed,
         approx_time,
         rows_scanned: approx.rows_scanned,
+        tier: approx.tier,
+        partial: approx.partial,
     })
 }
 
@@ -175,6 +184,15 @@ pub fn evaluate_queries(
         summary.speedup += eval.speedup();
         summary.approx_ms += eval.approx_time.as_secs_f64() * 1e3;
         summary.exact_ms += eval.exact_time.as_secs_f64() * 1e3;
+        match eval.tier {
+            ServingTier::Primary => summary.tiers.primary += 1,
+            ServingTier::DegradedPrimary => summary.tiers.degraded += 1,
+            ServingTier::Overall => summary.tiers.overall += 1,
+            ServingTier::Exact => summary.tiers.exact += 1,
+        }
+        if eval.partial {
+            summary.tiers.partial += 1;
+        }
     }
     let n = summary.queries.max(1) as f64;
     summary.rel_err /= n;
@@ -271,6 +289,32 @@ mod tests {
         assert_eq!(summary.queries, 2);
         assert!(summary.rel_err >= 0.0 && summary.rel_err < 0.5);
         assert!(summary.approx_ms >= 0.0);
+    }
+
+    #[test]
+    fn tier_counts_in_summary() {
+        use aqp_core::ResilientSystem;
+        let v = view();
+        let sgs = SmallGroupSampler::build(
+            &v,
+            SmallGroupConfig {
+                base_rate: 0.2,
+                small_group_fraction: 0.11,
+                seed: 3,
+                ..Default::default()
+            },
+        )
+        .unwrap();
+        let sys = ResilientSystem::from_sampler(sgs).with_view(v.clone());
+        let queries = vec![
+            Query::builder().count().group_by("g").build().unwrap(),
+            Query::builder().count().build().unwrap(),
+        ];
+        let summary =
+            evaluate_queries(&sys, &DataSource::Wide(&v), &queries, 0.95).unwrap();
+        assert_eq!(summary.tiers.total(), 2);
+        assert_eq!(summary.tiers.primary, 2, "healthy system serves all primary");
+        assert_eq!(summary.tiers.partial, 0);
     }
 
     #[test]

@@ -1,0 +1,15 @@
+//! Offline stand-in for `serde`.
+//!
+//! This workspace annotates several types with
+//! `#[derive(Serialize, Deserialize)]` for downstream consumers but never
+//! serializes through serde in-tree. In registry-less build environments
+//! this crate supplies marker traits and re-exports the no-op derives from
+//! the vendored `serde_derive`, keeping the annotations source-compatible.
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// Marker trait mirroring `serde::Serialize` (no methods in the stand-in).
+pub trait Serialize {}
+
+/// Marker trait mirroring `serde::Deserialize` (no methods in the stand-in).
+pub trait Deserialize<'de> {}
