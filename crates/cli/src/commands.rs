@@ -63,6 +63,16 @@ fn opt_usize(args: &Args, name: &str) -> Result<Option<usize>, CliError> {
     }
 }
 
+/// `--threads N`, defaulting to the machine's available parallelism.
+/// Zero is clamped to one so a bad value can never disable execution.
+fn threads_arg(args: &Args) -> Result<usize, CliError> {
+    Ok(opt_usize(args, "threads")?
+        .unwrap_or_else(|| {
+            std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get)
+        })
+        .max(1))
+}
+
 /// Usage text.
 pub const USAGE: &str = "\
 aqp-cli — dynamic sample selection for approximate query processing
@@ -76,10 +86,12 @@ USAGE:
                      [--outlier-column COL] --out FILE
   aqp-cli catalog --family FILE
   aqp-cli query --family FILE [--view FILE] [--exact] [--confidence F]
-                [--row-budget N] SQL
-  aqp-cli repl --family FILE [--view FILE] [--row-budget N]
+                [--row-budget N] [--threads N] SQL
+  aqp-cli repl --family FILE [--view FILE] [--row-budget N] [--threads N]
   aqp-cli workload --family FILE --view FILE [--queries N] [--grouping N]
-                   [--seed N] [--confidence F] [--row-budget N]
+                   [--seed N] [--confidence F] [--row-budget N] [--threads N]
+  aqp-cli bench [--scale F] [--skew F] [--seed N] [--rate F] [--gamma F]
+                [--iters N] [--out FILE]
 
 Views are stored as .aqpt binary tables; sample families as .aqps files.
 In SQL the FROM clause names are ignored — queries always run against the
@@ -88,7 +100,13 @@ loaded family/view.
 query/repl/workload serve through the degradation ladder: a missing or
 corrupt sample family is salvaged or bypassed (warning printed) and each
 answer is tagged with the tier that served it; --row-budget caps the rows
-any single query may scan.";
+any single query may scan. --threads sets the morsel-driven execution
+parallelism (default: available hardware parallelism); answers are
+bit-identical at any thread count.
+
+bench measures scan/aggregate and sample-build throughput at 1/2/4/8
+threads on a generated skewed TPC-H view and writes the results as JSON
+(default BENCH_parallel.json).";
 
 /// Dispatch one CLI invocation. `out` receives user-facing output.
 pub fn run(args: Args, out: &mut dyn Write) -> Result<(), CliError> {
@@ -105,6 +123,7 @@ pub fn run(args: Args, out: &mut dyn Write) -> Result<(), CliError> {
         "catalog" => catalog(&args, out),
         "query" => query_command(&args, out),
         "workload" => workload_command(&args, out),
+        "bench" => bench_command(&args, out),
         "repl" => repl(&args, out, &mut std::io::stdin().lock()),
         "help" | "--help" => {
             writeln!(out, "{USAGE}")?;
@@ -266,6 +285,7 @@ fn query_command(args: &Args, out: &mut dyn Write) -> Result<(), CliError> {
     let want_exact = args.flag("exact");
     let confidence = args.get_or("confidence", 0.95f64)?;
     let row_budget = opt_usize(args, "row-budget")?;
+    let threads = threads_arg(args)?;
     // Join all trailing positionals so unquoted SQL still forms the full
     // statement instead of silently truncating to its first word.
     let sql = args.positionals()[1..].join(" ");
@@ -277,7 +297,7 @@ fn query_command(args: &Args, out: &mut dyn Write) -> Result<(), CliError> {
     if want_exact && view_path.is_none() {
         return Err(CliError("--exact needs --view to compute the exact answer".into()));
     }
-    let mut system = open_family(&family, out)?;
+    let mut system = open_family(&family, out)?.with_threads(threads);
     let view = view_path
         .map(|p| read_table_file(&p).map_err(at_path(&p)))
         .transpose()?;
@@ -380,10 +400,13 @@ fn workload_command(args: &Args, out: &mut dyn Write) -> Result<(), CliError> {
     let seed = args.get_or("seed", 42u64)?;
     let confidence = args.get_or("confidence", 0.95f64)?;
     let row_budget = opt_usize(args, "row-budget")?;
+    let threads = threads_arg(args)?;
     args.finish()?;
 
     let view = read_table_file(&view_path).map_err(at_path(&view_path))?;
-    let mut system = open_family(&family, out)?.with_view(view.clone());
+    let mut system = open_family(&family, out)?
+        .with_threads(threads)
+        .with_view(view.clone());
     if let Some(budget) = row_budget {
         system = system.with_row_budget(budget);
     }
@@ -428,13 +451,112 @@ fn workload_command(args: &Args, out: &mut dyn Write) -> Result<(), CliError> {
     Ok(())
 }
 
+/// Thread counts measured by `bench`.
+const BENCH_THREADS: &[usize] = &[1, 2, 4, 8];
+
+/// Render one list of [`aqp::workload::BenchPoint`]s as a JSON array.
+fn bench_points_json(points: &[aqp::workload::BenchPoint]) -> String {
+    let entries: Vec<String> = points
+        .iter()
+        .map(|p| {
+            format!(
+                "    {{\"threads\": {}, \"elapsed_ms\": {:.3}, \"rows\": {}, \"rows_per_sec\": {:.1}}}",
+                p.threads, p.elapsed_ms, p.rows, p.rows_per_sec
+            )
+        })
+        .collect();
+    format!("[\n{}\n  ]", entries.join(",\n"))
+}
+
+/// Speedup of the `threads`-thread point over the 1-thread point, if both
+/// were measured.
+fn bench_speedup(points: &[aqp::workload::BenchPoint], threads: usize) -> Option<f64> {
+    let base = points.iter().find(|p| p.threads == 1)?;
+    let at = points.iter().find(|p| p.threads == threads)?;
+    (base.rows_per_sec > 0.0).then(|| at.rows_per_sec / base.rows_per_sec)
+}
+
+/// Measure morsel-driven throughput (sample build + query scan) at
+/// 1/2/4/8 threads over a generated skewed TPC-H view, and write
+/// `BENCH_parallel.json`.
+fn bench_command(args: &Args, out: &mut dyn Write) -> Result<(), CliError> {
+    let scale = args.get_or("scale", 0.1f64)?;
+    let skew = args.get_or("skew", 2.0f64)?;
+    let seed = args.get_or("seed", 42u64)?;
+    let rate = args.get_or("rate", 0.05f64)?;
+    let gamma = args.get_or("gamma", 0.5f64)?;
+    let iters = args.get_or("iters", 3usize)?.max(1);
+    let out_path = args
+        .optional("out")
+        .unwrap_or_else(|| "BENCH_parallel.json".to_owned());
+    args.finish()?;
+
+    let star = gen_tpch(&TpchConfig {
+        scale_factor: scale,
+        zipf_z: skew,
+        seed,
+    })
+    .map_err(boxed)?;
+    let view = star.denormalize("bench_view").map_err(boxed)?;
+    let host = std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get);
+    writeln!(
+        out,
+        "bench: tpch scale {scale} (skew {skew}) -> {} rows, host parallelism {host}",
+        view.num_rows()
+    )?;
+
+    let config = SmallGroupConfig {
+        seed,
+        ..SmallGroupConfig::with_rates(rate, gamma)
+    };
+    let query = parse_query(
+        "SELECT lineitem.shipmode, COUNT(*), SUM(lineitem.extendedprice), \
+         AVG(lineitem.quantity) FROM v GROUP BY lineitem.shipmode",
+    )
+    .map_err(boxed)?
+    .query;
+    let source = DataSource::Wide(&view);
+
+    let mut build_points = Vec::new();
+    let mut query_points = Vec::new();
+    for &threads in BENCH_THREADS {
+        let build =
+            aqp::workload::bench_build_throughput(&view, &config, threads).map_err(boxed)?;
+        let scan =
+            aqp::workload::bench_query_throughput(&source, &query, threads, iters).map_err(boxed)?;
+        writeln!(
+            out,
+            "threads {threads}: build {:.0} rows/s ({:.1} ms), query {:.0} rows/s ({:.1} ms)",
+            build.rows_per_sec, build.elapsed_ms, scan.rows_per_sec, scan.elapsed_ms
+        )?;
+        build_points.push(build);
+        query_points.push(scan);
+    }
+
+    let build_speedup = bench_speedup(&build_points, 4).unwrap_or(1.0);
+    let query_speedup = bench_speedup(&query_points, 4).unwrap_or(1.0);
+    let json = format!(
+        "{{\n  \"dataset\": {{\"kind\": \"tpch\", \"scale_factor\": {scale}, \"zipf_z\": {skew}, \"seed\": {seed}}},\n  \"view_rows\": {},\n  \"host_parallelism\": {host},\n  \"build\": {},\n  \"query\": {},\n  \"build_speedup_4_threads\": {build_speedup:.2},\n  \"query_speedup_4_threads\": {query_speedup:.2}\n}}\n",
+        view.num_rows(),
+        bench_points_json(&build_points),
+        bench_points_json(&query_points),
+    );
+    std::fs::write(&out_path, json).map_err(at_path(&out_path))?;
+    writeln!(
+        out,
+        "4-thread speedup: build {build_speedup:.2}x, query {query_speedup:.2}x -> {out_path}"
+    )?;
+    Ok(())
+}
+
 /// Interactive loop reading one SQL statement per line.
 pub fn repl(args: &Args, out: &mut dyn Write, input: &mut dyn BufRead) -> Result<(), CliError> {
     let family = args.required("family")?;
     let view_path = args.optional("view");
     let row_budget = opt_usize(args, "row-budget")?;
+    let threads = threads_arg(args)?;
     args.finish()?;
-    let mut system = open_family(&family, out)?;
+    let mut system = open_family(&family, out)?.with_threads(threads);
     let view = view_path
         .map(|p| read_table_file(&p).map_err(at_path(&p)))
         .transpose()?;
@@ -727,6 +849,66 @@ mod tests {
         assert!(msg.contains("tier exact"), "{msg}");
         assert!(msg.contains("partial"), "{msg}");
         assert!(run_cli(&["query", "--family", "/tmp/x.aqps", "--row-budget", "abc", "SQL"]).is_err());
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn query_accepts_threads_flag() {
+        let dir = temp_dir();
+        let view = dir.join("t.aqpt");
+        let family = dir.join("t.aqps");
+        run_cli(&[
+            "generate", "sales", "--rows", "1500", "--out", view.to_str().unwrap(),
+        ])
+        .unwrap();
+        run_cli(&[
+            "preprocess", "--view", view.to_str().unwrap(), "--rate", "0.05", "--out",
+            family.to_str().unwrap(),
+        ])
+        .unwrap();
+        let sql = "SELECT store.region, COUNT(*), SUM(sales.revenue) FROM s GROUP BY store.region";
+        // Drop the wall-clock suffix from the summary line before comparing.
+        let strip_timing = |text: String| -> String {
+            text.lines()
+                .map(|l| match l.find(", tier ") {
+                    Some(i) => &l[..i],
+                    None => l,
+                })
+                .collect::<Vec<_>>()
+                .join("\n")
+        };
+        let serial = run_cli(&["query", "--family", family.to_str().unwrap(), "--threads", "1", sql])
+            .unwrap();
+        let parallel =
+            run_cli(&["query", "--family", family.to_str().unwrap(), "--threads", "4", sql])
+                .unwrap();
+        // Thread count must not change any printed estimate or interval.
+        assert_eq!(strip_timing(serial), strip_timing(parallel));
+        assert!(run_cli(&["query", "--family", family.to_str().unwrap(), "--threads", "no", sql])
+            .is_err());
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn bench_writes_json_report() {
+        let dir = temp_dir();
+        let report = dir.join("BENCH_parallel.json");
+        let msg = run_cli(&[
+            "bench", "--scale", "0.02", "--iters", "1", "--out", report.to_str().unwrap(),
+        ])
+        .unwrap();
+        assert!(msg.contains("4-thread speedup"), "{msg}");
+        let json = std::fs::read_to_string(&report).unwrap();
+        for key in [
+            "\"build\"",
+            "\"query\"",
+            "\"rows_per_sec\"",
+            "\"host_parallelism\"",
+            "\"threads\": 8",
+            "\"build_speedup_4_threads\"",
+        ] {
+            assert!(json.contains(key), "missing {key} in {json}");
+        }
         std::fs::remove_dir_all(&dir).unwrap();
     }
 

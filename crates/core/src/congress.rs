@@ -179,7 +179,7 @@ impl AqpSystem for BasicCongress {
             mask: None,
             weighting: PartWeight::PerRow(&self.weights),
         }];
-        answer_from_parts(query, &parts, confidence, &|_| exact)
+        answer_from_parts(query, &parts, confidence, 1, &|_| exact)
     }
 
     fn sample_bytes(&self) -> usize {
@@ -306,7 +306,7 @@ impl AqpSystem for Congress {
             mask: None,
             weighting: PartWeight::PerRow(&self.weights),
         }];
-        answer_from_parts(query, &parts, confidence, &|_| exact)
+        answer_from_parts(query, &parts, confidence, 1, &|_| exact)
     }
 
     fn sample_bytes(&self) -> usize {

@@ -391,7 +391,7 @@ impl AqpSystem for MultiLevelSampler {
                 e.values.contains(&key[pos])
             })
         };
-        answer_from_parts(query, &parts, confidence, &is_exact)
+        answer_from_parts(query, &parts, confidence, 1, &is_exact)
     }
 
     fn sample_bytes(&self) -> usize {

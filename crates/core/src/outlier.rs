@@ -200,7 +200,7 @@ impl AqpSystem for OutlierIndex {
                 weighting: PartWeight::Constant(self.sample_weight),
             },
         ];
-        answer_from_parts(query, &parts, confidence, &|_| exact)
+        answer_from_parts(query, &parts, confidence, 1, &|_| exact)
     }
 
     fn sample_bytes(&self) -> usize {

@@ -32,11 +32,15 @@ pub(crate) enum PartWeight<'a> {
 
 /// Execute every part and merge the tallies per group, forming estimates
 /// and confidence intervals. `is_exact` decides, per decoded group key,
-/// whether the answer for that group is exact.
+/// whether the answer for that group is exact. `threads` is the scan
+/// parallelism handed to the executor for every stratum; the answer is
+/// bit-identical at any value (morsel-order merge, see
+/// `aqp_query::parallel`), and strata are always merged in plan order.
 pub(crate) fn answer_from_parts(
     query: &Query,
     parts: &[Part<'_>],
     confidence: f64,
+    threads: usize,
     is_exact: &dyn Fn(&[Value]) -> bool,
 ) -> AqpResult<ApproxAnswer> {
     let mut merged: HashMap<Vec<Value>, Vec<AggState>> = HashMap::new();
@@ -51,8 +55,8 @@ pub(crate) fn answer_from_parts(
         let opts = ExecOptions {
             weight,
             bitmask_exclude: part.mask.as_ref(),
-            parallelism: 1,
-            row_limit: None,
+            parallelism: threads.max(1),
+            ..ExecOptions::default()
         };
         let out = execute(&DataSource::Wide(part.table), query, &opts)?;
         for g in out.groups {

@@ -454,6 +454,7 @@ fn assemble(meta: Meta, tables: Vec<Option<Table>>, parts: Vec<Table>) -> SmallG
         overall_rate: meta.overall_rate,
         catalog: meta.catalog,
         disabled,
+        runtime_threads: 1,
     }
 }
 

@@ -49,6 +49,7 @@ pub struct ResilientSystem {
     primary: Option<SmallGroupSampler>,
     view: Option<Table>,
     row_budget: Option<usize>,
+    threads: usize,
     name: String,
 }
 
@@ -60,6 +61,7 @@ impl ResilientSystem {
             primary: Some(sampler),
             view: None,
             row_budget: None,
+            threads: 1,
             name,
         }
     }
@@ -71,6 +73,7 @@ impl ResilientSystem {
             primary: None,
             view: Some(view),
             row_budget: None,
+            threads: 1,
             name: "Resilient(exact)".into(),
         }
     }
@@ -126,6 +129,7 @@ impl ResilientSystem {
                             primary: None,
                             view: None,
                             row_budget: None,
+                            threads: 1,
                             name: "Resilient(exact)".into(),
                         };
                         (sys, report)
@@ -146,6 +150,19 @@ impl ResilientSystem {
     /// [`ApproxAnswer::partial`].
     pub fn with_row_budget(mut self, budget: usize) -> Self {
         self.row_budget = Some(budget);
+        self
+    }
+
+    /// Worker threads for every tier's scans (primary sample plans and
+    /// exact fallbacks alike). Thread count never changes an answer — the
+    /// morsel-driven executor merges partial states in morsel order — so
+    /// this interacts safely with row budgets: a budget-capped scan
+    /// truncates to the same `k` rows and the same morsels at any value.
+    pub fn with_threads(mut self, threads: usize) -> Self {
+        self.threads = threads.max(1);
+        if let Some(primary) = self.primary.as_mut() {
+            primary.set_threads(self.threads);
+        }
         self
     }
 
@@ -180,6 +197,7 @@ impl ResilientSystem {
         let opts = ExecOptions {
             weight,
             row_limit: limit,
+            parallelism: self.threads,
             ..ExecOptions::default()
         };
         let out = execute(&DataSource::Wide(view), query, &opts)?;
@@ -480,6 +498,40 @@ mod tests {
         let q = Query::builder().count().group_by("g").build().unwrap();
         assert_eq!(sys.answer(&q, 0.95).unwrap().tier, ServingTier::Primary);
         std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn threads_never_change_answers_across_tiers() {
+        let q = Query::builder().count().sum("x").group_by("g").build().unwrap();
+        // Primary tier and budget-capped exact tier, serial vs threaded.
+        for budget in [None, Some(50)] {
+            let mk = |threads: usize| {
+                let mut sys = ResilientSystem::from_sampler(sampler())
+                    .with_view(view())
+                    .with_threads(threads);
+                if let Some(b) = budget {
+                    sys = sys.with_row_budget(b);
+                }
+                sys
+            };
+            let base = mk(1).answer(&q, 0.95).unwrap();
+            for threads in [2, 4, 8] {
+                let ans = mk(threads).answer(&q, 0.95).unwrap();
+                assert_eq!(ans.tier, base.tier);
+                assert_eq!(ans.partial, base.partial);
+                assert_eq!(ans.num_groups(), base.num_groups());
+                for g in &base.groups {
+                    let other = ans.group(&g.key).unwrap();
+                    for (a, b) in g.values.iter().zip(&other.values) {
+                        assert_eq!(
+                            a.value().to_bits(),
+                            b.value().to_bits(),
+                            "budget {budget:?}, {threads} threads"
+                        );
+                    }
+                }
+            }
+        }
     }
 
     #[test]

@@ -34,9 +34,9 @@ use crate::error::{AqpError, AqpResult};
 use crate::outlier::select_outliers;
 use crate::parts::{answer_from_parts, Part, PartWeight};
 use crate::system::AqpSystem;
-use aqp_query::{DataSource, Query};
+use aqp_query::{run_morsels, DataSource, Query};
 use aqp_sampling::{ColumnFrequency, ReservoirSampler};
-use aqp_storage::{BitSet, Table, Value};
+use aqp_storage::{BitSet, Table, Value, DEFAULT_MORSEL_ROWS};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use std::collections::HashSet;
@@ -225,6 +225,9 @@ pub struct SmallGroupSampler {
     /// their rows are served by the overall sample instead, exactly like
     /// tables skipped by [`SmallGroupConfig::max_tables_per_query`].
     pub(crate) disabled: HashSet<usize>,
+    /// Worker threads for runtime sample scans (1 = inline). Answers are
+    /// bit-identical at any value; this only changes wall-clock time.
+    pub(crate) runtime_threads: usize,
 }
 
 impl SmallGroupSampler {
@@ -261,12 +264,14 @@ impl SmallGroupSampler {
             Single(ColumnFrequency<(u64, bool)>),
             Pair(ColumnFrequency<((u64, bool), (u64, bool))>),
         }
-        let mut freqs: Vec<Freq> = Vec::with_capacity(units.len());
-        for unit in &units {
-            freqs.push(match unit {
-                SgUnit::Single(_) => Freq::Single(ColumnFrequency::new(config.tau)),
-                SgUnit::Pair(_, _) => Freq::Pair(ColumnFrequency::new(config.tau)),
-            });
+        impl Freq {
+            fn merge(&mut self, other: Freq) {
+                match (self, other) {
+                    (Freq::Single(a), Freq::Single(b)) => a.merge(b),
+                    (Freq::Pair(a), Freq::Pair(b)) => a.merge(b),
+                    _ => unreachable!("unit kinds are positional and fixed"),
+                }
+            }
         }
         // Resolve accessors once.
         let accessors: Vec<_> = units
@@ -277,33 +282,41 @@ impl SmallGroupSampler {
             })
             .collect::<AqpResult<Vec<_>>>()?;
 
-        let count_unit = |freq: &mut Freq, acc: &Vec<aqp_query::source::ResolvedColumn<'_>>| {
-            for row in 0..n {
-                match freq {
-                    Freq::Single(f) => f.observe(&acc[0].key_code(row)),
-                    Freq::Pair(f) => f.observe(&(acc[0].key_code(row), acc[1].key_code(row))),
+        let fresh_bank = |tau: usize| -> Vec<Freq> {
+            units
+                .iter()
+                .map(|unit| match unit {
+                    SgUnit::Single(_) => Freq::Single(ColumnFrequency::new(tau)),
+                    SgUnit::Pair(_, _) => Freq::Pair(ColumnFrequency::new(tau)),
+                })
+                .collect()
+        };
+
+        // Morsel-parallel histogram counting: each worker fills a private
+        // bank of per-unit counters over its morsels; the partial banks are
+        // merged in morsel order afterwards. Integer counts make the merge
+        // exact, so the resulting histograms — and everything downstream
+        // (L(C) sets, small group tables, reservoir) — are identical to a
+        // sequential scan at any thread count.
+        let threads = config.preprocess_threads.max(1);
+        let partial_banks = run_morsels(n, DEFAULT_MORSEL_ROWS, threads, |m| {
+            let mut bank = fresh_bank(config.tau);
+            for row in m.start..m.end {
+                for (freq, acc) in bank.iter_mut().zip(&accessors) {
+                    match freq {
+                        Freq::Single(f) => f.observe(&acc[0].key_code(row)),
+                        Freq::Pair(f) => {
+                            f.observe(&(acc[0].key_code(row), acc[1].key_code(row)))
+                        }
+                    }
                 }
             }
-        };
-        if config.preprocess_threads > 1 && freqs.len() > 1 {
-            // Per-unit counting is independent: hand each worker a disjoint
-            // chunk of (frequency counter, accessor) pairs.
-            let threads = config.preprocess_threads.min(freqs.len());
-            let chunk = freqs.len().div_ceil(threads);
-            std::thread::scope(|s| {
-                for (freq_chunk, acc_chunk) in
-                    freqs.chunks_mut(chunk).zip(accessors.chunks(chunk))
-                {
-                    s.spawn(move || {
-                        for (freq, acc) in freq_chunk.iter_mut().zip(acc_chunk) {
-                            count_unit(freq, acc);
-                        }
-                    });
-                }
-            });
-        } else {
-            for (freq, acc) in freqs.iter_mut().zip(&accessors) {
-                count_unit(freq, acc);
+            bank
+        });
+        let mut freqs = fresh_bank(config.tau);
+        for bank in partial_banks {
+            for (acc, partial) in freqs.iter_mut().zip(bank) {
+                acc.merge(partial);
             }
         }
 
@@ -382,7 +395,25 @@ impl SmallGroupSampler {
 
         let overall_target = ((n as f64 * config.base_rate).round() as usize).min(n);
         let mut rng = StdRng::seed_from_u64(config.seed);
-        let mut bits: Vec<usize> = Vec::with_capacity(num_units);
+
+        // Morsel-parallel membership pass: the hash probes against the
+        // common-value sets dominate pass 2, and each row's bit list is
+        // independent, so compute them up front across threads. Table
+        // writes and the reservoir stay sequential so the family is
+        // byte-identical at any thread count.
+        let row_bits: Vec<Vec<u32>> = run_morsels(n, DEFAULT_MORSEL_ROWS, threads, |m| {
+            (m.start..m.end)
+                .map(|row| {
+                    (0..num_units)
+                        .filter(|&u| row_uncommon(u, row))
+                        .map(|u| u as u32)
+                        .collect::<Vec<u32>>()
+                })
+                .collect::<Vec<_>>()
+        })
+        .into_iter()
+        .flatten()
+        .collect();
 
         // Outlier-enhanced overall: pick outliers first so the reservoir
         // only sees the remaining rows.
@@ -421,36 +452,31 @@ impl SmallGroupSampler {
 
         let reservoir_capacity = overall_target - outlier_rows.len();
         let mut reservoir = ReservoirSampler::<usize>::new(reservoir_capacity);
-        let row_mask = |row: usize, bits: &mut Vec<usize>| -> Option<BitSet> {
-            bits.clear();
-            for u in 0..num_units {
-                if row_uncommon(u, row) {
-                    bits.push(u);
-                }
-            }
+        let row_mask = |row: usize| -> Option<BitSet> {
+            let bits = &row_bits[row];
             if bits.is_empty() {
                 None
             } else {
-                Some(BitSet::from_bits(num_units, bits.iter().copied()))
+                Some(BitSet::from_bits(num_units, bits.iter().map(|&u| u as usize)))
             }
         };
 
         match &reservoir_candidates {
             None => {
-                for row in 0..n {
-                    if let Some(mask) = row_mask(row, &mut bits) {
-                        for &u in &bits {
-                            sg_tables[u].push_row_from_with_mask(view, row, &mask)?;
+                for (row, bits) in row_bits.iter().enumerate() {
+                    if let Some(mask) = row_mask(row) {
+                        for &u in bits {
+                            sg_tables[u as usize].push_row_from_with_mask(view, row, &mask)?;
                         }
                     }
                     reservoir.observe(row, &mut rng);
                 }
             }
             Some(rest) => {
-                for row in 0..n {
-                    if let Some(mask) = row_mask(row, &mut bits) {
-                        for &u in &bits {
-                            sg_tables[u].push_row_from_with_mask(view, row, &mask)?;
+                for (row, bits) in row_bits.iter().enumerate() {
+                    if let Some(mask) = row_mask(row) {
+                        for &u in bits {
+                            sg_tables[u as usize].push_row_from_with_mask(view, row, &mask)?;
                         }
                     }
                 }
@@ -476,7 +502,7 @@ impl SmallGroupSampler {
             let mut table = Table::empty("overall_outliers", view.schema().clone());
             table.enable_bitmask(num_units.max(1));
             for &row in &outlier_rows {
-                let mask = row_mask(row, &mut bits)
+                let mask = row_mask(row)
                     .unwrap_or_else(|| BitSet::with_capacity(num_units.max(1)));
                 table.push_row_from_with_mask(view, row, &mask)?;
             }
@@ -488,7 +514,7 @@ impl SmallGroupSampler {
             let mut table = Table::empty("overall", view.schema().clone());
             table.enable_bitmask(num_units.max(1));
             for &row in &indices {
-                let mask = row_mask(row, &mut bits)
+                let mask = row_mask(row)
                     .unwrap_or_else(|| BitSet::with_capacity(num_units.max(1)));
                 table.push_row_from_with_mask(view, row, &mask)?;
             }
@@ -551,7 +577,25 @@ impl SmallGroupSampler {
             overall_rate,
             catalog,
             disabled: HashSet::new(),
+            runtime_threads: 1,
         })
+    }
+
+    /// Set the worker-thread count used by runtime query scans. The thread
+    /// count never changes an answer — only how fast it arrives.
+    pub fn set_threads(&mut self, threads: usize) {
+        self.runtime_threads = threads.max(1);
+    }
+
+    /// Builder-style [`Self::set_threads`].
+    pub fn with_threads(mut self, threads: usize) -> Self {
+        self.set_threads(threads);
+        self
+    }
+
+    /// Worker threads used by runtime query scans.
+    pub fn threads(&self) -> usize {
+        self.runtime_threads
     }
 
     /// The sample-family metadata.
@@ -707,7 +751,7 @@ impl SmallGroupSampler {
             })
             .collect();
         let exact = self.overall_rate >= 1.0;
-        answer_from_parts(query, &parts, confidence, &|_| exact)
+        answer_from_parts(query, &parts, confidence, self.runtime_threads, &|_| exact)
     }
 }
 
@@ -756,7 +800,7 @@ impl AqpSystem for SmallGroupSampler {
                 .iter()
                 .any(|&u| self.entries[u].key_is_uncommon(key, &query.group_by))
         };
-        answer_from_parts(query, &parts, confidence, &is_exact)
+        answer_from_parts(query, &parts, confidence, self.runtime_threads, &is_exact)
     }
 
     fn sample_bytes(&self) -> usize {

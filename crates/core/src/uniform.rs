@@ -92,7 +92,7 @@ impl AqpSystem for UniformAqp {
             mask: None,
             weighting: PartWeight::Constant(self.weight),
         }];
-        answer_from_parts(query, &parts, confidence, &|_| exact_everything)
+        answer_from_parts(query, &parts, confidence, 1, &|_| exact_everything)
     }
 
     fn sample_bytes(&self) -> usize {

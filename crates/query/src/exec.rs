@@ -11,15 +11,18 @@
 //! * **bitmask exclusion** — rows whose sample-membership bitmask intersects
 //!   a given mask are skipped, which is the paper's
 //!   `WHERE bitmask & M = 0` double-counting filter (Section 4.2.2);
-//! * **parallel partitions** — the scan can be split across threads with
-//!   per-thread hash tables merged at the end (std scoped threads).
+//! * **morsel-driven parallelism** — every scan is decomposed into
+//!   fixed-size morsels whose partial group maps are folded in morsel
+//!   order ([`crate::parallel`]), so answers are bit-identical at any
+//!   thread count (std scoped threads, no dependencies).
 
 use crate::error::{QueryError, QueryResult};
 use crate::expr::{CmpOp, Expr};
 use crate::output::{AggState, GroupResult, QueryOutput};
+use crate::parallel::{merge_group_maps, run_morsels};
 use crate::plan::{AggFunc, Query};
 use crate::source::{DataSource, ResolvedColumn};
-use aqp_storage::{BitSet, DataType, Value};
+use aqp_storage::{BitSet, DataType, Value, DEFAULT_MORSEL_ROWS};
 use std::collections::{HashMap, HashSet};
 
 /// Maximum grouping columns handled by the compact fixed-size key. Queries
@@ -55,12 +58,18 @@ pub struct ExecOptions<'a> {
     pub weight: Weighting<'a>,
     /// Skip rows whose bitmask intersects this mask (sample tables only).
     pub bitmask_exclude: Option<&'a BitSet>,
-    /// Number of scan partitions (1 = serial).
+    /// Worker threads for the scan (1 = run morsels inline). The answer is
+    /// bit-identical at every value: morsel boundaries and the merge order
+    /// of partial states depend only on the row count and `morsel_rows`.
     pub parallelism: usize,
     /// Stop the scan after this many rows (a per-query budget used by
     /// degraded serving). [`QueryOutput::truncated`] reports whether the
     /// limit actually cut the scan short.
     pub row_limit: Option<usize>,
+    /// Rows per scan morsel (default [`DEFAULT_MORSEL_ROWS`]). Changing it
+    /// changes float rounding in merged aggregates; it exists as a knob so
+    /// tests can force many morsels on small tables. Clamped to ≥ 1.
+    pub morsel_rows: usize,
 }
 
 impl Default for ExecOptions<'static> {
@@ -70,6 +79,7 @@ impl Default for ExecOptions<'static> {
             bitmask_exclude: None,
             parallelism: 1,
             row_limit: None,
+            morsel_rows: DEFAULT_MORSEL_ROWS,
         }
     }
 }
@@ -164,14 +174,20 @@ pub fn execute(
         weight: opts.weight,
     };
 
-    let mut groups: HashMap<GroupKey, Vec<AggState>> =
-        if opts.parallelism > 1 && n >= 4096 {
-            run_parallel(&scan, n, num_aggs, opts.parallelism)
-        } else {
-            let mut map = HashMap::new();
-            scan.run_range(0, n, num_aggs, &mut map);
-            map
-        };
+    // Morsel-driven scan: workers produce one partial map per morsel;
+    // folding the partials in morsel order makes the result bit-identical
+    // at every thread count. The parallelism == 1 path runs the very same
+    // decomposition inline — a direct whole-range accumulation would round
+    // float sums differently and break the determinism contract.
+    let partials = run_morsels(n, opts.morsel_rows, opts.parallelism, |m| {
+        let mut map = HashMap::new();
+        scan.run_range(m.start, m.end, num_aggs, &mut map);
+        map
+    });
+    let mut groups: HashMap<GroupKey, Vec<AggState>> = HashMap::new();
+    for partial in partials {
+        merge_group_maps(&mut groups, partial);
+    }
 
     // Aggregation without GROUP BY always yields exactly one row.
     if query.group_by.is_empty() && groups.is_empty() {
@@ -304,56 +320,6 @@ impl Scan<'_, '_> {
             }
         }
     }
-}
-
-fn run_parallel(
-    scan: &Scan<'_, '_>,
-    n: usize,
-    num_aggs: usize,
-    parallelism: usize,
-) -> HashMap<GroupKey, Vec<AggState>> {
-    let chunks = parallelism.min(n).max(1);
-    let chunk_size = n.div_ceil(chunks);
-    let mut partials: Vec<HashMap<GroupKey, Vec<AggState>>> = Vec::new();
-
-    std::thread::scope(|s| {
-        let handles: Vec<_> = (0..chunks)
-            .map(|c| {
-                let start = c * chunk_size;
-                let end = ((c + 1) * chunk_size).min(n);
-                s.spawn(move || {
-                    let mut map = HashMap::new();
-                    if start < end {
-                        scan.run_range(start, end, num_aggs, &mut map);
-                    }
-                    map
-                })
-            })
-            .collect();
-        for h in handles {
-            partials.push(h.join().expect("scan partition panicked"));
-        }
-    });
-
-    // Merge per-thread maps into the largest one.
-    partials.sort_by_key(|m| std::cmp::Reverse(m.len()));
-    let mut iter = partials.into_iter();
-    let mut merged = iter.next().unwrap_or_default();
-    for partial in iter {
-        for (key, states) in partial {
-            match merged.entry(key) {
-                std::collections::hash_map::Entry::Occupied(mut e) => {
-                    for (a, b) in e.get_mut().iter_mut().zip(&states) {
-                        a.merge(b);
-                    }
-                }
-                std::collections::hash_map::Entry::Vacant(e) => {
-                    e.insert(states);
-                }
-            }
-        }
-    }
-    merged
 }
 
 /// A predicate compiled against a concrete data source.
@@ -854,8 +820,9 @@ mod tests {
     }
 
     #[test]
-    fn parallel_matches_serial() {
-        // Build a larger table to trigger the parallel path.
+    fn parallel_bit_identical_to_serial() {
+        // Spans several morsels; float values with non-trivial rounding so
+        // any merge-order deviation would show up in the low bits.
         let schema = SchemaBuilder::new()
             .field("g", DataType::Int64)
             .field("v", DataType::Float64)
@@ -863,28 +830,73 @@ mod tests {
             .unwrap();
         let mut t = Table::empty("t", schema);
         for i in 0..20_000i64 {
-            t.push_row(&[(i % 37).into(), ((i % 11) as f64).into()]).unwrap();
+            t.push_row(&[(i % 37).into(), (0.1 + (i % 11) as f64 / 7.0).into()])
+                .unwrap();
         }
         let q = Query::builder()
             .count()
             .sum("v")
             .group_by("g")
-            .filter(Expr::cmp("v", CmpOp::Ge, 3.0f64))
+            .filter(Expr::cmp("v", CmpOp::Ge, 0.3f64))
             .build()
             .unwrap();
         let mut serial = run(&t, &q);
-        let opts = ExecOptions {
-            parallelism: 4,
-            ..ExecOptions::default()
-        };
-        let mut parallel = execute(&DataSource::Wide(&t), &q, &opts).unwrap();
         serial.sort_by_key();
-        parallel.sort_by_key();
-        assert_eq!(serial.num_groups(), parallel.num_groups());
-        for (a, b) in serial.groups.iter().zip(&parallel.groups) {
-            assert_eq!(a.key, b.key);
-            assert_eq!(a.aggs[0].rows, b.aggs[0].rows);
-            assert!((a.aggs[1].sum_wx - b.aggs[1].sum_wx).abs() < 1e-6);
+        for threads in [2, 4, 8] {
+            let opts = ExecOptions {
+                parallelism: threads,
+                ..ExecOptions::default()
+            };
+            let mut parallel = execute(&DataSource::Wide(&t), &q, &opts).unwrap();
+            parallel.sort_by_key();
+            assert_eq!(serial.num_groups(), parallel.num_groups());
+            for (a, b) in serial.groups.iter().zip(&parallel.groups) {
+                assert_eq!(a.key, b.key);
+                assert_eq!(a.aggs[0].rows, b.aggs[0].rows);
+                assert_eq!(
+                    a.aggs[1].sum_wx.to_bits(),
+                    b.aggs[1].sum_wx.to_bits(),
+                    "SUM must be bit-identical at {threads} threads"
+                );
+                assert_eq!(a.aggs[1].sum_x_sq.to_bits(), b.aggs[1].sum_x_sq.to_bits());
+            }
+        }
+    }
+
+    #[test]
+    fn tiny_morsels_still_deterministic() {
+        // Force many morsels on a small table: every morsel size must give
+        // the same answer across thread counts (morsel boundaries are a
+        // function of row count only).
+        let t = table();
+        let q = Query::builder()
+            .count()
+            .sum("t.val")
+            .group_by("t.cat")
+            .build()
+            .unwrap();
+        let base = {
+            let opts = ExecOptions {
+                morsel_rows: 2,
+                ..ExecOptions::default()
+            };
+            let mut out = execute(&DataSource::Wide(&t), &q, &opts).unwrap();
+            out.sort_by_key();
+            out
+        };
+        for threads in [2, 4, 8] {
+            let opts = ExecOptions {
+                morsel_rows: 2,
+                parallelism: threads,
+                ..ExecOptions::default()
+            };
+            let mut out = execute(&DataSource::Wide(&t), &q, &opts).unwrap();
+            out.sort_by_key();
+            assert_eq!(base.num_groups(), out.num_groups());
+            for (a, b) in base.groups.iter().zip(&out.groups) {
+                assert_eq!(a.key, b.key);
+                assert_eq!(a.aggs[1].sum_wx.to_bits(), b.aggs[1].sum_wx.to_bits());
+            }
         }
     }
 

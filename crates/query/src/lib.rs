@@ -35,6 +35,7 @@ pub mod exec;
 pub mod expr;
 pub mod join;
 pub mod output;
+pub mod parallel;
 pub mod plan;
 pub mod source;
 
@@ -43,5 +44,6 @@ pub use exec::{execute, ExecOptions, Weighting};
 pub use expr::{CmpOp, Expr};
 pub use join::{Dimension, StarSchema};
 pub use output::{AggState, GroupResult, QueryOutput};
+pub use parallel::{merge_group_maps, run_morsels};
 pub use plan::{AggExpr, AggFunc, Query};
 pub use source::DataSource;

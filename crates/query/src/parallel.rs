@@ -1,0 +1,150 @@
+//! Morsel-driven parallel scan scheduling with deterministic merge.
+//!
+//! [`run_morsels`] fans a scan over fixed-size morsels out to a scoped
+//! thread pool: workers claim morsels from a shared atomic counter
+//! (morsel-driven parallelism, Leis et al.), so a slow morsel never
+//! stalls the others. The per-morsel results come back **in morsel
+//! order**, which makes downstream folds deterministic: float aggregate
+//! merges are not associative, so the only way `--threads 8` can be
+//! bit-identical to `--threads 1` is for both to compute the same
+//! per-morsel partials and combine them in the same order. The executor
+//! therefore routes *every* scan — including single-threaded ones —
+//! through the same morsel decomposition and the same in-order fold
+//! ([`merge_group_maps`]).
+
+use crate::output::AggState;
+use aqp_storage::morsel::{Morsel, MorselIter};
+use std::collections::HashMap;
+use std::hash::Hash;
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// Run `work` over every morsel of `0..rows` on up to `threads` scoped
+/// worker threads, returning the per-morsel results in morsel order.
+///
+/// The schedule (which thread runs which morsel, in what order) is
+/// nondeterministic; the returned vector is not: slot `i` always holds
+/// the result for morsel `i`, and `work` receives identical morsels no
+/// matter how many threads run. With `threads <= 1` (or a single morsel)
+/// the morsels run inline on the caller's thread, still producing the
+/// same per-morsel decomposition.
+pub fn run_morsels<T, F>(rows: usize, morsel_rows: usize, threads: usize, work: F) -> Vec<T>
+where
+    T: Send,
+    F: Fn(Morsel) -> T + Sync,
+{
+    let iter = MorselIter::new(rows, morsel_rows);
+    let num_morsels = iter.count_total();
+    let threads = threads.clamp(1, num_morsels.max(1));
+
+    if threads <= 1 {
+        return iter.map(&work).collect();
+    }
+
+    let next = AtomicUsize::new(0);
+    let mut tagged: Vec<(usize, T)> = Vec::with_capacity(num_morsels);
+    std::thread::scope(|s| {
+        let handles: Vec<_> = (0..threads)
+            .map(|_| {
+                let next = &next;
+                let iter = &iter;
+                let work = &work;
+                s.spawn(move || {
+                    let mut mine = Vec::new();
+                    loop {
+                        let i = next.fetch_add(1, Ordering::Relaxed);
+                        match iter.get(i) {
+                            Some(m) => mine.push((i, work(m))),
+                            None => break,
+                        }
+                    }
+                    mine
+                })
+            })
+            .collect();
+        for h in handles {
+            tagged.extend(h.join().expect("morsel worker panicked"));
+        }
+    });
+
+    // Restore morsel order so the caller's fold is schedule-independent.
+    tagged.sort_by_key(|(i, _)| *i);
+    debug_assert_eq!(tagged.len(), num_morsels);
+    tagged.into_iter().map(|(_, t)| t).collect()
+}
+
+/// Fold one partial group map into an accumulator, merging the
+/// [`AggState`] vectors of keys present in both.
+///
+/// Called once per morsel in ascending morsel order: for any group key,
+/// the partial states are merged in the order the morsels cover the
+/// table, so the merged tallies are a pure function of the data and the
+/// morsel size — never of the thread count or schedule.
+pub fn merge_group_maps<K: Eq + Hash>(
+    acc: &mut HashMap<K, Vec<AggState>>,
+    part: HashMap<K, Vec<AggState>>,
+) {
+    for (key, states) in part {
+        match acc.entry(key) {
+            std::collections::hash_map::Entry::Occupied(mut e) => {
+                for (a, b) in e.get_mut().iter_mut().zip(&states) {
+                    a.merge(b);
+                }
+            }
+            std::collections::hash_map::Entry::Vacant(e) => {
+                e.insert(states);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn results_arrive_in_morsel_order_at_any_thread_count() {
+        for threads in [1, 2, 4, 8] {
+            let out = run_morsels(10_000, 256, threads, |m| (m.index, m.start, m.end));
+            assert_eq!(out.len(), 40);
+            for (i, (idx, start, end)) in out.iter().enumerate() {
+                assert_eq!(*idx, i);
+                assert_eq!(*start, i * 256);
+                assert_eq!(*end, ((i + 1) * 256).min(10_000));
+            }
+        }
+    }
+
+    #[test]
+    fn zero_rows_runs_nothing() {
+        let out = run_morsels(0, 4096, 8, |m| m.len());
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn more_threads_than_morsels() {
+        let out = run_morsels(10, 4, 64, |m| m.len());
+        assert_eq!(out, vec![4, 4, 2]);
+    }
+
+    #[test]
+    fn merge_combines_states_per_key() {
+        let mut acc: HashMap<u32, Vec<AggState>> = HashMap::new();
+        let mut a = AggState::new();
+        a.update(2.0, 1.0);
+        let mut b = AggState::new();
+        b.update(5.0, 1.0);
+        acc.insert(1, vec![a]);
+        let mut part = HashMap::new();
+        part.insert(1, vec![b]);
+        let mut c = AggState::new();
+        c.update(7.0, 1.0);
+        part.insert(2, vec![c]);
+        merge_group_maps(&mut acc, part);
+        assert_eq!(acc.len(), 2);
+        assert_eq!(acc[&1][0].rows, 2);
+        assert_eq!(acc[&1][0].sum_x, 7.0);
+        assert_eq!(acc[&1][0].min, 2.0);
+        assert_eq!(acc[&1][0].max, 5.0);
+        assert_eq!(acc[&2][0].rows, 1);
+    }
+}

@@ -30,6 +30,7 @@ pub mod dictionary;
 pub mod error;
 pub mod fault;
 pub mod io;
+pub mod morsel;
 pub mod nulls;
 pub mod schema;
 pub mod stats;
@@ -44,6 +45,7 @@ pub use dictionary::Dictionary;
 pub use error::{StorageError, StorageResult};
 pub use fault::{Fault, FaultGuard, FaultPlan};
 pub use io::{decode_table, encode_table, read_table_file, write_table_file};
+pub use morsel::{morsels, Morsel, MorselIter, DEFAULT_MORSEL_ROWS};
 pub use nulls::NullMask;
 pub use schema::{Field, Schema, SchemaBuilder};
 pub use stats::ColumnStats;

@@ -1,0 +1,167 @@
+//! Morsel decomposition of a row range.
+//!
+//! A *morsel* is a fixed-size contiguous run of rows — the unit of work
+//! the parallel executor hands to worker threads (morsel-driven
+//! parallelism, Leis et al., SIGMOD 2014). Morsel boundaries depend only
+//! on the row count and the configured morsel size, **never** on the
+//! number of threads: this is what makes parallel aggregation
+//! reproducible, because the per-morsel partial states are always
+//! identical and are merged in morsel-index order regardless of which
+//! thread computed them.
+
+/// Default rows per morsel.
+///
+/// Large enough that per-morsel hash-table and scheduling overhead is
+/// amortised over thousands of rows, small enough that a skewed scan
+/// still splits into many work units for load balancing (a 60 k-row
+/// TPC-H view yields ~15 morsels).
+pub const DEFAULT_MORSEL_ROWS: usize = 4096;
+
+/// One contiguous unit of scan work: rows `start..end`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Morsel {
+    /// Position of this morsel in the scan (0-based, dense).
+    pub index: usize,
+    /// First row (inclusive).
+    pub start: usize,
+    /// One past the last row (exclusive).
+    pub end: usize,
+}
+
+impl Morsel {
+    /// Rows in this morsel.
+    pub fn len(&self) -> usize {
+        self.end - self.start
+    }
+
+    /// Whether the morsel covers no rows.
+    pub fn is_empty(&self) -> bool {
+        self.start >= self.end
+    }
+}
+
+/// Iterator over the morsels of `0..rows`.
+///
+/// Every morsel has exactly `morsel_rows` rows except possibly the last.
+/// `morsel_rows` is clamped to at least 1. Zero rows yield zero morsels.
+#[derive(Debug, Clone)]
+pub struct MorselIter {
+    rows: usize,
+    morsel_rows: usize,
+    next: usize,
+}
+
+impl MorselIter {
+    /// Decompose `0..rows` into morsels of `morsel_rows` rows.
+    pub fn new(rows: usize, morsel_rows: usize) -> Self {
+        MorselIter {
+            rows,
+            morsel_rows: morsel_rows.max(1),
+            next: 0,
+        }
+    }
+
+    /// Total number of morsels this iterator yields.
+    pub fn count_total(&self) -> usize {
+        self.rows.div_ceil(self.morsel_rows)
+    }
+
+    /// The `i`-th morsel (independent of iteration state).
+    pub fn get(&self, i: usize) -> Option<Morsel> {
+        let start = i.checked_mul(self.morsel_rows)?;
+        if start >= self.rows {
+            return None;
+        }
+        Some(Morsel {
+            index: i,
+            start,
+            end: (start + self.morsel_rows).min(self.rows),
+        })
+    }
+}
+
+impl Iterator for MorselIter {
+    type Item = Morsel;
+
+    fn next(&mut self) -> Option<Morsel> {
+        let m = self.get(self.next)?;
+        self.next += 1;
+        Some(m)
+    }
+
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        let left = self.count_total().saturating_sub(self.next);
+        (left, Some(left))
+    }
+}
+
+impl ExactSizeIterator for MorselIter {}
+
+/// Decompose `0..rows` into morsels of `morsel_rows` rows each.
+pub fn morsels(rows: usize, morsel_rows: usize) -> MorselIter {
+    MorselIter::new(rows, morsel_rows)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn exact_division() {
+        let ms: Vec<Morsel> = morsels(8192, 4096).collect();
+        assert_eq!(ms.len(), 2);
+        assert_eq!(ms[0], Morsel { index: 0, start: 0, end: 4096 });
+        assert_eq!(ms[1], Morsel { index: 1, start: 4096, end: 8192 });
+    }
+
+    #[test]
+    fn ragged_tail() {
+        let ms: Vec<Morsel> = morsels(10_000, 4096).collect();
+        assert_eq!(ms.len(), 3);
+        assert_eq!(ms[2].start, 8192);
+        assert_eq!(ms[2].end, 10_000);
+        assert_eq!(ms[2].len(), 1808);
+        assert!(!ms[2].is_empty());
+    }
+
+    #[test]
+    fn fewer_rows_than_one_morsel() {
+        let ms: Vec<Morsel> = morsels(7, 4096).collect();
+        assert_eq!(ms.len(), 1);
+        assert_eq!((ms[0].start, ms[0].end), (0, 7));
+    }
+
+    #[test]
+    fn zero_rows_and_zero_morsel_size() {
+        assert_eq!(morsels(0, 4096).count(), 0);
+        // morsel_rows clamps to 1 instead of dividing by zero.
+        assert_eq!(morsels(3, 0).count(), 3);
+    }
+
+    #[test]
+    fn boundaries_cover_every_row_exactly_once() {
+        for rows in [0usize, 1, 100, 4095, 4096, 4097, 12_288, 12_289] {
+            let ms: Vec<Morsel> = morsels(rows, 4096).collect();
+            assert_eq!(ms.len(), rows.div_ceil(4096));
+            let mut covered = 0;
+            for (i, m) in ms.iter().enumerate() {
+                assert_eq!(m.index, i);
+                assert_eq!(m.start, covered);
+                covered = m.end;
+            }
+            assert_eq!(covered, rows);
+        }
+    }
+
+    #[test]
+    fn random_access_matches_iteration() {
+        let it = MorselIter::new(10_000, 1024);
+        assert_eq!(it.count_total(), 10);
+        let collected: Vec<Morsel> = it.clone().collect();
+        for (i, m) in collected.iter().enumerate() {
+            assert_eq!(it.get(i), Some(*m));
+        }
+        assert_eq!(it.get(10), None);
+        assert_eq!(it.len(), 10);
+    }
+}

@@ -261,6 +261,12 @@ impl Table {
             .map(|c| self.value(row, c).to_owned())
             .collect()
     }
+
+    /// Decompose the table's rows into scan morsels of `morsel_rows` rows
+    /// each (see [`crate::morsel`]).
+    pub fn morsels(&self, morsel_rows: usize) -> crate::morsel::MorselIter {
+        crate::morsel::morsels(self.num_rows, morsel_rows)
+    }
 }
 
 /// Builder that accumulates rows then yields a [`Table`].

@@ -39,8 +39,23 @@ impl ExactAnswer {
 
 /// Execute `query` exactly against `source`.
 pub fn exact_answer(source: &DataSource<'_>, query: &Query) -> aqp_query::QueryResult<ExactAnswer> {
+    exact_answer_threaded(source, query, 1)
+}
+
+/// Execute `query` exactly against `source` with `threads` scan workers.
+/// The answer is bit-identical to the serial one (morsel-order merge);
+/// only [`ExactAnswer::elapsed`] changes.
+pub fn exact_answer_threaded(
+    source: &DataSource<'_>,
+    query: &Query,
+    threads: usize,
+) -> aqp_query::QueryResult<ExactAnswer> {
+    let opts = ExecOptions {
+        parallelism: threads.max(1),
+        ..ExecOptions::default()
+    };
     let start = Instant::now();
-    let out = execute(source, query, &ExecOptions::default())?;
+    let out = execute(source, query, &opts)?;
     let elapsed = start.elapsed();
 
     let mut per_agg: Vec<HashMap<Vec<Value>, f64>> =
@@ -202,6 +217,73 @@ pub fn evaluate_queries(
     summary.approx_ms /= n;
     summary.exact_ms /= n;
     Ok(summary)
+}
+
+/// One throughput sample of the parallel scaling bench: a query scan or a
+/// sample-family build, at a given worker-thread count.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct BenchPoint {
+    /// Worker threads used.
+    pub threads: usize,
+    /// Best-of-N wall-clock time in milliseconds.
+    pub elapsed_ms: f64,
+    /// Rows of input processed.
+    pub rows: usize,
+    /// Throughput in input rows per second.
+    pub rows_per_sec: f64,
+}
+
+impl BenchPoint {
+    fn from_elapsed(threads: usize, rows: usize, secs: f64) -> Self {
+        BenchPoint {
+            threads,
+            elapsed_ms: secs * 1e3,
+            rows,
+            rows_per_sec: if secs > 0.0 { rows as f64 / secs } else { f64::INFINITY },
+        }
+    }
+}
+
+/// Measure exact-scan throughput of `query` over `source` at `threads`
+/// workers: best wall-clock of `iters` runs (first run warms caches).
+pub fn bench_query_throughput(
+    source: &DataSource<'_>,
+    query: &Query,
+    threads: usize,
+    iters: usize,
+) -> aqp_query::QueryResult<BenchPoint> {
+    let opts = ExecOptions {
+        parallelism: threads.max(1),
+        ..ExecOptions::default()
+    };
+    let mut best = f64::INFINITY;
+    for _ in 0..iters.max(1) {
+        let start = Instant::now();
+        let out = execute(source, query, &opts)?;
+        let secs = start.elapsed().as_secs_f64();
+        std::hint::black_box(&out);
+        best = best.min(secs);
+    }
+    Ok(BenchPoint::from_elapsed(threads, source.num_rows(), best))
+}
+
+/// Measure small-group-sample build throughput over `view` at `threads`
+/// preprocessing workers (the build scans the view twice; throughput is
+/// reported against the view's row count).
+pub fn bench_build_throughput(
+    view: &aqp_storage::Table,
+    config: &aqp_core::SmallGroupConfig,
+    threads: usize,
+) -> aqp_core::AqpResult<BenchPoint> {
+    let config = aqp_core::SmallGroupConfig {
+        preprocess_threads: threads.max(1),
+        ..config.clone()
+    };
+    let start = Instant::now();
+    let sampler = aqp_core::SmallGroupSampler::build(view, config)?;
+    let secs = start.elapsed().as_secs_f64();
+    std::hint::black_box(&sampler);
+    Ok(BenchPoint::from_elapsed(threads, view.num_rows(), secs))
 }
 
 #[cfg(test)]

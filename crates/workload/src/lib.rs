@@ -23,5 +23,8 @@ pub mod harness;
 pub mod metrics;
 
 pub use generator::{generate_queries, DatasetProfile, QueryGenConfig, WorkloadAggregate};
-pub use harness::{evaluate_queries, exact_answer, EvalSummary, ExactAnswer, QueryEval};
+pub use harness::{
+    bench_build_throughput, bench_query_throughput, evaluate_queries, exact_answer,
+    exact_answer_threaded, BenchPoint, EvalSummary, ExactAnswer, QueryEval,
+};
 pub use metrics::{pct_groups, rel_err, sq_rel_err};

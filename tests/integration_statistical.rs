@@ -261,3 +261,37 @@ fn sgs_outlier_beats_plain_outlier_on_sum() {
         "SUM workload: SmGroup+Outlier {combo_rel} vs OutlierIndex {plain_rel}"
     );
 }
+
+#[test]
+fn uniform_sum_and_count_unbiased_over_many_seeds() {
+    // Regression guard for the morsel-parallel scan path: over 240 seeded
+    // uniform draws, the *mean* signed relative error of both SUM and
+    // COUNT must sit within a fixed tolerance of zero. A systematic bias
+    // introduced anywhere in the scan → partial-state merge → estimator
+    // chain (double-counted morsel, dropped boundary row, bad weight
+    // inflation) shifts the mean far outside this band, while ordinary
+    // sampling noise averages out: one draw of 200 rows has a SUM
+    // standard error near 5%, so the mean of 240 draws sits near 0.3%.
+    let v = skewed_table();
+    let q = Query::builder().count().sum("x").build().unwrap();
+    let exact = exact_answer(&DataSource::Wide(&v), &q).unwrap();
+    let true_count = *exact.per_agg[0].get(&Vec::new()).unwrap();
+    let true_sum = *exact.per_agg[1].get(&Vec::new()).unwrap();
+    assert!(true_count > 0.0 && true_sum > 0.0);
+
+    let trials = 240;
+    let mut count_rel = 0.0;
+    let mut sum_rel = 0.0;
+    for seed in 0..trials {
+        let u = UniformAqp::build(&v, 0.1, seed + 7_000).unwrap();
+        let ans = u.answer(&q, 0.95).unwrap();
+        count_rel += (ans.groups[0].values[0].value() - true_count) / true_count;
+        sum_rel += (ans.groups[0].values[1].value() - true_sum) / true_sum;
+    }
+    count_rel /= trials as f64;
+    sum_rel /= trials as f64;
+    // WOR fixed-size draws estimate COUNT almost exactly; SUM carries the
+    // sampling noise. 1% is ≈ 3 standard errors of the 240-draw mean.
+    assert!(count_rel.abs() < 0.01, "mean COUNT rel err {count_rel}");
+    assert!(sum_rel.abs() < 0.01, "mean SUM rel err {sum_rel}");
+}

@@ -1,0 +1,192 @@
+//! Property tests for partial-aggregate-state merging — the algebra the
+//! morsel-driven executor relies on.
+//!
+//! Update streams use exactly-representable values (small integers for
+//! `x`, small positive integers for `w`), so every tally field is an
+//! integer far below 2^53 and float addition is *exact*. Under exact
+//! arithmetic the merge must be associative and order-insensitive
+//! bit-for-bit; any structural mistake in [`AggState::merge`] or
+//! [`merge_group_maps`] (a missed field, a swapped min/max, a dropped
+//! empty state) shows up as a hard bit mismatch. The executor's
+//! determinism for *inexact* streams is covered separately by the fixed
+//! morsel-order fold (`tests/diff_parallel.rs`).
+
+use aqp::query::{merge_group_maps, AggState};
+use proptest::prelude::*;
+use std::collections::HashMap;
+
+/// One update: measure value, weight, and whether the measure is NULL
+/// (a NULL still counts the row for COUNT(*) but must not touch the
+/// column tallies — mirroring the executor's per-aggregate behaviour).
+type Update = (i64, u64, bool);
+
+fn updates() -> impl Strategy<Value = Vec<Update>> {
+    proptest::collection::vec(
+        (-50i64..50, 1u64..5, 0u32..4).prop_map(|(x, w, n)| (x, w, n == 0)),
+        0..120,
+    )
+}
+
+/// Apply a slice of updates the way the executor's scan does: slot 0 is
+/// COUNT(*) (always updates with x = 1), slot 1 is SUM/AVG over the
+/// measure (skips NULLs entirely).
+fn apply(updates: &[Update]) -> [AggState; 2] {
+    let mut count = AggState::new();
+    let mut sum = AggState::new();
+    for &(x, w, is_null) in updates {
+        count.update(1.0, w as f64);
+        if !is_null {
+            sum.update(x as f64, w as f64);
+        }
+    }
+    [count, sum]
+}
+
+fn merged(parts: &[&[Update]]) -> [AggState; 2] {
+    let mut acc = [AggState::new(), AggState::new()];
+    for part in parts {
+        let s = apply(part);
+        acc[0].merge(&s[0]);
+        acc[1].merge(&s[1]);
+    }
+    acc
+}
+
+/// Bitwise equality over every tally field (so `+0.0` vs `-0.0` or an
+/// infinity mix-up in min/max cannot hide behind `==`).
+fn states_equal(a: &AggState, b: &AggState) -> bool {
+    a.rows == b.rows
+        && a.sum_w.to_bits() == b.sum_w.to_bits()
+        && a.sum_wx.to_bits() == b.sum_wx.to_bits()
+        && a.sum_x.to_bits() == b.sum_x.to_bits()
+        && a.sum_x_sq.to_bits() == b.sum_x_sq.to_bits()
+        && a.var_acc.to_bits() == b.var_acc.to_bits()
+        && a.var_acc_w.to_bits() == b.var_acc_w.to_bits()
+        && a.min.to_bits() == b.min.to_bits()
+        && a.max.to_bits() == b.max.to_bits()
+}
+
+/// Split `v` into chunks at positions derived from `cuts`.
+fn split<'a>(v: &'a [Update], cuts: &[usize]) -> Vec<&'a [Update]> {
+    let mut bounds: Vec<usize> = cuts.iter().map(|c| c % (v.len() + 1)).collect();
+    bounds.push(0);
+    bounds.push(v.len());
+    bounds.sort_unstable();
+    bounds.dedup();
+    bounds.windows(2).map(|w| &v[w[0]..w[1]]).collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    /// Splitting an update stream at arbitrary points and merging the
+    /// partial states in order reproduces the sequential state exactly.
+    #[test]
+    fn split_merge_equals_sequential(
+        ups in updates(),
+        cuts in proptest::collection::vec(0usize..200, 0..6),
+    ) {
+        let sequential = apply(&ups);
+        let parts = split(&ups, &cuts);
+        let folded = merged(&parts);
+        prop_assert!(states_equal(&sequential[0], &folded[0]), "COUNT slot");
+        prop_assert!(states_equal(&sequential[1], &folded[1]), "SUM slot");
+    }
+
+    /// Merge is associative: (a ⊕ b) ⊕ c == a ⊕ (b ⊕ c), per field,
+    /// bit-for-bit.
+    #[test]
+    fn merge_is_associative(
+        a in updates(),
+        b in updates(),
+        c in updates(),
+    ) {
+        for slot in 0..2 {
+            let (sa, sb, sc) = (apply(&a)[slot], apply(&b)[slot], apply(&c)[slot]);
+            let mut left = sa;
+            left.merge(&sb);
+            left.merge(&sc);
+            let mut right_tail = sb;
+            right_tail.merge(&sc);
+            let mut right = sa;
+            right.merge(&right_tail);
+            prop_assert!(states_equal(&left, &right), "slot {slot}");
+        }
+    }
+
+    /// Merge order does not matter for exact streams: any rotation of the
+    /// chunk list folds to the same state.
+    #[test]
+    fn merge_is_order_insensitive(
+        ups in updates(),
+        cuts in proptest::collection::vec(0usize..200, 0..5),
+        rot in 0usize..8,
+    ) {
+        let parts = split(&ups, &cuts);
+        let base = merged(&parts);
+        let mut rotated = parts.clone();
+        rotated.rotate_left(rot % parts.len().max(1));
+        let other = merged(&rotated);
+        prop_assert!(states_equal(&base[0], &other[0]));
+        prop_assert!(states_equal(&base[1], &other[1]));
+    }
+
+    /// Empty morsels are identities: merging fresh states in anywhere —
+    /// including as the accumulator's first operand, where min/max start
+    /// at ±∞ — changes nothing.
+    #[test]
+    fn empty_states_are_identity(ups in updates(), n_empties in 1usize..4) {
+        let full = apply(&ups);
+        for (slot, state) in full.iter().enumerate() {
+            // Empties before.
+            let mut acc = AggState::new();
+            for _ in 0..n_empties {
+                acc.merge(&AggState::new());
+            }
+            acc.merge(state);
+            prop_assert!(states_equal(&acc, state), "prefix empties, slot {slot}");
+            // Empties after.
+            let mut acc = *state;
+            for _ in 0..n_empties {
+                acc.merge(&AggState::new());
+            }
+            prop_assert!(states_equal(&acc, state), "suffix empties, slot {slot}");
+        }
+    }
+
+    /// `merge_group_maps` over keyed partials equals a map built from the
+    /// concatenated stream: groups union, shared keys merge per slot, and
+    /// keys seen in only one partial carry over untouched.
+    #[test]
+    fn keyed_map_merge_matches_concatenation(
+        keyed in proptest::collection::vec(
+            (0u32..6, -50i64..50, 1u64..5, 0u32..4)
+                .prop_map(|(k, x, w, n)| (k, (x, w, n == 0))),
+            0..120,
+        ),
+        cut in 0usize..120,
+    ) {
+        let build = |items: &[(u32, Update)]| -> HashMap<u32, Vec<AggState>> {
+            let mut m: HashMap<u32, Vec<AggState>> = HashMap::new();
+            for &(k, (x, w, is_null)) in items {
+                let states = m.entry(k).or_insert_with(|| vec![AggState::new(); 2]);
+                states[0].update(1.0, w as f64);
+                if !is_null {
+                    states[1].update(x as f64, w as f64);
+                }
+            }
+            m
+        };
+        let cut = cut % (keyed.len() + 1);
+        let whole = build(&keyed);
+        let mut folded = build(&keyed[..cut]);
+        merge_group_maps(&mut folded, build(&keyed[cut..]));
+        prop_assert_eq!(whole.len(), folded.len());
+        for (k, want) in &whole {
+            let got = folded.get(k).expect("missing group after merge");
+            for slot in 0..2 {
+                prop_assert!(states_equal(&want[slot], &got[slot]), "key {k}, slot {slot}");
+            }
+        }
+    }
+}
