@@ -19,6 +19,7 @@
 //! | [`workload`] | `aqp-workload` | random query workloads, RelErr/PctGroups metrics, harness |
 //! | [`analytical`] | `aqp-analytical` | Section 4.4 closed-form error model (Figure 3) |
 //! | [`sql`] | `aqp-sql` | SQL front-end parsing the supported query class |
+//! | [`obs`] | `aqp-obs` | zero-dependency metrics, spans, events, query traces |
 //!
 //! ## Quickstart
 //!
@@ -65,6 +66,7 @@
 pub use aqp_analytical as analytical;
 pub use aqp_core as core;
 pub use aqp_datagen as datagen;
+pub use aqp_obs as obs;
 pub use aqp_query as query;
 pub use aqp_sampling as sampling;
 pub use aqp_sql as sql;
@@ -88,8 +90,9 @@ pub mod prelude {
     pub use aqp_sampling::{ConfidenceInterval, Estimate};
     pub use aqp_sql::{parse_query, ParsedQuery};
     pub use aqp_storage::{DataType, Schema, SchemaBuilder, Table, Value};
+    pub use aqp_obs::QueryTrace;
     pub use aqp_workload::{
-        evaluate_queries, exact_answer, generate_queries, DatasetProfile, QueryGenConfig,
-        WorkloadAggregate,
+        evaluate_queries, evaluate_queries_traced, exact_answer, generate_queries,
+        obs_report_json, DatasetProfile, QueryGenConfig, WorkloadAggregate,
     };
 }

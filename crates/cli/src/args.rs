@@ -30,7 +30,8 @@ pub struct Args {
 
 impl Args {
     /// The option names that are boolean flags (take no value).
-    pub const BOOL_FLAGS: &'static [&'static str] = &["exact", "help", "verbose"];
+    pub const BOOL_FLAGS: &'static [&'static str] =
+        &["exact", "help", "verbose", "trace", "stats"];
 
     /// Parse raw arguments (excluding the program name).
     ///

@@ -86,12 +86,15 @@ USAGE:
                      [--outlier-column COL] --out FILE
   aqp-cli catalog --family FILE
   aqp-cli query --family FILE [--view FILE] [--exact] [--confidence F]
-                [--row-budget N] [--threads N] SQL
+                [--row-budget N] [--threads N] [--trace] [--stats] SQL
   aqp-cli repl --family FILE [--view FILE] [--row-budget N] [--threads N]
+               [--trace] [--stats]
   aqp-cli workload --family FILE --view FILE [--queries N] [--grouping N]
                    [--seed N] [--confidence F] [--row-budget N] [--threads N]
+                   [--trace] [--stats] [--obs-out PREFIX]
   aqp-cli bench [--scale F] [--skew F] [--seed N] [--rate F] [--gamma F]
-                [--iters N] [--out FILE]
+                [--iters N] [--out FILE] [--stats]
+  aqp-cli validate-trace FILE
 
 Views are stored as .aqpt binary tables; sample families as .aqps files.
 In SQL the FROM clause names are ignored — queries always run against the
@@ -104,9 +107,17 @@ any single query may scan. --threads sets the morsel-driven execution
 parallelism (default: available hardware parallelism); answers are
 bit-identical at any thread count.
 
+--trace prints one JSON QueryTrace line per query (plan, sample tables
+consulted, serving tier, rows scanned, per-stage wall time); for
+workload it also writes PREFIX_traces.jsonl, PREFIX_metrics.prom and
+PREFIX_report.json (default PREFIX: OBS). --stats prints a Prometheus
+text-format metrics snapshot after the command. validate-trace checks
+every line of a .jsonl trace file against the documented schema.
+
 bench measures scan/aggregate and sample-build throughput at 1/2/4/8
 threads on a generated skewed TPC-H view and writes the results as JSON
-(default BENCH_parallel.json).";
+(default BENCH_parallel.json), including a per-stage wall-time breakdown
+(scan vs merge vs finalize) from the span timers.";
 
 /// Dispatch one CLI invocation. `out` receives user-facing output.
 pub fn run(args: Args, out: &mut dyn Write) -> Result<(), CliError> {
@@ -124,6 +135,7 @@ pub fn run(args: Args, out: &mut dyn Write) -> Result<(), CliError> {
         "query" => query_command(&args, out),
         "workload" => workload_command(&args, out),
         "bench" => bench_command(&args, out),
+        "validate-trace" => validate_trace_command(&args, out),
         "repl" => repl(&args, out, &mut std::io::stdin().lock()),
         "help" | "--help" => {
             writeln!(out, "{USAGE}")?;
@@ -258,18 +270,40 @@ fn catalog(args: &Args, out: &mut dyn Write) -> Result<(), CliError> {
 fn open_family(family: &str, out: &mut dyn Write) -> Result<ResilientSystem, CliError> {
     let (system, report) = ResilientSystem::open(family);
     if !report.primary_intact {
+        // Structured events ride alongside the (unchanged) printed
+        // warnings; the default stderr/stdout bytes stay identical.
         if let Some(err) = &report.primary_error {
+            aqp::obs::event::warn(
+                "cli::open",
+                "sample family load error",
+                &[("family", family), ("error", &err.to_string())],
+            );
             writeln!(out, "-- warning: {family}: {err}")?;
         }
         if !report.disabled_units.is_empty() {
+            aqp::obs::event::warn(
+                "cli::open",
+                "serving degraded",
+                &[("family", family), ("disabled_units", &report.disabled_units.join(","))],
+            );
             writeln!(
                 out,
                 "-- warning: serving degraded; disabled small group tables: {}",
                 report.disabled_units.join(", ")
             )?;
         } else if system.primary().is_some() {
+            aqp::obs::event::warn(
+                "cli::open",
+                "file framing damaged but sample tables salvaged",
+                &[("family", family)],
+            );
             writeln!(out, "-- warning: file framing damaged but all sample tables salvaged")?;
         } else {
+            aqp::obs::event::warn(
+                "cli::open",
+                "sample family unusable; exact tier only",
+                &[("family", family)],
+            );
             writeln!(
                 out,
                 "-- warning: sample family unusable; only the exact tier can serve (needs --view)"
@@ -283,6 +317,8 @@ fn query_command(args: &Args, out: &mut dyn Write) -> Result<(), CliError> {
     let family = args.required("family")?;
     let view_path = args.optional("view");
     let want_exact = args.flag("exact");
+    let trace = args.flag("trace");
+    let stats = args.flag("stats");
     let confidence = args.get_or("confidence", 0.95f64)?;
     let row_budget = opt_usize(args, "row-budget")?;
     let threads = threads_arg(args)?;
@@ -307,21 +343,38 @@ fn query_command(args: &Args, out: &mut dyn Write) -> Result<(), CliError> {
     if let Some(budget) = row_budget {
         system = system.with_row_budget(budget);
     }
-    answer_one(&system, view.as_ref(), &sql, want_exact, confidence, out)
+    answer_one(&system, view.as_ref(), &sql, want_exact, confidence, trace, out)?;
+    if stats {
+        write_metrics_snapshot(out)?;
+    }
+    Ok(())
 }
 
-/// Parse, answer and print one SQL query.
+/// Print the global metrics registry as Prometheus text exposition.
+fn write_metrics_snapshot(out: &mut dyn Write) -> Result<(), CliError> {
+    write!(out, "{}", aqp::obs::to_prometheus(&aqp::obs::global().snapshot()))?;
+    Ok(())
+}
+
+/// Parse, answer and print one SQL query. With `trace` the per-query
+/// [`QueryTrace`] is printed as one JSON line after the summary.
 fn answer_one(
     system: &ResilientSystem,
     view: Option<&Table>,
     sql: &str,
     want_exact: bool,
     confidence: f64,
+    trace: bool,
     out: &mut dyn Write,
 ) -> Result<(), CliError> {
     let parsed = parse_query(sql).map_err(boxed)?;
     let t0 = Instant::now();
-    let mut answer = system.answer(&parsed.query, confidence).map_err(boxed)?;
+    let (mut answer, query_trace) = if trace {
+        let (a, t) = system.answer_traced(&parsed.query, confidence).map_err(boxed)?;
+        (a, Some(t))
+    } else {
+        (system.answer(&parsed.query, confidence).map_err(boxed)?, None)
+    };
     let approx_time = t0.elapsed();
     answer.sort_by_key();
 
@@ -387,6 +440,9 @@ fn answer_one(
         }
         ServingTier::Overall | ServingTier::Exact => writeln!(out, "-- * = exact")?,
     }
+    if let Some(t) = query_trace {
+        writeln!(out, "{}", t.to_json())?;
+    }
     Ok(())
 }
 
@@ -401,6 +457,9 @@ fn workload_command(args: &Args, out: &mut dyn Write) -> Result<(), CliError> {
     let confidence = args.get_or("confidence", 0.95f64)?;
     let row_budget = opt_usize(args, "row-budget")?;
     let threads = threads_arg(args)?;
+    let trace = args.flag("trace");
+    let stats = args.flag("stats");
+    let obs_prefix = args.optional("obs-out").unwrap_or_else(|| "OBS".to_owned());
     args.finish()?;
 
     let view = read_table_file(&view_path).map_err(at_path(&view_path))?;
@@ -428,8 +487,9 @@ fn workload_command(args: &Args, out: &mut dyn Write) -> Result<(), CliError> {
         count,
     );
     let t0 = Instant::now();
-    let summary = evaluate_queries(&system, &DataSource::Wide(&view), &queries, confidence)
-        .map_err(boxed)?;
+    let (summary, traces) =
+        evaluate_queries_traced(&system, &DataSource::Wide(&view), &queries, confidence, trace)
+            .map_err(boxed)?;
     writeln!(
         out,
         "{} queries in {:?}: RelErr {:.4}, PctGroups {:.1}%, mean approx {:.2} ms",
@@ -447,6 +507,30 @@ fn workload_command(args: &Args, out: &mut dyn Write) -> Result<(), CliError> {
             summary.tiers.degraded_total(),
             summary.tiers.total(),
         )?;
+    }
+    if trace {
+        let snapshot = aqp::obs::global().snapshot();
+        let traces_path = format!("{obs_prefix}_traces.jsonl");
+        let mut jsonl = String::new();
+        for t in &traces {
+            jsonl.push_str(&t.to_json());
+            jsonl.push('\n');
+        }
+        std::fs::write(&traces_path, jsonl).map_err(at_path(&traces_path))?;
+        let metrics_path = format!("{obs_prefix}_metrics.prom");
+        std::fs::write(&metrics_path, aqp::obs::to_prometheus(&snapshot))
+            .map_err(at_path(&metrics_path))?;
+        let report_path = format!("{obs_prefix}_report.json");
+        std::fs::write(&report_path, obs_report_json(&summary, &traces, &snapshot))
+            .map_err(at_path(&report_path))?;
+        writeln!(
+            out,
+            "observability: {} traces -> {traces_path}, metrics -> {metrics_path}, report -> {report_path}",
+            traces.len(),
+        )?;
+    }
+    if stats {
+        write_metrics_snapshot(out)?;
     }
     Ok(())
 }
@@ -486,6 +570,7 @@ fn bench_command(args: &Args, out: &mut dyn Write) -> Result<(), CliError> {
     let rate = args.get_or("rate", 0.05f64)?;
     let gamma = args.get_or("gamma", 0.5f64)?;
     let iters = args.get_or("iters", 3usize)?.max(1);
+    let stats = args.flag("stats");
     let out_path = args
         .optional("out")
         .unwrap_or_else(|| "BENCH_parallel.json".to_owned());
@@ -519,11 +604,26 @@ fn bench_command(args: &Args, out: &mut dyn Write) -> Result<(), CliError> {
 
     let mut build_points = Vec::new();
     let mut query_points = Vec::new();
+    let mut stage_rows = Vec::new();
     for &threads in BENCH_THREADS {
         let build =
             aqp::workload::bench_build_throughput(&view, &config, threads).map_err(boxed)?;
+        // Per-stage wall time from the span timers: the query runs emit
+        // `aqp_stage_seconds{stage=...}` observations, so the snapshot
+        // delta around the measurement window isolates this thread count.
+        let before = aqp::obs::global().snapshot();
         let scan =
             aqp::workload::bench_query_throughput(&source, &query, threads, iters).map_err(boxed)?;
+        let after = aqp::obs::global().snapshot();
+        let per_iter = |stage: &str| {
+            (stage_sum_ms(&after, stage) - stage_sum_ms(&before, stage)) / iters as f64
+        };
+        stage_rows.push(format!(
+            "    {{\"threads\": {threads}, \"scan_ms\": {:.3}, \"merge_ms\": {:.3}, \"finalize_ms\": {:.3}}}",
+            per_iter("query.scan"),
+            per_iter("query.merge"),
+            per_iter("query.finalize"),
+        ));
         writeln!(
             out,
             "threads {threads}: build {:.0} rows/s ({:.1} ms), query {:.0} rows/s ({:.1} ms)",
@@ -536,16 +636,53 @@ fn bench_command(args: &Args, out: &mut dyn Write) -> Result<(), CliError> {
     let build_speedup = bench_speedup(&build_points, 4).unwrap_or(1.0);
     let query_speedup = bench_speedup(&query_points, 4).unwrap_or(1.0);
     let json = format!(
-        "{{\n  \"dataset\": {{\"kind\": \"tpch\", \"scale_factor\": {scale}, \"zipf_z\": {skew}, \"seed\": {seed}}},\n  \"view_rows\": {},\n  \"host_parallelism\": {host},\n  \"build\": {},\n  \"query\": {},\n  \"build_speedup_4_threads\": {build_speedup:.2},\n  \"query_speedup_4_threads\": {query_speedup:.2}\n}}\n",
+        "{{\n  \"dataset\": {{\"kind\": \"tpch\", \"scale_factor\": {scale}, \"zipf_z\": {skew}, \"seed\": {seed}}},\n  \"view_rows\": {},\n  \"host_parallelism\": {host},\n  \"build\": {},\n  \"query\": {},\n  \"query_stages\": [\n{}\n  ],\n  \"build_speedup_4_threads\": {build_speedup:.2},\n  \"query_speedup_4_threads\": {query_speedup:.2}\n}}\n",
         view.num_rows(),
         bench_points_json(&build_points),
         bench_points_json(&query_points),
+        stage_rows.join(",\n"),
     );
     std::fs::write(&out_path, json).map_err(at_path(&out_path))?;
     writeln!(
         out,
         "4-thread speedup: build {build_speedup:.2}x, query {query_speedup:.2}x -> {out_path}"
     )?;
+    if stats {
+        write_metrics_snapshot(out)?;
+    }
+    Ok(())
+}
+
+/// Cumulative milliseconds recorded for one `aqp_stage_seconds` stage in
+/// a snapshot (0 when the stage has not fired yet).
+fn stage_sum_ms(snap: &aqp::obs::Snapshot, stage: &str) -> f64 {
+    snap.histogram("aqp_stage_seconds", &[("stage", stage)])
+        .map_or(0.0, |h| h.sum_seconds * 1e3)
+}
+
+/// Validate a `.jsonl` trace file: every non-empty line must parse as a
+/// [`QueryTrace`] matching the documented schema.
+fn validate_trace_command(args: &Args, out: &mut dyn Write) -> Result<(), CliError> {
+    let path = args
+        .positionals()
+        .get(1)
+        .ok_or_else(|| CliError("validate-trace needs a FILE argument".into()))?
+        .clone();
+    args.finish()?;
+    let text = std::fs::read_to_string(&path).map_err(at_path(&path))?;
+    let mut checked = 0usize;
+    for (lineno, line) in text.lines().enumerate() {
+        if line.trim().is_empty() {
+            continue;
+        }
+        aqp::obs::trace::validate_json(line)
+            .map_err(|e| CliError(format!("{path}:{}: {e}", lineno + 1)))?;
+        checked += 1;
+    }
+    if checked == 0 {
+        return Err(CliError(format!("{path}: no trace records found")));
+    }
+    writeln!(out, "{path}: {checked} trace records valid")?;
     Ok(())
 }
 
@@ -553,6 +690,8 @@ fn bench_command(args: &Args, out: &mut dyn Write) -> Result<(), CliError> {
 pub fn repl(args: &Args, out: &mut dyn Write, input: &mut dyn BufRead) -> Result<(), CliError> {
     let family = args.required("family")?;
     let view_path = args.optional("view");
+    let trace = args.flag("trace");
+    let stats = args.flag("stats");
     let row_budget = opt_usize(args, "row-budget")?;
     let threads = threads_arg(args)?;
     args.finish()?;
@@ -613,8 +752,13 @@ pub fn repl(args: &Args, out: &mut dyn Write, input: &mut dyn BufRead) -> Result
             }
             sql => {
                 let want_exact = view.is_some();
-                if let Err(e) = answer_one(&system, view.as_ref(), sql, want_exact, 0.95, out) {
+                if let Err(e) =
+                    answer_one(&system, view.as_ref(), sql, want_exact, 0.95, trace, out)
+                {
                     writeln!(out, "error: {e}")?;
+                }
+                if stats {
+                    write_metrics_snapshot(out)?;
                 }
             }
         }
@@ -890,6 +1034,112 @@ mod tests {
     }
 
     #[test]
+    fn query_trace_and_stats_flags() {
+        let dir = temp_dir();
+        let view = dir.join("q.aqpt");
+        let family = dir.join("q.aqps");
+        run_cli(&[
+            "generate", "sales", "--rows", "1500", "--out", view.to_str().unwrap(),
+        ])
+        .unwrap();
+        run_cli(&[
+            "preprocess", "--view", view.to_str().unwrap(), "--rate", "0.05", "--out",
+            family.to_str().unwrap(),
+        ])
+        .unwrap();
+        let msg = run_cli(&[
+            "query", "--family", family.to_str().unwrap(), "--trace", "--stats",
+            "SELECT store.region, COUNT(*) FROM s GROUP BY store.region",
+        ])
+        .unwrap();
+        // The trace rides after the summary as one JSON line.
+        let trace_line = msg
+            .lines()
+            .find(|l| l.starts_with('{'))
+            .expect("trace JSON line present");
+        aqp::obs::trace::validate_json(trace_line).unwrap();
+        let trace = aqp::obs::QueryTrace::from_json(trace_line).unwrap();
+        assert_eq!(trace.serving_tier, "primary", "{msg}");
+        assert!(trace.rows_scanned > 0, "{msg}");
+        assert!(!trace.sample_tables.is_empty(), "{msg}");
+        assert!(trace.stages.iter().any(|s| s.stage == "query.scan"), "{msg}");
+        // --stats appends a Prometheus snapshot.
+        assert!(msg.contains("# TYPE aqp_serving_tier_total counter"), "{msg}");
+        assert!(msg.contains("aqp_stage_seconds{"), "{msg}");
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn workload_trace_writes_artifacts() {
+        let dir = temp_dir();
+        let view = dir.join("wt.aqpt");
+        let family = dir.join("wt.aqps");
+        let prefix = dir.join("WT").to_str().unwrap().to_owned();
+        run_cli(&[
+            "generate", "sales", "--rows", "2000", "--out", view.to_str().unwrap(),
+        ])
+        .unwrap();
+        run_cli(&[
+            "preprocess", "--view", view.to_str().unwrap(), "--rate", "0.05", "--out",
+            family.to_str().unwrap(),
+        ])
+        .unwrap();
+        let msg = run_cli(&[
+            "workload", "--family", family.to_str().unwrap(), "--view",
+            view.to_str().unwrap(), "--queries", "4", "--trace", "--obs-out", &prefix,
+        ])
+        .unwrap();
+        assert!(msg.contains("observability: 4 traces"), "{msg}");
+
+        // Traces: 4 lines, each schema-valid, tiers consistent with the
+        // run summary (healthy family -> all primary).
+        let traces_path = format!("{prefix}_traces.jsonl");
+        let jsonl = std::fs::read_to_string(&traces_path).unwrap();
+        assert_eq!(jsonl.lines().count(), 4);
+        for line in jsonl.lines() {
+            aqp::obs::trace::validate_json(line).unwrap();
+            let t = aqp::obs::QueryTrace::from_json(line).unwrap();
+            assert_eq!(t.serving_tier, "primary");
+            assert!(t.rows_scanned > 0);
+        }
+        let valid = run_cli(&["validate-trace", &traces_path]).unwrap();
+        assert!(valid.contains("4 trace records valid"), "{valid}");
+
+        // Metrics snapshot: Prometheus text with stage quantiles and the
+        // tier counter the traces must agree with.
+        let prom = std::fs::read_to_string(format!("{prefix}_metrics.prom")).unwrap();
+        assert!(prom.contains("# TYPE aqp_stage_seconds summary"), "{prom}");
+        assert!(prom.contains("quantile=\"0.99\""), "{prom}");
+        assert!(prom.contains("aqp_serving_tier_total{tier=\"primary\"}"), "{prom}");
+        assert!(prom.contains("aqp_rows_scanned_total"), "{prom}");
+
+        // Report: single JSON document tying summary + traces + metrics.
+        let report = std::fs::read_to_string(format!("{prefix}_report.json")).unwrap();
+        let v = aqp::obs::json::parse(&report).unwrap();
+        assert_eq!(
+            v.get("summary").unwrap().get("queries").unwrap().as_f64(),
+            Some(4.0)
+        );
+        assert_eq!(v.get("traces").unwrap().as_arr().unwrap().len(), 4);
+        let tiers = v.get("summary").unwrap().get("tiers").unwrap();
+        assert_eq!(tiers.get("primary").unwrap().as_f64(), Some(4.0));
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn validate_trace_rejects_bad_files() {
+        let dir = temp_dir();
+        let bad = dir.join("bad.jsonl");
+        std::fs::write(&bad, "{\"query\": \"q\"}\n").unwrap();
+        assert!(run_cli(&["validate-trace", bad.to_str().unwrap()]).is_err());
+        let empty = dir.join("empty.jsonl");
+        std::fs::write(&empty, "\n").unwrap();
+        assert!(run_cli(&["validate-trace", empty.to_str().unwrap()]).is_err());
+        assert!(run_cli(&["validate-trace"]).is_err());
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
     fn bench_writes_json_report() {
         let dir = temp_dir();
         let report = dir.join("BENCH_parallel.json");
@@ -906,6 +1156,10 @@ mod tests {
             "\"host_parallelism\"",
             "\"threads\": 8",
             "\"build_speedup_4_threads\"",
+            "\"query_stages\"",
+            "\"scan_ms\"",
+            "\"merge_ms\"",
+            "\"finalize_ms\"",
         ] {
             assert!(json.contains(key), "missing {key} in {json}");
         }

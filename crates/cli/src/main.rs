@@ -5,12 +5,15 @@ fn main() {
     let args = match aqp_cli::Args::parse(raw) {
         Ok(a) => a,
         Err(e) => {
+            // Structured event alongside the (byte-identical) stderr line.
+            aqp::obs::event::error("cli", "argument parse failed", &[("error", &e.to_string())]);
             eprintln!("{e}");
             std::process::exit(2);
         }
     };
     let mut stdout = std::io::stdout().lock();
     if let Err(e) = aqp_cli::run(args, &mut stdout) {
+        aqp::obs::event::error("cli", "command failed", &[("error", &e.to_string())]);
         eprintln!("{e}");
         std::process::exit(1);
     }

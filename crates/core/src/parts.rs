@@ -73,6 +73,7 @@ pub(crate) fn answer_from_parts(
         }
     }
 
+    let _finalize_span = aqp_obs::span("plan.finalize");
     let mut groups = Vec::with_capacity(merged.len());
     for (key, states) in merged {
         let exact = is_exact(&key);

@@ -85,7 +85,25 @@ impl ResilientSystem {
     /// [`Self::with_view`] so the exact tier can serve). The report says
     /// which of those happened.
     pub fn open(path: impl AsRef<Path>) -> (Self, OpenReport) {
-        let path = path.as_ref();
+        let (sys, report) = Self::open_inner(path.as_ref());
+        aqp_obs::gauge("aqp_disabled_units", &[]).set(report.disabled_units.len() as i64);
+        if !report.primary_intact {
+            let error = report.primary_error.clone().unwrap_or_default();
+            let disabled = report.disabled_units.join(",");
+            aqp_obs::event::warn(
+                "core::resilience",
+                "sample family degraded at open",
+                &[
+                    ("path", &path.as_ref().to_string_lossy()),
+                    ("error", &error),
+                    ("disabled_units", &disabled),
+                ],
+            );
+        }
+        (sys, report)
+    }
+
+    fn open_inner(path: &Path) -> (Self, OpenReport) {
         match SmallGroupSampler::load(path) {
             Ok(sampler) => {
                 let report = OpenReport {
@@ -245,6 +263,21 @@ impl ResilientSystem {
     }
 }
 
+/// Prometheus label for a serving tier (matches `ServingTier`'s Display).
+fn tier_label(tier: ServingTier) -> &'static str {
+    match tier {
+        ServingTier::Primary => "primary",
+        ServingTier::DegradedPrimary => "degraded",
+        ServingTier::Overall => "overall",
+        ServingTier::Exact => "exact",
+    }
+}
+
+/// Tally a ladder step-down: the preferred rung was skipped for `reason`.
+fn record_fallback(reason: &'static str) {
+    aqp_obs::counter("aqp_tier_fallback_total", &[("reason", reason)]).inc();
+}
+
 fn quarantine_path(path: &Path) -> std::path::PathBuf {
     let mut name = path.file_name().unwrap_or_default().to_os_string();
     name.push(".corrupt");
@@ -257,44 +290,58 @@ impl AqpSystem for ResilientSystem {
     }
 
     fn answer(&self, query: &Query, confidence: f64) -> AqpResult<ApproxAnswer> {
-        // MIN/MAX can only be served exactly.
-        if !query.estimable() {
-            return self.answer_exact(query, confidence);
+        let answer = self.answer_untallied(query, confidence)?;
+        aqp_obs::counter("aqp_serving_tier_total", &[("tier", tier_label(answer.tier))]).inc();
+        if answer.partial {
+            aqp_obs::counter("aqp_partial_answers_total", &[]).inc();
         }
+        Ok(answer)
+    }
 
-        if let Some(primary) = &self.primary {
-            // Rung 1/2: the full small-group plan, tagged degraded when a
-            // disabled table's rows are being covered by the overall sample.
-            if self.fits(primary.runtime_rows(query)) {
-                match primary.answer(query, confidence) {
-                    Ok(mut ans) => {
-                        ans.tier = if primary.query_touches_disabled(query) {
-                            ServingTier::DegradedPrimary
-                        } else {
-                            ServingTier::Primary
-                        };
-                        return Ok(ans);
-                    }
-                    Err(AqpError::Query(_)) | Err(AqpError::Unsupported(_)) => {
-                        // Fall through to the next rung.
-                    }
-                    Err(e) => return Err(e),
+    fn answer_traced(
+        &self,
+        query: &Query,
+        confidence: f64,
+    ) -> AqpResult<(ApproxAnswer, aqp_obs::QueryTrace)> {
+        let opened = aqp_obs::trace::begin(&query.to_string());
+        let result = self.answer(query, confidence);
+        let collected = if opened { aqp_obs::trace::finish() } else { None };
+        let answer = result?;
+        let mut trace = collected.unwrap_or_default();
+        if trace.query.is_empty() {
+            trace.query = query.to_string();
+        }
+        trace.serving_tier = tier_label(answer.tier).to_string();
+        trace.partial = answer.partial;
+        trace.rows_scanned = answer.rows_scanned as u64;
+        trace.groups = answer.groups.len() as u64;
+        trace.base_rows = self
+            .view
+            .as_ref()
+            .map(|v| v.num_rows())
+            .or_else(|| self.primary.as_ref().map(|p| p.view_rows()))
+            .unwrap_or(0) as u64;
+        match answer.tier {
+            ServingTier::Primary | ServingTier::DegradedPrimary => {
+                if let Some(p) = &self.primary {
+                    trace.sample_tables = p.plan_tables(query);
                 }
+                trace.plan = format!("union-all({})", trace.sample_tables.len());
             }
-            // Rung 3: overall sample only.
-            let overall_rows = primary.catalog().overall_rows;
-            if self.fits(overall_rows) || self.view.is_none() {
-                if let Ok(mut ans) = primary.answer_overall_only(query, confidence) {
-                    ans.tier = ServingTier::Overall;
-                    // Over budget with nowhere cheaper to go: serve it
-                    // anyway rather than refuse — degradation, not denial.
-                    return Ok(ans);
+            ServingTier::Overall => {
+                if let Some(p) = &self.primary {
+                    trace.sample_tables = p.overall_table_names();
                 }
+                trace.plan = "overall-only".into();
+            }
+            ServingTier::Exact => {
+                if let Some(v) = &self.view {
+                    trace.sample_tables = vec![v.name().to_string()];
+                }
+                trace.plan = "exact-scan".into();
             }
         }
-
-        // Rung 4: exact scan of the base view (budget-capped if needed).
-        self.answer_exact(query, confidence)
+        Ok((answer, trace))
     }
 
     fn sample_bytes(&self) -> usize {
@@ -316,6 +363,57 @@ impl AqpSystem for ResilientSystem {
                 self.row_budget.map_or(n, |b| n.min(b))
             }
         }
+    }
+}
+
+impl ResilientSystem {
+    /// [`AqpSystem::answer`] without the tier tallies — the ladder walk
+    /// itself, with fallback counters at each step-down.
+    fn answer_untallied(&self, query: &Query, confidence: f64) -> AqpResult<ApproxAnswer> {
+        // MIN/MAX can only be served exactly.
+        if !query.estimable() {
+            if self.primary.is_some() {
+                record_fallback("minmax");
+            }
+            return self.answer_exact(query, confidence);
+        }
+
+        if let Some(primary) = &self.primary {
+            // Rung 1/2: the full small-group plan, tagged degraded when a
+            // disabled table's rows are being covered by the overall sample.
+            if self.fits(primary.runtime_rows(query)) {
+                match primary.answer(query, confidence) {
+                    Ok(mut ans) => {
+                        ans.tier = if primary.query_touches_disabled(query) {
+                            ServingTier::DegradedPrimary
+                        } else {
+                            ServingTier::Primary
+                        };
+                        return Ok(ans);
+                    }
+                    Err(AqpError::Query(_)) | Err(AqpError::Unsupported(_)) => {
+                        // Fall through to the next rung.
+                        record_fallback("plan-error");
+                    }
+                    Err(e) => return Err(e),
+                }
+            } else {
+                record_fallback("budget");
+            }
+            // Rung 3: overall sample only.
+            let overall_rows = primary.catalog().overall_rows;
+            if self.fits(overall_rows) || self.view.is_none() {
+                if let Ok(mut ans) = primary.answer_overall_only(query, confidence) {
+                    ans.tier = ServingTier::Overall;
+                    // Over budget with nowhere cheaper to go: serve it
+                    // anyway rather than refuse — degradation, not denial.
+                    return Ok(ans);
+                }
+            }
+        }
+
+        // Rung 4: exact scan of the base view (budget-capped if needed).
+        self.answer_exact(query, confidence)
     }
 }
 

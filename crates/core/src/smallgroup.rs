@@ -299,6 +299,7 @@ impl SmallGroupSampler {
         // (L(C) sets, small group tables, reservoir) — are identical to a
         // sequential scan at any thread count.
         let threads = config.preprocess_threads.max(1);
+        let freq_span = aqp_obs::span("sgs.frequency");
         let partial_banks = run_morsels(n, DEFAULT_MORSEL_ROWS, threads, |m| {
             let mut bank = fresh_bank(config.tau);
             for row in m.start..m.end {
@@ -319,6 +320,7 @@ impl SmallGroupSampler {
                 acc.merge(partial);
             }
         }
+        drop(freq_span);
 
         // --- L(C) per unit; build the surviving set S ---------------------
         enum CommonCodes {
@@ -401,6 +403,7 @@ impl SmallGroupSampler {
         // independent, so compute them up front across threads. Table
         // writes and the reservoir stay sequential so the family is
         // byte-identical at any thread count.
+        let membership_span = aqp_obs::span("sgs.membership");
         let row_bits: Vec<Vec<u32>> = run_morsels(n, DEFAULT_MORSEL_ROWS, threads, |m| {
             (m.start..m.end)
                 .map(|row| {
@@ -414,6 +417,8 @@ impl SmallGroupSampler {
         .into_iter()
         .flatten()
         .collect();
+        drop(membership_span);
+        let write_span = aqp_obs::span("sgs.write");
 
         // Outlier-enhanced overall: pick outliers first so the reservoir
         // only sees the remaining rows.
@@ -521,6 +526,9 @@ impl SmallGroupSampler {
             let weight = if overall_rate > 0.0 { 1.0 / overall_rate } else { 1.0 };
             overall.push(OverallPart { table, weight });
         }
+        drop(write_span);
+        aqp_obs::counter("aqp_sgs_builds_total", &[]).inc();
+        aqp_obs::counter("aqp_sgs_build_rows_total", &[]).inc_by(n as u64);
 
         // --- Decode common codes into runtime value sets; catalog ---------
         let mut entries = Vec::with_capacity(num_units);
@@ -712,6 +720,29 @@ impl SmallGroupSampler {
         units
     }
 
+    /// Names of the tables the dynamic selection would consult for
+    /// `query`, in plan order: applicable small group tables first, then
+    /// the overall part(s). This is the table list a
+    /// [`aqp_obs::QueryTrace`] reports as `sample_tables`.
+    pub fn plan_tables(&self, query: &Query) -> Vec<String> {
+        let mut names: Vec<String> = self
+            .applicable_units(query)
+            .iter()
+            .map(|&u| format!("sg_{}", self.entries[u].unit.name()))
+            .collect();
+        names.extend(self.overall_table_names());
+        names
+    }
+
+    /// Names of the overall sample part(s) — what the `overall` serving
+    /// tier scans.
+    pub fn overall_table_names(&self) -> Vec<String> {
+        self.overall
+            .iter()
+            .map(|p| p.table.name().to_string())
+            .collect()
+    }
+
     /// Names of sample units whose tables are unavailable (salvaged loads).
     pub fn disabled_units(&self) -> Vec<String> {
         let mut names: Vec<(usize, String)> = self
@@ -769,6 +800,7 @@ impl AqpSystem for SmallGroupSampler {
                 "MIN/MAX aggregates cannot be estimated from samples".into(),
             ));
         }
+        let rewrite_span = aqp_obs::span("query.rewrite");
         let applicable = self.applicable_units(query);
         let width = self.entries.len().max(1);
 
@@ -782,6 +814,7 @@ impl AqpSystem for SmallGroupSampler {
         for p in &self.overall {
             parts.push((&p.table, all_mask.clone(), p.weight));
         }
+        drop(rewrite_span);
 
         // Execute and merge; exactness comes from the common-value test
         // (Equation 2's indicator): a group is exact iff its key carries an

@@ -28,6 +28,45 @@ pub trait AqpSystem {
     /// (before predicate filtering) — the runtime sample-space cost the
     /// fairness rule of Section 5.2.3 equalises across systems.
     fn runtime_rows(&self, query: &Query) -> usize;
+
+    /// Answer `query` and return the per-query [`aqp_obs::QueryTrace`]
+    /// alongside the answer. The default implementation wraps
+    /// [`Self::answer`] with a trace collector, so every span the
+    /// execution emits lands in the trace, and fills the fields any
+    /// system can report (tier, rows scanned, groups, plan label).
+    /// Systems that know more — which sample tables the plan consulted,
+    /// base-relation row counts — override this and enrich the trace.
+    /// Tracing never changes the answer: it is `answer` plus bookkeeping.
+    fn answer_traced(
+        &self,
+        query: &Query,
+        confidence: f64,
+    ) -> AqpResult<(ApproxAnswer, aqp_obs::QueryTrace)> {
+        let opened = aqp_obs::trace::begin(&query.to_string());
+        let answer = match self.answer(query, confidence) {
+            Ok(a) => a,
+            Err(e) => {
+                if opened {
+                    aqp_obs::trace::finish();
+                }
+                return Err(e);
+            }
+        };
+        let mut trace = if opened {
+            aqp_obs::trace::finish().unwrap_or_default()
+        } else {
+            aqp_obs::QueryTrace {
+                query: query.to_string(),
+                ..aqp_obs::QueryTrace::default()
+            }
+        };
+        trace.plan = self.name().to_string();
+        trace.serving_tier = answer.tier.to_string();
+        trace.partial = answer.partial;
+        trace.rows_scanned = answer.rows_scanned as u64;
+        trace.groups = answer.groups.len() as u64;
+        Ok((answer, trace))
+    }
 }
 
 #[cfg(test)]

@@ -1,0 +1,229 @@
+//! Snapshot exporters: Prometheus text-exposition format and JSON.
+
+use crate::json::{write_escaped, write_f64};
+use crate::registry::Snapshot;
+
+fn prom_labels(out: &mut String, labels: &[(String, String)], extra: Option<(&str, &str)>) {
+    if labels.is_empty() && extra.is_none() {
+        return;
+    }
+    out.push('{');
+    let mut first = true;
+    for (k, v) in labels {
+        if !first {
+            out.push(',');
+        }
+        first = false;
+        out.push_str(k);
+        out.push_str("=\"");
+        // Prometheus label values escape backslash, quote, newline.
+        for ch in v.chars() {
+            match ch {
+                '\\' => out.push_str("\\\\"),
+                '"' => out.push_str("\\\""),
+                '\n' => out.push_str("\\n"),
+                c => out.push(c),
+            }
+        }
+        out.push('"');
+    }
+    if let Some((k, v)) = extra {
+        if !first {
+            out.push(',');
+        }
+        out.push_str(k);
+        out.push_str("=\"");
+        out.push_str(v);
+        out.push('"');
+    }
+    out.push('}');
+}
+
+/// Render a snapshot in Prometheus text-exposition format (version
+/// 0.0.4). Counters and gauges render one sample per label set;
+/// histograms render as summaries with `quantile="0.5|0.95|0.99"`
+/// samples plus `_sum` (seconds) and `_count`. Output is deterministic:
+/// metrics sorted by name then labels, one `# TYPE` line per family.
+pub fn to_prometheus(snap: &Snapshot) -> String {
+    let mut out = String::new();
+    let mut last_family = String::new();
+    let type_line = |out: &mut String, last: &mut String, name: &str, kind: &str| {
+        if *last != name {
+            out.push_str("# TYPE ");
+            out.push_str(name);
+            out.push(' ');
+            out.push_str(kind);
+            out.push('\n');
+            *last = name.to_string();
+        }
+    };
+    for c in &snap.counters {
+        type_line(&mut out, &mut last_family, &c.name, "counter");
+        out.push_str(&c.name);
+        prom_labels(&mut out, &c.labels, None);
+        out.push(' ');
+        out.push_str(&c.value.to_string());
+        out.push('\n');
+    }
+    for g in &snap.gauges {
+        type_line(&mut out, &mut last_family, &g.name, "gauge");
+        out.push_str(&g.name);
+        prom_labels(&mut out, &g.labels, None);
+        out.push(' ');
+        out.push_str(&g.value.to_string());
+        out.push('\n');
+    }
+    for h in &snap.histograms {
+        type_line(&mut out, &mut last_family, &h.name, "summary");
+        for (q, v) in [
+            ("0.5", h.p50_seconds),
+            ("0.95", h.p95_seconds),
+            ("0.99", h.p99_seconds),
+        ] {
+            out.push_str(&h.name);
+            prom_labels(&mut out, &h.labels, Some(("quantile", q)));
+            out.push(' ');
+            write_f64(&mut out, v);
+            out.push('\n');
+        }
+        out.push_str(&h.name);
+        out.push_str("_sum");
+        prom_labels(&mut out, &h.labels, None);
+        out.push(' ');
+        write_f64(&mut out, h.sum_seconds);
+        out.push('\n');
+        out.push_str(&h.name);
+        out.push_str("_count");
+        prom_labels(&mut out, &h.labels, None);
+        out.push(' ');
+        out.push_str(&h.count.to_string());
+        out.push('\n');
+    }
+    out
+}
+
+fn json_labels(out: &mut String, labels: &[(String, String)]) {
+    out.push('{');
+    for (i, (k, v)) in labels.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        write_escaped(out, k);
+        out.push(':');
+        write_escaped(out, v);
+    }
+    out.push('}');
+}
+
+/// Render a snapshot as a JSON document:
+/// `{"counters": [...], "gauges": [...], "histograms": [...]}` with each
+/// entry carrying `name`, `labels`, and its values. Deterministic for a
+/// given snapshot.
+pub fn to_json(snap: &Snapshot) -> String {
+    let mut out = String::new();
+    out.push_str("{\"counters\":[");
+    for (i, c) in snap.counters.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str("{\"name\":");
+        write_escaped(&mut out, &c.name);
+        out.push_str(",\"labels\":");
+        json_labels(&mut out, &c.labels);
+        out.push_str(",\"value\":");
+        out.push_str(&c.value.to_string());
+        out.push('}');
+    }
+    out.push_str("],\"gauges\":[");
+    for (i, g) in snap.gauges.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str("{\"name\":");
+        write_escaped(&mut out, &g.name);
+        out.push_str(",\"labels\":");
+        json_labels(&mut out, &g.labels);
+        out.push_str(",\"value\":");
+        out.push_str(&g.value.to_string());
+        out.push('}');
+    }
+    out.push_str("],\"histograms\":[");
+    for (i, h) in snap.histograms.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str("{\"name\":");
+        write_escaped(&mut out, &h.name);
+        out.push_str(",\"labels\":");
+        json_labels(&mut out, &h.labels);
+        out.push_str(",\"count\":");
+        out.push_str(&h.count.to_string());
+        out.push_str(",\"sum_seconds\":");
+        write_f64(&mut out, h.sum_seconds);
+        out.push_str(",\"p50\":");
+        write_f64(&mut out, h.p50_seconds);
+        out.push_str(",\"p95\":");
+        write_f64(&mut out, h.p95_seconds);
+        out.push_str(",\"p99\":");
+        write_f64(&mut out, h.p99_seconds);
+        out.push('}');
+    }
+    out.push_str("]}");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::registry::{HistogramValue, MetricValue};
+
+    fn fixed_snapshot() -> Snapshot {
+        Snapshot {
+            counters: vec![MetricValue {
+                name: "aqp_rows_scanned_total".into(),
+                labels: vec![],
+                value: 4242,
+            }],
+            gauges: vec![MetricValue {
+                name: "aqp_disabled_units".into(),
+                labels: vec![("system".into(), "demo".into())],
+                value: 2,
+            }],
+            histograms: vec![HistogramValue {
+                name: "aqp_stage_seconds".into(),
+                labels: vec![("stage".into(), "query.scan".into())],
+                count: 10,
+                sum_seconds: 0.5,
+                p50_seconds: 0.04,
+                p95_seconds: 0.09,
+                p99_seconds: 0.1,
+            }],
+        }
+    }
+
+    #[test]
+    fn prometheus_rendering_shape() {
+        let text = to_prometheus(&fixed_snapshot());
+        assert!(text.contains("# TYPE aqp_rows_scanned_total counter\n"));
+        assert!(text.contains("aqp_rows_scanned_total 4242\n"));
+        assert!(text.contains("aqp_disabled_units{system=\"demo\"} 2\n"));
+        assert!(text.contains("# TYPE aqp_stage_seconds summary\n"));
+        assert!(text.contains("aqp_stage_seconds{stage=\"query.scan\",quantile=\"0.99\"} 0.1\n"));
+        assert!(text.contains("aqp_stage_seconds_sum{stage=\"query.scan\"} 0.5\n"));
+        assert!(text.contains("aqp_stage_seconds_count{stage=\"query.scan\"} 10\n"));
+    }
+
+    #[test]
+    fn json_rendering_parses_back() {
+        let doc = to_json(&fixed_snapshot());
+        let v = crate::json::parse(&doc).unwrap();
+        let counters = v.get("counters").unwrap().as_arr().unwrap();
+        assert_eq!(counters[0].get("value").unwrap().as_f64(), Some(4242.0));
+        let hist = &v.get("histograms").unwrap().as_arr().unwrap()[0];
+        assert_eq!(hist.get("p99").unwrap().as_f64(), Some(0.1));
+        assert_eq!(
+            hist.get("labels").unwrap().get("stage").unwrap().as_str(),
+            Some("query.scan")
+        );
+    }
+}

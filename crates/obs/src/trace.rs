@@ -1,0 +1,347 @@
+//! Per-query execution traces.
+//!
+//! A [`QueryTrace`] records everything the runtime decided for one query:
+//! the plan chosen, which sample tables were consulted, rows scanned vs.
+//! base rows, the serving tier, and wall time per stage. Traces are built
+//! on the control thread via a thread-local collector: [`begin`] opens
+//! one, [`span`](crate::span) timers dropped while it is open append
+//! stage timings, and [`finish`] closes it. Morsel workers never touch
+//! the collector, so scoped-thread execution is unaffected.
+//!
+//! The JSON schema (documented in DESIGN.md §10) is stable and validated
+//! by [`validate_json`]; `to_json` → [`QueryTrace::from_json`] is
+//! lossless, including `f64` bit patterns.
+
+use std::cell::RefCell;
+use std::time::{Duration, Instant};
+
+use crate::json::{self, Value};
+
+/// Wall time spent in one named stage, possibly accumulated over several
+/// spans (e.g. one `query.scan` per sample table in a UNION ALL plan).
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct StageTime {
+    /// Stage name, dotted by subsystem (`query.scan`, `sgs.frequency`).
+    pub stage: String,
+    /// Accumulated wall time in milliseconds.
+    pub ms: f64,
+}
+
+/// One per-query execution trace record.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct QueryTrace {
+    /// The query text (canonical `Display` form).
+    pub query: String,
+    /// Plan summary chosen by the runtime (e.g. `union-all(3)`,
+    /// `overall-only`, `exact-scan`).
+    pub plan: String,
+    /// Serving tier label: `primary`, `degraded`, `overall`, or `exact`.
+    pub serving_tier: String,
+    /// Whether the answer was marked partial.
+    pub partial: bool,
+    /// Names of the sample tables (or base view) consulted.
+    pub sample_tables: Vec<String>,
+    /// Rows actually scanned to answer.
+    pub rows_scanned: u64,
+    /// Rows in the base relation the query is over.
+    pub base_rows: u64,
+    /// Number of result groups.
+    pub groups: u64,
+    /// Per-stage wall time, in the order stages first completed.
+    pub stages: Vec<StageTime>,
+    /// End-to-end wall time in milliseconds.
+    pub total_ms: f64,
+}
+
+impl QueryTrace {
+    /// Encode as a single JSON line.
+    pub fn to_json(&self) -> String {
+        let mut out = String::new();
+        out.push_str("{\"query\":");
+        json::write_escaped(&mut out, &self.query);
+        out.push_str(",\"plan\":");
+        json::write_escaped(&mut out, &self.plan);
+        out.push_str(",\"serving_tier\":");
+        json::write_escaped(&mut out, &self.serving_tier);
+        out.push_str(",\"partial\":");
+        out.push_str(if self.partial { "true" } else { "false" });
+        out.push_str(",\"sample_tables\":[");
+        for (i, t) in self.sample_tables.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            json::write_escaped(&mut out, t);
+        }
+        out.push_str("],\"rows_scanned\":");
+        out.push_str(&self.rows_scanned.to_string());
+        out.push_str(",\"base_rows\":");
+        out.push_str(&self.base_rows.to_string());
+        out.push_str(",\"groups\":");
+        out.push_str(&self.groups.to_string());
+        out.push_str(",\"stages\":[");
+        for (i, s) in self.stages.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str("{\"stage\":");
+            json::write_escaped(&mut out, &s.stage);
+            out.push_str(",\"ms\":");
+            json::write_f64(&mut out, s.ms);
+            out.push('}');
+        }
+        out.push_str("],\"total_ms\":");
+        json::write_f64(&mut out, self.total_ms);
+        out.push('}');
+        out
+    }
+
+    /// Parse a trace record back from its JSON line, validating the
+    /// schema along the way.
+    pub fn from_json(line: &str) -> Result<Self, String> {
+        let value = json::parse(line)?;
+        validate_value(&value)?;
+        let str_field = |k: &str| value.get(k).and_then(Value::as_str).unwrap_or("").to_string();
+        let num_field = |k: &str| value.get(k).and_then(Value::as_f64).unwrap_or(0.0);
+        let mut trace = QueryTrace {
+            query: str_field("query"),
+            plan: str_field("plan"),
+            serving_tier: str_field("serving_tier"),
+            partial: value.get("partial").and_then(Value::as_bool).unwrap_or(false),
+            sample_tables: value
+                .get("sample_tables")
+                .and_then(Value::as_arr)
+                .unwrap_or(&[])
+                .iter()
+                .filter_map(|v| v.as_str().map(str::to_string))
+                .collect(),
+            rows_scanned: num_field("rows_scanned") as u64,
+            base_rows: num_field("base_rows") as u64,
+            groups: num_field("groups") as u64,
+            stages: Vec::new(),
+            total_ms: num_field("total_ms"),
+        };
+        if let Some(stages) = value.get("stages").and_then(Value::as_arr) {
+            for s in stages {
+                trace.stages.push(StageTime {
+                    stage: s.get("stage").and_then(Value::as_str).unwrap_or("").to_string(),
+                    ms: s.get("ms").and_then(Value::as_f64).unwrap_or(0.0),
+                });
+            }
+        }
+        Ok(trace)
+    }
+}
+
+/// The serving-tier labels the schema accepts (matches
+/// `aqp_core::ServingTier`'s `Display` output, plus the trait-level
+/// `unknown` default).
+pub const TIER_LABELS: &[&str] = &["primary", "degraded", "overall", "exact", "unknown"];
+
+/// Validate one JSON line against the documented `QueryTrace` schema.
+/// Returns a description of the first violation.
+pub fn validate_json(line: &str) -> Result<(), String> {
+    let value = json::parse(line)?;
+    validate_value(&value)
+}
+
+fn validate_value(value: &Value) -> Result<(), String> {
+    let obj = match value {
+        Value::Obj(_) => value,
+        _ => return Err("trace record must be a JSON object".into()),
+    };
+    for key in ["query", "plan", "serving_tier"] {
+        match obj.get(key) {
+            Some(Value::Str(_)) => {}
+            Some(_) => return Err(format!("field {key:?} must be a string")),
+            None => return Err(format!("missing field {key:?}")),
+        }
+    }
+    let tier = obj.get("serving_tier").and_then(Value::as_str).unwrap_or("");
+    if !TIER_LABELS.contains(&tier) {
+        return Err(format!("serving_tier {tier:?} not in {TIER_LABELS:?}"));
+    }
+    match obj.get("partial") {
+        Some(Value::Bool(_)) => {}
+        Some(_) => return Err("field \"partial\" must be a bool".into()),
+        None => return Err("missing field \"partial\"".into()),
+    }
+    match obj.get("sample_tables") {
+        Some(Value::Arr(items)) => {
+            if items.iter().any(|v| v.as_str().is_none()) {
+                return Err("sample_tables entries must be strings".into());
+            }
+        }
+        Some(_) => return Err("field \"sample_tables\" must be an array".into()),
+        None => return Err("missing field \"sample_tables\"".into()),
+    }
+    for key in ["rows_scanned", "base_rows", "groups"] {
+        match obj.get(key).and_then(Value::as_f64) {
+            Some(n) if n >= 0.0 && n.fract() == 0.0 => {}
+            Some(_) => return Err(format!("field {key:?} must be a non-negative integer")),
+            None => return Err(format!("missing numeric field {key:?}")),
+        }
+    }
+    match obj.get("total_ms").and_then(Value::as_f64) {
+        Some(n) if n >= 0.0 => {}
+        _ => return Err("field \"total_ms\" must be a non-negative number".into()),
+    }
+    match obj.get("stages") {
+        Some(Value::Arr(items)) => {
+            for s in items {
+                match (s.get("stage").and_then(Value::as_str), s.get("ms").and_then(Value::as_f64))
+                {
+                    (Some(_), Some(ms)) if ms >= 0.0 => {}
+                    _ => {
+                        return Err(
+                            "stages entries must be {\"stage\": str, \"ms\": number>=0}".into()
+                        )
+                    }
+                }
+            }
+        }
+        Some(_) => return Err("field \"stages\" must be an array".into()),
+        None => return Err("missing field \"stages\"".into()),
+    }
+    Ok(())
+}
+
+struct TraceBuilder {
+    query: String,
+    started: Instant,
+    /// (stage, accumulated duration), insertion-ordered.
+    stages: Vec<(String, Duration)>,
+}
+
+thread_local! {
+    static ACTIVE: RefCell<Option<TraceBuilder>> = const { RefCell::new(None) };
+}
+
+/// Open a trace collector on this thread. Span timers dropped before the
+/// matching [`finish`] accumulate into it. Nested `begin`s are ignored
+/// (the outermost trace wins), so wrappers can trace helpers that also
+/// run standalone. Returns whether a collector was actually opened; a
+/// caller that got `false` must NOT call [`finish`] — the open trace
+/// belongs to an outer caller.
+pub fn begin(query: &str) -> bool {
+    ACTIVE.with(|slot| {
+        let mut slot = slot.borrow_mut();
+        if slot.is_none() {
+            *slot = Some(TraceBuilder {
+                query: query.to_string(),
+                started: Instant::now(),
+                stages: Vec::new(),
+            });
+            true
+        } else {
+            false
+        }
+    })
+}
+
+/// Whether a trace collector is open on this thread.
+pub fn is_active() -> bool {
+    ACTIVE.with(|slot| slot.borrow().is_some())
+}
+
+/// Called by [`crate::Span`] on drop; accumulates into the open trace.
+pub(crate) fn record_stage(stage: &str, elapsed: Duration) {
+    ACTIVE.with(|slot| {
+        if let Some(builder) = slot.borrow_mut().as_mut() {
+            if let Some((_, total)) = builder.stages.iter_mut().find(|(s, _)| s == stage) {
+                *total += elapsed;
+            } else {
+                builder.stages.push((stage.to_string(), elapsed));
+            }
+        }
+    });
+}
+
+/// Close the trace opened by [`begin`] and return it with stage timings
+/// and total wall time filled in. The caller supplies the runtime
+/// decision fields (tier, plan, row counts). Returns `None` if no trace
+/// was open.
+pub fn finish() -> Option<QueryTrace> {
+    ACTIVE.with(|slot| {
+        slot.borrow_mut().take().map(|builder| QueryTrace {
+            query: builder.query,
+            total_ms: builder.started.elapsed().as_secs_f64() * 1e3,
+            stages: builder
+                .stages
+                .into_iter()
+                .map(|(stage, d)| StageTime {
+                    stage,
+                    ms: d.as_secs_f64() * 1e3,
+                })
+                .collect(),
+            ..QueryTrace::default()
+        })
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_trace() -> QueryTrace {
+        QueryTrace {
+            query: "SELECT count(*) FROM t WHERE a = 'x\"quote' GROUP BY b".into(),
+            plan: "union-all(3)".into(),
+            serving_tier: "primary".into(),
+            partial: false,
+            sample_tables: vec!["sg_a".into(), "sg_b".into(), "overall".into()],
+            rows_scanned: 12_345,
+            base_rows: 1_000_000,
+            groups: 17,
+            stages: vec![
+                StageTime { stage: "query.scan".into(), ms: 1.2345678901234 },
+                StageTime { stage: "query.merge".into(), ms: 0.001 },
+                StageTime { stage: "query.finalize".into(), ms: 0.25 },
+            ],
+            total_ms: 1.5,
+        }
+    }
+
+    #[test]
+    fn round_trip_is_lossless() {
+        let trace = sample_trace();
+        let line = trace.to_json();
+        assert!(!line.contains('\n'));
+        let back = QueryTrace::from_json(&line).unwrap();
+        assert_eq!(back, trace);
+        // f64 fields survive bit-exactly
+        assert_eq!(back.stages[0].ms.to_bits(), trace.stages[0].ms.to_bits());
+    }
+
+    #[test]
+    fn validation_rejects_schema_violations() {
+        let good = sample_trace().to_json();
+        assert!(validate_json(&good).is_ok());
+        assert!(validate_json("not json").is_err());
+        assert!(validate_json("[1,2]").is_err());
+        let missing = good.replacen("\"plan\"", "\"nalp\"", 1);
+        assert!(validate_json(&missing).unwrap_err().contains("plan"));
+        let bad_tier = good.replace("\"primary\"", "\"tier9\"");
+        assert!(validate_json(&bad_tier).unwrap_err().contains("serving_tier"));
+        let bad_rows = good.replace("\"rows_scanned\":12345", "\"rows_scanned\":-1");
+        assert!(validate_json(&bad_rows).is_err());
+    }
+
+    #[test]
+    fn collector_accumulates_repeated_stages() {
+        assert!(begin("q1"));
+        assert!(is_active());
+        // Nested begin must not reset the open trace.
+        assert!(!begin("q2-ignored"));
+        record_stage("query.scan", Duration::from_millis(2));
+        record_stage("query.scan", Duration::from_millis(3));
+        record_stage("query.merge", Duration::from_millis(1));
+        let trace = finish().expect("trace open");
+        assert!(!is_active());
+        assert_eq!(trace.query, "q1");
+        assert_eq!(trace.stages.len(), 2);
+        assert_eq!(trace.stages[0].stage, "query.scan");
+        assert!((trace.stages[0].ms - 5.0).abs() < 1e-6);
+        assert!(trace.total_ms >= 0.0);
+        assert!(finish().is_none());
+    }
+}

@@ -179,15 +179,27 @@ pub fn execute(
     // at every thread count. The parallelism == 1 path runs the very same
     // decomposition inline — a direct whole-range accumulation would round
     // float sums differently and break the determinism contract.
-    let partials = run_morsels(n, opts.morsel_rows, opts.parallelism, |m| {
-        let mut map = HashMap::new();
-        scan.run_range(m.start, m.end, num_aggs, &mut map);
-        map
-    });
+    //
+    // Span timers live on this control thread only, bracketing the whole
+    // scoped-thread region; worker closures touch no observability state,
+    // so instrumentation cannot perturb the morsel-order merge.
+    let partials = {
+        let _span = aqp_obs::span("query.scan");
+        run_morsels(n, opts.morsel_rows, opts.parallelism, |m| {
+            let mut map = HashMap::new();
+            scan.run_range(m.start, m.end, num_aggs, &mut map);
+            map
+        })
+    };
+    aqp_obs::counter("aqp_rows_scanned_total", &[]).inc_by(n as u64);
+    aqp_obs::counter("aqp_query_scans_total", &[]).inc();
+    let merge_span = aqp_obs::span("query.merge");
     let mut groups: HashMap<GroupKey, Vec<AggState>> = HashMap::new();
     for partial in partials {
         merge_group_maps(&mut groups, partial);
     }
+    drop(merge_span);
+    let _finalize_span = aqp_obs::span("query.finalize");
 
     // Aggregation without GROUP BY always yields exactly one row.
     if query.group_by.is_empty() && groups.is_empty() {

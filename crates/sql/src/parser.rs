@@ -16,6 +16,7 @@ pub struct ParsedQuery {
 
 /// Parse one SQL query of the supported class.
 pub fn parse_query(input: &str) -> SqlResult<ParsedQuery> {
+    let _span = aqp_obs::span("query.parse");
     let tokens = tokenize(input)?;
     let mut p = Parser { tokens, pos: 0, input_len: input.len() };
     let parsed = p.query()?;

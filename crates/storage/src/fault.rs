@@ -181,6 +181,18 @@ fn injected(msg: &str) -> io::Error {
     io::Error::other(format!("injected fault: {msg}"))
 }
 
+/// Tally an injected fault that actually fired (not merely installed) so
+/// the resilience ladder's behaviour can be correlated with its cause:
+/// `aqp_fault_injected_total{kind=...}` plus a structured warn event.
+fn fault_hit(kind: &'static str, path: &Path) {
+    aqp_obs::counter("aqp_fault_injected_total", &[("kind", kind)]).inc();
+    aqp_obs::event::warn(
+        "storage::fault",
+        "injected storage fault fired",
+        &[("kind", kind), ("path", &path.to_string_lossy())],
+    );
+}
+
 /// Read a whole file, applying any installed read-side fault.
 pub fn read_file(path: &Path) -> io::Result<Vec<u8>> {
     let fault = {
@@ -191,11 +203,15 @@ pub fn read_file(path: &Path) -> io::Result<Vec<u8>> {
                     let hit = st.reads == nth;
                     st.reads += 1;
                     if hit {
+                        drop(st);
+                        fault_hit("read-err", path);
                         return Err(injected("read error"));
                     }
                     None
                 }
                 Fault::Missing => {
+                    drop(st);
+                    fault_hit("missing", path);
                     return Err(io::Error::new(
                         io::ErrorKind::NotFound,
                         format!("injected fault: {} missing", path.display()),
@@ -208,10 +224,14 @@ pub fn read_file(path: &Path) -> io::Result<Vec<u8>> {
     };
     let mut bytes = std::fs::read(path)?;
     match fault {
-        Some(Fault::TruncateAt(n)) => bytes.truncate(n),
+        Some(Fault::TruncateAt(n)) => {
+            bytes.truncate(n);
+            fault_hit("truncate", path);
+        }
         Some(Fault::BitFlip(n)) if !bytes.is_empty() => {
             let i = n % bytes.len();
             bytes[i] ^= 1;
+            fault_hit("bitflip", path);
         }
         _ => {}
     }
@@ -243,6 +263,7 @@ pub fn write_file_atomic(path: &Path, bytes: &[u8]) -> io::Result<()> {
     if write_fails {
         // Simulate a crash mid-write: half the payload reaches the temp
         // file, the destination is never touched.
+        fault_hit("write-err", path);
         let _ = std::fs::write(&tmp, &bytes[..bytes.len() / 2]);
         return Err(injected("write error"));
     }
@@ -256,7 +277,19 @@ pub fn quarantine(path: &Path) -> Option<PathBuf> {
     let mut q = path.as_os_str().to_owned();
     q.push(".corrupt");
     let q = PathBuf::from(q);
-    std::fs::rename(path, &q).ok().map(|_| q)
+    let moved = std::fs::rename(path, &q).ok().map(|_| q);
+    if let Some(q) = &moved {
+        aqp_obs::counter("aqp_quarantine_total", &[]).inc();
+        aqp_obs::event::warn(
+            "storage::fault",
+            "quarantined corrupt file",
+            &[
+                ("path", &path.to_string_lossy()),
+                ("quarantine", &q.to_string_lossy()),
+            ],
+        );
+    }
+    moved
 }
 
 #[cfg(test)]

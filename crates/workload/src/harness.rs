@@ -189,9 +189,50 @@ pub fn evaluate_queries(
     queries: &[Query],
     confidence: f64,
 ) -> Result<EvalSummary, Box<dyn std::error::Error>> {
+    Ok(evaluate_queries_traced(system, exact_source, queries, confidence, false)?.0)
+}
+
+/// Like [`evaluate_queries`], but when `trace` is set every query is run
+/// through [`AqpSystem::answer_traced`] and the per-query
+/// [`aqp_obs::QueryTrace`] records are returned alongside the summary.
+/// With `trace` off the returned vector is empty and the evaluation path
+/// is identical to [`evaluate_queries`].
+pub fn evaluate_queries_traced(
+    system: &dyn AqpSystem,
+    exact_source: &DataSource<'_>,
+    queries: &[Query],
+    confidence: f64,
+    trace: bool,
+) -> Result<(EvalSummary, Vec<aqp_obs::QueryTrace>), Box<dyn std::error::Error>> {
     let mut summary = EvalSummary::default();
+    let mut traces = Vec::new();
     for q in queries {
-        let eval = evaluate_query(system, exact_source, q, confidence)?;
+        let exact = exact_answer(exact_source, q)?;
+        let start = Instant::now();
+        let approx = if trace {
+            let (answer, t) = system.answer_traced(q, confidence)?;
+            traces.push(t);
+            answer
+        } else {
+            system.answer(q, confidence)?
+        };
+        let approx_time = start.elapsed();
+        if trace {
+            if let Some(t) = traces.last_mut() {
+                t.total_ms = approx_time.as_secs_f64() * 1e3;
+            }
+        }
+
+        let metrics = metric_report(&exact.per_agg[0], &approx_map(&approx, 0));
+        let eval = QueryEval {
+            metrics,
+            per_group_selectivity: exact.per_group_selectivity(),
+            exact_time: exact.elapsed,
+            approx_time,
+            rows_scanned: approx.rows_scanned,
+            tier: approx.tier,
+            partial: approx.partial,
+        };
         summary.queries += 1;
         summary.rel_err += eval.metrics.rel_err;
         summary.pct_groups += eval.metrics.pct_groups;
@@ -216,7 +257,7 @@ pub fn evaluate_queries(
     summary.speedup /= n;
     summary.approx_ms /= n;
     summary.exact_ms /= n;
-    Ok(summary)
+    Ok((summary, traces))
 }
 
 /// One throughput sample of the parallel scaling bench: a query scan or a

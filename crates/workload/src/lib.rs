@@ -13,7 +13,10 @@
 //!   near-unique columns excluded from grouping);
 //! * [`harness`] — exact-answer computation, per-query evaluation of any
 //!   [`aqp_core::AqpSystem`], timing, and aggregation of metric averages —
-//!   including the per-group-selectivity bucketing of Figure 5.
+//!   including the per-group-selectivity bucketing of Figure 5;
+//! * [`report`] — the per-run observability report combining the accuracy
+//!   summary, per-query [`aqp_obs::QueryTrace`] records and a metrics
+//!   snapshot into one JSON document.
 
 #![warn(missing_docs)]
 #![deny(unsafe_code)]
@@ -21,10 +24,12 @@
 pub mod generator;
 pub mod harness;
 pub mod metrics;
+pub mod report;
 
 pub use generator::{generate_queries, DatasetProfile, QueryGenConfig, WorkloadAggregate};
 pub use harness::{
-    bench_build_throughput, bench_query_throughput, evaluate_queries, exact_answer,
-    exact_answer_threaded, BenchPoint, EvalSummary, ExactAnswer, QueryEval,
+    bench_build_throughput, bench_query_throughput, evaluate_queries, evaluate_queries_traced,
+    exact_answer, exact_answer_threaded, BenchPoint, EvalSummary, ExactAnswer, QueryEval,
 };
 pub use metrics::{pct_groups, rel_err, sq_rel_err};
+pub use report::obs_report_json;

@@ -295,3 +295,65 @@ fn uniform_sum_and_count_unbiased_over_many_seeds() {
     assert!(count_rel.abs() < 0.01, "mean COUNT rel err {count_rel}");
     assert!(sum_rel.abs() < 0.01, "mean SUM rel err {sum_rel}");
 }
+
+/// Every bit of every answer in a 240-seed regression, for comparing runs.
+fn answer_bits(v: &Table, q: &Query, trials: u64) -> Vec<u64> {
+    let mut bits = Vec::new();
+    for seed in 0..trials {
+        let u = UniformAqp::build(v, 0.1, seed + 7_000).unwrap();
+        let ans = u.answer(q, 0.95).unwrap();
+        bits.push(ans.rows_scanned as u64);
+        for g in &ans.groups {
+            for val in &g.values {
+                bits.push(val.value().to_bits());
+                bits.push(val.ci.lo.to_bits());
+                bits.push(val.ci.hi.to_bits());
+            }
+        }
+    }
+    bits
+}
+
+#[test]
+fn metrics_toggle_never_perturbs_answers() {
+    // Observability must be pure bookkeeping: the 240-seed statistical
+    // regression repeated with metric collection on and off produces
+    // bit-identical estimates, confidence intervals and rows-scanned
+    // counts — spans, counters and traces never leak into the answers.
+    let v = skewed_table();
+    let q = Query::builder().count().sum("x").build().unwrap();
+    let trials = 240;
+    aqp::obs::set_enabled(true);
+    let with_metrics = answer_bits(&v, &q, trials);
+    aqp::obs::set_enabled(false);
+    let without_metrics = answer_bits(&v, &q, trials);
+    aqp::obs::set_enabled(true);
+    assert_eq!(with_metrics, without_metrics, "metrics toggle changed answers");
+
+    // The traced path is answer() plus bookkeeping: same bits again.
+    let sgs = SmallGroupSampler::build(
+        &v,
+        SmallGroupConfig {
+            base_rate: 0.1,
+            small_group_fraction: 0.1,
+            seed: 11,
+            ..Default::default()
+        },
+    )
+    .unwrap();
+    let gq = Query::builder().count().sum("x").group_by("g").build().unwrap();
+    let mut plain = sgs.answer(&gq, 0.95).unwrap();
+    let (mut traced, trace) = sgs.answer_traced(&gq, 0.95).unwrap();
+    plain.sort_by_key();
+    traced.sort_by_key();
+    assert_eq!(plain.rows_scanned, traced.rows_scanned);
+    assert_eq!(trace.rows_scanned, traced.rows_scanned as u64);
+    for (a, b) in plain.groups.iter().zip(&traced.groups) {
+        assert_eq!(a.key, b.key);
+        for (va, vb) in a.values.iter().zip(&b.values) {
+            assert_eq!(va.value().to_bits(), vb.value().to_bits());
+            assert_eq!(va.ci.lo.to_bits(), vb.ci.lo.to_bits());
+            assert_eq!(va.ci.hi.to_bits(), vb.ci.hi.to_bits());
+        }
+    }
+}
