@@ -31,7 +31,7 @@ pub struct Args {
 impl Args {
     /// The option names that are boolean flags (take no value).
     pub const BOOL_FLAGS: &'static [&'static str] =
-        &["exact", "help", "verbose", "trace", "stats"];
+        &["exact", "help", "verbose", "trace", "stats", "calibrate", "analyze"];
 
     /// Parse raw arguments (excluding the program name).
     ///

@@ -87,13 +87,16 @@ USAGE:
   aqp-cli catalog --family FILE
   aqp-cli query --family FILE [--view FILE] [--exact] [--confidence F]
                 [--row-budget N] [--threads N] [--trace] [--stats] SQL
+  aqp-cli explain --family FILE [--view FILE] [--analyze] [--confidence F]
+                  [--row-budget N] [--threads N] SQL
   aqp-cli repl --family FILE [--view FILE] [--row-budget N] [--threads N]
                [--trace] [--stats]
   aqp-cli workload --family FILE --view FILE [--queries N] [--grouping N]
                    [--seed N] [--confidence F] [--row-budget N] [--threads N]
-                   [--trace] [--stats] [--obs-out PREFIX]
+                   [--trace] [--stats] [--calibrate] [--obs-out PREFIX]
   aqp-cli bench [--scale F] [--skew F] [--seed N] [--rate F] [--gamma F]
                 [--iters N] [--out FILE] [--stats]
+  aqp-cli dashboard PREFIX
   aqp-cli validate-trace FILE
 
 Views are stored as .aqpt binary tables; sample families as .aqps files.
@@ -117,7 +120,19 @@ every line of a .jsonl trace file against the documented schema.
 bench measures scan/aggregate and sample-build throughput at 1/2/4/8
 threads on a generated skewed TPC-H view and writes the results as JSON
 (default BENCH_parallel.json), including a per-stage wall-time breakdown
-(scan vs merge vs finalize) from the span timers.";
+(scan vs merge vs finalize) from the span timers, plus an observability
+overhead report (metrics on vs off) next to it as BENCH_obs.json.
+
+explain prints the sampler's static rewrite plan for a query; with
+--analyze it also executes the query and reports a per-operator profile
+(rows in/out, selectivity, morsels per worker, per-morsel latency
+quantiles, logical memory) with per-stratum attribution that reconciles
+with the trace's rows_scanned. workload --calibrate runs the CI-coverage
+calibration audit (observed vs nominal interval coverage per aggregate
+function and per group-size decile, with Agresti-Coull under-coverage
+flagging) and writes PREFIX_calibration.json. dashboard combines
+PREFIX_report.json, PREFIX_traces.jsonl and PREFIX_calibration.json
+(whichever exist) into a single self-contained PREFIX_dashboard.html.";
 
 /// Dispatch one CLI invocation. `out` receives user-facing output.
 pub fn run(args: Args, out: &mut dyn Write) -> Result<(), CliError> {
@@ -133,8 +148,10 @@ pub fn run(args: Args, out: &mut dyn Write) -> Result<(), CliError> {
         "preprocess" => preprocess(&args, out),
         "catalog" => catalog(&args, out),
         "query" => query_command(&args, out),
+        "explain" => explain_command(&args, out),
         "workload" => workload_command(&args, out),
         "bench" => bench_command(&args, out),
+        "dashboard" => dashboard_command(&args, out),
         "validate-trace" => validate_trace_command(&args, out),
         "repl" => repl(&args, out, &mut std::io::stdin().lock()),
         "help" | "--help" => {
@@ -446,6 +463,119 @@ fn answer_one(
     Ok(())
 }
 
+/// `explain` — print the sampler's static rewrite plan for one query;
+/// with `--analyze`, also execute it and append the per-operator profile
+/// tree collected on the control thread.
+fn explain_command(args: &Args, out: &mut dyn Write) -> Result<(), CliError> {
+    let family = args.required("family")?;
+    let view_path = args.optional("view");
+    let analyze = args.flag("analyze");
+    let confidence = args.get_or("confidence", 0.95f64)?;
+    let row_budget = opt_usize(args, "row-budget")?;
+    let threads = threads_arg(args)?;
+    let sql = args.positionals()[1..].join(" ");
+    if sql.is_empty() {
+        return Err(CliError("explain needs a SQL string".into()));
+    }
+    args.finish()?;
+
+    let mut system = open_family(&family, out)?.with_threads(threads);
+    if let Some(p) = view_path {
+        let v = read_table_file(&p).map_err(at_path(&p))?;
+        system = system.with_view(v);
+    }
+    if let Some(budget) = row_budget {
+        system = system.with_row_budget(budget);
+    }
+    let parsed = parse_query(&sql).map_err(boxed)?;
+    match system.primary() {
+        Some(sampler) => writeln!(out, "{}", sampler.explain(&parsed.query))?,
+        None => writeln!(
+            out,
+            "no sample family loaded; the exact tier would scan the base view"
+        )?,
+    }
+    if analyze {
+        let (_, trace) = system.answer_traced(&parsed.query, confidence).map_err(boxed)?;
+        write!(out, "{}", render_operator_tree(&trace))?;
+    }
+    Ok(())
+}
+
+/// Render the per-operator profiles of a trace as a text tree, ending
+/// with the `rows_in` vs `rows_scanned` reconciliation line.
+fn render_operator_tree(trace: &QueryTrace) -> String {
+    let mut s = format!(
+        "analyze: tier {}, plan {}, {} operator(s), {:.2} ms\n",
+        trace.serving_tier,
+        trace.plan,
+        trace.operators.len(),
+        trace.total_ms
+    );
+    let last = trace.operators.len().saturating_sub(1);
+    for (i, op) in trace.operators.iter().enumerate() {
+        let (branch, pad) = if i == last { ("`-", "  ") } else { ("|-", "| ") };
+        s.push_str(&format!(
+            "{branch} {} [stratum {}, weight {}]\n",
+            op.op, op.stratum, op.weight
+        ));
+        s.push_str(&format!(
+            "{pad}   rows {} -> {} (selectivity {:.4}), {} morsel(s) across {} worker(s)\n",
+            op.rows_in,
+            op.rows_out,
+            op.selectivity(),
+            op.morsels,
+            op.morsels_per_worker.len().max(1),
+        ));
+        s.push_str(&format!(
+            "{pad}   morsel p50/p95/p99 {} / {} / {}, mem peak {}, resident {}\n",
+            fmt_ns(op.morsel_p50_ns),
+            fmt_ns(op.morsel_p95_ns),
+            fmt_ns(op.morsel_p99_ns),
+            fmt_bytes(op.mem_peak_bytes),
+            fmt_bytes(op.mem_current_bytes),
+        ));
+    }
+    let rows_in_total: u64 = trace.operators.iter().map(|o| o.rows_in).sum();
+    s.push_str(&format!(
+        "operator rows_in total {} vs trace rows_scanned {} -> {}\n",
+        rows_in_total,
+        trace.rows_scanned,
+        if rows_in_total == trace.rows_scanned {
+            "reconciles"
+        } else {
+            "MISMATCH"
+        }
+    ));
+    s
+}
+
+/// Nanoseconds as a short human latency.
+fn fmt_ns(ns: u64) -> String {
+    let ns = ns as f64;
+    if ns < 1e3 {
+        format!("{ns:.0}ns")
+    } else if ns < 1e6 {
+        format!("{:.1}us", ns / 1e3)
+    } else if ns < 1e9 {
+        format!("{:.1}ms", ns / 1e6)
+    } else {
+        format!("{:.2}s", ns / 1e9)
+    }
+}
+
+/// Bytes as a short human size.
+fn fmt_bytes(bytes: u64) -> String {
+    let b = bytes as f64;
+    if b < 1024.0 {
+        format!("{b:.0} B")
+    } else if b < 1024.0 * 1024.0 {
+        format!("{:.1} KiB", b / 1024.0)
+    } else {
+        format!("{:.1} MiB", b / (1024.0 * 1024.0))
+    }
+}
+
 /// Run a generated query workload through the degradation ladder and
 /// report accuracy plus per-tier serving counts.
 fn workload_command(args: &Args, out: &mut dyn Write) -> Result<(), CliError> {
@@ -459,6 +589,7 @@ fn workload_command(args: &Args, out: &mut dyn Write) -> Result<(), CliError> {
     let threads = threads_arg(args)?;
     let trace = args.flag("trace");
     let stats = args.flag("stats");
+    let calibrate = args.flag("calibrate");
     let obs_prefix = args.optional("obs-out").unwrap_or_else(|| "OBS".to_owned());
     args.finish()?;
 
@@ -527,6 +658,41 @@ fn workload_command(args: &Args, out: &mut dyn Write) -> Result<(), CliError> {
             out,
             "observability: {} traces -> {traces_path}, metrics -> {metrics_path}, report -> {report_path}",
             traces.len(),
+        )?;
+    }
+    if calibrate {
+        // The audit wants SUM/AVG batches too: every Float64 column is a
+        // measure (the accuracy workload above keeps them out of group-bys
+        // for the same reason).
+        let measures: Vec<String> = view
+            .schema()
+            .fields()
+            .iter()
+            .filter(|f| f.data_type == DataType::Float64)
+            .map(|f| f.name.clone())
+            .collect();
+        let measure_refs: Vec<&str> = measures.iter().map(String::as_str).collect();
+        let cal_profile = DatasetProfile::new(&view, &measure_refs, &[], 100);
+        let report = aqp::workload::run_calibration(
+            &system,
+            &DataSource::Wide(&view),
+            &cal_profile,
+            &aqp::workload::CalibrationConfig {
+                nominal: confidence,
+                queries_per_function: count,
+                grouping_columns: grouping,
+                seed,
+                threads,
+            },
+        )
+        .map_err(boxed)?;
+        write!(out, "{report}")?;
+        let cal_path = format!("{obs_prefix}_calibration.json");
+        std::fs::write(&cal_path, report.to_json()).map_err(at_path(&cal_path))?;
+        writeln!(
+            out,
+            "calibration: {} auditable cells over {} queries -> {cal_path}",
+            report.overall.cells, report.queries,
         )?;
     }
     if stats {
@@ -633,6 +799,48 @@ fn bench_command(args: &Args, out: &mut dyn Write) -> Result<(), CliError> {
         query_points.push(scan);
     }
 
+    // Observability overhead: repeat the query measurement with metrics
+    // runtime-disabled and compare. Written next to the main report as
+    // BENCH_obs.json so the overhead of the instrumentation itself is a
+    // tracked artifact.
+    let mut obs_rows = Vec::new();
+    let mut max_overhead: f64 = 0.0;
+    for &threads in BENCH_THREADS {
+        let on =
+            aqp::workload::bench_query_throughput(&source, &query, threads, iters).map_err(boxed)?;
+        aqp::obs::set_enabled(false);
+        let off =
+            aqp::workload::bench_query_throughput(&source, &query, threads, iters).map_err(boxed)?;
+        aqp::obs::set_enabled(true);
+        let overhead_pct = if off.elapsed_ms > 0.0 {
+            (on.elapsed_ms - off.elapsed_ms) / off.elapsed_ms * 100.0
+        } else {
+            0.0
+        };
+        max_overhead = max_overhead.max(overhead_pct);
+        obs_rows.push(format!(
+            "    {{\"threads\": {threads}, \"metrics_on_ms\": {:.3}, \"metrics_off_ms\": {:.3}, \"metrics_on_rows_per_sec\": {:.1}, \"metrics_off_rows_per_sec\": {:.1}, \"overhead_pct\": {:.2}}}",
+            on.elapsed_ms, off.elapsed_ms, on.rows_per_sec, off.rows_per_sec, overhead_pct
+        ));
+    }
+    let obs_path = std::path::Path::new(&out_path)
+        .parent()
+        .filter(|p| !p.as_os_str().is_empty())
+        .map_or_else(
+            || "BENCH_obs.json".to_owned(),
+            |p| p.join("BENCH_obs.json").to_string_lossy().into_owned(),
+        );
+    let obs_json = format!(
+        "{{\n  \"iters\": {iters},\n  \"view_rows\": {},\n  \"query_overhead\": [\n{}\n  ],\n  \"max_overhead_pct\": {max_overhead:.2}\n}}\n",
+        view.num_rows(),
+        obs_rows.join(",\n"),
+    );
+    std::fs::write(&obs_path, obs_json).map_err(at_path(&obs_path))?;
+    writeln!(
+        out,
+        "observability overhead: max {max_overhead:.2}% across thread counts -> {obs_path}"
+    )?;
+
     let build_speedup = bench_speedup(&build_points, 4).unwrap_or(1.0);
     let query_speedup = bench_speedup(&query_points, 4).unwrap_or(1.0);
     let json = format!(
@@ -658,6 +866,68 @@ fn bench_command(args: &Args, out: &mut dyn Write) -> Result<(), CliError> {
 fn stage_sum_ms(snap: &aqp::obs::Snapshot, stage: &str) -> f64 {
     snap.histogram("aqp_stage_seconds", &[("stage", stage)])
         .map_or(0.0, |h| h.sum_seconds * 1e3)
+}
+
+/// `dashboard PREFIX` — combine the artifacts written under PREFIX
+/// (report, traces, calibration; whichever exist) into one
+/// dependency-free HTML file at `PREFIX_dashboard.html`.
+fn dashboard_command(args: &Args, out: &mut dyn Write) -> Result<(), CliError> {
+    let prefix = args
+        .positionals()
+        .get(1)
+        .ok_or_else(|| {
+            CliError("dashboard needs a PREFIX argument (as passed to --obs-out)".into())
+        })?
+        .clone();
+    args.finish()?;
+
+    let report_path = format!("{prefix}_report.json");
+    let report = match std::fs::read_to_string(&report_path) {
+        Ok(text) => Some(aqp::obs::json::parse(&text).map_err(at_path(&report_path))?),
+        Err(_) => None,
+    };
+    let calibration_path = format!("{prefix}_calibration.json");
+    let calibration = match std::fs::read_to_string(&calibration_path) {
+        Ok(text) => Some(aqp::obs::json::parse(&text).map_err(at_path(&calibration_path))?),
+        Err(_) => None,
+    };
+    let traces_path = format!("{prefix}_traces.jsonl");
+    let mut traces = Vec::new();
+    let mut have_traces = false;
+    if let Ok(text) = std::fs::read_to_string(&traces_path) {
+        have_traces = true;
+        for (lineno, line) in text.lines().enumerate() {
+            if line.trim().is_empty() {
+                continue;
+            }
+            traces.push(
+                QueryTrace::from_json(line)
+                    .map_err(|e| CliError(format!("{traces_path}:{}: {e}", lineno + 1)))?,
+            );
+        }
+    }
+    if report.is_none() && calibration.is_none() && !have_traces {
+        return Err(CliError(format!(
+            "no artifacts found for prefix {prefix:?}: expected at least one of \
+             {report_path}, {traces_path}, {calibration_path}"
+        )));
+    }
+    let html = aqp::obs::dashboard::render(&aqp::obs::dashboard::DashboardData {
+        title: &prefix,
+        report: report.as_ref(),
+        calibration: calibration.as_ref(),
+        traces: &traces,
+    });
+    let html_path = format!("{prefix}_dashboard.html");
+    std::fs::write(&html_path, &html).map_err(at_path(&html_path))?;
+    writeln!(
+        out,
+        "dashboard: report {}, calibration {}, {} trace(s) -> {html_path}",
+        if report.is_some() { "yes" } else { "no" },
+        if calibration.is_some() { "yes" } else { "no" },
+        traces.len(),
+    )?;
+    Ok(())
 }
 
 /// Validate a `.jsonl` trace file: every non-empty line must parse as a
@@ -770,6 +1040,18 @@ pub fn repl(args: &Args, out: &mut dyn Write, input: &mut dyn BufRead) -> Result
 mod tests {
     use super::*;
     use crate::args::Args;
+
+    /// Serialises tests that either toggle the global metrics switch
+    /// (`bench`'s overhead measurement) or assert on global-registry
+    /// output, so a metrics-off window in one test cannot starve another
+    /// test's snapshot.
+    static METRICS_LOCK: std::sync::Mutex<()> = std::sync::Mutex::new(());
+
+    fn metrics_lock() -> std::sync::MutexGuard<'static, ()> {
+        METRICS_LOCK
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+    }
 
     fn run_cli(parts: &[&str]) -> Result<String, CliError> {
         let args = Args::parse(parts.iter().map(|s| (*s).to_owned()))?;
@@ -1035,6 +1317,7 @@ mod tests {
 
     #[test]
     fn query_trace_and_stats_flags() {
+        let _guard = metrics_lock();
         let dir = temp_dir();
         let view = dir.join("q.aqpt");
         let family = dir.join("q.aqps");
@@ -1071,6 +1354,7 @@ mod tests {
 
     #[test]
     fn workload_trace_writes_artifacts() {
+        let _guard = metrics_lock();
         let dir = temp_dir();
         let view = dir.join("wt.aqpt");
         let family = dir.join("wt.aqps");
@@ -1141,6 +1425,7 @@ mod tests {
 
     #[test]
     fn bench_writes_json_report() {
+        let _guard = metrics_lock();
         let dir = temp_dir();
         let report = dir.join("BENCH_parallel.json");
         let msg = run_cli(&[
@@ -1148,6 +1433,7 @@ mod tests {
         ])
         .unwrap();
         assert!(msg.contains("4-thread speedup"), "{msg}");
+        assert!(msg.contains("observability overhead"), "{msg}");
         let json = std::fs::read_to_string(&report).unwrap();
         for key in [
             "\"build\"",
@@ -1163,6 +1449,163 @@ mod tests {
         ] {
             assert!(json.contains(key), "missing {key} in {json}");
         }
+        // The observability-overhead companion lands next to the report.
+        let obs = std::fs::read_to_string(dir.join("BENCH_obs.json")).unwrap();
+        for key in [
+            "\"query_overhead\"",
+            "\"metrics_on_ms\"",
+            "\"metrics_off_ms\"",
+            "\"metrics_on_rows_per_sec\"",
+            "\"metrics_off_rows_per_sec\"",
+            "\"overhead_pct\"",
+            "\"max_overhead_pct\"",
+            "\"threads\": 8",
+        ] {
+            assert!(obs.contains(key), "missing {key} in {obs}");
+        }
+        // The metrics switch is restored after the off-measurement.
+        assert!(aqp::obs::enabled());
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn explain_static_plan_matches_golden() {
+        let dir = temp_dir();
+        let view = dir.join("g.aqpt");
+        let family = dir.join("g.aqps");
+        run_cli(&[
+            "generate", "tpch", "--scale", "0.02", "--skew", "2.0", "--seed", "42", "--out",
+            view.to_str().unwrap(),
+        ])
+        .unwrap();
+        run_cli(&[
+            "preprocess", "--view", view.to_str().unwrap(), "--rate", "0.1", "--gamma",
+            "0.5", "--seed", "42", "--out", family.to_str().unwrap(),
+        ])
+        .unwrap();
+        let msg = run_cli(&[
+            "explain",
+            "--family",
+            family.to_str().unwrap(),
+            "SELECT lineitem.shipmode, COUNT(*) FROM v GROUP BY lineitem.shipmode",
+        ])
+        .unwrap();
+        let golden = include_str!("../testdata/explain_golden.txt");
+        assert_eq!(
+            msg, golden,
+            "static explain plan drifted from the checked-in golden"
+        );
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn explain_analyze_reports_operators_and_reconciles() {
+        let dir = temp_dir();
+        let view = dir.join("a.aqpt");
+        let family = dir.join("a.aqps");
+        run_cli(&[
+            "generate", "sales", "--rows", "2000", "--out", view.to_str().unwrap(),
+        ])
+        .unwrap();
+        run_cli(&[
+            "preprocess", "--view", view.to_str().unwrap(), "--rate", "0.05", "--out",
+            family.to_str().unwrap(),
+        ])
+        .unwrap();
+        let msg = run_cli(&[
+            "explain",
+            "--family",
+            family.to_str().unwrap(),
+            "--analyze",
+            "--threads",
+            "2",
+            "SELECT store.region, COUNT(*) FROM s GROUP BY store.region",
+        ])
+        .unwrap();
+        // Static plan first, then the executed per-operator profile.
+        assert!(msg.contains("plan for:"), "{msg}");
+        assert!(msg.contains("analyze: tier primary"), "{msg}");
+        assert!(msg.contains("stratum"), "{msg}");
+        assert!(msg.contains("selectivity"), "{msg}");
+        assert!(msg.contains("mem peak"), "{msg}");
+        assert!(msg.contains("morsel p50/p95/p99"), "{msg}");
+        // Per-stratum row totals must reconcile exactly with rows_scanned.
+        assert!(msg.contains("-> reconciles"), "{msg}");
+        assert!(!msg.contains("MISMATCH"), "{msg}");
+        // Without --analyze no profile tree is printed.
+        let plain = run_cli(&[
+            "explain",
+            "--family",
+            family.to_str().unwrap(),
+            "SELECT store.region, COUNT(*) FROM s GROUP BY store.region",
+        ])
+        .unwrap();
+        assert!(!plain.contains("analyze:"), "{plain}");
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn workload_calibrate_and_dashboard() {
+        let _guard = metrics_lock();
+        let dir = temp_dir();
+        let view = dir.join("c.aqpt");
+        let family = dir.join("c.aqps");
+        let prefix = dir.join("CAL").to_str().unwrap().to_owned();
+        run_cli(&[
+            "generate", "sales", "--rows", "2000", "--out", view.to_str().unwrap(),
+        ])
+        .unwrap();
+        run_cli(&[
+            "preprocess", "--view", view.to_str().unwrap(), "--rate", "0.05", "--out",
+            family.to_str().unwrap(),
+        ])
+        .unwrap();
+        let msg = run_cli(&[
+            "workload", "--family", family.to_str().unwrap(), "--view",
+            view.to_str().unwrap(), "--queries", "6", "--trace", "--calibrate",
+            "--obs-out", &prefix,
+        ])
+        .unwrap();
+        assert!(msg.contains("CI coverage calibration"), "{msg}");
+        assert!(msg.contains("by aggregate function"), "{msg}");
+        assert!(msg.contains("calibration:"), "{msg}");
+
+        // The JSON artifact has the documented shape, with COUNT plus the
+        // measure-driven SUM/AVG batches (sales has Float64 measures).
+        let cal = std::fs::read_to_string(format!("{prefix}_calibration.json")).unwrap();
+        let v = aqp::obs::json::parse(&cal).unwrap();
+        assert_eq!(v.get("nominal").and_then(|n| n.as_f64()), Some(0.95));
+        let funcs = v.get("per_function").and_then(|f| f.as_arr()).unwrap();
+        let labels: Vec<&str> = funcs
+            .iter()
+            .filter_map(|f| f.get("label").and_then(|l| l.as_str()))
+            .collect();
+        assert!(labels.contains(&"COUNT"), "{labels:?}");
+        assert!(labels.contains(&"SUM"), "{labels:?}");
+        assert!(labels.contains(&"AVG"), "{labels:?}");
+        for f in funcs {
+            for key in ["cells", "covered", "observed", "ci_lo", "ci_hi"] {
+                assert!(f.get(key).and_then(|x| x.as_f64()).is_some(), "{key}");
+            }
+            assert!(f.get("flagged").and_then(|x| x.as_bool()).is_some());
+        }
+
+        // The dashboard combines all three artifacts into one HTML file
+        // with stable section anchors.
+        let msg = run_cli(&["dashboard", &prefix]).unwrap();
+        assert!(msg.contains("report yes, calibration yes"), "{msg}");
+        let html = std::fs::read_to_string(format!("{prefix}_dashboard.html")).unwrap();
+        for anchor in [
+            "id=\"explain\"",
+            "id=\"calibration\"",
+            "id=\"tiers\"",
+            "id=\"stages\"",
+            "<svg",
+        ] {
+            assert!(html.contains(anchor), "missing {anchor} in dashboard");
+        }
+        // A prefix with no artifacts is an error.
+        assert!(run_cli(&["dashboard", dir.join("NOPE").to_str().unwrap()]).is_err());
         std::fs::remove_dir_all(&dir).unwrap();
     }
 
@@ -1177,6 +1620,9 @@ mod tests {
         assert!(run_cli(&["query", "--family", "/nonexistent.aqps", "--exact", "SQL"]).is_err());
         // Typo guard.
         assert!(run_cli(&["catalog", "--famly", "/tmp/x"]).is_err());
+        // explain needs SQL; dashboard needs a prefix.
+        assert!(run_cli(&["explain", "--family", "/nonexistent.aqps"]).is_err());
+        assert!(run_cli(&["dashboard"]).is_err());
         // Help always works.
         assert!(run_cli(&["help"]).unwrap().contains("USAGE"));
     }

@@ -173,7 +173,7 @@ pub fn state_to_estimate(func: AggFunc, state: &AggState, exact: bool) -> Option
                 variance: state.var_acc_w.max(0.0),
                 exact,
             };
-            sum.ratio(count)?
+            sum.ratio_with_cov(count, state.cov_acc)?
         }
         AggFunc::Min | AggFunc::Max => return None,
     };
@@ -193,6 +193,7 @@ mod tests {
             sum_x_sq: 0.0,
             var_acc,
             var_acc_w,
+            cov_acc: 0.0,
             min: 0.0,
             max: 0.0,
         }

@@ -178,6 +178,7 @@ impl AqpSystem for BasicCongress {
             table: &self.sample,
             mask: None,
             weighting: PartWeight::PerRow(&self.weights),
+            stratum: "stratified",
         }];
         answer_from_parts(query, &parts, confidence, 1, &|_| exact)
     }
@@ -305,6 +306,7 @@ impl AqpSystem for Congress {
             table: &self.sample,
             mask: None,
             weighting: PartWeight::PerRow(&self.weights),
+            stratum: "stratified",
         }];
         answer_from_parts(query, &parts, confidence, 1, &|_| exact)
     }

@@ -369,12 +369,14 @@ impl AqpSystem for MultiLevelSampler {
                 table: &self.entries[u].table,
                 mask: Some(BitSet::from_bits(width, applicable[..j].iter().copied())),
                 weighting: PartWeight::Constant(1.0 / self.entries[u].rate),
+                stratum: "small-group",
             });
         }
         parts.push(Part {
             table: &self.overall,
             mask: Some(BitSet::from_bits(width, applicable.iter().copied())),
             weighting: PartWeight::Constant(self.overall_weight),
+            stratum: "overall",
         });
 
         let is_exact = |key: &[Value]| {

@@ -188,6 +188,7 @@ impl AqpSystem for OutlierIndex {
                 table: &self.outliers,
                 mask: None,
                 weighting: PartWeight::Constant(1.0),
+                stratum: "outlier",
             },
             // The remainder is a fixed-size WOR sample but is scored with
             // the Bernoulli HT variance (no finite-population correction),
@@ -198,6 +199,7 @@ impl AqpSystem for OutlierIndex {
                 table: &self.sample,
                 mask: None,
                 weighting: PartWeight::Constant(self.sample_weight),
+                stratum: "overall",
             },
         ];
         answer_from_parts(query, &parts, confidence, 1, &|_| exact)

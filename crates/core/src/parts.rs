@@ -22,6 +22,9 @@ pub(crate) struct Part<'a> {
     pub mask: Option<BitSet>,
     /// Row weighting for this stratum.
     pub weighting: PartWeight<'a>,
+    /// Stratum kind for per-operator attribution (`small-group`,
+    /// `overall`, `outlier`, `stratified`, or `base`).
+    pub stratum: &'static str,
 }
 
 /// Stratum weighting: a constant inverse rate, or per-row weights.
@@ -58,6 +61,18 @@ pub(crate) fn answer_from_parts(
             parallelism: threads.max(1),
             ..ExecOptions::default()
         };
+        // Label the executor's profile with this stratum's plan position;
+        // every part scans table.num_rows() rows, so the per-operator
+        // rows_in reconcile with `rows_scanned` by construction.
+        let _ctx = aqp_obs::profile::scan_context(aqp_obs::ScanContext {
+            op: format!("scan:{}", part.table.name()),
+            table: part.table.name().to_string(),
+            stratum: part.stratum.to_string(),
+            weight: match part.weighting {
+                PartWeight::Constant(w) => w,
+                PartWeight::PerRow(_) => 0.0,
+            },
+        });
         let out = execute(&DataSource::Wide(part.table), query, &opts)?;
         for g in out.groups {
             match merged.entry(g.key) {

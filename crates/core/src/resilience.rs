@@ -218,7 +218,17 @@ impl ResilientSystem {
             parallelism: self.threads,
             ..ExecOptions::default()
         };
+        let ctx = aqp_obs::profile::scan_context(aqp_obs::ScanContext {
+            op: format!("scan:{}", view.name()),
+            table: view.name().to_string(),
+            stratum: "base".to_string(),
+            weight: match weight {
+                Weighting::Constant(w) => w,
+                _ => 1.0,
+            },
+        });
         let out = execute(&DataSource::Wide(view), query, &opts)?;
+        drop(ctx);
         let truncated = out.truncated;
         let exact = !truncated;
 
@@ -392,7 +402,10 @@ impl ResilientSystem {
                         return Ok(ans);
                     }
                     Err(AqpError::Query(_)) | Err(AqpError::Unsupported(_)) => {
-                        // Fall through to the next rung.
+                        // Fall through to the next rung; any operator
+                        // profiles the abandoned plan collected must not
+                        // pollute the final trace.
+                        aqp_obs::trace::discard_operators();
                         record_fallback("plan-error");
                     }
                     Err(e) => return Err(e),
@@ -409,6 +422,7 @@ impl ResilientSystem {
                     // anyway rather than refuse — degradation, not denial.
                     return Ok(ans);
                 }
+                aqp_obs::trace::discard_operators();
             }
         }
 

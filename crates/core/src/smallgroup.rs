@@ -779,6 +779,7 @@ impl SmallGroupSampler {
                 table: &p.table,
                 mask: None,
                 weighting: PartWeight::Constant(p.weight),
+                stratum: "overall",
             })
             .collect();
         let exact = self.overall_rate >= 1.0;
@@ -805,14 +806,14 @@ impl AqpSystem for SmallGroupSampler {
         let width = self.entries.len().max(1);
 
         // Assemble the UNION ALL plan: (table, exclusion mask, weight).
-        let mut parts: Vec<(&Table, BitSet, f64)> = Vec::new();
+        let mut parts: Vec<(&Table, BitSet, f64, &'static str)> = Vec::new();
         for (j, &u) in applicable.iter().enumerate() {
             let mask = BitSet::from_bits(width, applicable[..j].iter().copied());
-            parts.push((&self.entries[u].table, mask, 1.0));
+            parts.push((&self.entries[u].table, mask, 1.0, "small-group"));
         }
         let all_mask = BitSet::from_bits(width, applicable.iter().copied());
         for p in &self.overall {
-            parts.push((&p.table, all_mask.clone(), p.weight));
+            parts.push((&p.table, all_mask.clone(), p.weight, "overall"));
         }
         drop(rewrite_span);
 
@@ -822,10 +823,11 @@ impl AqpSystem for SmallGroupSampler {
         // one of its rows lives in that small group table.
         let parts: Vec<Part<'_>> = parts
             .into_iter()
-            .map(|(table, mask, weight)| Part {
+            .map(|(table, mask, weight, stratum)| Part {
                 table,
                 mask: Some(mask),
                 weighting: PartWeight::Constant(weight),
+                stratum,
             })
             .collect();
         let is_exact = |key: &[Value]| {

@@ -91,6 +91,7 @@ impl AqpSystem for UniformAqp {
             table: &self.sample,
             mask: None,
             weighting: PartWeight::Constant(self.weight),
+            stratum: "overall",
         }];
         answer_from_parts(query, &parts, confidence, 1, &|_| exact_everything)
     }

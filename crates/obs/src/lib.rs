@@ -30,10 +30,13 @@
 #![deny(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod dashboard;
 pub mod event;
 pub mod export;
 pub mod json;
+pub mod mem;
 pub mod metrics;
+pub mod profile;
 pub mod registry;
 pub mod span;
 pub mod trace;
@@ -41,6 +44,7 @@ pub mod trace;
 pub use event::{Event, Level};
 pub use export::{to_json, to_prometheus};
 pub use metrics::{Counter, Gauge, Histogram};
+pub use profile::{OpProfile, ScanContext, ScanStats};
 pub use registry::{
     counter, gauge, global, histogram, HistogramValue, MetricValue, Registry, Snapshot,
 };

@@ -1,0 +1,90 @@
+//! Logical allocation accounting for query operators.
+//!
+//! The crate forbids `unsafe` code, which rules out a `#[global_allocator]`
+//! hook, so memory is accounted *logically*: operators report the bytes
+//! their working sets hold (partial aggregation maps, merged group tables)
+//! as a [`reserve`] that releases itself on drop. Two process-wide atomics
+//! track the current reservation total and its high-water mark, mirrored
+//! into the `aqp_mem_current_bytes` / `aqp_mem_peak_bytes` gauges whenever
+//! metric collection is enabled.
+//!
+//! The numbers are estimates of live working-set size, not allocator
+//! truth: they exist so `EXPLAIN ANALYZE` and the dashboard can attribute
+//! memory per operator and per stratum. Accounting is plain atomic
+//! arithmetic on the control thread, so it can never perturb query
+//! answers — the bit-identity regressions hold with it on or off.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+static CURRENT: AtomicU64 = AtomicU64::new(0);
+static PEAK: AtomicU64 = AtomicU64::new(0);
+
+/// A logical memory reservation; the bytes are released when it drops.
+#[derive(Debug)]
+pub struct MemReservation {
+    bytes: u64,
+}
+
+/// Reserve `bytes` of logical memory, updating the process-wide current
+/// total and peak high-water mark (and their gauges, when metrics are
+/// enabled). Hold the returned guard for as long as the working set is
+/// live.
+pub fn reserve(bytes: u64) -> MemReservation {
+    let now = CURRENT.fetch_add(bytes, Ordering::Relaxed) + bytes;
+    PEAK.fetch_max(now, Ordering::Relaxed);
+    if crate::enabled() {
+        crate::gauge("aqp_mem_current_bytes", &[]).set(now as i64);
+        crate::gauge("aqp_mem_peak_bytes", &[]).set(PEAK.load(Ordering::Relaxed) as i64);
+    }
+    MemReservation { bytes }
+}
+
+impl Drop for MemReservation {
+    fn drop(&mut self) {
+        let now = CURRENT
+            .fetch_sub(self.bytes, Ordering::Relaxed)
+            .saturating_sub(self.bytes);
+        if crate::enabled() {
+            crate::gauge("aqp_mem_current_bytes", &[]).set(now as i64);
+        }
+    }
+}
+
+/// Currently reserved logical bytes across all live operators.
+pub fn current_bytes() -> u64 {
+    CURRENT.load(Ordering::Relaxed)
+}
+
+/// High-water mark of [`current_bytes`] since process start (or the last
+/// [`reset_peak`]).
+pub fn peak_bytes() -> u64 {
+    PEAK.load(Ordering::Relaxed)
+}
+
+/// Reset the peak high-water mark to the current reservation level
+/// (benchmarks and tests that want per-phase peaks).
+pub fn reset_peak() {
+    PEAK.store(CURRENT.load(Ordering::Relaxed), Ordering::Relaxed);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn reserve_release_and_peak() {
+        // Tests share the process-wide atomics; work in deltas.
+        let base = current_bytes();
+        let a = reserve(1000);
+        assert_eq!(current_bytes(), base + 1000);
+        assert!(peak_bytes() >= base + 1000);
+        {
+            let _b = reserve(500);
+            assert_eq!(current_bytes(), base + 1500);
+            assert!(peak_bytes() >= base + 1500);
+        }
+        assert_eq!(current_bytes(), base + 1000);
+        drop(a);
+        assert_eq!(current_bytes(), base);
+    }
+}

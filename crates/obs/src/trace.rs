@@ -16,6 +16,12 @@ use std::cell::RefCell;
 use std::time::{Duration, Instant};
 
 use crate::json::{self, Value};
+use crate::profile::OpProfile;
+
+/// Version emitted in the `schema_version` field of new trace lines.
+/// v1 lines (no version field, no `operators`) still parse and validate;
+/// v2 adds the per-operator profile array.
+pub const TRACE_SCHEMA_VERSION: u64 = 2;
 
 /// Wall time spent in one named stage, possibly accumulated over several
 /// spans (e.g. one `query.scan` per sample table in a UNION ALL plan).
@@ -51,6 +57,8 @@ pub struct QueryTrace {
     pub stages: Vec<StageTime>,
     /// End-to-end wall time in milliseconds.
     pub total_ms: f64,
+    /// Per-operator execution profiles (schema v2; empty for v1 traces).
+    pub operators: Vec<OpProfile>,
 }
 
 impl QueryTrace {
@@ -91,7 +99,49 @@ impl QueryTrace {
         }
         out.push_str("],\"total_ms\":");
         json::write_f64(&mut out, self.total_ms);
-        out.push('}');
+        out.push_str(",\"schema_version\":");
+        out.push_str(&TRACE_SCHEMA_VERSION.to_string());
+        out.push_str(",\"operators\":[");
+        for (i, op) in self.operators.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str("{\"op\":");
+            json::write_escaped(&mut out, &op.op);
+            out.push_str(",\"table\":");
+            json::write_escaped(&mut out, &op.table);
+            out.push_str(",\"stratum\":");
+            json::write_escaped(&mut out, &op.stratum);
+            out.push_str(",\"weight\":");
+            json::write_f64(&mut out, op.weight);
+            out.push_str(",\"rows_in\":");
+            out.push_str(&op.rows_in.to_string());
+            out.push_str(",\"rows_out\":");
+            out.push_str(&op.rows_out.to_string());
+            out.push_str(",\"selectivity\":");
+            json::write_f64(&mut out, op.selectivity());
+            out.push_str(",\"morsels\":");
+            out.push_str(&op.morsels.to_string());
+            out.push_str(",\"morsels_per_worker\":[");
+            for (j, m) in op.morsels_per_worker.iter().enumerate() {
+                if j > 0 {
+                    out.push(',');
+                }
+                out.push_str(&m.to_string());
+            }
+            out.push_str("],\"morsel_p50_ns\":");
+            out.push_str(&op.morsel_p50_ns.to_string());
+            out.push_str(",\"morsel_p95_ns\":");
+            out.push_str(&op.morsel_p95_ns.to_string());
+            out.push_str(",\"morsel_p99_ns\":");
+            out.push_str(&op.morsel_p99_ns.to_string());
+            out.push_str(",\"mem_peak_bytes\":");
+            out.push_str(&op.mem_peak_bytes.to_string());
+            out.push_str(",\"mem_current_bytes\":");
+            out.push_str(&op.mem_current_bytes.to_string());
+            out.push('}');
+        }
+        out.push_str("]}");
         out
     }
 
@@ -119,12 +169,40 @@ impl QueryTrace {
             groups: num_field("groups") as u64,
             stages: Vec::new(),
             total_ms: num_field("total_ms"),
+            operators: Vec::new(),
         };
         if let Some(stages) = value.get("stages").and_then(Value::as_arr) {
             for s in stages {
                 trace.stages.push(StageTime {
                     stage: s.get("stage").and_then(Value::as_str).unwrap_or("").to_string(),
                     ms: s.get("ms").and_then(Value::as_f64).unwrap_or(0.0),
+                });
+            }
+        }
+        if let Some(ops) = value.get("operators").and_then(Value::as_arr) {
+            for o in ops {
+                let s = |k: &str| o.get(k).and_then(Value::as_str).unwrap_or("").to_string();
+                let n = |k: &str| o.get(k).and_then(Value::as_f64).unwrap_or(0.0);
+                trace.operators.push(OpProfile {
+                    op: s("op"),
+                    table: s("table"),
+                    stratum: s("stratum"),
+                    weight: n("weight"),
+                    rows_in: n("rows_in") as u64,
+                    rows_out: n("rows_out") as u64,
+                    morsels: n("morsels") as u64,
+                    morsels_per_worker: o
+                        .get("morsels_per_worker")
+                        .and_then(Value::as_arr)
+                        .unwrap_or(&[])
+                        .iter()
+                        .filter_map(|v| v.as_f64().map(|m| m as u64))
+                        .collect(),
+                    morsel_p50_ns: n("morsel_p50_ns") as u64,
+                    morsel_p95_ns: n("morsel_p95_ns") as u64,
+                    morsel_p99_ns: n("morsel_p99_ns") as u64,
+                    mem_peak_bytes: n("mem_peak_bytes") as u64,
+                    mem_current_bytes: n("mem_current_bytes") as u64,
                 });
             }
         }
@@ -202,6 +280,72 @@ fn validate_value(value: &Value) -> Result<(), String> {
         Some(_) => return Err("field \"stages\" must be an array".into()),
         None => return Err("missing field \"stages\"".into()),
     }
+    // v2 fields are optional — a v1 line (no version, no operators) still
+    // validates — but when present they must be well-formed.
+    match obj.get("schema_version").and_then(Value::as_f64) {
+        None => {}
+        Some(v) if v == 1.0 || v == 2.0 => {}
+        Some(v) => return Err(format!("unsupported schema_version {v}")),
+    }
+    match obj.get("operators") {
+        None => {}
+        Some(Value::Arr(items)) => {
+            for o in items {
+                validate_operator(o)?;
+            }
+        }
+        Some(_) => return Err("field \"operators\" must be an array".into()),
+    }
+    Ok(())
+}
+
+/// Validate one `operators[]` entry of a v2 trace line.
+fn validate_operator(o: &Value) -> Result<(), String> {
+    if !matches!(o, Value::Obj(_)) {
+        return Err("operators entries must be objects".into());
+    }
+    for key in ["op", "table", "stratum"] {
+        match o.get(key) {
+            Some(Value::Str(_)) => {}
+            _ => return Err(format!("operator field {key:?} must be a string")),
+        }
+    }
+    for key in [
+        "rows_in",
+        "rows_out",
+        "morsels",
+        "morsel_p50_ns",
+        "morsel_p95_ns",
+        "morsel_p99_ns",
+        "mem_peak_bytes",
+        "mem_current_bytes",
+    ] {
+        match o.get(key).and_then(Value::as_f64) {
+            Some(n) if n >= 0.0 && n.fract() == 0.0 => {}
+            _ => return Err(format!("operator field {key:?} must be a non-negative integer")),
+        }
+    }
+    for key in ["weight", "selectivity"] {
+        match o.get(key).and_then(Value::as_f64) {
+            Some(n) if n >= 0.0 => {}
+            _ => return Err(format!("operator field {key:?} must be a non-negative number")),
+        }
+    }
+    match o.get("morsels_per_worker") {
+        Some(Value::Arr(items)) => {
+            for m in items {
+                match m.as_f64() {
+                    Some(n) if n >= 0.0 && n.fract() == 0.0 => {}
+                    _ => {
+                        return Err(
+                            "morsels_per_worker entries must be non-negative integers".into()
+                        )
+                    }
+                }
+            }
+        }
+        _ => return Err("operator field \"morsels_per_worker\" must be an array".into()),
+    }
     Ok(())
 }
 
@@ -210,6 +354,8 @@ struct TraceBuilder {
     started: Instant,
     /// (stage, accumulated duration), insertion-ordered.
     stages: Vec<(String, Duration)>,
+    /// Per-operator profiles, in plan (stratum) order.
+    operators: Vec<OpProfile>,
 }
 
 thread_local! {
@@ -230,6 +376,7 @@ pub fn begin(query: &str) -> bool {
                 query: query.to_string(),
                 started: Instant::now(),
                 stages: Vec::new(),
+                operators: Vec::new(),
             });
             true
         } else {
@@ -256,6 +403,28 @@ pub(crate) fn record_stage(stage: &str, elapsed: Duration) {
     });
 }
 
+/// Called by [`crate::profile::record_scan`]; appends a per-operator
+/// profile to the open trace.
+pub(crate) fn record_operator(op: OpProfile) {
+    ACTIVE.with(|slot| {
+        if let Some(builder) = slot.borrow_mut().as_mut() {
+            builder.operators.push(op);
+        }
+    });
+}
+
+/// Drop any operator profiles collected so far on the open trace. Used
+/// when a plan attempt fails and the runtime falls back to another tier:
+/// the abandoned attempt's scans must not pollute the final trace (whose
+/// operator row totals reconcile with `rows_scanned`).
+pub fn discard_operators() {
+    ACTIVE.with(|slot| {
+        if let Some(builder) = slot.borrow_mut().as_mut() {
+            builder.operators.clear();
+        }
+    });
+}
+
 /// Close the trace opened by [`begin`] and return it with stage timings
 /// and total wall time filled in. The caller supplies the runtime
 /// decision fields (tier, plan, row counts). Returns `None` if no trace
@@ -273,6 +442,7 @@ pub fn finish() -> Option<QueryTrace> {
                     ms: d.as_secs_f64() * 1e3,
                 })
                 .collect(),
+            operators: builder.operators,
             ..QueryTrace::default()
         })
     })
@@ -298,6 +468,38 @@ mod tests {
                 StageTime { stage: "query.finalize".into(), ms: 0.25 },
             ],
             total_ms: 1.5,
+            operators: vec![
+                OpProfile {
+                    op: "scan:sg_a".into(),
+                    table: "sg_a".into(),
+                    stratum: "small-group".into(),
+                    weight: 1.0,
+                    rows_in: 120,
+                    rows_out: 120,
+                    morsels: 1,
+                    morsels_per_worker: vec![1],
+                    morsel_p50_ns: 1500,
+                    morsel_p95_ns: 1500,
+                    morsel_p99_ns: 1500,
+                    mem_peak_bytes: 4096,
+                    mem_current_bytes: 2048,
+                },
+                OpProfile {
+                    op: "scan:overall".into(),
+                    table: "overall".into(),
+                    stratum: "overall".into(),
+                    weight: 20.0,
+                    rows_in: 12_225,
+                    rows_out: 9_800,
+                    morsels: 3,
+                    morsels_per_worker: vec![2, 1],
+                    morsel_p50_ns: 90_000,
+                    morsel_p95_ns: 140_000,
+                    morsel_p99_ns: 140_000,
+                    mem_peak_bytes: 65_536,
+                    mem_current_bytes: 8_192,
+                },
+            ],
         }
     }
 
@@ -324,6 +526,47 @@ mod tests {
         assert!(validate_json(&bad_tier).unwrap_err().contains("serving_tier"));
         let bad_rows = good.replace("\"rows_scanned\":12345", "\"rows_scanned\":-1");
         assert!(validate_json(&bad_rows).is_err());
+    }
+
+    #[test]
+    fn v1_lines_without_operators_still_validate() {
+        // A pre-versioning trace line: no schema_version, no operators.
+        let v1 = "{\"query\":\"q\",\"plan\":\"union-all(2)\",\"serving_tier\":\"primary\",\
+                  \"partial\":false,\"sample_tables\":[\"sg_a\"],\"rows_scanned\":10,\
+                  \"base_rows\":100,\"groups\":3,\"stages\":[{\"stage\":\"query.scan\",\
+                  \"ms\":0.5}],\"total_ms\":0.7}";
+        assert!(validate_json(v1).is_ok());
+        let trace = QueryTrace::from_json(v1).unwrap();
+        assert!(trace.operators.is_empty());
+        // Re-serialized it becomes v2 and still validates.
+        assert!(validate_json(&trace.to_json()).is_ok());
+    }
+
+    #[test]
+    fn v2_operator_fields_are_validated() {
+        let good = sample_trace().to_json();
+        assert!(good.contains("\"schema_version\":2"));
+        let bad = good.replace("\"rows_in\":120", "\"rows_in\":-5");
+        assert!(validate_json(&bad).unwrap_err().contains("rows_in"));
+        let bad = good.replace("\"stratum\":\"small-group\"", "\"stratum\":7");
+        assert!(validate_json(&bad).unwrap_err().contains("stratum"));
+        let bad = good.replace("\"morsels_per_worker\":[1]", "\"morsels_per_worker\":[-1]");
+        assert!(validate_json(&bad).is_err());
+        let bad = good.replace("\"schema_version\":2", "\"schema_version\":9");
+        assert!(validate_json(&bad).unwrap_err().contains("schema_version"));
+        let bad = good.replace("\"operators\":[", "\"operators\":[{\"op\":\"x\"},");
+        assert!(validate_json(&bad).is_err(), "operator missing fields rejected");
+    }
+
+    #[test]
+    fn discard_operators_clears_abandoned_plan_attempt() {
+        assert!(begin("q"));
+        record_operator(OpProfile { op: "scan:doomed".into(), ..OpProfile::default() });
+        discard_operators();
+        record_operator(OpProfile { op: "scan:kept".into(), ..OpProfile::default() });
+        let trace = finish().unwrap();
+        assert_eq!(trace.operators.len(), 1);
+        assert_eq!(trace.operators[0].op, "scan:kept");
     }
 
     #[test]

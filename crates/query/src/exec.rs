@@ -19,11 +19,12 @@
 use crate::error::{QueryError, QueryResult};
 use crate::expr::{CmpOp, Expr};
 use crate::output::{AggState, GroupResult, QueryOutput};
-use crate::parallel::{merge_group_maps, run_morsels};
+use crate::parallel::{merge_group_maps, run_morsels_traced};
 use crate::plan::{AggFunc, Query};
 use crate::source::{DataSource, ResolvedColumn};
 use aqp_storage::{BitSet, DataType, Value, DEFAULT_MORSEL_ROWS};
 use std::collections::{HashMap, HashSet};
+use std::time::Instant;
 
 /// Maximum grouping columns handled by the compact fixed-size key. Queries
 /// with more grouping columns still work via the heap-allocated fallback.
@@ -183,22 +184,43 @@ pub fn execute(
     // Span timers live on this control thread only, bracketing the whole
     // scoped-thread region; worker closures touch no observability state,
     // so instrumentation cannot perturb the morsel-order merge.
-    let partials = {
+    let (partials, schedule) = {
         let _span = aqp_obs::span("query.scan");
-        run_morsels(n, opts.morsel_rows, opts.parallelism, |m| {
+        run_morsels_traced(n, opts.morsel_rows, opts.parallelism, |m| {
+            // Workers return plain data (map, matched rows, wall time);
+            // all profiling bookkeeping happens on the control thread.
+            let started = Instant::now();
             let mut map = HashMap::new();
-            scan.run_range(m.start, m.end, num_aggs, &mut map);
-            map
+            let matched = scan.run_range(m.start, m.end, num_aggs, &mut map);
+            (map, matched, started.elapsed())
         })
     };
     aqp_obs::counter("aqp_rows_scanned_total", &[]).inc_by(n as u64);
     aqp_obs::counter("aqp_query_scans_total", &[]).inc();
+    let mut rows_out = 0u64;
+    let mut morsel_ns = Vec::with_capacity(partials.len());
+    let mut partial_bytes = 0u64;
     let merge_span = aqp_obs::span("query.merge");
     let mut groups: HashMap<GroupKey, Vec<AggState>> = HashMap::new();
-    for partial in partials {
+    for (partial, matched, elapsed) in partials {
+        rows_out += matched;
+        morsel_ns.push(u64::try_from(elapsed.as_nanos()).unwrap_or(u64::MAX));
+        partial_bytes += map_bytes(partial.len(), num_aggs);
         merge_group_maps(&mut groups, partial);
     }
     drop(merge_span);
+    // Logical memory: all per-morsel partial maps coexist before the fold,
+    // plus the merged table they fold into (see aqp_obs::mem).
+    let merged_bytes = map_bytes(groups.len(), num_aggs);
+    let _mem = aqp_obs::mem::reserve(partial_bytes + merged_bytes);
+    aqp_obs::profile::record_scan(aqp_obs::ScanStats {
+        rows_in: n as u64,
+        rows_out,
+        claims: schedule.claims,
+        morsel_ns,
+        mem_peak_bytes: partial_bytes + merged_bytes,
+        mem_current_bytes: merged_bytes,
+    });
     let _finalize_span = aqp_obs::span("query.finalize");
 
     // Aggregation without GROUP BY always yields exactly one row.
@@ -230,6 +252,18 @@ pub fn execute(
         rows_scanned: n,
         truncated,
     })
+}
+
+/// Logical working-set estimate for a group map: per-entry key + state
+/// vector + hash-table slot overhead. An estimator for the profiler and
+/// the `aqp_obs::mem` ledger, not allocator truth (`unsafe` is denied, so
+/// there is no global-allocator hook to measure real allocations).
+fn map_bytes(entries: usize, num_aggs: usize) -> u64 {
+    let per_entry = std::mem::size_of::<GroupKey>()
+        + std::mem::size_of::<Vec<AggState>>()
+        + num_aggs * std::mem::size_of::<AggState>()
+        + 16;
+    (entries * per_entry) as u64
 }
 
 /// Compact or heap-allocated group key.
@@ -269,14 +303,18 @@ struct Scan<'a, 'b> {
 }
 
 impl Scan<'_, '_> {
+    /// Scan `start..end`, accumulating into `groups`. Returns the number
+    /// of rows that survived the bitmask and predicate filters (the
+    /// operator's rows-out, for the profiler).
     fn run_range(
         &self,
         start: usize,
         end: usize,
         num_aggs: usize,
         groups: &mut HashMap<GroupKey, Vec<AggState>>,
-    ) {
+    ) -> u64 {
         let fast = self.group_cols.len() <= MAX_FAST_KEY;
+        let mut matched = 0u64;
         for row in start..end {
             if let Some((col, mask)) = self.bitmask {
                 if col.row_intersects(row, mask) {
@@ -288,6 +326,7 @@ impl Scan<'_, '_> {
                     continue;
                 }
             }
+            matched += 1;
             let key = if fast {
                 let mut codes = [0u64; MAX_FAST_KEY];
                 let mut nulls = 0u8;
@@ -331,6 +370,7 @@ impl Scan<'_, '_> {
                 }
             }
         }
+        matched
     }
 }
 

@@ -44,6 +44,6 @@ pub use exec::{execute, ExecOptions, Weighting};
 pub use expr::{CmpOp, Expr};
 pub use join::{Dimension, StarSchema};
 pub use output::{AggState, GroupResult, QueryOutput};
-pub use parallel::{merge_group_maps, run_morsels};
+pub use parallel::{merge_group_maps, run_morsels, run_morsels_traced, MorselSchedule};
 pub use plan::{AggExpr, AggFunc, Query};
 pub use source::DataSource;

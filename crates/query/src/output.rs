@@ -28,6 +28,12 @@ use std::collections::HashMap;
 ///   when every weight is 1 (exact evaluation),
 /// * `var_acc_w` — `Σ wᵢ·(wᵢ−1)`, the same variance accumulator for the
 ///   weighted COUNT (used by AVG ratio estimates),
+/// * `cov_acc`  — `Σ wᵢ·(wᵢ−1)·xᵢ`, the Horvitz–Thompson covariance of the
+///   weighted SUM and COUNT under independent sampling. AVG ratio variances
+///   need it: SUM and COUNT over the same sample are strongly positively
+///   correlated, and dropping the covariance term inflates the interval
+///   enough that a 95 % AVG interval covers essentially always (caught by
+///   the CI-coverage calibration audit),
 /// * `min`/`max` — extrema of the inputs.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct AggState {
@@ -45,6 +51,8 @@ pub struct AggState {
     pub var_acc: f64,
     /// Σ wᵢ·(wᵢ−1).
     pub var_acc_w: f64,
+    /// Σ wᵢ·(wᵢ−1)·xᵢ.
+    pub cov_acc: f64,
     /// Minimum input, `+∞` when no rows contributed.
     pub min: f64,
     /// Maximum input, `−∞` when no rows contributed.
@@ -61,6 +69,7 @@ impl Default for AggState {
             sum_x_sq: 0.0,
             var_acc: 0.0,
             var_acc_w: 0.0,
+            cov_acc: 0.0,
             min: f64::INFINITY,
             max: f64::NEG_INFINITY,
         }
@@ -83,6 +92,7 @@ impl AggState {
         self.sum_x_sq += x * x;
         self.var_acc += w * (w - 1.0) * x * x;
         self.var_acc_w += w * (w - 1.0);
+        self.cov_acc += w * (w - 1.0) * x;
         if x < self.min {
             self.min = x;
         }
@@ -101,6 +111,7 @@ impl AggState {
         self.sum_x_sq += other.sum_x_sq;
         self.var_acc += other.var_acc;
         self.var_acc_w += other.var_acc_w;
+        self.cov_acc += other.cov_acc;
         self.min = self.min.min(other.min);
         self.max = self.max.max(other.max);
     }
@@ -183,6 +194,7 @@ mod tests {
         assert_eq!(s.sum_wx, 30.0);
         assert_eq!(s.var_acc, 810.0);
         assert_eq!(s.var_acc_w, 90.0);
+        assert_eq!(s.cov_acc, 270.0); // w(w-1)x = 10·9·3
     }
 
     #[test]

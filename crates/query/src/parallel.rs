@@ -32,16 +32,48 @@ where
     T: Send,
     F: Fn(Morsel) -> T + Sync,
 {
+    run_morsels_traced(rows, morsel_rows, threads, work).0
+}
+
+/// Scheduling statistics from one [`run_morsels_traced`] call.
+///
+/// Purely informational: the claim split across workers depends on the OS
+/// schedule and changes run to run, unlike the returned results, which are
+/// always in morsel order. Consumers (the `EXPLAIN ANALYZE` profiler) must
+/// treat it as telemetry, never as an input to computation.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct MorselSchedule {
+    /// Morsels claimed by each worker, in spawn order. Length is the
+    /// number of workers actually used (1 for the inline path).
+    pub claims: Vec<u64>,
+}
+
+/// [`run_morsels`], additionally reporting how many morsels each worker
+/// claimed. Results are identical to [`run_morsels`] — the schedule is
+/// observed, not altered.
+pub fn run_morsels_traced<T, F>(
+    rows: usize,
+    morsel_rows: usize,
+    threads: usize,
+    work: F,
+) -> (Vec<T>, MorselSchedule)
+where
+    T: Send,
+    F: Fn(Morsel) -> T + Sync,
+{
     let iter = MorselIter::new(rows, morsel_rows);
     let num_morsels = iter.count_total();
     let threads = threads.clamp(1, num_morsels.max(1));
 
     if threads <= 1 {
-        return iter.map(&work).collect();
+        let out: Vec<T> = iter.map(&work).collect();
+        let claims = if out.is_empty() { Vec::new() } else { vec![out.len() as u64] };
+        return (out, MorselSchedule { claims });
     }
 
     let next = AtomicUsize::new(0);
     let mut tagged: Vec<(usize, T)> = Vec::with_capacity(num_morsels);
+    let mut claims = Vec::with_capacity(threads);
     std::thread::scope(|s| {
         let handles: Vec<_> = (0..threads)
             .map(|_| {
@@ -62,14 +94,16 @@ where
             })
             .collect();
         for h in handles {
-            tagged.extend(h.join().expect("morsel worker panicked"));
+            let mine = h.join().expect("morsel worker panicked");
+            claims.push(mine.len() as u64);
+            tagged.extend(mine);
         }
     });
 
     // Restore morsel order so the caller's fold is schedule-independent.
     tagged.sort_by_key(|(i, _)| *i);
     debug_assert_eq!(tagged.len(), num_morsels);
-    tagged.into_iter().map(|(_, t)| t).collect()
+    (tagged.into_iter().map(|(_, t)| t).collect(), MorselSchedule { claims })
 }
 
 /// Fold one partial group map into an accumulator, merging the
@@ -116,8 +150,22 @@ mod tests {
 
     #[test]
     fn zero_rows_runs_nothing() {
-        let out = run_morsels(0, 4096, 8, |m| m.len());
+        let (out, sched) = run_morsels_traced(0, 4096, 8, |m| m.len());
         assert!(out.is_empty());
+        assert!(sched.claims.is_empty());
+    }
+
+    #[test]
+    fn schedule_claims_account_for_every_morsel() {
+        for threads in [1, 3, 8] {
+            let (out, sched) = run_morsels_traced(10_000, 256, threads, |m| m.index);
+            assert_eq!(out.len(), 40);
+            assert_eq!(sched.claims.iter().sum::<u64>(), 40, "at {threads} threads");
+            assert!(sched.claims.len() <= threads.max(1));
+            if threads == 1 {
+                assert_eq!(sched.claims, vec![40]);
+            }
+        }
     }
 
     #[test]

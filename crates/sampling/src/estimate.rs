@@ -82,8 +82,24 @@ impl Estimate {
     }
 
     /// Ratio estimate `self / other` (used for AVG = SUM/COUNT) with the
-    /// first-order delta-method variance.
+    /// first-order delta-method variance, assuming numerator and
+    /// denominator are independent (covariance zero).
+    ///
+    /// For AVG over one sample the two are strongly positively correlated —
+    /// prefer [`Estimate::ratio_with_cov`], which the coverage calibration
+    /// audit shows is needed for the intervals to hit their nominal level.
     pub fn ratio(self, other: Estimate) -> Option<Estimate> {
+        self.ratio_with_cov(other, 0.0)
+    }
+
+    /// Ratio estimate `self / other` with the full first-order delta-method
+    /// variance, given `cov = Cov(numerator, denominator)`:
+    ///
+    /// `Var(X/Y) ≈ (1/Y²)·Var(X) − 2·(X/Y³)·Cov(X,Y) + (X²/Y⁴)·Var(Y)`
+    ///
+    /// The result is clamped at zero: with estimated moments the expression
+    /// can go slightly negative.
+    pub fn ratio_with_cov(self, other: Estimate, cov: f64) -> Option<Estimate> {
         if other.value == 0.0 {
             return None;
         }
@@ -91,10 +107,10 @@ impl Estimate {
         let variance = if self.exact && other.exact {
             0.0
         } else {
-            // Var(X/Y) ≈ (1/Y²)·Var(X) + (X²/Y⁴)·Var(Y) (independence
-            // approximation; adequate for reporting purposes).
             let y2 = other.value * other.value;
-            self.variance / y2 + (self.value * self.value) * other.variance / (y2 * y2)
+            (self.variance / y2 - 2.0 * self.value * cov / (y2 * other.value)
+                + (self.value * self.value) * other.variance / (y2 * y2))
+                .max(0.0)
         };
         Some(Estimate {
             value: r,
@@ -304,6 +320,25 @@ mod tests {
         let avg = sum.ratio(count).unwrap();
         assert_eq!(avg.value, 25.0);
         assert!(avg.variance > 0.0 && !avg.exact);
+    }
+
+    #[test]
+    fn ratio_covariance_tightens_variance() {
+        let sum = Estimate::with_variance(100.0, 16.0);
+        let count = Estimate::with_variance(4.0, 0.25);
+        let independent = sum.ratio(count).unwrap();
+        // Positive covariance (the AVG = SUM/COUNT case) shrinks the
+        // delta-method variance relative to the independence approximation.
+        let correlated = sum.ratio_with_cov(count, 1.5).unwrap();
+        assert_eq!(correlated.value, independent.value);
+        assert!(correlated.variance < independent.variance);
+        // Full delta method: 16/16 − 2·100·1.5/64 + 100²·0.25/256
+        let expected = 16.0 / 16.0 - 2.0 * 100.0 * 1.5 / 64.0 + 10_000.0 * 0.25 / 256.0;
+        assert!((correlated.variance - expected).abs() < 1e-12);
+        // Implausibly large covariance estimates clamp at zero rather than
+        // producing a negative variance.
+        let clamped = sum.ratio_with_cov(count, 10.0).unwrap();
+        assert_eq!(clamped.variance, 0.0);
     }
 
     #[test]

@@ -32,7 +32,7 @@ pub mod wor;
 pub mod zipf;
 
 pub use bernoulli::BernoulliSampler;
-pub use estimate::{ConfidenceInterval, Estimate};
+pub use estimate::{agresti_coull, normal_quantile, ConfidenceInterval, Estimate};
 pub use frequency::{ColumnFrequency, CommonValues, FrequencyCounter};
 pub use reservoir::ReservoirSampler;
 pub use stratified::{water_fill, StratifiedAllocation};

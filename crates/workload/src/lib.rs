@@ -16,16 +16,24 @@
 //!   including the per-group-selectivity bucketing of Figure 5;
 //! * [`report`] — the per-run observability report combining the accuracy
 //!   summary, per-query [`aqp_obs::QueryTrace`] records and a metrics
-//!   snapshot into one JSON document.
+//!   snapshot into one JSON document;
+//! * [`calibrate`] — the CI-coverage calibration audit: observed versus
+//!   nominal confidence-interval coverage per aggregate function and per
+//!   group-size decile, with Agresti–Coull under-coverage flagging.
 
 #![warn(missing_docs)]
 #![deny(unsafe_code)]
 
+pub mod calibrate;
 pub mod generator;
 pub mod harness;
 pub mod metrics;
 pub mod report;
 
+pub use calibrate::{
+    run_calibration, CalibrationConfig, CalibrationReport, CoverageAudit, CoverageBucket,
+    CoverageCell,
+};
 pub use generator::{generate_queries, DatasetProfile, QueryGenConfig, WorkloadAggregate};
 pub use harness::{
     bench_build_throughput, bench_query_throughput, evaluate_queries, evaluate_queries_traced,
