@@ -96,6 +96,8 @@ USAGE:
                    [--trace] [--stats] [--calibrate] [--obs-out PREFIX]
   aqp-cli bench [--scale F] [--skew F] [--seed N] [--rate F] [--gamma F]
                 [--iters N] [--out FILE] [--stats]
+  aqp-cli bench kernels [--scale F] [--skew F] [--seed N] [--iters N]
+                        [--min-speedup F] [--out FILE]
   aqp-cli dashboard PREFIX
   aqp-cli validate-trace FILE
 
@@ -122,6 +124,16 @@ threads on a generated skewed TPC-H view and writes the results as JSON
 (default BENCH_parallel.json), including a per-stage wall-time breakdown
 (scan vs merge vs finalize) from the span timers, plus an observability
 overhead report (metrics on vs off) next to it as BENCH_obs.json.
+
+bench kernels compares the scalar reference executor against the
+vectorized kernels (selection vectors, typed aggregation loops, dense
+group ids) on three workloads — a dictionary group-by, an integer
+group-by, and an ungrouped filter — at 1 and 4 threads, and writes
+BENCH_kernels.json. Answers are bit-identical across modes by contract;
+--min-speedup F fails the command if the single-thread dictionary
+group-by speedup falls below F. AQP_KERNELS=scalar forces the scalar
+path process-wide for any command (explain --analyze shows which kernel
+each operator used).
 
 explain prints the sampler's static rewrite plan for a query; with
 --analyze it also executes the query and reports a per-operator profile
@@ -515,8 +527,13 @@ fn render_operator_tree(trace: &QueryTrace) -> String {
     let last = trace.operators.len().saturating_sub(1);
     for (i, op) in trace.operators.iter().enumerate() {
         let (branch, pad) = if i == last { ("`-", "  ") } else { ("|-", "| ") };
+        let kernel = if op.kernel.is_empty() {
+            String::new()
+        } else {
+            format!(", kernel {}", op.kernel)
+        };
         s.push_str(&format!(
-            "{branch} {} [stratum {}, weight {}]\n",
+            "{branch} {} [stratum {}, weight {}{kernel}]\n",
             op.op, op.stratum, op.weight
         ));
         s.push_str(&format!(
@@ -730,6 +747,15 @@ fn bench_speedup(points: &[aqp::workload::BenchPoint], threads: usize) -> Option
 /// 1/2/4/8 threads over a generated skewed TPC-H view, and write
 /// `BENCH_parallel.json`.
 fn bench_command(args: &Args, out: &mut dyn Write) -> Result<(), CliError> {
+    match args.positionals().get(1).map(String::as_str) {
+        Some("kernels") => return bench_kernels_command(args, out),
+        Some(other) => {
+            return Err(CliError(format!(
+                "unknown bench target {other:?} (expected: kernels, or no target)"
+            )))
+        }
+        None => {}
+    }
     let scale = args.get_or("scale", 0.1f64)?;
     let skew = args.get_or("skew", 2.0f64)?;
     let seed = args.get_or("seed", 42u64)?;
@@ -857,6 +883,125 @@ fn bench_command(args: &Args, out: &mut dyn Write) -> Result<(), CliError> {
     )?;
     if stats {
         write_metrics_snapshot(out)?;
+    }
+    Ok(())
+}
+
+/// `bench kernels` — compare the scalar reference executor against the
+/// vectorised kernels on the same generated view and write
+/// `BENCH_kernels.json`. Three workloads: a dictionary group-by (dense
+/// group-id path), an integer group-by (hash path), and an ungrouped
+/// selective filter, each at 1 and 4 threads. Answers are checked equal
+/// across modes before timing; `--min-speedup` gates on the
+/// single-thread dictionary group-by speedup.
+fn bench_kernels_command(args: &Args, out: &mut dyn Write) -> Result<(), CliError> {
+    let scale = args.get_or("scale", 0.1f64)?;
+    let skew = args.get_or("skew", 2.0f64)?;
+    let seed = args.get_or("seed", 42u64)?;
+    let iters = args.get_or("iters", 5usize)?.max(1);
+    let min_speedup = args.get_or("min-speedup", 0.0f64)?;
+    let out_path = args
+        .optional("out")
+        .unwrap_or_else(|| "BENCH_kernels.json".to_owned());
+    args.finish()?;
+
+    let star = gen_tpch(&TpchConfig {
+        scale_factor: scale,
+        zipf_z: skew,
+        seed,
+    })
+    .map_err(boxed)?;
+    let view = star.denormalize("bench_view").map_err(boxed)?;
+    let host = std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get);
+    writeln!(
+        out,
+        "bench kernels: tpch scale {scale} (skew {skew}) -> {} rows, host parallelism {host}",
+        view.num_rows()
+    )?;
+    let source = DataSource::Wide(&view);
+
+    let workloads: &[(&str, &str)] = &[
+        (
+            "dict-group-by",
+            "SELECT lineitem.shipmode, COUNT(*), SUM(lineitem.extendedprice), \
+             AVG(lineitem.quantity) FROM v GROUP BY lineitem.shipmode",
+        ),
+        (
+            "int-group-by",
+            "SELECT lineitem.partkey, COUNT(*), SUM(lineitem.extendedprice) \
+             FROM v GROUP BY lineitem.partkey",
+        ),
+        (
+            "ungrouped-filter",
+            "SELECT COUNT(*), SUM(lineitem.extendedprice) FROM v \
+             WHERE lineitem.quantity >= 30",
+        ),
+    ];
+    const KERNEL_THREADS: &[usize] = &[1, 4];
+    let mut rows = Vec::new();
+    let mut dict_speedup_1t = 1.0f64;
+    for (name, sql) in workloads {
+        let query = parse_query(sql).map_err(boxed)?.query;
+        for &threads in KERNEL_THREADS {
+            let scalar_opts = ExecOptions {
+                parallelism: threads,
+                kernels: KernelMode::Scalar,
+                ..ExecOptions::default()
+            };
+            let vector_opts = ExecOptions {
+                kernels: KernelMode::Vectorized,
+                ..scalar_opts
+            };
+            // The determinism contract says the two paths agree on every
+            // group and every tally; check it on this workload before
+            // trusting the timing comparison.
+            let a = execute(&source, &query, &scalar_opts).map_err(boxed)?;
+            let b = execute(&source, &query, &vector_opts).map_err(boxed)?;
+            if a.groups != b.groups {
+                return Err(CliError(format!(
+                    "kernel mismatch: scalar and vectorized outputs differ on {name} at {threads} thread(s)"
+                )));
+            }
+            let scalar =
+                aqp::workload::bench_query_throughput_with(&source, &query, &scalar_opts, iters)
+                    .map_err(boxed)?;
+            let vect =
+                aqp::workload::bench_query_throughput_with(&source, &query, &vector_opts, iters)
+                    .map_err(boxed)?;
+            let speedup = if vect.elapsed_ms > 0.0 {
+                scalar.elapsed_ms / vect.elapsed_ms
+            } else {
+                1.0
+            };
+            if *name == "dict-group-by" && threads == 1 {
+                dict_speedup_1t = speedup;
+            }
+            writeln!(
+                out,
+                "{name} @ {threads} thread(s): scalar {:.0} rows/s, vectorized {:.0} rows/s -> {speedup:.2}x",
+                scalar.rows_per_sec, vect.rows_per_sec
+            )?;
+            rows.push(format!(
+                "    {{\"workload\": \"{name}\", \"threads\": {threads}, \"scalar_rows_per_sec\": {:.1}, \"vectorized_rows_per_sec\": {:.1}, \"scalar_ms\": {:.3}, \"vectorized_ms\": {:.3}, \"speedup\": {speedup:.3}}}",
+                scalar.rows_per_sec, vect.rows_per_sec, scalar.elapsed_ms, vect.elapsed_ms
+            ));
+        }
+    }
+    let json = format!(
+        "{{\n  \"dataset\": {{\"kind\": \"tpch\", \"scale_factor\": {scale}, \"zipf_z\": {skew}, \"seed\": {seed}}},\n  \"view_rows\": {},\n  \"host_parallelism\": {host},\n  \"iters\": {iters},\n  \"results\": [\n{}\n  ],\n  \"dict_group_by_speedup_1_thread\": {dict_speedup_1t:.3}\n}}\n",
+        view.num_rows(),
+        rows.join(",\n"),
+    );
+    std::fs::write(&out_path, json).map_err(at_path(&out_path))?;
+    writeln!(
+        out,
+        "dictionary group-by single-thread speedup {dict_speedup_1t:.2}x -> {out_path}"
+    )?;
+    if dict_speedup_1t < min_speedup {
+        return Err(CliError(format!(
+            "kernel speedup gate failed: dictionary group-by single-thread speedup \
+             {dict_speedup_1t:.2}x is below the required {min_speedup:.2}x"
+        )));
     }
     Ok(())
 }
@@ -1469,6 +1614,55 @@ mod tests {
     }
 
     #[test]
+    fn bench_kernels_writes_json_report() {
+        let dir = temp_dir();
+        let report = dir.join("BENCH_kernels.json");
+        let msg = run_cli(&[
+            "bench", "kernels", "--scale", "0.02", "--iters", "1", "--out",
+            report.to_str().unwrap(),
+        ])
+        .unwrap();
+        assert!(msg.contains("dict-group-by @ 1 thread(s)"), "{msg}");
+        assert!(msg.contains("int-group-by @ 4 thread(s)"), "{msg}");
+        assert!(msg.contains("ungrouped-filter"), "{msg}");
+        assert!(
+            msg.contains("dictionary group-by single-thread speedup"),
+            "{msg}"
+        );
+        let json = std::fs::read_to_string(&report).unwrap();
+        for key in [
+            "\"workload\": \"dict-group-by\"",
+            "\"workload\": \"int-group-by\"",
+            "\"workload\": \"ungrouped-filter\"",
+            "\"scalar_rows_per_sec\"",
+            "\"vectorized_rows_per_sec\"",
+            "\"speedup\"",
+            "\"threads\": 4",
+            "\"dict_group_by_speedup_1_thread\"",
+        ] {
+            assert!(json.contains(key), "missing {key} in {json}");
+        }
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn bench_kernels_min_speedup_gate_fails_when_unreachable() {
+        let dir = temp_dir();
+        let report = dir.join("gate.json");
+        // No implementation is 1000x faster; the gate must trip and the
+        // error must say why.
+        let err = run_cli(&[
+            "bench", "kernels", "--scale", "0.01", "--iters", "1", "--min-speedup",
+            "1000", "--out", report.to_str().unwrap(),
+        ])
+        .unwrap_err();
+        assert!(err.0.contains("kernel speedup gate failed"), "{err}");
+        // The report is still written so the numbers can be inspected.
+        assert!(report.exists());
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
     fn explain_static_plan_matches_golden() {
         let dir = temp_dir();
         let view = dir.join("g.aqpt");
@@ -1529,6 +1723,10 @@ mod tests {
         assert!(msg.contains("selectivity"), "{msg}");
         assert!(msg.contains("mem peak"), "{msg}");
         assert!(msg.contains("morsel p50/p95/p99"), "{msg}");
+        // Every operator reports which scan implementation ran; the
+        // default mode is vectorised (dense or hash depending on the
+        // group-by columns).
+        assert!(msg.contains(", kernel vectorized-"), "{msg}");
         // Per-stratum row totals must reconcile exactly with rows_scanned.
         assert!(msg.contains("-> reconciles"), "{msg}");
         assert!(!msg.contains("MISMATCH"), "{msg}");

@@ -50,6 +50,10 @@ pub struct OpProfile {
     pub mem_peak_bytes: u64,
     /// Logical bytes still held at operator completion (merged table).
     pub mem_current_bytes: u64,
+    /// Scan implementation the executor chose: `scalar`,
+    /// `vectorized-hash`, or `vectorized-dense` (empty on traces recorded
+    /// before the field existed).
+    pub kernel: String,
 }
 
 impl OpProfile {
@@ -117,6 +121,9 @@ pub struct ScanStats {
     pub mem_peak_bytes: u64,
     /// Logical bytes held at completion.
     pub mem_current_bytes: u64,
+    /// Scan implementation label (`scalar`, `vectorized-hash`,
+    /// `vectorized-dense`).
+    pub kernel: String,
 }
 
 /// Nearest-rank quantile over an ascending-sorted slice.
@@ -160,6 +167,7 @@ pub fn record_scan(stats: ScanStats) {
         morsel_p99_ns: rank(&sorted, 0.99),
         mem_peak_bytes: stats.mem_peak_bytes,
         mem_current_bytes: stats.mem_current_bytes,
+        kernel: stats.kernel,
     });
 }
 
@@ -222,6 +230,7 @@ mod tests {
             morsel_ns: vec![500, 100, 300, 200, 400],
             mem_peak_bytes: 4096,
             mem_current_bytes: 1024,
+            kernel: "vectorized-dense".into(),
         });
         let trace = crate::trace::finish().expect("trace open");
         assert_eq!(trace.operators.len(), 1);
@@ -235,6 +244,7 @@ mod tests {
         assert_eq!(op.morsel_p50_ns, 300);
         assert_eq!(op.morsel_p99_ns, 500);
         assert_eq!(op.mem_peak_bytes, 4096);
+        assert_eq!(op.kernel, "vectorized-dense");
     }
 
     #[test]

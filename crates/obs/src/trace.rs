@@ -139,6 +139,8 @@ impl QueryTrace {
             out.push_str(&op.mem_peak_bytes.to_string());
             out.push_str(",\"mem_current_bytes\":");
             out.push_str(&op.mem_current_bytes.to_string());
+            out.push_str(",\"kernel\":");
+            json::write_escaped(&mut out, &op.kernel);
             out.push('}');
         }
         out.push_str("]}");
@@ -203,6 +205,7 @@ impl QueryTrace {
                     morsel_p99_ns: n("morsel_p99_ns") as u64,
                     mem_peak_bytes: n("mem_peak_bytes") as u64,
                     mem_current_bytes: n("mem_current_bytes") as u64,
+                    kernel: s("kernel"),
                 });
             }
         }
@@ -330,6 +333,11 @@ fn validate_operator(o: &Value) -> Result<(), String> {
             Some(n) if n >= 0.0 => {}
             _ => return Err(format!("operator field {key:?} must be a non-negative number")),
         }
+    }
+    // Additive since the vectorised-kernel work: absent on older v2 lines.
+    match o.get("kernel") {
+        None | Some(Value::Str(_)) => {}
+        Some(_) => return Err("operator field \"kernel\" must be a string".into()),
     }
     match o.get("morsels_per_worker") {
         Some(Value::Arr(items)) => {
@@ -483,6 +491,7 @@ mod tests {
                     morsel_p99_ns: 1500,
                     mem_peak_bytes: 4096,
                     mem_current_bytes: 2048,
+                    kernel: "vectorized-dense".into(),
                 },
                 OpProfile {
                     op: "scan:overall".into(),
@@ -498,6 +507,7 @@ mod tests {
                     morsel_p99_ns: 140_000,
                     mem_peak_bytes: 65_536,
                     mem_current_bytes: 8_192,
+                    kernel: "scalar".into(),
                 },
             ],
         }
@@ -552,6 +562,11 @@ mod tests {
         assert!(validate_json(&bad).unwrap_err().contains("stratum"));
         let bad = good.replace("\"morsels_per_worker\":[1]", "\"morsels_per_worker\":[-1]");
         assert!(validate_json(&bad).is_err());
+        let bad = good.replace("\"kernel\":\"scalar\"", "\"kernel\":3");
+        assert!(validate_json(&bad).unwrap_err().contains("kernel"));
+        // Operators without the kernel field (older v2 lines) still pass.
+        let old = good.replace(",\"kernel\":\"scalar\"", "").replace(",\"kernel\":\"vectorized-dense\"", "");
+        assert!(validate_json(&old).is_ok());
         let bad = good.replace("\"schema_version\":2", "\"schema_version\":9");
         assert!(validate_json(&bad).unwrap_err().contains("schema_version"));
         let bad = good.replace("\"operators\":[", "\"operators\":[{\"op\":\"x\"},");

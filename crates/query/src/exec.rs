@@ -15,20 +15,34 @@
 //!   fixed-size morsels whose partial group maps are folded in morsel
 //!   order ([`crate::parallel`]), so answers are bit-identical at any
 //!   thread count (std scoped threads, no dependencies).
+//!
+//! Each morsel runs through one of two interchangeable implementations,
+//! selected by [`KernelMode`]:
+//!
+//! * the **scalar** reference loop ([`Scan::run_range`]) — row at a time,
+//!   simple enough to audit by eye; and
+//! * the **vectorised** kernels ([`crate::kernel`], the default) —
+//!   selection vectors, typed columnar filters, and a dense group-id fast
+//!   path, producing *bit-identical* partial maps several times faster.
+//!
+//! Because both paths share the same predicate leaves, the same
+//! [`AggState::update`] arithmetic in the same ascending row order, and
+//! the same morsel-order fold, their outputs are byte-for-byte equal —
+//! a property the differential suites force on every commit. Group maps
+//! use the deterministic [`crate::hash`] hasher, so even map iteration
+//! order is reproducible across runs, modes, and thread counts.
 
 use crate::error::{QueryError, QueryResult};
-use crate::expr::{CmpOp, Expr};
+use crate::expr::{compile, CompiledExpr};
+use crate::kernel::{run_morsel_vectorized, DensePlan, GroupKey, GroupMap, MAX_FAST_KEY};
 use crate::output::{AggState, GroupResult, QueryOutput};
 use crate::parallel::{merge_group_maps, run_morsels_traced};
-use crate::plan::{AggFunc, Query};
+use crate::plan::Query;
 use crate::source::{DataSource, ResolvedColumn};
-use aqp_storage::{BitSet, DataType, Value, DEFAULT_MORSEL_ROWS};
-use std::collections::{HashMap, HashSet};
+use aqp_storage::{BitSet, Value, DEFAULT_MORSEL_ROWS};
+use std::sync::atomic::{AtomicU8, Ordering};
+use std::sync::OnceLock;
 use std::time::Instant;
-
-/// Maximum grouping columns handled by the compact fixed-size key. Queries
-/// with more grouping columns still work via the heap-allocated fallback.
-const MAX_FAST_KEY: usize = 6;
 
 /// Per-row weighting applied during aggregation.
 #[derive(Debug, Clone, Copy)]
@@ -52,6 +66,71 @@ impl Weighting<'_> {
     }
 }
 
+/// Which per-morsel scan implementation [`execute`] runs.
+///
+/// Both produce byte-identical output (the differential oracle enforces
+/// it); the choice only affects speed. `Auto` — the default — resolves to
+/// the process-wide override set by [`set_kernel_mode`] if any, else the
+/// `AQP_KERNELS` environment variable (`scalar`/`off`/`0` force the
+/// reference loop; read once per process), else vectorised.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum KernelMode {
+    /// Resolve from [`set_kernel_mode`] / `AQP_KERNELS`, default vectorised.
+    #[default]
+    Auto,
+    /// Force the row-at-a-time reference loop.
+    Scalar,
+    /// Force the batch kernels of the vectorised pipeline.
+    Vectorized,
+}
+
+/// Process-wide override consulted by [`KernelMode::Auto`]:
+/// 0 = none, 1 = scalar, 2 = vectorised.
+static KERNEL_OVERRIDE: AtomicU8 = AtomicU8::new(0);
+
+/// Set the process-wide kernel mode that [`KernelMode::Auto`] resolves to.
+///
+/// Exists so differential tests (and operators chasing a suspected kernel
+/// bug) can flip every query in the process to one implementation without
+/// threading options through call sites. An explicit
+/// [`ExecOptions::kernels`] still wins. `KernelMode::Auto` clears the
+/// override, restoring the `AQP_KERNELS` / default behaviour.
+pub fn set_kernel_mode(mode: KernelMode) {
+    let v = match mode {
+        KernelMode::Auto => 0,
+        KernelMode::Scalar => 1,
+        KernelMode::Vectorized => 2,
+    };
+    KERNEL_OVERRIDE.store(v, Ordering::Relaxed);
+}
+
+/// The `AQP_KERNELS` environment default, read once per process.
+fn env_kernel_default() -> KernelMode {
+    static ENV: OnceLock<KernelMode> = OnceLock::new();
+    *ENV.get_or_init(|| match std::env::var("AQP_KERNELS") {
+        Ok(v) if matches!(v.to_ascii_lowercase().as_str(), "scalar" | "off" | "0") => {
+            KernelMode::Scalar
+        }
+        _ => KernelMode::Vectorized,
+    })
+}
+
+impl KernelMode {
+    /// Collapse `Auto` to a concrete choice: the [`set_kernel_mode`]
+    /// override first, then `AQP_KERNELS`, then vectorised. Explicit modes
+    /// return themselves.
+    pub fn resolve(self) -> KernelMode {
+        match self {
+            KernelMode::Auto => match KERNEL_OVERRIDE.load(Ordering::Relaxed) {
+                1 => KernelMode::Scalar,
+                2 => KernelMode::Vectorized,
+                _ => env_kernel_default(),
+            },
+            explicit => explicit,
+        }
+    }
+}
+
 /// Execution options.
 #[derive(Debug, Clone, Copy)]
 pub struct ExecOptions<'a> {
@@ -71,6 +150,9 @@ pub struct ExecOptions<'a> {
     /// changes float rounding in merged aggregates; it exists as a knob so
     /// tests can force many morsels on small tables. Clamped to ≥ 1.
     pub morsel_rows: usize,
+    /// Scan implementation (default [`KernelMode::Auto`]). Never affects
+    /// the answer, only how fast it is computed.
+    pub kernels: KernelMode,
 }
 
 impl Default for ExecOptions<'static> {
@@ -81,6 +163,7 @@ impl Default for ExecOptions<'static> {
             parallelism: 1,
             row_limit: None,
             morsel_rows: DEFAULT_MORSEL_ROWS,
+            kernels: KernelMode::Auto,
         }
     }
 }
@@ -111,12 +194,14 @@ pub fn execute(
         .map(|name| source.resolve(name))
         .collect::<QueryResult<_>>()?;
 
-    // Resolve aggregate input columns; validate types.
-    let agg_cols: Vec<Option<ResolvedColumn<'_>>> = query
+    // Resolve each aggregate to its per-scan plan, validating types. The
+    // function match and the input-column unwrap happen exactly once here,
+    // not once per row in the scan loop.
+    let aggs: Vec<AggStep<'_>> = query
         .aggregates
         .iter()
         .map(|agg| match (&agg.column, agg.func.needs_column()) {
-            (None, false) => Ok(None),
+            (None, false) => Ok(AggStep::CountStar),
             (Some(name), true) => {
                 let col = source.resolve(name)?;
                 if !col.data_type().is_numeric() {
@@ -128,7 +213,7 @@ pub fn execute(
                         ),
                     });
                 }
-                Ok(Some(col))
+                Ok(AggStep::Column(col))
             }
             (None, true) => Err(QueryError::InvalidAggregate {
                 reason: format!("{} requires a column", agg.func),
@@ -166,13 +251,25 @@ pub fn execute(
     };
     let truncated = n < total_rows;
     let num_aggs = query.aggregates.len();
+    let vectorized = opts.kernels.resolve() == KernelMode::Vectorized;
     let scan = Scan {
         group_cols: &group_cols,
-        agg_cols: &agg_cols,
-        agg_funcs: &query.aggregates.iter().map(|a| a.func).collect::<Vec<_>>(),
+        aggs: &aggs,
         predicate: predicate.as_ref(),
         bitmask,
         weight: opts.weight,
+        dense: if vectorized {
+            DensePlan::build(&group_cols)
+        } else {
+            None
+        },
+    };
+    let kernel = if !vectorized {
+        "scalar"
+    } else if scan.dense.is_some() {
+        "vectorized-dense"
+    } else {
+        "vectorized-hash"
     };
 
     // Morsel-driven scan: workers produce one partial map per morsel;
@@ -190,8 +287,13 @@ pub fn execute(
             // Workers return plain data (map, matched rows, wall time);
             // all profiling bookkeeping happens on the control thread.
             let started = Instant::now();
-            let mut map = HashMap::new();
-            let matched = scan.run_range(m.start, m.end, num_aggs, &mut map);
+            let (map, matched) = if vectorized {
+                run_morsel_vectorized(&scan, m.start, m.end, num_aggs)
+            } else {
+                let mut map = GroupMap::default();
+                let matched = scan.run_range(m.start, m.end, num_aggs, &mut map);
+                (map, matched)
+            };
             (map, matched, started.elapsed())
         })
     };
@@ -201,7 +303,7 @@ pub fn execute(
     let mut morsel_ns = Vec::with_capacity(partials.len());
     let mut partial_bytes = 0u64;
     let merge_span = aqp_obs::span("query.merge");
-    let mut groups: HashMap<GroupKey, Vec<AggState>> = HashMap::new();
+    let mut groups = GroupMap::default();
     for (partial, matched, elapsed) in partials {
         rows_out += matched;
         morsel_ns.push(u64::try_from(elapsed.as_nanos()).unwrap_or(u64::MAX));
@@ -220,6 +322,7 @@ pub fn execute(
         morsel_ns,
         mem_peak_bytes: partial_bytes + merged_bytes,
         mem_current_bytes: merged_bytes,
+        kernel: kernel.to_string(),
     });
     let _finalize_span = aqp_obs::span("query.finalize");
 
@@ -266,19 +369,6 @@ fn map_bytes(entries: usize, num_aggs: usize) -> u64 {
     (entries * per_entry) as u64
 }
 
-/// Compact or heap-allocated group key.
-#[derive(Debug, Clone, PartialEq, Eq, Hash)]
-enum GroupKey {
-    /// Up to [`MAX_FAST_KEY`] per-column codes plus a null bitmap.
-    Fast {
-        codes: [u64; MAX_FAST_KEY],
-        nulls: u8,
-        len: u8,
-    },
-    /// Arbitrary-arity fallback.
-    Slow(Vec<(u64, bool)>),
-}
-
 fn decode_key(key: &GroupKey, group_cols: &[ResolvedColumn<'_>]) -> Vec<Value> {
     match key {
         GroupKey::Fast { codes, nulls, len } => (0..*len as usize)
@@ -292,26 +382,49 @@ fn decode_key(key: &GroupKey, group_cols: &[ResolvedColumn<'_>]) -> Vec<Value> {
     }
 }
 
+/// One aggregate's pre-resolved scan plan: what each surviving row feeds
+/// into [`AggState::update`], with the function match and the
+/// input-column `Option` unwrap done once at plan time rather than per
+/// row (SUM/AVG/MIN/MAX all accumulate the same state; they differ only
+/// in finalisation).
+pub(crate) enum AggStep<'a> {
+    /// COUNT(*): every surviving row contributes x = 1.
+    CountStar,
+    /// A column aggregate: the row's numeric value, nulls skipped.
+    Column(ResolvedColumn<'a>),
+}
+
 /// Everything a scan partition needs, shareable across threads.
-struct Scan<'a, 'b> {
-    group_cols: &'b [ResolvedColumn<'a>],
-    agg_cols: &'b [Option<ResolvedColumn<'a>>],
-    agg_funcs: &'b [AggFunc],
-    predicate: Option<&'b CompiledExpr<'a>>,
-    bitmask: Option<(&'a aqp_storage::BitmaskColumn, &'b BitSet)>,
-    weight: Weighting<'b>,
+pub(crate) struct Scan<'a, 'b> {
+    /// Resolved GROUP BY columns, in query order.
+    pub(crate) group_cols: &'b [ResolvedColumn<'a>],
+    /// Pre-resolved aggregate plans, in query order.
+    pub(crate) aggs: &'b [AggStep<'a>],
+    /// Compiled predicate, if the query has one.
+    pub(crate) predicate: Option<&'b CompiledExpr<'a>>,
+    /// Bitmask column + exclusion mask for the double-counting filter.
+    pub(crate) bitmask: Option<(&'a aqp_storage::BitmaskColumn, &'b BitSet)>,
+    /// Row weighting.
+    pub(crate) weight: Weighting<'b>,
+    /// Dense group-id plan; `Some` only when the vectorised path runs and
+    /// every group column is dictionary/bool-coded (see [`DensePlan`]).
+    pub(crate) dense: Option<DensePlan>,
 }
 
 impl Scan<'_, '_> {
-    /// Scan `start..end`, accumulating into `groups`. Returns the number
-    /// of rows that survived the bitmask and predicate filters (the
-    /// operator's rows-out, for the profiler).
-    fn run_range(
+    /// Scan `start..end` row at a time, accumulating into `groups`.
+    /// Returns the number of rows that survived the bitmask and predicate
+    /// filters (the operator's rows-out, for the profiler).
+    ///
+    /// This is the scalar **reference implementation**: the vectorised
+    /// kernels in [`crate::kernel`] must replicate its behaviour bit for
+    /// bit, and the differential suites compare the two on every commit.
+    pub(crate) fn run_range(
         &self,
         start: usize,
         end: usize,
         num_aggs: usize,
-        groups: &mut HashMap<GroupKey, Vec<AggState>>,
+        groups: &mut GroupMap,
     ) -> u64 {
         let fast = self.group_cols.len() <= MAX_FAST_KEY;
         let mut matched = 0u64;
@@ -343,27 +456,18 @@ impl Scan<'_, '_> {
                     len: self.group_cols.len() as u8,
                 }
             } else {
-                GroupKey::Slow(
-                    self.group_cols
-                        .iter()
-                        .map(|c| c.key_code(row))
-                        .collect(),
-                )
+                GroupKey::Slow(self.group_cols.iter().map(|c| c.key_code(row)).collect())
             };
 
             let w = self.weight.weight(row);
             let states = groups
                 .entry(key)
                 .or_insert_with(|| vec![AggState::new(); num_aggs]);
-            for (i, func) in self.agg_funcs.iter().enumerate() {
-                match func {
-                    AggFunc::Count => states[i].update(1.0, w),
-                    AggFunc::Sum | AggFunc::Avg | AggFunc::Min | AggFunc::Max => {
-                        if let Some(x) = self.agg_cols[i]
-                            .as_ref()
-                            .expect("validated: column aggregate has a column")
-                            .numeric(row)
-                        {
+            for (i, step) in self.aggs.iter().enumerate() {
+                match step {
+                    AggStep::CountStar => states[i].update(1.0, w),
+                    AggStep::Column(col) => {
+                        if let Some(x) = col.numeric(row) {
                             states[i].update(x, w);
                         }
                     }
@@ -374,192 +478,12 @@ impl Scan<'_, '_> {
     }
 }
 
-/// A predicate compiled against a concrete data source.
-enum CompiledExpr<'a> {
-    /// IN-list over a dictionary column, resolved to codes. Values absent
-    /// from the dictionary can never match and are dropped at compile time.
-    DictInSet {
-        col: ResolvedColumn<'a>,
-        codes: HashSet<u32>,
-    },
-    /// IN-list over an integer column.
-    IntInSet {
-        col: ResolvedColumn<'a>,
-        values: HashSet<i64>,
-    },
-    /// Comparison over an integer column.
-    IntCmp {
-        col: ResolvedColumn<'a>,
-        op: CmpOp,
-        literal: i64,
-    },
-    /// Comparison over a float column (integer literals coerce).
-    FloatCmp {
-        col: ResolvedColumn<'a>,
-        op: CmpOp,
-        literal: f64,
-    },
-    /// Generic fallback comparison via dynamic values.
-    GenericCmp {
-        col: ResolvedColumn<'a>,
-        op: CmpOp,
-        literal: Value,
-    },
-    /// Generic fallback IN-list.
-    GenericInSet {
-        col: ResolvedColumn<'a>,
-        values: Vec<Value>,
-    },
-    /// Conjunction.
-    And(Vec<CompiledExpr<'a>>),
-    /// Disjunction.
-    Or(Vec<CompiledExpr<'a>>),
-    /// Negation.
-    Not(Box<CompiledExpr<'a>>),
-}
-
-impl CompiledExpr<'_> {
-    fn eval(&self, row: usize) -> bool {
-        match self {
-            CompiledExpr::DictInSet { col, codes } => {
-                let prow = col.physical_row(row);
-                if col.column.is_null(prow) {
-                    return false;
-                }
-                match col.column.as_utf8() {
-                    Some((col_codes, _)) => codes.contains(&col_codes[prow]),
-                    None => false,
-                }
-            }
-            CompiledExpr::IntInSet { col, values } => {
-                let prow = col.physical_row(row);
-                if col.column.is_null(prow) {
-                    return false;
-                }
-                match col.column.as_int64() {
-                    Some(data) => values.contains(&data[prow]),
-                    None => false,
-                }
-            }
-            CompiledExpr::IntCmp { col, op, literal } => {
-                let prow = col.physical_row(row);
-                if col.column.is_null(prow) {
-                    return false;
-                }
-                match col.column.as_int64() {
-                    Some(data) => op.evaluate(data[prow].cmp(literal)),
-                    None => false,
-                }
-            }
-            CompiledExpr::FloatCmp { col, op, literal } => {
-                let prow = col.physical_row(row);
-                if col.column.is_null(prow) {
-                    return false;
-                }
-                match col.column.as_float64() {
-                    Some(data) => op.evaluate(data[prow].total_cmp(literal)),
-                    None => false,
-                }
-            }
-            CompiledExpr::GenericCmp { col, op, literal } => {
-                let v = col.value(row);
-                if v.is_null() {
-                    return false;
-                }
-                op.evaluate(v.cmp(&literal.as_ref()))
-            }
-            CompiledExpr::GenericInSet { col, values } => {
-                let v = col.value(row);
-                if v.is_null() {
-                    return false;
-                }
-                values.iter().any(|lit| v == lit.as_ref())
-            }
-            CompiledExpr::And(es) => es.iter().all(|e| e.eval(row)),
-            CompiledExpr::Or(es) => es.iter().any(|e| e.eval(row)),
-            CompiledExpr::Not(e) => !e.eval(row),
-        }
-    }
-}
-
-fn compile<'a>(expr: &Expr, source: &DataSource<'a>) -> QueryResult<CompiledExpr<'a>> {
-    Ok(match expr {
-        Expr::InSet { column, values } => {
-            let col = source.resolve(column)?;
-            match col.data_type() {
-                DataType::Utf8 => {
-                    let (_, dict) = col.column.as_utf8().expect("utf8 column");
-                    let codes: HashSet<u32> = values
-                        .iter()
-                        .filter_map(|v| v.as_str().and_then(|s| dict.code(s)))
-                        .collect();
-                    CompiledExpr::DictInSet { col, codes }
-                }
-                DataType::Int64 => {
-                    // Coerce integral float literals (IN (2.0) must match
-                    // an Int64 2, consistently with `= 2.0`); non-integral
-                    // floats can never match an integer and are dropped.
-                    let ints: Option<HashSet<i64>> = values
-                        .iter()
-                        .filter(|v| !matches!(v, Value::Float64(f) if f.fract() != 0.0))
-                        .map(|v| match v {
-                            Value::Float64(f) => Some(*f as i64),
-                            other => other.as_i64(),
-                        })
-                        .collect();
-                    match ints {
-                        Some(values) => CompiledExpr::IntInSet { col, values },
-                        None => CompiledExpr::GenericInSet {
-                            col,
-                            values: values.clone(),
-                        },
-                    }
-                }
-                _ => CompiledExpr::GenericInSet {
-                    col,
-                    values: values.clone(),
-                },
-            }
-        }
-        Expr::Cmp { column, op, literal } => {
-            let col = source.resolve(column)?;
-            match (col.data_type(), literal) {
-                (DataType::Int64, Value::Int64(l)) => CompiledExpr::IntCmp {
-                    col,
-                    op: *op,
-                    literal: *l,
-                },
-                (DataType::Float64, lit) if lit.as_f64().is_some() => CompiledExpr::FloatCmp {
-                    col,
-                    op: *op,
-                    literal: lit.as_f64().expect("checked"),
-                },
-                _ => CompiledExpr::GenericCmp {
-                    col,
-                    op: *op,
-                    literal: literal.clone(),
-                },
-            }
-        }
-        Expr::And(es) => CompiledExpr::And(
-            es.iter()
-                .map(|e| compile(e, source))
-                .collect::<QueryResult<_>>()?,
-        ),
-        Expr::Or(es) => CompiledExpr::Or(
-            es.iter()
-                .map(|e| compile(e, source))
-                .collect::<QueryResult<_>>()?,
-        ),
-        Expr::Not(e) => CompiledExpr::Not(Box::new(compile(e, source)?)),
-    })
-}
-
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::expr::{CmpOp, Expr};
     use crate::plan::AggExpr;
-    use aqp_storage::{SchemaBuilder, Table};
+    use aqp_storage::{DataType, SchemaBuilder, Table};
     use std::sync::Arc;
 
     fn table() -> Table {
@@ -1034,5 +958,81 @@ mod tests {
             .unwrap();
         let out = execute(&DataSource::Star(&star), &q, &ExecOptions::default()).unwrap();
         assert_eq!(out.groups[0].aggs[0].rows, 2);
+    }
+
+    #[test]
+    fn kernel_mode_resolution() {
+        // Explicit modes resolve to themselves regardless of globals.
+        assert_eq!(KernelMode::Scalar.resolve(), KernelMode::Scalar);
+        assert_eq!(KernelMode::Vectorized.resolve(), KernelMode::Vectorized);
+        // The process override steers Auto. (Safe under parallel tests:
+        // both modes are bit-identical by contract, so concurrently
+        // running queries cannot observe the flip in their answers.)
+        set_kernel_mode(KernelMode::Scalar);
+        assert_eq!(KernelMode::Auto.resolve(), KernelMode::Scalar);
+        set_kernel_mode(KernelMode::Vectorized);
+        assert_eq!(KernelMode::Auto.resolve(), KernelMode::Vectorized);
+        set_kernel_mode(KernelMode::Auto);
+        // Back on Auto, the env default decides; either way it is concrete.
+        assert_ne!(KernelMode::Auto.resolve(), KernelMode::Auto);
+    }
+
+    #[test]
+    fn scalar_and_vectorized_bit_identical() {
+        // Dense path (dict group-by), hash path (int group-by), and an
+        // ungrouped query, each with a predicate + nulls in play, must be
+        // byte-identical between the two implementations — including the
+        // (unspecified) group output order, which the deterministic hasher
+        // makes a pure function of the data.
+        let schema = SchemaBuilder::new()
+            .field("g", DataType::Utf8)
+            .field("k", DataType::Int64)
+            .field("v", DataType::Float64)
+            .build()
+            .unwrap();
+        let mut t = Table::empty("t", schema);
+        for i in 0..10_000i64 {
+            let g: Value = if i % 13 == 0 {
+                Value::Null
+            } else {
+                ["p", "q", "r", "s"][(i % 4) as usize].into()
+            };
+            let v: Value = if i % 7 == 0 {
+                Value::Null
+            } else {
+                (0.1 + (i % 23) as f64 / 9.0).into()
+            };
+            t.push_row(&[g, (i % 331).into(), v]).unwrap();
+        }
+        for group in [vec!["g"], vec!["k"], vec![]] {
+            let mut b = Query::builder()
+                .count()
+                .sum("v")
+                .aggregate(AggExpr::min("v", "mn"))
+                .filter(Expr::cmp("v", CmpOp::Ge, 0.4f64));
+            for g in &group {
+                b = b.group_by(*g);
+            }
+            let q = b.build().unwrap();
+            let outs: Vec<QueryOutput> = [KernelMode::Scalar, KernelMode::Vectorized]
+                .iter()
+                .map(|&mode| {
+                    let opts = ExecOptions {
+                        kernels: mode,
+                        parallelism: 4,
+                        ..ExecOptions::default()
+                    };
+                    execute(&DataSource::Wide(&t), &q, &opts).unwrap()
+                })
+                .collect();
+            let (s, v) = (&outs[0], &outs[1]);
+            assert_eq!(s.num_groups(), v.num_groups(), "group {group:?}");
+            for (a, b) in s.groups.iter().zip(&v.groups) {
+                assert_eq!(a.key, b.key, "same groups in the same order");
+                assert_eq!(a.aggs[0].rows, b.aggs[0].rows);
+                assert_eq!(a.aggs[1].sum_wx.to_bits(), b.aggs[1].sum_wx.to_bits());
+                assert_eq!(a.aggs[2].min.to_bits(), b.aggs[2].min.to_bits());
+            }
+        }
     }
 }

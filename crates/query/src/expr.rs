@@ -5,8 +5,18 @@
 //! a randomly-chosen subset of its distinct values" — an IN-list. [`Expr`]
 //! covers that plus ordinary comparisons and boolean combinators, which is
 //! everything the select–project–join–group-by class needs.
+//!
+//! [`CompiledExpr`] is the executable form: an [`Expr`] bound to a concrete
+//! [`DataSource`], with names resolved to column accessors and literals
+//! pre-coerced into the column's native domain (dictionary codes for
+//! strings, sorted `i64` lists for integer IN-lists). Both the scalar
+//! per-row [`CompiledExpr::eval`] and the vectorised batch filters in
+//! [`crate::selection`] run over this one representation, so the two paths
+//! cannot disagree about predicate semantics.
 
-use aqp_storage::Value;
+use crate::error::QueryResult;
+use crate::source::{DataSource, ResolvedColumn};
+use aqp_storage::{DataType, Value};
 use serde::{Deserialize, Serialize};
 use std::fmt;
 
@@ -180,9 +190,264 @@ impl fmt::Display for Expr {
     }
 }
 
+/// A dense membership bitmap over dictionary codes `0..len`.
+///
+/// An IN-list over a dictionary column compiles to one bit per dictionary
+/// entry, so the per-row test is a shift and a mask — no hashing, and the
+/// same O(1) whether the scalar or the batch filter runs it.
+#[derive(Debug, Clone, Default)]
+pub(crate) struct CodeBitmap {
+    words: Vec<u64>,
+}
+
+impl CodeBitmap {
+    /// Build from the accepted codes of a dictionary with `dict_len` entries.
+    pub(crate) fn from_codes(dict_len: usize, codes: impl IntoIterator<Item = u32>) -> Self {
+        let mut words = vec![0u64; dict_len.div_ceil(64)];
+        for code in codes {
+            words[code as usize / 64] |= 1u64 << (code % 64);
+        }
+        CodeBitmap { words }
+    }
+
+    /// Whether `code` is in the set.
+    #[inline]
+    pub(crate) fn contains(&self, code: u32) -> bool {
+        self.words
+            .get(code as usize / 64)
+            .is_some_and(|w| (w >> (code % 64)) & 1 == 1)
+    }
+}
+
+/// A predicate compiled against a concrete data source.
+///
+/// Leaves carry resolved columns and natively-typed literals; the batch
+/// filters in [`crate::selection`] pattern-match these variants to pick a
+/// monomorphised kernel, and fall back to [`Self::eval`] per row for the
+/// generic forms.
+pub(crate) enum CompiledExpr<'a> {
+    /// IN-list over a dictionary column, resolved to a code bitmap. Values
+    /// absent from the dictionary can never match and are dropped at
+    /// compile time.
+    DictInSet {
+        /// The string column.
+        col: ResolvedColumn<'a>,
+        /// Accepted dictionary codes.
+        codes: CodeBitmap,
+    },
+    /// IN-list over an integer column, sorted and deduplicated so the
+    /// per-row test is a branch-free binary search (and deterministic —
+    /// no hash-set iteration anywhere).
+    IntInSet {
+        /// The integer column.
+        col: ResolvedColumn<'a>,
+        /// Accepted values, ascending and unique.
+        values: Vec<i64>,
+    },
+    /// Comparison over an integer column.
+    IntCmp {
+        /// The integer column.
+        col: ResolvedColumn<'a>,
+        /// Comparison operator.
+        op: CmpOp,
+        /// Right-hand literal.
+        literal: i64,
+    },
+    /// Comparison over a float column (integer literals coerce). Ordering
+    /// is IEEE `total_cmp`, in both the scalar and batch kernels.
+    FloatCmp {
+        /// The float column.
+        col: ResolvedColumn<'a>,
+        /// Comparison operator.
+        op: CmpOp,
+        /// Right-hand literal.
+        literal: f64,
+    },
+    /// Generic fallback comparison via dynamic values.
+    GenericCmp {
+        /// The column.
+        col: ResolvedColumn<'a>,
+        /// Comparison operator.
+        op: CmpOp,
+        /// Right-hand literal.
+        literal: Value,
+    },
+    /// Generic fallback IN-list.
+    GenericInSet {
+        /// The column.
+        col: ResolvedColumn<'a>,
+        /// Accepted values.
+        values: Vec<Value>,
+    },
+    /// Conjunction.
+    And(Vec<CompiledExpr<'a>>),
+    /// Disjunction.
+    Or(Vec<CompiledExpr<'a>>),
+    /// Negation.
+    Not(Box<CompiledExpr<'a>>),
+}
+
+impl CompiledExpr<'_> {
+    /// Scalar per-row evaluation. NULL cells fail every leaf.
+    pub(crate) fn eval(&self, row: usize) -> bool {
+        match self {
+            CompiledExpr::DictInSet { col, codes } => {
+                let prow = col.physical_row(row);
+                if col.column.is_null(prow) {
+                    return false;
+                }
+                match col.column.as_utf8() {
+                    Some((col_codes, _)) => codes.contains(col_codes[prow]),
+                    None => false,
+                }
+            }
+            CompiledExpr::IntInSet { col, values } => {
+                let prow = col.physical_row(row);
+                if col.column.is_null(prow) {
+                    return false;
+                }
+                match col.column.as_int64() {
+                    Some(data) => values.binary_search(&data[prow]).is_ok(),
+                    None => false,
+                }
+            }
+            CompiledExpr::IntCmp { col, op, literal } => {
+                let prow = col.physical_row(row);
+                if col.column.is_null(prow) {
+                    return false;
+                }
+                match col.column.as_int64() {
+                    Some(data) => op.evaluate(data[prow].cmp(literal)),
+                    None => false,
+                }
+            }
+            CompiledExpr::FloatCmp { col, op, literal } => {
+                let prow = col.physical_row(row);
+                if col.column.is_null(prow) {
+                    return false;
+                }
+                match col.column.as_float64() {
+                    Some(data) => op.evaluate(data[prow].total_cmp(literal)),
+                    None => false,
+                }
+            }
+            CompiledExpr::GenericCmp { col, op, literal } => {
+                let v = col.value(row);
+                if v.is_null() {
+                    return false;
+                }
+                op.evaluate(v.cmp(&literal.as_ref()))
+            }
+            CompiledExpr::GenericInSet { col, values } => {
+                let v = col.value(row);
+                if v.is_null() {
+                    return false;
+                }
+                values.iter().any(|lit| v == lit.as_ref())
+            }
+            CompiledExpr::And(es) => es.iter().all(|e| e.eval(row)),
+            CompiledExpr::Or(es) => es.iter().any(|e| e.eval(row)),
+            CompiledExpr::Not(e) => !e.eval(row),
+        }
+    }
+}
+
+/// Compile an [`Expr`] against `source`, resolving names and coercing
+/// literals into typed fast-path forms where the column type allows.
+pub(crate) fn compile<'a>(expr: &Expr, source: &DataSource<'a>) -> QueryResult<CompiledExpr<'a>> {
+    Ok(match expr {
+        Expr::InSet { column, values } => {
+            let col = source.resolve(column)?;
+            match col.data_type() {
+                DataType::Utf8 => {
+                    let (_, dict) = col.column.as_utf8().expect("utf8 column");
+                    let codes = CodeBitmap::from_codes(
+                        dict.len(),
+                        values
+                            .iter()
+                            .filter_map(|v| v.as_str().and_then(|s| dict.code(s))),
+                    );
+                    CompiledExpr::DictInSet { col, codes }
+                }
+                DataType::Int64 => {
+                    // Coerce integral float literals (IN (2.0) must match
+                    // an Int64 2, consistently with `= 2.0`); non-integral
+                    // floats can never match an integer and are dropped.
+                    let ints: Option<Vec<i64>> = values
+                        .iter()
+                        .filter(|v| !matches!(v, Value::Float64(f) if f.fract() != 0.0))
+                        .map(|v| match v {
+                            Value::Float64(f) => Some(*f as i64),
+                            other => other.as_i64(),
+                        })
+                        .collect();
+                    match ints {
+                        Some(mut values) => {
+                            values.sort_unstable();
+                            values.dedup();
+                            CompiledExpr::IntInSet { col, values }
+                        }
+                        None => CompiledExpr::GenericInSet {
+                            col,
+                            values: values.clone(),
+                        },
+                    }
+                }
+                _ => CompiledExpr::GenericInSet {
+                    col,
+                    values: values.clone(),
+                },
+            }
+        }
+        Expr::Cmp { column, op, literal } => {
+            let col = source.resolve(column)?;
+            match (col.data_type(), literal) {
+                (DataType::Int64, Value::Int64(l)) => CompiledExpr::IntCmp {
+                    col,
+                    op: *op,
+                    literal: *l,
+                },
+                (DataType::Float64, lit) if lit.as_f64().is_some() => CompiledExpr::FloatCmp {
+                    col,
+                    op: *op,
+                    literal: lit.as_f64().expect("checked"),
+                },
+                _ => CompiledExpr::GenericCmp {
+                    col,
+                    op: *op,
+                    literal: literal.clone(),
+                },
+            }
+        }
+        Expr::And(es) => CompiledExpr::And(
+            es.iter()
+                .map(|e| compile(e, source))
+                .collect::<QueryResult<_>>()?,
+        ),
+        Expr::Or(es) => CompiledExpr::Or(
+            es.iter()
+                .map(|e| compile(e, source))
+                .collect::<QueryResult<_>>()?,
+        ),
+        Expr::Not(e) => CompiledExpr::Not(Box::new(compile(e, source)?)),
+    })
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn code_bitmap_membership() {
+        let bm = CodeBitmap::from_codes(130, [0u32, 63, 64, 129]);
+        for c in [0u32, 63, 64, 129] {
+            assert!(bm.contains(c));
+        }
+        for c in [1u32, 62, 65, 128, 130, 1000] {
+            assert!(!bm.contains(c), "{c}");
+        }
+        assert!(!CodeBitmap::from_codes(0, []).contains(0));
+    }
 
     #[test]
     fn cmp_op_semantics() {

@@ -22,10 +22,18 @@
 //!   [`Weighting`]s (inverse sampling rates) and an optional bitmask
 //!   exclusion filter, which is exactly the shape of the rewritten sample
 //!   queries of paper Section 4.2.2 (`WHERE bitmask & M = 0`, aggregates
-//!   scaled by the inverse sampling rate);
+//!   scaled by the inverse sampling rate). Each scan morsel runs either a
+//!   scalar reference loop or the vectorised kernels (selection vectors,
+//!   typed columnar filters, dense group ids — [`KernelMode`], default
+//!   vectorised); the two are bit-identical by contract;
 //! * [`QueryOutput`] / [`AggState`] — per-group raw tallies (weighted and
 //!   unweighted sums, sums of squares) from which the AQP layer forms
 //!   estimates and confidence intervals.
+//!
+//! Everything order-sensitive (group maps, their merge fold) hashes with
+//! the deterministic, seedless [`hash::FxHasher`], so whole query outputs
+//! — group order included — are reproducible across runs, thread counts,
+//! and kernel modes.
 
 #![warn(missing_docs)]
 #![deny(unsafe_code)]
@@ -33,15 +41,19 @@
 pub mod error;
 pub mod exec;
 pub mod expr;
+pub mod hash;
+mod kernel;
 pub mod join;
 pub mod output;
 pub mod parallel;
 pub mod plan;
+mod selection;
 pub mod source;
 
 pub use error::{QueryError, QueryResult};
-pub use exec::{execute, ExecOptions, Weighting};
+pub use exec::{execute, set_kernel_mode, ExecOptions, KernelMode, Weighting};
 pub use expr::{CmpOp, Expr};
+pub use hash::{FxBuildHasher, FxHashMap, FxHasher};
 pub use join::{Dimension, StarSchema};
 pub use output::{AggState, GroupResult, QueryOutput};
 pub use parallel::{merge_group_maps, run_morsels, run_morsels_traced, MorselSchedule};

@@ -11,11 +11,17 @@
 //! therefore routes *every* scan — including single-threaded ones —
 //! through the same morsel decomposition and the same in-order fold
 //! ([`merge_group_maps`]).
+//!
+//! The group maps themselves are keyed by the deterministic, seedless
+//! [`crate::hash::FxHasher`] (see that module's docs), so not only the
+//! merged *values* but the maps' layout and iteration order are pure
+//! functions of the data — two runs, at any two thread counts, produce
+//! byte-identical output without any sorting step.
 
 use crate::output::AggState;
 use aqp_storage::morsel::{Morsel, MorselIter};
 use std::collections::HashMap;
-use std::hash::Hash;
+use std::hash::{BuildHasher, Hash};
 use std::sync::atomic::{AtomicUsize, Ordering};
 
 /// Run `work` over every morsel of `0..rows` on up to `threads` scoped
@@ -112,10 +118,13 @@ where
 /// Called once per morsel in ascending morsel order: for any group key,
 /// the partial states are merged in the order the morsels cover the
 /// table, so the merged tallies are a pure function of the data and the
-/// morsel size — never of the thread count or schedule.
-pub fn merge_group_maps<K: Eq + Hash>(
-    acc: &mut HashMap<K, Vec<AggState>>,
-    part: HashMap<K, Vec<AggState>>,
+/// morsel size — never of the thread count or schedule. Generic over the
+/// maps' hashers; the executor passes [`crate::hash::FxHashMap`]s on both
+/// sides so the fold's insertion order (and hence the accumulator's
+/// layout) is reproducible too.
+pub fn merge_group_maps<K: Eq + Hash, S: BuildHasher>(
+    acc: &mut HashMap<K, Vec<AggState>, S>,
+    part: HashMap<K, Vec<AggState>, impl BuildHasher>,
 ) {
     for (key, states) in part {
         match acc.entry(key) {

@@ -11,6 +11,23 @@ use crate::error::{QueryError, QueryResult};
 use crate::join::StarSchema;
 use aqp_storage::{BitmaskColumn, Column, DataType, Table, ValueRef};
 
+/// Canonical IEEE-754 bits for grouping floats: values SQL treats as one
+/// group collapse to one bit pattern (-0.0 folds into +0.0, every NaN
+/// payload into the canonical NaN). The single source of truth for float
+/// group codes — both the scalar [`ResolvedColumn::key_code`] and the
+/// vectorised key-extraction kernels call this, so the two paths cannot
+/// disagree on edge-of-IEEE rows.
+#[inline]
+pub(crate) fn canonical_f64_bits(v: f64) -> u64 {
+    if v == 0.0 {
+        0.0f64.to_bits()
+    } else if v.is_nan() {
+        f64::NAN.to_bits()
+    } else {
+        v.to_bits()
+    }
+}
+
 /// A source of rows for query execution.
 #[derive(Debug, Clone, Copy)]
 pub enum DataSource<'a> {
@@ -107,19 +124,7 @@ impl<'a> ResolvedColumn<'a> {
         }
         let code = match self.column {
             Column::Int64 { data, .. } => data[prow] as u64,
-            Column::Float64 { data, .. } => {
-                // Canonicalise so values SQL treats as one group collapse
-                // to one key: -0.0 folds into +0.0, every NaN payload into
-                // the canonical NaN.
-                let v = data[prow];
-                if v == 0.0 {
-                    0.0f64.to_bits()
-                } else if v.is_nan() {
-                    f64::NAN.to_bits()
-                } else {
-                    v.to_bits()
-                }
-            }
+            Column::Float64 { data, .. } => canonical_f64_bits(data[prow]),
             Column::Utf8 { codes, .. } => codes[prow] as u64,
             Column::Bool { data, .. } => data[prow] as u64,
         };

@@ -184,6 +184,18 @@ impl Column {
         out
     }
 
+    /// The column's null mask, if any null has ever been stored. `None`
+    /// guarantees every row is valid, which lets vectorised kernels skip
+    /// the per-row null test entirely.
+    pub fn nulls(&self) -> Option<&NullMask> {
+        match self {
+            Column::Int64 { nulls, .. }
+            | Column::Float64 { nulls, .. }
+            | Column::Utf8 { nulls, .. }
+            | Column::Bool { nulls, .. } => nulls.as_ref(),
+        }
+    }
+
     /// Typed access to int data for vectorised paths.
     pub fn as_int64(&self) -> Option<&[i64]> {
         match self {
@@ -204,6 +216,14 @@ impl Column {
     pub fn as_utf8(&self) -> Option<(&[u32], &Dictionary)> {
         match self {
             Column::Utf8 { codes, dict, .. } => Some((codes, dict)),
+            _ => None,
+        }
+    }
+
+    /// Typed access to bool data for vectorised paths.
+    pub fn as_bool(&self) -> Option<&[bool]> {
+        match self {
+            Column::Bool { data, .. } => Some(data),
             _ => None,
         }
     }

@@ -297,15 +297,31 @@ pub fn bench_query_throughput(
         parallelism: threads.max(1),
         ..ExecOptions::default()
     };
+    bench_query_throughput_with(source, query, &opts, iters)
+}
+
+/// [`bench_query_throughput`] with caller-supplied [`ExecOptions`], so
+/// benchmarks can pin the kernel mode (scalar vs vectorised), weighting,
+/// or morsel size. Best wall-clock of `iters` runs.
+pub fn bench_query_throughput_with(
+    source: &DataSource<'_>,
+    query: &Query,
+    opts: &ExecOptions<'_>,
+    iters: usize,
+) -> aqp_query::QueryResult<BenchPoint> {
     let mut best = f64::INFINITY;
     for _ in 0..iters.max(1) {
         let start = Instant::now();
-        let out = execute(source, query, &opts)?;
+        let out = execute(source, query, opts)?;
         let secs = start.elapsed().as_secs_f64();
         std::hint::black_box(&out);
         best = best.min(secs);
     }
-    Ok(BenchPoint::from_elapsed(threads, source.num_rows(), best))
+    Ok(BenchPoint::from_elapsed(
+        opts.parallelism.max(1),
+        source.num_rows(),
+        best,
+    ))
 }
 
 /// Measure small-group-sample build throughput over `view` at `threads`

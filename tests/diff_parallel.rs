@@ -237,6 +237,24 @@ fn run_at(table: &Table, q: &Query, threads: usize, morsel_rows: usize) -> aqp::
     out
 }
 
+/// Run with an explicit kernel mode, *without* sorting, so group order —
+/// which the determinism contract also covers — is compared as produced.
+fn run_mode(
+    table: &Table,
+    q: &Query,
+    threads: usize,
+    morsel_rows: usize,
+    kernels: KernelMode,
+) -> aqp::query::QueryOutput {
+    let opts = ExecOptions {
+        parallelism: threads,
+        morsel_rows,
+        kernels,
+        ..ExecOptions::default()
+    };
+    aqp::query::execute(&DataSource::Wide(table), q, &opts).unwrap()
+}
+
 fn assert_states_bit_identical(a: &AggState, b: &AggState, ctx: &str) {
     assert_eq!(a.rows, b.rows, "{ctx}: rows");
     for (x, y, field) in [
@@ -246,6 +264,7 @@ fn assert_states_bit_identical(a: &AggState, b: &AggState, ctx: &str) {
         (a.sum_x_sq, b.sum_x_sq, "sum_x_sq"),
         (a.var_acc, b.var_acc, "var_acc"),
         (a.var_acc_w, b.var_acc_w, "var_acc_w"),
+        (a.cov_acc, b.cov_acc, "cov_acc"),
         (a.min, b.min, "min"),
         (a.max, b.max, "max"),
     ] {
@@ -331,6 +350,95 @@ fn parallel_exact_answers_match_naive_reference() {
                         }
                     }
                 }
+            }
+        }
+    }
+}
+
+#[test]
+fn scalar_and_vectorized_kernels_bit_identical() {
+    // The vectorised kernels (selection vectors, typed aggregation loops,
+    // dense group ids) must reproduce the scalar reference loop exactly:
+    // same groups, in the same order, with every tally field agreeing to
+    // the last bit — at every thread count, across the whole query grid
+    // (which covers the dense path, the hash fast-key path, and the
+    // slow-key path past MAX_FAST_KEY).
+    let t = test_table(2_500, 13);
+    for (qi, q) in query_grid().iter().enumerate() {
+        for threads in [1, 4, 8] {
+            let scalar = run_mode(&t, q, threads, 64, KernelMode::Scalar);
+            let vect = run_mode(&t, q, threads, 64, KernelMode::Vectorized);
+            assert_eq!(scalar.rows_scanned, vect.rows_scanned, "query {qi} @ {threads}");
+            assert_eq!(scalar.num_groups(), vect.num_groups(), "query {qi} @ {threads}");
+            for (a, b) in scalar.groups.iter().zip(&vect.groups) {
+                assert_eq!(a.key, b.key, "query {qi} @ {threads}: group order");
+                for (sa, sb) in a.aggs.iter().zip(&b.aggs) {
+                    assert_states_bit_identical(
+                        sa,
+                        sb,
+                        &format!("query {qi} @ {threads} threads, key {:?}", a.key),
+                    );
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn union_all_rewrite_plan_identical_across_kernel_modes() {
+    // The sampler's UNION ALL plan runs weighted, bitmask-filtered scans
+    // through the same executor; forcing the process-wide kernel mode
+    // must not move a single bit of any estimate or interval. The global
+    // override is restored to Auto even on panic so concurrently running
+    // tests (which are mode-agnostic by this very contract) see a clean
+    // default afterwards.
+    struct Restore;
+    impl Drop for Restore {
+        fn drop(&mut self) {
+            aqp::query::set_kernel_mode(KernelMode::Auto);
+        }
+    }
+    let _restore = Restore;
+
+    let t = test_table(3_000, 17);
+    let sampler = SmallGroupSampler::build(
+        &t,
+        SmallGroupConfig {
+            seed: 5,
+            ..SmallGroupConfig::with_rates(0.1, 0.5)
+        },
+    )
+    .unwrap();
+    let queries = [
+        Query::builder().count().group_by("cat").build().unwrap(),
+        Query::builder()
+            .count()
+            .sum("amt")
+            .aggregate(AggExpr::avg("val", "avg_val"))
+            .group_by("cat")
+            .group_by("sub")
+            .build()
+            .unwrap(),
+    ];
+    for (qi, q) in queries.iter().enumerate() {
+        aqp::query::set_kernel_mode(KernelMode::Scalar);
+        let mut scalar = sampler.answer(q, 0.95).unwrap();
+        scalar.sort_by_key();
+        aqp::query::set_kernel_mode(KernelMode::Vectorized);
+        let mut vect = sampler.answer(q, 0.95).unwrap();
+        vect.sort_by_key();
+        assert_eq!(scalar.groups.len(), vect.groups.len(), "query {qi}");
+        for (a, b) in scalar.groups.iter().zip(&vect.groups) {
+            assert_eq!(a.key, b.key, "query {qi}");
+            for (va, vb) in a.values.iter().zip(&b.values) {
+                assert_eq!(
+                    va.value().to_bits(),
+                    vb.value().to_bits(),
+                    "query {qi}: estimate for {:?}",
+                    a.key
+                );
+                assert_eq!(va.ci.lo.to_bits(), vb.ci.lo.to_bits(), "query {qi}: ci.lo");
+                assert_eq!(va.ci.hi.to_bits(), vb.ci.hi.to_bits(), "query {qi}: ci.hi");
             }
         }
     }

@@ -1,0 +1,266 @@
+//! Property tests for the vectorised scan kernels.
+//!
+//! Random tables (dictionary, boolean, integer, and float columns, each
+//! with NULLs), random predicates over every compiled kernel form, and
+//! random group-by subsets are executed three ways:
+//!
+//! 1. the **scalar** reference loop (`KernelMode::Scalar`),
+//! 2. the **vectorised** kernels (`KernelMode::Vectorized`) — which,
+//!    depending on the drawn group-by, take the dense group-id path, the
+//!    hash path, or the ungrouped path,
+//! 3. a naive row-at-a-time evaluator written here, independent of the
+//!    executor (selection by a plain `bool` per row, tallies by
+//!    `AggState::update` in row order).
+//!
+//! Scalar vs vectorised must agree *bit-for-bit*, group order included —
+//! that is the determinism contract. The naive evaluator pins both to
+//! ground truth: measures are small integers, so sums are exact and even
+//! the order-sensitive tally fields must match to the last bit (the
+//! naive loop feeds `update` in ascending row order, exactly the order
+//! the contract promises).
+
+use aqp::prelude::*;
+use aqp::query::AggState;
+use proptest::prelude::*;
+use std::collections::HashMap;
+
+const CATS: [&str; 5] = ["alpha", "beta", "gamma", "delta", "epsilon"];
+
+/// One generated row: dict group, bool group, int group, int measure,
+/// float measure. `None` encodes NULL.
+#[derive(Debug, Clone)]
+struct Row {
+    g: Option<usize>,
+    b: Option<bool>,
+    k: Option<i64>,
+    x: Option<i64>,
+    y: Option<i64>,
+}
+
+/// Turn a raw draw into `None` with probability ~3/20 (the vendored
+/// proptest has no `option` module, so NULLs are coded by hand).
+fn opt<T>(null_draw: u32, v: T) -> Option<T> {
+    (null_draw >= 3).then_some(v)
+}
+
+fn rows() -> impl Strategy<Value = Vec<Row>> {
+    collection::vec(
+        (
+            (0u32..20, 0usize..CATS.len()),
+            (0u32..20, 0u32..2),
+            (0u32..20, -4i64..4),
+            (0u32..20, -50i64..50),
+            (0u32..20, 0i64..40),
+        )
+            .prop_map(|(g, b, k, x, y)| Row {
+                g: opt(g.0, g.1),
+                b: opt(b.0, b.1 == 0),
+                k: opt(k.0, k.1),
+                x: opt(x.0, x.1),
+                y: opt(y.0, y.1),
+            }),
+        1..200,
+    )
+}
+
+/// Predicate shapes covering every compiled kernel: dictionary IN-list,
+/// integer compare, float compare, and an AND/OR/NOT combination.
+#[derive(Debug, Clone, Copy)]
+enum PredKind {
+    None,
+    DictIn,
+    IntCmp,
+    FloatCmp,
+    Combo,
+}
+
+fn pred_kind() -> impl Strategy<Value = PredKind> {
+    (0usize..5).prop_map(|i| {
+        [
+            PredKind::None,
+            PredKind::DictIn,
+            PredKind::IntCmp,
+            PredKind::FloatCmp,
+            PredKind::Combo,
+        ][i]
+    })
+}
+
+fn build_pred(kind: PredKind) -> Option<Expr> {
+    match kind {
+        PredKind::None => None,
+        PredKind::DictIn => Some(Expr::in_set("g", vec!["alpha".into(), "gamma".into()])),
+        PredKind::IntCmp => Some(Expr::cmp("k", CmpOp::Ge, 0i64)),
+        PredKind::FloatCmp => Some(Expr::cmp("y", CmpOp::Lt, 20.0f64)),
+        PredKind::Combo => Some(Expr::Or(vec![
+            Expr::And(vec![
+                Expr::cmp("x", CmpOp::Gt, 0i64),
+                Expr::Not(Box::new(Expr::in_set("g", vec!["beta".into()]))),
+            ]),
+            Expr::cmp("y", CmpOp::Le, 5.0f64),
+        ])),
+    }
+}
+
+/// Naive per-row predicate matching the executor's NULL-is-false leaves.
+fn naive_pred(kind: PredKind, r: &Row) -> bool {
+    match kind {
+        PredKind::None => true,
+        PredKind::DictIn => r.g.is_some_and(|g| CATS[g] == "alpha" || CATS[g] == "gamma"),
+        PredKind::IntCmp => r.k.is_some_and(|k| k >= 0),
+        PredKind::FloatCmp => r.y.is_some_and(|y| (y as f64) < 20.0),
+        PredKind::Combo => {
+            let left = r.x.is_some_and(|x| x > 0) && r.g.is_none_or(|g| CATS[g] != "beta");
+            let right = r.y.is_some_and(|y| (y as f64) <= 5.0);
+            left || right
+        }
+    }
+}
+
+/// Group-by subsets: ungrouped, all-dict/bool (dense path), and mixes
+/// that include the integer column (hash path).
+fn group_sets() -> impl Strategy<Value = Vec<&'static str>> {
+    (0usize..6).prop_map(|i| {
+        [
+            vec![],
+            vec!["g"],
+            vec!["g", "b"],
+            vec!["k"],
+            vec!["g", "k"],
+            vec!["b", "k", "g"],
+        ][i]
+        .clone()
+    })
+}
+
+fn to_table(rows: &[Row]) -> Table {
+    let schema = SchemaBuilder::new()
+        .field("g", DataType::Utf8)
+        .field("b", DataType::Bool)
+        .field("k", DataType::Int64)
+        .field("x", DataType::Int64)
+        .field("y", DataType::Float64)
+        .build()
+        .unwrap();
+    let mut t = Table::empty("t", schema);
+    let val = |o: Option<Value>| o.unwrap_or(Value::Null);
+    for r in rows {
+        t.push_row(&[
+            val(r.g.map(|g| CATS[g].into())),
+            val(r.b.map(Value::Bool)),
+            val(r.k.map(Value::Int64)),
+            val(r.x.map(Value::Int64)),
+            val(r.y.map(|y| Value::Float64(y as f64))),
+        ])
+        .unwrap();
+    }
+    t
+}
+
+/// Naive evaluation: filter with [`naive_pred`], group into a map keyed
+/// by the owned key values, and feed [`AggState::update`] in row order —
+/// the exact sequence the executor promises for both kernel modes.
+fn naive(rows: &[Row], kind: PredKind, groups: &[&str]) -> HashMap<Vec<Value>, [AggState; 3]> {
+    let mut out: HashMap<Vec<Value>, [AggState; 3]> = HashMap::new();
+    for r in rows.iter().filter(|r| naive_pred(kind, r)) {
+        let key: Vec<Value> = groups
+            .iter()
+            .map(|&g| match g {
+                "g" => r.g.map_or(Value::Null, |g| CATS[g].into()),
+                "b" => r.b.map_or(Value::Null, Value::Bool),
+                _ => r.k.map_or(Value::Null, Value::Int64),
+            })
+            .collect();
+        let states = out.entry(key).or_default();
+        states[0].update(1.0, 1.0);
+        if let Some(x) = r.x {
+            states[1].update(x as f64, 1.0);
+        }
+        if let Some(y) = r.y {
+            states[2].update(y as f64, 1.0);
+        }
+    }
+    if groups.is_empty() && out.is_empty() {
+        out.insert(Vec::new(), Default::default());
+    }
+    out
+}
+
+fn bits_equal(a: &AggState, b: &AggState) -> bool {
+    a.rows == b.rows
+        && a.sum_w.to_bits() == b.sum_w.to_bits()
+        && a.sum_wx.to_bits() == b.sum_wx.to_bits()
+        && a.sum_x.to_bits() == b.sum_x.to_bits()
+        && a.sum_x_sq.to_bits() == b.sum_x_sq.to_bits()
+        && a.var_acc.to_bits() == b.var_acc.to_bits()
+        && a.var_acc_w.to_bits() == b.var_acc_w.to_bits()
+        && a.cov_acc.to_bits() == b.cov_acc.to_bits()
+        && a.min.to_bits() == b.min.to_bits()
+        && a.max.to_bits() == b.max.to_bits()
+}
+
+fn run(
+    table: &Table,
+    q: &Query,
+    kernels: KernelMode,
+    threads: usize,
+    morsel_rows: usize,
+) -> aqp::query::QueryOutput {
+    let opts = ExecOptions {
+        parallelism: threads,
+        morsel_rows,
+        kernels,
+        ..ExecOptions::default()
+    };
+    aqp::query::execute(&DataSource::Wide(table), q, &opts).unwrap()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn kernels_match_scalar_and_naive_reference(
+        rows in rows(),
+        kind in pred_kind(),
+        groups in group_sets(),
+        threads in 1usize..4,
+        morsel_rows in (0usize..3).prop_map(|i| [7usize, 64, 1024][i]),
+    ) {
+        let table = to_table(&rows);
+        let mut b = Query::builder()
+            .count()
+            .sum("x")
+            .aggregate(AggExpr::avg("y", "avg_y"));
+        for &g in &groups {
+            b = b.group_by(g);
+        }
+        if let Some(p) = build_pred(kind) {
+            b = b.filter(p);
+        }
+        let q = b.build().unwrap();
+
+        let scalar = run(&table, &q, KernelMode::Scalar, threads, morsel_rows);
+        let vect = run(&table, &q, KernelMode::Vectorized, threads, morsel_rows);
+
+        // Scalar vs vectorised: bit-identical, group order included.
+        prop_assert_eq!(scalar.num_groups(), vect.num_groups());
+        for (a, b) in scalar.groups.iter().zip(&vect.groups) {
+            prop_assert_eq!(&a.key, &b.key, "group order diverged");
+            for (sa, sb) in a.aggs.iter().zip(&b.aggs) {
+                prop_assert!(bits_equal(sa, sb), "tally diverged at key {:?}: {:?} vs {:?}", a.key, sa, sb);
+            }
+        }
+
+        // Vectorised vs the naive row loop: exact ground truth (integer
+        // measures make every float tally exactly representable).
+        let truth = naive(&rows, kind, &groups);
+        prop_assert_eq!(vect.num_groups(), truth.len(), "group count vs naive");
+        for g in &vect.groups {
+            let want = truth.get(&g.key);
+            prop_assert!(want.is_some(), "spurious group {:?}", g.key);
+            for (sa, sb) in g.aggs.iter().zip(want.unwrap()) {
+                prop_assert!(bits_equal(sa, sb), "naive mismatch at key {:?}: {:?} vs {:?}", g.key, sa, sb);
+            }
+        }
+    }
+}
