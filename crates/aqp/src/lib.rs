@@ -19,6 +19,7 @@
 //! | [`workload`] | `aqp-workload` | random query workloads, RelErr/PctGroups metrics, harness |
 //! | [`analytical`] | `aqp-analytical` | Section 4.4 closed-form error model (Figure 3) |
 //! | [`sql`] | `aqp-sql` | SQL front-end parsing the supported query class |
+//! | [`serving`] | `aqp-serving` | TCP query server: admission control, deadlines, load shedding |
 //! | [`obs`] | `aqp-obs` | zero-dependency metrics, spans, events, query traces |
 //!
 //! ## Quickstart
@@ -69,6 +70,7 @@ pub use aqp_datagen as datagen;
 pub use aqp_obs as obs;
 pub use aqp_query as query;
 pub use aqp_sampling as sampling;
+pub use aqp_serving as serving;
 pub use aqp_sql as sql;
 pub use aqp_storage as storage;
 pub use aqp_workload as workload;
@@ -77,8 +79,8 @@ pub use aqp_workload as workload;
 pub mod prelude {
     pub use aqp_core::{
         ApproxAnswer, ApproxGroup, ApproxValue, AqpError, AqpResult, AqpSystem,
-        BasicCongress, Congress, MultiLevelConfig, MultiLevelSampler, OpenReport,
-        OutlierIndex, OverallKind, ResilientSystem,
+        BasicCongress, BoundedAnswer, Congress, MultiLevelConfig, MultiLevelSampler,
+        OpenReport, OutlierIndex, OverallKind, QueryBound, ResilientSystem,
         SampleCatalog, ServingTier, SmallGroupConfig, SmallGroupSampler, TierCounts,
         UniformAqp,
     };

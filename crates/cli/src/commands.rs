@@ -43,17 +43,17 @@ impl From<AqpError> for CliError {
     }
 }
 
-fn boxed<E: std::fmt::Display>(e: E) -> CliError {
+pub(crate) fn boxed<E: std::fmt::Display>(e: E) -> CliError {
     CliError(e.to_string())
 }
 
 /// Add the offending path to a load/save error so the user knows which
 /// file to look at.
-fn at_path<E: std::fmt::Display>(path: &str) -> impl Fn(E) -> CliError + '_ {
+pub(crate) fn at_path<E: std::fmt::Display>(path: &str) -> impl Fn(E) -> CliError + '_ {
     move |e| CliError(format!("{path}: {e}"))
 }
 
-fn opt_usize(args: &Args, name: &str) -> Result<Option<usize>, CliError> {
+pub(crate) fn opt_usize(args: &Args, name: &str) -> Result<Option<usize>, CliError> {
     match args.optional(name) {
         None => Ok(None),
         Some(v) => v
@@ -65,7 +65,7 @@ fn opt_usize(args: &Args, name: &str) -> Result<Option<usize>, CliError> {
 
 /// `--threads N`, defaulting to the machine's available parallelism.
 /// Zero is clamped to one so a bad value can never disable execution.
-fn threads_arg(args: &Args) -> Result<usize, CliError> {
+pub(crate) fn threads_arg(args: &Args) -> Result<usize, CliError> {
     Ok(opt_usize(args, "threads")?
         .unwrap_or_else(|| {
             std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get)
@@ -98,6 +98,15 @@ USAGE:
                 [--iters N] [--out FILE] [--stats]
   aqp-cli bench kernels [--scale F] [--skew F] [--seed N] [--iters N]
                         [--min-speedup F] [--out FILE]
+  aqp-cli bench serving [--rows N] [--requests N] [--threads N] [--out FILE]
+  aqp-cli serve --family FILE [--view FILE] [--addr HOST:PORT] [--threads N]
+                [--confidence F] [--row-budget N] [--default-deadline-ms N]
+                [--fixed-rate F] [--drain-timeout-ms N] [--metrics-out FILE]
+                [--interactive-inflight N] [--interactive-queue N]
+                [--batch-inflight N] [--batch-queue N]
+  aqp-cli client [--addr HOST:PORT] [--class interactive|batch]
+                 [--deadline-ms N] [--row-budget N] [--confidence F]
+                 [--attempts N] [--seed N] (SQL | ping | metrics | shutdown)
   aqp-cli dashboard PREFIX
   aqp-cli validate-trace FILE
 
@@ -135,6 +144,18 @@ group-by speedup falls below F. AQP_KERNELS=scalar forces the scalar
 path process-wide for any command (explain --analyze shows which kernel
 each operator used).
 
+serve runs a concurrent TCP query server (4-byte length-prefixed JSON
+frames) over the same degradation ladder: per-class admission control
+with bounded queues sheds overload with retry hints, per-query deadlines
+step answers down to cheaper tiers instead of missing (the wire carries
+tier/partial/deadline_limited), and SIGTERM or a shutdown request drains
+in-flight work before exit. client sends one request with bounded
+retry + exponential backoff + jitter on shed and transport errors.
+bench serving measures end-to-end latency quantiles and overload shed
+behaviour against an in-process server (BENCH_serving.json). AQP_FAULTS
+also accepts serving faults: accept-drop@N, write-stall@N, slow-read@N,
+exec-stall@N (comma-separated specs compose with storage faults).
+
 explain prints the sampler's static rewrite plan for a query; with
 --analyze it also executes the query and reports a per-operator profile
 (rows in/out, selectivity, morsels per worker, per-morsel latency
@@ -163,6 +184,8 @@ pub fn run(args: Args, out: &mut dyn Write) -> Result<(), CliError> {
         "explain" => explain_command(&args, out),
         "workload" => workload_command(&args, out),
         "bench" => bench_command(&args, out),
+        "serve" => crate::serve::serve_command(&args, out),
+        "client" => crate::serve::client_command(&args, out),
         "dashboard" => dashboard_command(&args, out),
         "validate-trace" => validate_trace_command(&args, out),
         "repl" => repl(&args, out, &mut std::io::stdin().lock()),
@@ -296,7 +319,7 @@ fn catalog(args: &Args, out: &mut dyn Write) -> Result<(), CliError> {
 
 /// Open a sample family through the degradation ladder, printing warnings
 /// for anything short of a fully intact load.
-fn open_family(family: &str, out: &mut dyn Write) -> Result<ResilientSystem, CliError> {
+pub(crate) fn open_family(family: &str, out: &mut dyn Write) -> Result<ResilientSystem, CliError> {
     let (system, report) = ResilientSystem::open(family);
     if !report.primary_intact {
         // Structured events ride alongside the (unchanged) printed
@@ -380,7 +403,7 @@ fn query_command(args: &Args, out: &mut dyn Write) -> Result<(), CliError> {
 }
 
 /// Print the global metrics registry as Prometheus text exposition.
-fn write_metrics_snapshot(out: &mut dyn Write) -> Result<(), CliError> {
+pub(crate) fn write_metrics_snapshot(out: &mut dyn Write) -> Result<(), CliError> {
     write!(out, "{}", aqp::obs::to_prometheus(&aqp::obs::global().snapshot()))?;
     Ok(())
 }
@@ -749,9 +772,10 @@ fn bench_speedup(points: &[aqp::workload::BenchPoint], threads: usize) -> Option
 fn bench_command(args: &Args, out: &mut dyn Write) -> Result<(), CliError> {
     match args.positionals().get(1).map(String::as_str) {
         Some("kernels") => return bench_kernels_command(args, out),
+        Some("serving") => return crate::serve::bench_serving_command(args, out),
         Some(other) => {
             return Err(CliError(format!(
-                "unknown bench target {other:?} (expected: kernels, or no target)"
+                "unknown bench target {other:?} (expected: kernels, serving, or no target)"
             )))
         }
         None => {}

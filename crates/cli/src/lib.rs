@@ -24,6 +24,7 @@
 
 pub mod args;
 pub mod commands;
+pub mod serve;
 
 pub use args::{ArgError, Args};
 pub use commands::{run, CliError};

@@ -1,0 +1,351 @@
+//! `serve`, `client`, and `bench serving` subcommands.
+//!
+//! `serve` turns the CLI into a long-running concurrent query server on
+//! the wire protocol from [`aqp::serving`]; `client` is the matching
+//! cooperative client (bounded retry with backoff on shed); `bench
+//! serving` measures end-to-end serving latency and overload behaviour
+//! against an in-process server and writes `BENCH_serving.json`.
+
+use crate::args::Args;
+use crate::commands::{
+    at_path, boxed, open_family, opt_usize, threads_arg, write_metrics_snapshot, CliError,
+};
+use aqp::prelude::*;
+use aqp::serving::{
+    AdmissionConfig, Client, ClassLimits, ClientError, ContractClass, Request, Response,
+    RetryPolicy, Server, ServerConfig, WireAnswer,
+};
+use aqp::storage::read_table_file;
+use std::io::Write;
+use std::time::{Duration, Instant};
+
+/// `serve` — run the concurrent query server until SIGTERM/SIGINT (or a
+/// `shutdown` request) drains it.
+pub fn serve_command(args: &Args, out: &mut dyn Write) -> Result<(), CliError> {
+    let family = args.required("family")?;
+    let view_path = args.optional("view");
+    let addr = args.optional("addr").unwrap_or_else(|| "127.0.0.1:7878".to_owned());
+    let threads = threads_arg(args)?;
+    let confidence = args.get_or("confidence", 0.95f64)?;
+    let row_budget = opt_usize(args, "row-budget")?;
+    let default_deadline = opt_usize(args, "default-deadline-ms")?;
+    let fixed_rate = args.optional("fixed-rate").map(|v| {
+        v.parse::<f64>()
+            .map_err(|_| CliError(format!("invalid value {v:?} for --fixed-rate")))
+    });
+    let drain_ms = args.get_or("drain-timeout-ms", 10_000u64)?;
+    let metrics_out = args.optional("metrics-out");
+    let admission = AdmissionConfig {
+        interactive: ClassLimits {
+            max_inflight: args.get_or("interactive-inflight", 4usize)?.max(1),
+            max_queue: args.get_or("interactive-queue", 8usize)?,
+        },
+        batch: ClassLimits {
+            max_inflight: args.get_or("batch-inflight", 2usize)?.max(1),
+            max_queue: args.get_or("batch-queue", 2usize)?,
+        },
+    };
+    args.finish()?;
+
+    let mut system = open_family(&family, out)?.with_threads(threads);
+    if let Some(p) = view_path {
+        let view = read_table_file(&p).map_err(at_path(&p))?;
+        system = system.with_view(view);
+    }
+    if let Some(budget) = row_budget {
+        system = system.with_row_budget(budget);
+    }
+
+    let config = ServerConfig {
+        addr,
+        admission,
+        default_deadline: default_deadline.map(|ms| Duration::from_millis(ms as u64)),
+        default_confidence: confidence,
+        fixed_rows_per_ms: fixed_rate.transpose()?,
+        drain_timeout: Duration::from_millis(drain_ms),
+        metrics_out: metrics_out.map(Into::into),
+        install_signal_handlers: true,
+    };
+    let server = Server::bind(system, config).map_err(boxed)?;
+    writeln!(
+        out,
+        "serving on {} (interactive {}x{}, batch {}x{}); SIGTERM or a shutdown request drains",
+        server.local_addr().map_err(boxed)?,
+        admission.interactive.max_inflight,
+        admission.interactive.max_queue,
+        admission.batch.max_inflight,
+        admission.batch.max_queue,
+    )?;
+    out.flush()?;
+    let report = server.run().map_err(boxed)?;
+    writeln!(
+        out,
+        "drained: {} requests ({} answered, {} shed, {} timeouts, {} draining rejects, {} errors) over {} connections",
+        report.requests,
+        report.answered,
+        report.shed,
+        report.timeouts,
+        report.drained_rejects,
+        report.errors,
+        report.connections,
+    )?;
+    Ok(())
+}
+
+/// `client` — send one request (`ping`, `metrics`, `shutdown`, or SQL)
+/// to a running server and print the response.
+pub fn client_command(args: &Args, out: &mut dyn Write) -> Result<(), CliError> {
+    let addr = args.optional("addr").unwrap_or_else(|| "127.0.0.1:7878".to_owned());
+    let class = ContractClass::parse(&args.optional("class").unwrap_or_default());
+    let deadline_ms = opt_usize(args, "deadline-ms")?.map(|n| n as u64);
+    let row_budget = opt_usize(args, "row-budget")?;
+    let confidence = args
+        .optional("confidence")
+        .map(|v| {
+            v.parse::<f64>()
+                .map_err(|_| CliError(format!("invalid value {v:?} for --confidence")))
+        })
+        .transpose()?;
+    let attempts = args.get_or("attempts", 4u32)?.max(1);
+    let seed = args.get_or("seed", 0x5eed_u64)?;
+    let body = args.positionals()[1..].join(" ");
+    args.finish()?;
+    if body.is_empty() {
+        return Err(CliError(
+            "client needs a request: ping | metrics | shutdown | SQL".into(),
+        ));
+    }
+
+    let request = match body.as_str() {
+        "ping" => Request::Ping,
+        "metrics" => Request::Metrics,
+        "shutdown" => Request::Shutdown,
+        sql => Request::Query {
+            sql: sql.to_owned(),
+            class,
+            deadline_ms,
+            row_budget,
+            confidence,
+        },
+    };
+    let policy = RetryPolicy { max_attempts: attempts, ..RetryPolicy::with_seed(seed) };
+    let mut client = Client::new(addr, policy);
+    let t0 = Instant::now();
+    match client.request(&request) {
+        Ok(Response::Answer(answer)) => print_wire_answer(&answer, out)?,
+        Ok(Response::Pong) => writeln!(out, "pong ({:?})", t0.elapsed())?,
+        Ok(Response::Metrics(text)) => write!(out, "{text}")?,
+        Ok(Response::ShuttingDown) => writeln!(out, "server is shutting down")?,
+        Ok(Response::Draining) => {
+            return Err(CliError("server is draining; request not accepted".into()))
+        }
+        Ok(Response::Timeout { message }) => {
+            return Err(CliError(format!("timeout: {message}")))
+        }
+        Ok(Response::Error { message }) => return Err(CliError(format!("server: {message}"))),
+        Ok(Response::Shed { retry_after_ms, .. }) => {
+            return Err(CliError(format!(
+                "shed (unretried); server suggests retrying in {retry_after_ms} ms"
+            )))
+        }
+        Err(e @ ClientError::Shed { .. }) => return Err(CliError(e.to_string())),
+        Err(e) => return Err(CliError(e.to_string())),
+    }
+    Ok(())
+}
+
+/// Render a wire answer like the local `query` command renders a local
+/// one: header row, group rows, then a tier/cost footer.
+fn print_wire_answer(answer: &WireAnswer, out: &mut dyn Write) -> Result<(), CliError> {
+    for name in &answer.group_names {
+        write!(out, "{name}\t")?;
+    }
+    for alias in &answer.agg_aliases {
+        write!(out, "{alias}\t")?;
+    }
+    writeln!(out)?;
+    for group in &answer.groups {
+        for key in &group.key {
+            match key {
+                aqp::obs::json::Value::Str(s) => write!(out, "{s}\t")?,
+                other => write!(out, "{}\t", other.to_json())?,
+            }
+        }
+        for v in &group.values {
+            if v.exact {
+                write!(out, "{:.2} (exact)\t", v.estimate)?;
+            } else {
+                write!(out, "{:.2} [{:.2}, {:.2}]\t", v.estimate, v.lo, v.hi)?;
+            }
+        }
+        writeln!(out)?;
+    }
+    let mut notes = vec![format!("tier {}", answer.tier)];
+    if answer.partial {
+        notes.push("partial".into());
+    }
+    if answer.deadline_limited {
+        notes.push("deadline-limited".into());
+    }
+    if let Some(b) = answer.effective_budget {
+        notes.push(format!("budget {b}"));
+    }
+    writeln!(
+        out,
+        "-- {} | {} rows scanned | server {:.1} ms",
+        notes.join(", "),
+        answer.rows_scanned,
+        answer.elapsed_ms
+    )?;
+    Ok(())
+}
+
+/// Latency percentile from a sorted sample (nearest-rank).
+fn percentile(sorted_ms: &[f64], p: f64) -> f64 {
+    if sorted_ms.is_empty() {
+        return 0.0;
+    }
+    let rank = ((p / 100.0) * sorted_ms.len() as f64).ceil().max(1.0) as usize;
+    sorted_ms[rank.min(sorted_ms.len()) - 1]
+}
+
+/// `bench serving` — end-to-end serving benchmark against an in-process
+/// server: latency quantiles and throughput at 1/4/16 concurrent
+/// clients, then shed behaviour at 2x admission overload. Writes
+/// `BENCH_serving.json`.
+pub fn bench_serving_command(args: &Args, out: &mut dyn Write) -> Result<(), CliError> {
+    let rows = args.get_or("rows", 100_000usize)?;
+    let per_client = args.get_or("requests", 20usize)?.max(1);
+    let threads = threads_arg(args)?;
+    let stats = args.flag("stats");
+    let out_path = args
+        .optional("out")
+        .unwrap_or_else(|| "BENCH_serving.json".to_owned());
+    args.finish()?;
+
+    let star = gen_sales(&SalesConfig { fact_rows: rows, zipf_z: 1.5, seed: 42 }).map_err(boxed)?;
+    let view = star.denormalize("bench_view").map_err(boxed)?;
+    writeln!(out, "bench serving: sales view {} rows, {} executor threads", view.num_rows(), threads)?;
+    let sql = "SELECT store.region, COUNT(*) AS cnt, SUM(sales.revenue) AS rev \
+               FROM v GROUP BY store.region";
+
+    // Latency/throughput phase: admission opened wide so concurrency,
+    // not shedding, is what's being measured.
+    let mut level_rows = Vec::new();
+    for &clients in &[1usize, 4, 16] {
+        let system = ResilientSystem::exact_only(view.clone()).with_threads(threads);
+        let config = ServerConfig {
+            admission: AdmissionConfig {
+                interactive: ClassLimits { max_inflight: 16, max_queue: 64 },
+                batch: ClassLimits { max_inflight: 2, max_queue: 2 },
+            },
+            ..ServerConfig::default()
+        };
+        let server = Server::bind(system, config).map_err(boxed)?;
+        let addr = server.local_addr().map_err(boxed)?.to_string();
+        let handle = server.shutdown_handle();
+        let run = std::thread::spawn(move || server.run());
+
+        let t0 = Instant::now();
+        let mut latencies: Vec<f64> = std::thread::scope(|s| {
+            let workers: Vec<_> = (0..clients)
+                .map(|c| {
+                    let addr = addr.clone();
+                    s.spawn(move || {
+                        let mut client =
+                            Client::new(addr, RetryPolicy::with_seed(0xbe11c + c as u64));
+                        let mut ms = Vec::with_capacity(per_client);
+                        for _ in 0..per_client {
+                            let t = Instant::now();
+                            if let Ok(Response::Answer(_)) = client.request(&Request::query(sql)) {
+                                ms.push(t.elapsed().as_secs_f64() * 1e3);
+                            }
+                        }
+                        ms
+                    })
+                })
+                .collect();
+            workers.into_iter().flat_map(|w| w.join().unwrap_or_default()).collect()
+        });
+        let wall = t0.elapsed().as_secs_f64();
+        handle.shutdown();
+        run.join().map_err(|_| CliError("server thread panicked".into()))?.map_err(boxed)?;
+
+        latencies.sort_by(|a, b| a.total_cmp(b));
+        let completed = latencies.len();
+        let qps = if wall > 0.0 { completed as f64 / wall } else { 0.0 };
+        let (p50, p95, p99) = (
+            percentile(&latencies, 50.0),
+            percentile(&latencies, 95.0),
+            percentile(&latencies, 99.0),
+        );
+        writeln!(
+            out,
+            "clients {clients}: {completed}/{} ok, {qps:.1} req/s, p50 {p50:.1} ms, p95 {p95:.1} ms, p99 {p99:.1} ms",
+            clients * per_client
+        )?;
+        level_rows.push(format!(
+            "    {{\"clients\": {clients}, \"requests\": {}, \"completed\": {completed}, \"throughput_rps\": {qps:.2}, \"p50_ms\": {p50:.3}, \"p95_ms\": {p95:.3}, \"p99_ms\": {p99:.3}}}",
+            clients * per_client
+        ));
+    }
+
+    // Overload phase: 2x the admission capacity (inflight + queue) in
+    // simultaneous no-retry clients; the excess must shed, everything
+    // must get exactly one terminal response.
+    let cap = ClassLimits { max_inflight: 2, max_queue: 2 };
+    let overload_clients = 2 * (cap.max_inflight + cap.max_queue);
+    let system = ResilientSystem::exact_only(view.clone()).with_threads(threads);
+    let config = ServerConfig {
+        admission: AdmissionConfig { interactive: cap, batch: cap },
+        ..ServerConfig::default()
+    };
+    let server = Server::bind(system, config).map_err(boxed)?;
+    let addr = server.local_addr().map_err(boxed)?.to_string();
+    let handle = server.shutdown_handle();
+    let run = std::thread::spawn(move || server.run());
+
+    let outcomes: Vec<&'static str> = std::thread::scope(|s| {
+        let workers: Vec<_> = (0..overload_clients)
+            .map(|_| {
+                let addr = addr.clone();
+                s.spawn(move || {
+                    let mut client = Client::new(addr, RetryPolicy::no_retry());
+                    match client.request(&Request::query(sql)) {
+                        Ok(Response::Answer(_)) => "answered",
+                        Ok(Response::Timeout { .. }) => "timeout",
+                        Ok(_) => "other",
+                        Err(ClientError::Shed { .. }) => "shed",
+                        Err(_) => "transport",
+                    }
+                })
+            })
+            .collect();
+        workers.into_iter().map(|w| w.join().unwrap_or("transport")).collect()
+    });
+    handle.shutdown();
+    run.join().map_err(|_| CliError("server thread panicked".into()))?.map_err(boxed)?;
+    let count = |kind: &str| outcomes.iter().filter(|o| **o == kind).count();
+    let (answered, shed) = (count("answered"), count("shed"));
+    let shed_rate = shed as f64 / overload_clients as f64;
+    writeln!(
+        out,
+        "overload 2x (cap {}+{}, {overload_clients} clients): {answered} answered, {shed} shed ({:.0}% shed rate)",
+        cap.max_inflight,
+        cap.max_queue,
+        shed_rate * 100.0
+    )?;
+
+    let json = format!(
+        "{{\n  \"dataset\": {{\"kind\": \"sales\", \"rows\": {}, \"zipf_z\": 1.5, \"seed\": 42}},\n  \"executor_threads\": {threads},\n  \"requests_per_client\": {per_client},\n  \"levels\": [\n{}\n  ],\n  \"overload\": {{\"capacity\": {}, \"clients\": {overload_clients}, \"answered\": {answered}, \"shed\": {shed}, \"shed_rate\": {shed_rate:.3}}}\n}}\n",
+        view.num_rows(),
+        level_rows.join(",\n"),
+        cap.max_inflight + cap.max_queue,
+    );
+    std::fs::write(&out_path, json).map_err(at_path(&out_path))?;
+    writeln!(out, "wrote {out_path}")?;
+    if stats {
+        write_metrics_snapshot(out)?;
+    }
+    Ok(())
+}

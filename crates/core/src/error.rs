@@ -22,6 +22,20 @@ pub enum AqpError {
     Corrupt(String),
     /// File IO failed while loading or saving persisted state.
     Io(String),
+    /// The query was cooperatively cancelled before any tier could finish
+    /// a scan. `deadline` distinguishes a tripped per-query deadline from
+    /// an explicit cancel (client disconnect, shutdown drain).
+    Cancelled {
+        /// `true` when a deadline-carrying token tripped mid-scan.
+        deadline: bool,
+    },
+    /// A serving front-end refused admission: every queue slot for the
+    /// query's contract class was full, so the request was shed rather
+    /// than queued unboundedly.
+    Overloaded {
+        /// Suggested client back-off before retrying, in milliseconds.
+        retry_after_ms: u64,
+    },
 }
 
 impl fmt::Display for AqpError {
@@ -35,6 +49,13 @@ impl fmt::Display for AqpError {
             AqpError::Query(e) => write!(f, "query error: {e}"),
             AqpError::Corrupt(msg) => write!(f, "corrupt sample family: {msg}"),
             AqpError::Io(msg) => write!(f, "io error: {msg}"),
+            AqpError::Cancelled { deadline: true } => {
+                write!(f, "deadline exceeded: query cancelled mid-scan")
+            }
+            AqpError::Cancelled { deadline: false } => write!(f, "query cancelled"),
+            AqpError::Overloaded { retry_after_ms } => {
+                write!(f, "server overloaded, retry after {retry_after_ms} ms")
+            }
         }
     }
 }
@@ -50,7 +71,13 @@ impl std::error::Error for AqpError {
 
 impl From<aqp_query::QueryError> for AqpError {
     fn from(e: aqp_query::QueryError) -> Self {
-        AqpError::Query(e)
+        match e {
+            // A cancelled scan is a serving outcome, not an executor bug:
+            // surface it as its own variant so the ladder and the server
+            // can tell "timed out" apart from "query was wrong".
+            aqp_query::QueryError::Cancelled { deadline } => AqpError::Cancelled { deadline },
+            e => AqpError::Query(e),
+        }
     }
 }
 
@@ -73,5 +100,16 @@ mod tests {
         assert!(std::error::Error::source(&e).is_some());
         let e: AqpError = aqp_storage::StorageError::DuplicateField("f".into()).into();
         assert!(e.to_string().contains("f"));
+    }
+
+    #[test]
+    fn cancellation_converts_to_its_own_variant() {
+        let e: AqpError = aqp_query::QueryError::Cancelled { deadline: true }.into();
+        assert_eq!(e, AqpError::Cancelled { deadline: true });
+        assert!(e.to_string().contains("deadline"));
+        let e: AqpError = aqp_query::QueryError::Cancelled { deadline: false }.into();
+        assert_eq!(e.to_string(), "query cancelled");
+        let e = AqpError::Overloaded { retry_after_ms: 40 };
+        assert!(e.to_string().contains("40 ms"));
     }
 }

@@ -70,7 +70,7 @@ pub use congress::{BasicCongress, Congress};
 pub use error::{AqpError, AqpResult};
 pub use multilevel::{MultiLevelConfig, MultiLevelSampler};
 pub use outlier::{select_outliers, OutlierIndex};
-pub use resilience::{OpenReport, ResilientSystem, TierCounts};
+pub use resilience::{BoundedAnswer, OpenReport, QueryBound, ResilientSystem, TierCounts};
 pub use smallgroup::{OverallKind, SmallGroupConfig, SmallGroupSampler};
 pub use system::AqpSystem;
 pub use uniform::UniformAqp;

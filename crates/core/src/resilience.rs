@@ -19,12 +19,23 @@
 //! optional per-query *row budget* picks the highest rung whose scan cost
 //! fits — a budget-capped exact scan inflates weights by `N/k` and flags
 //! the answer [`ApproxAnswer::partial`].
+//!
+//! [`ResilientSystem::answer_bounded`] extends the budget machinery to a
+//! serving front-end's per-request constraints ([`QueryBound`]): a
+//! client-requested row cap, a *deadline budget* derived from the time
+//! remaining before the query's deadline, and a cooperative
+//! [`CancelToken`] installed ambiently around the ladder walk so every
+//! scan any rung triggers stops claiming morsels once the deadline
+//! trips. Deadline-driven step-downs are tallied separately
+//! (`aqp_tier_fallback_total{reason="deadline"}`) from static budget
+//! ones (`reason="budget"`), so operators can tell "the contract asked
+//! for less" apart from "we were about to blow the deadline".
 
 use crate::answer::{state_to_estimate, ApproxAnswer, ApproxGroup, ApproxValue, ServingTier};
 use crate::error::{AqpError, AqpResult};
 use crate::smallgroup::SmallGroupSampler;
 use crate::system::AqpSystem;
-use aqp_query::{execute, AggFunc, DataSource, ExecOptions, Query, Weighting};
+use aqp_query::{execute, AggFunc, CancelToken, DataSource, ExecOptions, Query, Weighting};
 use aqp_sampling::Estimate;
 use aqp_storage::Table;
 use std::fmt;
@@ -195,7 +206,14 @@ impl ResilientSystem {
 
     /// The exact rung: scan the base view, optionally budget-capped with
     /// `N/k` weight inflation. The only rung that can serve MIN/MAX.
-    fn answer_exact(&self, query: &Query, confidence: f64) -> AqpResult<ApproxAnswer> {
+    /// `budget` is the effective per-query cap (the static system budget
+    /// folded with any [`QueryBound`] limits by the caller).
+    fn answer_exact(
+        &self,
+        query: &Query,
+        confidence: f64,
+        budget: Option<usize>,
+    ) -> AqpResult<ApproxAnswer> {
         let view = self.view.as_ref().ok_or_else(|| {
             AqpError::Unsupported(
                 "no tier can serve this query: sample family unavailable and \
@@ -204,7 +222,7 @@ impl ResilientSystem {
             )
         })?;
         let n = view.num_rows();
-        let limit = self.row_budget.filter(|&b| b < n);
+        let limit = budget.filter(|&b| b < n);
         let weight = match limit {
             // A truncated scan stands in for the whole view: inflate each
             // row by N/k so estimates stay centred, and let the w(w−1)
@@ -273,6 +291,60 @@ impl ResilientSystem {
     }
 }
 
+/// Per-request serving constraints for [`ResilientSystem::answer_bounded`]:
+/// what a front-end knows about one query that the system's static
+/// configuration cannot — the client's row cap, how many rows the executor
+/// can plausibly scan before the deadline, and the cancellation token that
+/// enforces the deadline cooperatively mid-scan.
+#[derive(Debug, Clone, Default)]
+pub struct QueryBound {
+    /// Client-requested row cap. Step-downs it forces are tallied
+    /// `aqp_tier_fallback_total{reason="budget"}`.
+    pub row_budget: Option<usize>,
+    /// Rows affordable before the deadline (remaining time × estimated
+    /// scan throughput). Step-downs it forces are tallied
+    /// `reason="deadline"` — the serving tier fell so the answer could
+    /// beat the clock, not because anyone asked for fewer rows.
+    pub deadline_budget: Option<usize>,
+    /// Cooperative cancellation token, installed ambiently for the whole
+    /// ladder walk: every scan any rung runs checks it at morsel claim
+    /// points, so a tripped deadline frees the executor threads within
+    /// one morsel instead of finishing a doomed scan.
+    pub cancel: Option<CancelToken>,
+}
+
+impl QueryBound {
+    /// A bound that constrains nothing (equivalent to [`AqpSystem::answer`]).
+    pub fn none() -> Self {
+        Self::default()
+    }
+
+    /// A bound carrying only a deadline-derived row budget and its token.
+    pub fn for_deadline(deadline_budget: usize, cancel: CancelToken) -> Self {
+        QueryBound {
+            row_budget: None,
+            deadline_budget: Some(deadline_budget),
+            cancel: Some(cancel),
+        }
+    }
+}
+
+/// An answer from [`ResilientSystem::answer_bounded`] plus how the bound
+/// shaped it — what a serving layer needs to fill wire-level degradation
+/// fields without re-deriving the ladder's decisions.
+#[derive(Debug, Clone)]
+pub struct BoundedAnswer {
+    /// The answer, tier-tagged as always.
+    pub answer: ApproxAnswer,
+    /// Whether the deadline budget forced a step-down or truncated the
+    /// exact rung's scan — i.e. the client got a cheaper tier *because of
+    /// its deadline*, not because of any configured row cap.
+    pub deadline_limited: bool,
+    /// The effective row cap the ladder walked under: the minimum of the
+    /// system budget and both [`QueryBound`] budgets.
+    pub effective_budget: Option<usize>,
+}
+
 /// Prometheus label for a serving tier (matches `ServingTier`'s Display).
 fn tier_label(tier: ServingTier) -> &'static str {
     match tier {
@@ -300,12 +372,8 @@ impl AqpSystem for ResilientSystem {
     }
 
     fn answer(&self, query: &Query, confidence: f64) -> AqpResult<ApproxAnswer> {
-        let answer = self.answer_untallied(query, confidence)?;
-        aqp_obs::counter("aqp_serving_tier_total", &[("tier", tier_label(answer.tier))]).inc();
-        if answer.partial {
-            aqp_obs::counter("aqp_partial_answers_total", &[]).inc();
-        }
-        Ok(answer)
+        self.answer_bounded(query, confidence, &QueryBound::none())
+            .map(|b| b.answer)
     }
 
     fn answer_traced(
@@ -377,29 +445,94 @@ impl AqpSystem for ResilientSystem {
 }
 
 impl ResilientSystem {
-    /// [`AqpSystem::answer`] without the tier tallies — the ladder walk
-    /// itself, with fallback counters at each step-down.
-    fn answer_untallied(&self, query: &Query, confidence: f64) -> AqpResult<ApproxAnswer> {
+    /// [`AqpSystem::answer`] under per-request [`QueryBound`] constraints:
+    /// the same degradation ladder, walked under the *tightest* of the
+    /// system row budget and the bound's budgets, with the bound's cancel
+    /// token installed ambiently so every rung's scans observe the
+    /// deadline. Tier and partial tallies are recorded exactly as
+    /// [`AqpSystem::answer`] records them (which delegates here).
+    pub fn answer_bounded(
+        &self,
+        query: &Query,
+        confidence: f64,
+        bound: &QueryBound,
+    ) -> AqpResult<BoundedAnswer> {
+        let _guard = bound.cancel.clone().map(aqp_query::cancel::install);
+        let bounded = self.answer_untallied_bounded(query, confidence, bound)?;
+        let answer = &bounded.answer;
+        aqp_obs::counter("aqp_serving_tier_total", &[("tier", tier_label(answer.tier))]).inc();
+        if answer.partial {
+            aqp_obs::counter("aqp_partial_answers_total", &[]).inc();
+        }
+        Ok(bounded)
+    }
+
+    /// The tightest row cap the ladder must respect for this request.
+    fn effective_budget(&self, bound: &QueryBound) -> Option<usize> {
+        [self.row_budget, bound.row_budget, bound.deadline_budget]
+            .into_iter()
+            .flatten()
+            .min()
+    }
+
+    /// Why `rows` does not fit the combined budgets, if it doesn't.
+    /// "deadline" only when the deadline budget is the *binding* reason —
+    /// the scan would have fit every static cap.
+    fn budget_reason(&self, rows: usize, bound: &QueryBound) -> Option<&'static str> {
+        let static_fit = self.fits(rows) && bound.row_budget.is_none_or(|b| rows <= b);
+        let deadline_fit = bound.deadline_budget.is_none_or(|b| rows <= b);
+        match (static_fit, deadline_fit) {
+            (true, true) => None,
+            (true, false) => Some("deadline"),
+            (false, _) => Some("budget"),
+        }
+    }
+
+    /// The ladder walk itself, with fallback counters at each step-down.
+    fn answer_untallied_bounded(
+        &self,
+        query: &Query,
+        confidence: f64,
+        bound: &QueryBound,
+    ) -> AqpResult<BoundedAnswer> {
+        let effective_budget = self.effective_budget(bound);
+        // Is the deadline budget the strict minimum of the caps? Then a
+        // truncated exact scan is deadline-shaped, not budget-shaped.
+        let deadline_binding = bound.deadline_budget.is_some_and(|d| {
+            [self.row_budget, bound.row_budget]
+                .into_iter()
+                .flatten()
+                .min()
+                .is_none_or(|s| d < s)
+        });
+        let mut deadline_limited = false;
+        let finish = |answer: ApproxAnswer, deadline_limited: bool| BoundedAnswer {
+            deadline_limited: deadline_limited || (answer.partial && deadline_binding),
+            answer,
+            effective_budget,
+        };
+
         // MIN/MAX can only be served exactly.
         if !query.estimable() {
             if self.primary.is_some() {
                 record_fallback("minmax");
             }
-            return self.answer_exact(query, confidence);
+            let ans = self.answer_exact(query, confidence, effective_budget)?;
+            return Ok(finish(ans, deadline_limited));
         }
 
         if let Some(primary) = &self.primary {
             // Rung 1/2: the full small-group plan, tagged degraded when a
             // disabled table's rows are being covered by the overall sample.
-            if self.fits(primary.runtime_rows(query)) {
-                match primary.answer(query, confidence) {
+            match self.budget_reason(primary.runtime_rows(query), bound) {
+                None => match primary.answer(query, confidence) {
                     Ok(mut ans) => {
                         ans.tier = if primary.query_touches_disabled(query) {
                             ServingTier::DegradedPrimary
                         } else {
                             ServingTier::Primary
                         };
-                        return Ok(ans);
+                        return Ok(finish(ans, deadline_limited));
                     }
                     Err(AqpError::Query(_)) | Err(AqpError::Unsupported(_)) => {
                         // Fall through to the next rung; any operator
@@ -409,25 +542,28 @@ impl ResilientSystem {
                         record_fallback("plan-error");
                     }
                     Err(e) => return Err(e),
+                },
+                Some(reason) => {
+                    deadline_limited |= reason == "deadline";
+                    record_fallback(reason);
                 }
-            } else {
-                record_fallback("budget");
             }
             // Rung 3: overall sample only.
             let overall_rows = primary.catalog().overall_rows;
-            if self.fits(overall_rows) || self.view.is_none() {
+            if self.budget_reason(overall_rows, bound).is_none() || self.view.is_none() {
                 if let Ok(mut ans) = primary.answer_overall_only(query, confidence) {
                     ans.tier = ServingTier::Overall;
                     // Over budget with nowhere cheaper to go: serve it
                     // anyway rather than refuse — degradation, not denial.
-                    return Ok(ans);
+                    return Ok(finish(ans, deadline_limited));
                 }
                 aqp_obs::trace::discard_operators();
             }
         }
 
         // Rung 4: exact scan of the base view (budget-capped if needed).
-        self.answer_exact(query, confidence)
+        let ans = self.answer_exact(query, confidence, effective_budget)?;
+        Ok(finish(ans, deadline_limited))
     }
 }
 
@@ -642,6 +778,97 @@ mod tests {
                         );
                     }
                 }
+            }
+        }
+    }
+
+    #[test]
+    fn deadline_budget_steps_down_with_deadline_reason() {
+        let s = sampler();
+        let q = Query::builder().count().group_by("g").build().unwrap();
+        let primary_cost = s.runtime_rows(&q);
+        let overall_cost = s.catalog().overall_rows;
+        assert!(overall_cost < primary_cost);
+
+        let read = || {
+            aqp_obs::global()
+                .snapshot()
+                .counter_value("aqp_tier_fallback_total", &[("reason", "deadline")])
+                .unwrap_or(0)
+        };
+        let before = read();
+        let sys = ResilientSystem::from_sampler(s);
+        let bound = QueryBound::for_deadline(overall_cost, CancelToken::new());
+        let out = sys.answer_bounded(&q, 0.95, &bound).unwrap();
+        assert_eq!(out.answer.tier, ServingTier::Overall);
+        assert!(out.deadline_limited, "tier fell because of the deadline");
+        assert!(!out.answer.partial, "overall-tier answer is complete, not truncated");
+        assert_eq!(out.effective_budget, Some(overall_cost));
+        assert_eq!(read(), before + 1, "step-down tallied under reason=deadline");
+    }
+
+    #[test]
+    fn client_row_budget_keeps_budget_reason() {
+        let s = sampler();
+        let q = Query::builder().count().group_by("g").build().unwrap();
+        let overall_cost = s.catalog().overall_rows;
+        let read = |reason: &str| {
+            aqp_obs::global()
+                .snapshot()
+                .counter_value("aqp_tier_fallback_total", &[("reason", reason)])
+                .unwrap_or(0)
+        };
+        let (bud, dead) = (read("budget"), read("deadline"));
+        let sys = ResilientSystem::from_sampler(s);
+        let bound = QueryBound { row_budget: Some(overall_cost), ..QueryBound::none() };
+        let out = sys.answer_bounded(&q, 0.95, &bound).unwrap();
+        assert_eq!(out.answer.tier, ServingTier::Overall);
+        assert!(!out.deadline_limited);
+        assert_eq!(read("budget"), bud + 1, "client cap tallies reason=budget");
+        assert_eq!(read("deadline"), dead, "no deadline fallback recorded");
+    }
+
+    #[test]
+    fn deadline_capped_exact_scan_is_deadline_limited() {
+        let sys = ResilientSystem::exact_only(view());
+        let q = Query::builder().count().build().unwrap();
+        let bound = QueryBound::for_deadline(50, CancelToken::new());
+        let out = sys.answer_bounded(&q, 0.95, &bound).unwrap();
+        assert_eq!(out.answer.tier, ServingTier::Exact);
+        assert!(out.answer.partial, "truncated scan stays flagged partial");
+        assert!(out.deadline_limited);
+        assert_eq!(out.answer.rows_scanned, 50);
+        // N/k inflation keeps COUNT centred: 50 rows × 4.0 = 200.
+        assert!((out.answer.groups[0].values[0].value() - 200.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn tripped_token_surfaces_cancelled() {
+        let sys = ResilientSystem::exact_only(view());
+        let q = Query::builder().count().build().unwrap();
+        let token = CancelToken::new();
+        token.cancel();
+        let bound = QueryBound { cancel: Some(token), ..QueryBound::none() };
+        match sys.answer_bounded(&q, 0.95, &bound) {
+            Err(AqpError::Cancelled { deadline: false }) => {}
+            other => panic!("expected Cancelled, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn empty_bound_matches_plain_answer() {
+        let sys = ResilientSystem::from_sampler(sampler());
+        let q = Query::builder().count().sum("x").group_by("g").build().unwrap();
+        let plain = sys.answer(&q, 0.95).unwrap();
+        let bounded = sys.answer_bounded(&q, 0.95, &QueryBound::none()).unwrap();
+        assert_eq!(bounded.answer.tier, plain.tier);
+        assert!(!bounded.deadline_limited);
+        assert_eq!(bounded.effective_budget, None);
+        assert_eq!(bounded.answer.num_groups(), plain.num_groups());
+        for g in &plain.groups {
+            let other = bounded.answer.group(&g.key).unwrap();
+            for (x, y) in g.values.iter().zip(&other.values) {
+                assert_eq!(x.value().to_bits(), y.value().to_bits());
             }
         }
     }

@@ -64,6 +64,94 @@ impl Value {
             _ => None,
         }
     }
+
+    /// The numeric payload as an integer, if it survives the f64 round
+    /// trip without truncation (JSON integers up to 2^53).
+    pub fn as_u64(&self) -> Option<u64> {
+        match self {
+            Value::Num(n) if *n >= 0.0 && n.fract() == 0.0 && *n <= 2f64.powi(53) => {
+                Some(*n as u64)
+            }
+            _ => None,
+        }
+    }
+
+    /// Serialize this value as a compact JSON document. Numbers use the
+    /// same shortest round-trip formatting as [`write_f64`], so
+    /// `parse(v.to_json()) == v` for any finite tree.
+    pub fn to_json(&self) -> String {
+        let mut out = String::new();
+        self.write(&mut out);
+        out
+    }
+
+    /// Append this value's JSON encoding to `out`.
+    pub fn write(&self, out: &mut String) {
+        match self {
+            Value::Null => out.push_str("null"),
+            Value::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+            Value::Num(n) => write_f64(out, *n),
+            Value::Str(s) => write_escaped(out, s),
+            Value::Arr(items) => {
+                out.push('[');
+                for (i, item) in items.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    item.write(out);
+                }
+                out.push(']');
+            }
+            Value::Obj(members) => {
+                out.push('{');
+                for (i, (k, v)) in members.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    write_escaped(out, k);
+                    out.push(':');
+                    v.write(out);
+                }
+                out.push('}');
+            }
+        }
+    }
+}
+
+impl From<&str> for Value {
+    fn from(s: &str) -> Self {
+        Value::Str(s.to_string())
+    }
+}
+
+impl From<String> for Value {
+    fn from(s: String) -> Self {
+        Value::Str(s)
+    }
+}
+
+impl From<f64> for Value {
+    fn from(n: f64) -> Self {
+        Value::Num(n)
+    }
+}
+
+impl From<u64> for Value {
+    fn from(n: u64) -> Self {
+        Value::Num(n as f64)
+    }
+}
+
+impl From<usize> for Value {
+    fn from(n: usize) -> Self {
+        Value::Num(n as f64)
+    }
+}
+
+impl From<bool> for Value {
+    fn from(b: bool) -> Self {
+        Value::Bool(b)
+    }
 }
 
 /// Append a JSON string literal (with escaping) to `out`.
@@ -295,6 +383,24 @@ mod tests {
         write_escaped(&mut enc, original);
         let back = parse(&enc).unwrap();
         assert_eq!(back.as_str(), Some(original));
+    }
+
+    #[test]
+    fn value_writer_round_trips() {
+        let v = Value::Obj(vec![
+            ("op".into(), Value::Str("query".into())),
+            ("n".into(), Value::Num(2.5)),
+            ("flags".into(), Value::Arr(vec![Value::Bool(true), Value::Null])),
+            ("esc".into(), Value::Str("a\"b\nc".into())),
+            ("empty".into(), Value::Obj(vec![])),
+        ]);
+        let enc = v.to_json();
+        assert_eq!(parse(&enc).unwrap(), v);
+        assert!(enc.starts_with("{\"op\":\"query\""), "{enc}");
+        assert_eq!(Value::from(3u64).as_u64(), Some(3));
+        assert_eq!(Value::Num(2.5).as_u64(), None);
+        assert_eq!(Value::from("x"), Value::Str("x".into()));
+        assert_eq!(Value::from(true), Value::Bool(true));
     }
 
     #[test]

@@ -195,6 +195,15 @@ impl Snapshot {
             .map(|c| c.value)
     }
 
+    /// Value of a gauge with an exact label set, if present.
+    pub fn gauge_value(&self, name: &str, labels: &[(&str, &str)]) -> Option<i64> {
+        let want = canon_labels(labels);
+        self.gauges
+            .iter()
+            .find(|g| g.name == name && g.labels == want)
+            .map(|g| g.value)
+    }
+
     /// Histogram with an exact label set, if present.
     pub fn histogram(&self, name: &str, labels: &[(&str, &str)]) -> Option<&HistogramValue> {
         let want = canon_labels(labels);

@@ -32,6 +32,13 @@ pub enum QueryError {
     },
     /// The query is structurally invalid (e.g. no aggregates).
     InvalidQuery(String),
+    /// The scan was cooperatively cancelled (explicit cancel or deadline)
+    /// before covering every morsel, so no answer can be produced.
+    Cancelled {
+        /// Whether the cancellation came from a deadline-carrying token
+        /// (`true`) or an explicit [`crate::cancel::CancelToken::cancel`].
+        deadline: bool,
+    },
     /// An underlying storage error.
     Storage(aqp_storage::StorageError),
 }
@@ -50,6 +57,10 @@ impl fmt::Display for QueryError {
                 write!(f, "join key column {column:?} must be Int64")
             }
             QueryError::InvalidQuery(msg) => write!(f, "invalid query: {msg}"),
+            QueryError::Cancelled { deadline: true } => {
+                write!(f, "query cancelled: deadline exceeded mid-scan")
+            }
+            QueryError::Cancelled { deadline: false } => write!(f, "query cancelled"),
             QueryError::Storage(e) => write!(f, "storage error: {e}"),
         }
     }

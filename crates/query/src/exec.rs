@@ -32,11 +32,12 @@
 //! use the deterministic [`crate::hash`] hasher, so even map iteration
 //! order is reproducible across runs, modes, and thread counts.
 
+use crate::cancel::CancelToken;
 use crate::error::{QueryError, QueryResult};
 use crate::expr::{compile, CompiledExpr};
 use crate::kernel::{run_morsel_vectorized, DensePlan, GroupKey, GroupMap, MAX_FAST_KEY};
 use crate::output::{AggState, GroupResult, QueryOutput};
-use crate::parallel::{merge_group_maps, run_morsels_traced};
+use crate::parallel::{merge_group_maps, run_morsels_cancellable};
 use crate::plan::Query;
 use crate::source::{DataSource, ResolvedColumn};
 use aqp_storage::{BitSet, Value, DEFAULT_MORSEL_ROWS};
@@ -153,6 +154,12 @@ pub struct ExecOptions<'a> {
     /// Scan implementation (default [`KernelMode::Auto`]). Never affects
     /// the answer, only how fast it is computed.
     pub kernels: KernelMode,
+    /// Cooperative cancellation token, checked at every morsel claim
+    /// point. When `None`, the ambient token installed on this thread via
+    /// [`crate::cancel::install`] (if any) applies instead. A tripped
+    /// token makes the scan return [`QueryError::Cancelled`] rather than
+    /// a partial answer.
+    pub cancel: Option<&'a CancelToken>,
 }
 
 impl Default for ExecOptions<'static> {
@@ -164,6 +171,7 @@ impl Default for ExecOptions<'static> {
             row_limit: None,
             morsel_rows: DEFAULT_MORSEL_ROWS,
             kernels: KernelMode::Auto,
+            cancel: None,
         }
     }
 }
@@ -281,9 +289,10 @@ pub fn execute(
     // Span timers live on this control thread only, bracketing the whole
     // scoped-thread region; worker closures touch no observability state,
     // so instrumentation cannot perturb the morsel-order merge.
-    let (partials, schedule) = {
+    let token = opts.cancel.cloned().or_else(crate::cancel::current);
+    let (partials, schedule, cancelled) = {
         let _span = aqp_obs::span("query.scan");
-        run_morsels_traced(n, opts.morsel_rows, opts.parallelism, |m| {
+        run_morsels_cancellable(n, opts.morsel_rows, opts.parallelism, token.as_ref(), |m| {
             // Workers return plain data (map, matched rows, wall time);
             // all profiling bookkeeping happens on the control thread.
             let started = Instant::now();
@@ -297,6 +306,16 @@ pub fn execute(
             (map, matched, started.elapsed())
         })
     };
+    if cancelled {
+        // An incomplete morsel set must never be folded into an answer:
+        // which morsels ran depends on the OS schedule, and a partial fold
+        // would break the executor's determinism contract. Report the
+        // cancellation and let the caller pick a cheaper plan instead.
+        aqp_obs::counter("aqp_query_cancelled_total", &[]).inc();
+        return Err(QueryError::Cancelled {
+            deadline: token.as_ref().is_some_and(|t| t.deadline().is_some()),
+        });
+    }
     aqp_obs::counter("aqp_rows_scanned_total", &[]).inc_by(n as u64);
     aqp_obs::counter("aqp_query_scans_total", &[]).inc();
     let mut rows_out = 0u64;

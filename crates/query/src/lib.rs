@@ -38,6 +38,7 @@
 #![warn(missing_docs)]
 #![deny(unsafe_code)]
 
+pub mod cancel;
 pub mod error;
 pub mod exec;
 pub mod expr;
@@ -50,12 +51,15 @@ pub mod plan;
 mod selection;
 pub mod source;
 
+pub use cancel::CancelToken;
 pub use error::{QueryError, QueryResult};
 pub use exec::{execute, set_kernel_mode, ExecOptions, KernelMode, Weighting};
 pub use expr::{CmpOp, Expr};
 pub use hash::{FxBuildHasher, FxHashMap, FxHasher};
 pub use join::{Dimension, StarSchema};
 pub use output::{AggState, GroupResult, QueryOutput};
-pub use parallel::{merge_group_maps, run_morsels, run_morsels_traced, MorselSchedule};
+pub use parallel::{
+    merge_group_maps, run_morsels, run_morsels_cancellable, run_morsels_traced, MorselSchedule,
+};
 pub use plan::{AggExpr, AggFunc, Query};
 pub use source::DataSource;

@@ -18,6 +18,7 @@
 //! functions of the data — two runs, at any two thread counts, produce
 //! byte-identical output without any sorting step.
 
+use crate::cancel::CancelToken;
 use crate::output::AggState;
 use aqp_storage::morsel::{Morsel, MorselIter};
 use std::collections::HashMap;
@@ -67,14 +68,46 @@ where
     T: Send,
     F: Fn(Morsel) -> T + Sync,
 {
+    let (out, sched, cancelled) = run_morsels_cancellable(rows, morsel_rows, threads, None, work);
+    debug_assert!(!cancelled, "no token was supplied");
+    (out, sched)
+}
+
+/// [`run_morsels_traced`] with a cooperative [`CancelToken`] checked at
+/// every morsel **claim point**: a worker about to claim its next morsel
+/// first checks the token and stops claiming once it has tripped (explicit
+/// cancel or deadline). Returns `true` as the final element when the scan
+/// was cut short — in that case the result vector is incomplete and MUST
+/// NOT be folded into an answer (partial coverage would depend on the OS
+/// schedule); callers surface [`crate::QueryError::Cancelled`] instead.
+/// With `cancel: None` the behaviour is exactly [`run_morsels_traced`].
+pub fn run_morsels_cancellable<T, F>(
+    rows: usize,
+    morsel_rows: usize,
+    threads: usize,
+    cancel: Option<&CancelToken>,
+    work: F,
+) -> (Vec<T>, MorselSchedule, bool)
+where
+    T: Send,
+    F: Fn(Morsel) -> T + Sync,
+{
     let iter = MorselIter::new(rows, morsel_rows);
     let num_morsels = iter.count_total();
     let threads = threads.clamp(1, num_morsels.max(1));
+    let tripped = |c: Option<&CancelToken>| c.is_some_and(CancelToken::is_cancelled);
 
     if threads <= 1 {
-        let out: Vec<T> = iter.map(&work).collect();
+        let mut out: Vec<T> = Vec::with_capacity(num_morsels);
+        for m in iter {
+            if tripped(cancel) {
+                break;
+            }
+            out.push(work(m));
+        }
+        let cancelled = out.len() < num_morsels;
         let claims = if out.is_empty() { Vec::new() } else { vec![out.len() as u64] };
-        return (out, MorselSchedule { claims });
+        return (out, MorselSchedule { claims }, cancelled);
     }
 
     let next = AtomicUsize::new(0);
@@ -88,7 +121,10 @@ where
                 let work = &work;
                 s.spawn(move || {
                     let mut mine = Vec::new();
-                    loop {
+                    // The claim loop is the cancellation point: a tripped
+                    // token stops this worker before its next claim, so a
+                    // timed-out query frees its threads within one morsel.
+                    while !tripped(cancel) {
                         let i = next.fetch_add(1, Ordering::Relaxed);
                         match iter.get(i) {
                             Some(m) => mine.push((i, work(m))),
@@ -108,8 +144,9 @@ where
 
     // Restore morsel order so the caller's fold is schedule-independent.
     tagged.sort_by_key(|(i, _)| *i);
-    debug_assert_eq!(tagged.len(), num_morsels);
-    (tagged.into_iter().map(|(_, t)| t).collect(), MorselSchedule { claims })
+    let cancelled = tagged.len() < num_morsels;
+    debug_assert!(cancelled || tagged.len() == num_morsels);
+    (tagged.into_iter().map(|(_, t)| t).collect(), MorselSchedule { claims }, cancelled)
 }
 
 /// Fold one partial group map into an accumulator, merging the
@@ -181,6 +218,49 @@ mod tests {
     fn more_threads_than_morsels() {
         let out = run_morsels(10, 4, 64, |m| m.len());
         assert_eq!(out, vec![4, 4, 2]);
+    }
+
+    #[test]
+    fn cancelled_token_stops_claiming() {
+        for threads in [1, 4] {
+            let token = CancelToken::new();
+            let ran = AtomicUsize::new(0);
+            let (out, _, cancelled) =
+                run_morsels_cancellable(100_000, 64, threads, Some(&token), |m| {
+                    // Trip the token partway through the scan.
+                    if ran.fetch_add(1, Ordering::Relaxed) == 10 {
+                        token.cancel();
+                    }
+                    m.index
+                });
+            assert!(cancelled, "at {threads} threads");
+            assert!(out.len() < 100_000 / 64, "claiming stopped early at {threads} threads");
+        }
+    }
+
+    #[test]
+    fn untripped_token_changes_nothing() {
+        let token = CancelToken::new();
+        for threads in [1, 4] {
+            let (out, sched, cancelled) =
+                run_morsels_cancellable(10_000, 256, threads, Some(&token), |m| m.index);
+            assert!(!cancelled);
+            assert_eq!(out.len(), 40);
+            assert_eq!(sched.claims.iter().sum::<u64>(), 40);
+            for (i, idx) in out.iter().enumerate() {
+                assert_eq!(*idx, i, "results stay in morsel order");
+            }
+        }
+    }
+
+    #[test]
+    fn pre_tripped_token_runs_nothing_threaded() {
+        let token = CancelToken::new();
+        token.cancel();
+        let (out, _, cancelled) =
+            run_morsels_cancellable(10_000, 256, 4, Some(&token), |m| m.index);
+        assert!(cancelled);
+        assert!(out.is_empty(), "no morsel claimed after a pre-tripped token");
     }
 
     #[test]

@@ -1,0 +1,291 @@
+//! Deterministic fault injection for the serving path.
+//!
+//! The storage layer injects disk faults (`aqp_storage::fault`); this
+//! module injects the *network and scheduling* faults a server meets in
+//! production: connections dropped at accept time, responses stalling
+//! mid-write, clients that trickle their request bytes, and executions
+//! that hang until the deadline reaps them. The spec grammar and the
+//! `AQP_FAULTS` environment variable are shared with the storage layer —
+//! each layer's parser ignores the other's kinds, so one variable can
+//! arm either (or, comma-separated, both):
+//!
+//! | spec | effect |
+//! |---|---|
+//! | `accept-drop@N` | the (N+1)-th accepted connection is dropped before any read |
+//! | `write-stall@N` | the (N+1)-th response write stalls ~300ms first |
+//! | `slow-read@N` | the (N+1)-th request read stalls ~200ms (a slow client) |
+//! | `exec-stall@N` | the (N+1)-th query execution blocks until its cancel token trips (or a 2s cap) |
+//!
+//! `exec-stall` is the CI recipe for a *forced, deterministic timeout*:
+//! a stalled execution with a deadline-carrying token returns as a
+//! timeout exactly when the deadline trips, regardless of machine speed.
+//! Faults that fire are tallied in `aqp_fault_injected_total{kind=...}`
+//! — the same metric the storage faults use — plus a warn event.
+
+use aqp_query::CancelToken;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Mutex, MutexGuard, OnceLock};
+use std::time::{Duration, Instant};
+
+/// How long `write-stall` and `slow-read` pause.
+pub const STALL: Duration = Duration::from_millis(250);
+
+/// Upper bound on an `exec-stall` with no (or an un-tripped) token.
+pub const EXEC_STALL_CAP: Duration = Duration::from_secs(2);
+
+/// One class of injected serving fault.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ServingFault {
+    /// Drop the (nth+1)-th accepted connection before reading anything.
+    AcceptDrop {
+        /// 0-based index of the dropped connection.
+        nth: usize,
+    },
+    /// Stall ~[`STALL`] before the (nth+1)-th response write.
+    WriteStall {
+        /// 0-based index of the stalled write.
+        nth: usize,
+    },
+    /// Stall ~[`STALL`] during the (nth+1)-th request read.
+    SlowRead {
+        /// 0-based index of the stalled read.
+        nth: usize,
+    },
+    /// Block the (nth+1)-th query execution until its token cancels
+    /// (capped at [`EXEC_STALL_CAP`]).
+    ExecStall {
+        /// 0-based index of the stalled execution.
+        nth: usize,
+    },
+}
+
+impl ServingFault {
+    /// The spec keyword for this fault (as accepted by [`parse_spec`]).
+    pub fn kind(&self) -> &'static str {
+        match self {
+            ServingFault::AcceptDrop { .. } => "accept-drop",
+            ServingFault::WriteStall { .. } => "write-stall",
+            ServingFault::SlowRead { .. } => "slow-read",
+            ServingFault::ExecStall { .. } => "exec-stall",
+        }
+    }
+}
+
+/// Parse one `kind@N` spec. Unknown kinds (including every storage
+/// fault kind) return `None`.
+pub fn parse_spec(spec: &str) -> Option<ServingFault> {
+    // Strip an optional `:substr` scope for grammar compatibility with
+    // the storage specs; serving faults are process-global.
+    let body = spec.split_once(':').map_or(spec, |(b, _)| b);
+    let (kind, arg) = body.split_once('@')?;
+    let nth = arg.parse::<usize>().ok()?;
+    match kind {
+        "accept-drop" => Some(ServingFault::AcceptDrop { nth }),
+        "write-stall" => Some(ServingFault::WriteStall { nth }),
+        "slow-read" => Some(ServingFault::SlowRead { nth }),
+        "exec-stall" => Some(ServingFault::ExecStall { nth }),
+        _ => None,
+    }
+}
+
+/// The serving faults requested via `AQP_FAULTS` (parsed once per
+/// process; comma-separated specs allowed, non-serving kinds skipped).
+pub fn env_plan() -> Vec<ServingFault> {
+    static ENV: OnceLock<Vec<ServingFault>> = OnceLock::new();
+    ENV.get_or_init(|| {
+        std::env::var("AQP_FAULTS")
+            .map(|s| s.split(',').filter_map(parse_spec).collect())
+            .unwrap_or_default()
+    })
+    .clone()
+}
+
+#[derive(Debug, Default)]
+struct Counters {
+    accepts: AtomicUsize,
+    writes: AtomicUsize,
+    reads: AtomicUsize,
+    execs: AtomicUsize,
+}
+
+struct State {
+    plan: Vec<ServingFault>,
+    counters: Counters,
+}
+
+fn state() -> &'static Mutex<State> {
+    static STATE: OnceLock<Mutex<State>> = OnceLock::new();
+    STATE.get_or_init(|| {
+        Mutex::new(State {
+            plan: env_plan(),
+            counters: Counters::default(),
+        })
+    })
+}
+
+fn serial_lock() -> &'static Mutex<()> {
+    static SERIAL: Mutex<()> = Mutex::new(());
+    &SERIAL
+}
+
+/// Keeps installed faults active; dropping restores the env plan and
+/// releases the cross-test serialization lock.
+pub struct FaultGuard {
+    _serial: MutexGuard<'static, ()>,
+}
+
+impl Drop for FaultGuard {
+    fn drop(&mut self) {
+        let mut st = state().lock().expect("serving fault state poisoned");
+        st.plan = env_plan();
+        st.counters = Counters::default();
+    }
+}
+
+/// Install `faults` until the returned guard drops. Serializes callers
+/// so parallel tests never observe each other's faults.
+pub fn install(faults: Vec<ServingFault>) -> FaultGuard {
+    let serial = match serial_lock().lock() {
+        Ok(g) => g,
+        Err(poisoned) => poisoned.into_inner(),
+    };
+    let mut st = state().lock().expect("serving fault state poisoned");
+    st.plan = faults;
+    st.counters = Counters::default();
+    drop(st);
+    FaultGuard { _serial: serial }
+}
+
+fn fault_hit(kind: &'static str) {
+    aqp_obs::counter("aqp_fault_injected_total", &[("kind", kind)]).inc();
+    aqp_obs::event::warn("serving::fault", "injected serving fault fired", &[("kind", kind)]);
+}
+
+/// Consult the plan at one hook point; returns the matching fault if its
+/// occurrence index matches the running counter for that hook.
+fn check(select: impl Fn(&ServingFault) -> Option<usize>, counter: impl Fn(&Counters) -> &AtomicUsize) -> bool {
+    let st = state().lock().expect("serving fault state poisoned");
+    let seen = counter(&st.counters).fetch_add(1, Ordering::Relaxed);
+    st.plan.iter().any(|f| select(f) == Some(seen))
+}
+
+/// Accept-time hook: `true` means drop this connection now.
+pub fn accept_drop() -> bool {
+    let hit = check(
+        |f| match f {
+            ServingFault::AcceptDrop { nth } => Some(*nth),
+            _ => None,
+        },
+        |c| &c.accepts,
+    );
+    if hit {
+        fault_hit("accept-drop");
+    }
+    hit
+}
+
+/// Response-write hook: stalls [`STALL`] when the fault fires.
+pub fn write_stall() {
+    let hit = check(
+        |f| match f {
+            ServingFault::WriteStall { nth } => Some(*nth),
+            _ => None,
+        },
+        |c| &c.writes,
+    );
+    if hit {
+        fault_hit("write-stall");
+        std::thread::sleep(STALL);
+    }
+}
+
+/// Request-read hook: stalls [`STALL`] when the fault fires.
+pub fn slow_read() {
+    let hit = check(
+        |f| match f {
+            ServingFault::SlowRead { nth } => Some(*nth),
+            _ => None,
+        },
+        |c| &c.reads,
+    );
+    if hit {
+        fault_hit("slow-read");
+        std::thread::sleep(STALL);
+    }
+}
+
+/// Execution hook: blocks until `token` trips (or [`EXEC_STALL_CAP`])
+/// when the fault fires. Placed before the ladder walk, it simulates a
+/// scan that will not finish in time.
+pub fn exec_stall(token: Option<&CancelToken>) {
+    let hit = check(
+        |f| match f {
+            ServingFault::ExecStall { nth } => Some(*nth),
+            _ => None,
+        },
+        |c| &c.execs,
+    );
+    if !hit {
+        return;
+    }
+    fault_hit("exec-stall");
+    let cap = Instant::now() + EXEC_STALL_CAP;
+    while Instant::now() < cap {
+        if token.is_some_and(CancelToken::is_cancelled) {
+            return;
+        }
+        std::thread::sleep(Duration::from_millis(5));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn spec_parsing_ignores_foreign_kinds() {
+        assert_eq!(parse_spec("accept-drop@0"), Some(ServingFault::AcceptDrop { nth: 0 }));
+        assert_eq!(parse_spec("write-stall@2"), Some(ServingFault::WriteStall { nth: 2 }));
+        assert_eq!(parse_spec("slow-read@1"), Some(ServingFault::SlowRead { nth: 1 }));
+        assert_eq!(parse_spec("exec-stall@0:scope"), Some(ServingFault::ExecStall { nth: 0 }));
+        assert_eq!(parse_spec("bitflip@700"), None, "storage kind skipped");
+        assert_eq!(parse_spec("missing"), None, "no @arg");
+        assert_eq!(parse_spec("exec-stall@x"), None, "bad arg");
+    }
+
+    #[test]
+    fn nth_occurrence_fires_once() {
+        let _g = install(vec![ServingFault::AcceptDrop { nth: 1 }]);
+        assert!(!accept_drop(), "occurrence 0 passes");
+        assert!(accept_drop(), "occurrence 1 drops");
+        assert!(!accept_drop(), "occurrence 2 passes");
+    }
+
+    #[test]
+    fn exec_stall_releases_on_cancel() {
+        let _g = install(vec![ServingFault::ExecStall { nth: 0 }]);
+        let token = CancelToken::new();
+        token.cancel();
+        let t0 = Instant::now();
+        exec_stall(Some(&token));
+        assert!(t0.elapsed() < Duration::from_millis(500), "released by tripped token");
+        // Subsequent executions unaffected.
+        let t0 = Instant::now();
+        exec_stall(Some(&token));
+        assert!(t0.elapsed() < Duration::from_millis(50));
+    }
+
+    #[test]
+    fn guard_restores_clean_state() {
+        {
+            let _g = install(vec![ServingFault::SlowRead { nth: 0 }]);
+            let t0 = Instant::now();
+            slow_read();
+            assert!(t0.elapsed() >= STALL);
+        }
+        let _g = install(vec![]);
+        let t0 = Instant::now();
+        slow_read();
+        assert!(t0.elapsed() < Duration::from_millis(50), "no fault after guard drop");
+    }
+}

@@ -1,0 +1,583 @@
+//! Wire protocol: length-prefixed JSON frames.
+//!
+//! Each message is one *frame*: a 4-byte big-endian payload length
+//! followed by that many bytes of UTF-8 JSON. Framing keeps the parser
+//! trivial and makes partial reads explicit; JSON keeps the protocol
+//! inspectable with nothing but `nc` and eyeballs. The JSON tree reuses
+//! [`aqp_obs::json::Value`] — the same hand-rolled writer/parser the
+//! trace pipeline uses — so the serving layer stays zero-dependency.
+//!
+//! Degradation is a *first-class wire concept*: an `ok` response carries
+//! the [`ServingTier`] that produced the answer, whether the scan was
+//! truncated (`partial`), and whether the deadline forced a cheaper tier
+//! (`deadline_limited`); an overloaded server answers `shed` with a
+//! `retry_after_ms` hint instead of stalling the client; a missed
+//! deadline answers `timeout`. Clients can react to load without any
+//! out-of-band channel.
+
+use aqp_core::{ApproxAnswer, ServingTier};
+use aqp_obs::json::{self, Value};
+use aqp_storage::Value as Datum;
+use std::io::{self, Read, Write};
+
+/// Frames larger than this are rejected before allocation — a corrupt
+/// or hostile length prefix must not OOM the server.
+pub const MAX_FRAME_BYTES: usize = 16 * 1024 * 1024;
+
+/// Write one frame: 4-byte big-endian length, then the payload.
+pub fn write_frame(w: &mut impl Write, payload: &str) -> io::Result<()> {
+    let bytes = payload.as_bytes();
+    if bytes.len() > MAX_FRAME_BYTES {
+        return Err(io::Error::other("frame exceeds MAX_FRAME_BYTES"));
+    }
+    w.write_all(&(bytes.len() as u32).to_be_bytes())?;
+    w.write_all(bytes)?;
+    w.flush()
+}
+
+/// Read one frame. Returns `Ok(None)` on clean EOF at a frame boundary
+/// (the peer closed between messages); mid-frame EOF is an error.
+pub fn read_frame(r: &mut impl Read) -> io::Result<Option<String>> {
+    let mut len_buf = [0u8; 4];
+    // A clean close lands here with zero bytes; anything less than the
+    // full prefix after at least one byte is a torn frame.
+    let mut filled = 0;
+    while filled < 4 {
+        match r.read(&mut len_buf[filled..]) {
+            Ok(0) if filled == 0 => return Ok(None),
+            Ok(0) => return Err(io::Error::new(io::ErrorKind::UnexpectedEof, "torn frame header")),
+            Ok(n) => filled += n,
+            Err(e) => return Err(e),
+        }
+    }
+    let len = u32::from_be_bytes(len_buf) as usize;
+    if len > MAX_FRAME_BYTES {
+        return Err(io::Error::other(format!("frame length {len} exceeds limit")));
+    }
+    let mut payload = vec![0u8; len];
+    r.read_exact(&mut payload)?;
+    String::from_utf8(payload)
+        .map(Some)
+        .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e))
+}
+
+/// Service class a request is admitted under. Interactive requests get
+/// the larger concurrency share and the tighter default deadline; batch
+/// requests queue behind them.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum ContractClass {
+    /// Latency-sensitive: dashboards, humans, REPLs.
+    #[default]
+    Interactive,
+    /// Throughput-oriented: reports, backfills.
+    Batch,
+}
+
+impl ContractClass {
+    /// Stable wire/metric label.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            ContractClass::Interactive => "interactive",
+            ContractClass::Batch => "batch",
+        }
+    }
+
+    /// Parse a wire label (unknown strings default to interactive, the
+    /// class with the stricter limits — misdeclared traffic must not
+    /// escape admission control by typo).
+    pub fn parse(s: &str) -> ContractClass {
+        match s {
+            "batch" => ContractClass::Batch,
+            _ => ContractClass::Interactive,
+        }
+    }
+}
+
+/// One client request.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Request {
+    /// Answer a SQL query under the given constraints.
+    Query {
+        /// The SQL text (the supported SPJA fragment).
+        sql: String,
+        /// Admission class.
+        class: ContractClass,
+        /// Per-query deadline in milliseconds, if any.
+        deadline_ms: Option<u64>,
+        /// Client-requested row-scan cap, if any.
+        row_budget: Option<usize>,
+        /// Confidence level for intervals (default 0.95).
+        confidence: Option<f64>,
+    },
+    /// Liveness probe.
+    Ping,
+    /// Fetch the server's metrics registry as Prometheus text.
+    Metrics,
+    /// Ask the server to shut down gracefully (drain, then exit).
+    Shutdown,
+}
+
+impl Request {
+    /// A query request with defaults (interactive, no deadline, no cap).
+    pub fn query(sql: impl Into<String>) -> Request {
+        Request::Query {
+            sql: sql.into(),
+            class: ContractClass::Interactive,
+            deadline_ms: None,
+            row_budget: None,
+            confidence: None,
+        }
+    }
+
+    /// Encode as a JSON frame payload.
+    pub fn to_json(&self) -> String {
+        let v = match self {
+            Request::Ping => Value::Obj(vec![("op".into(), "ping".into())]),
+            Request::Metrics => Value::Obj(vec![("op".into(), "metrics".into())]),
+            Request::Shutdown => Value::Obj(vec![("op".into(), "shutdown".into())]),
+            Request::Query { sql, class, deadline_ms, row_budget, confidence } => {
+                let mut m: Vec<(String, Value)> = vec![
+                    ("op".into(), "query".into()),
+                    ("sql".into(), sql.as_str().into()),
+                    ("class".into(), class.as_str().into()),
+                ];
+                if let Some(d) = deadline_ms {
+                    m.push(("deadline_ms".into(), (*d).into()));
+                }
+                if let Some(b) = row_budget {
+                    m.push(("row_budget".into(), (*b).into()));
+                }
+                if let Some(c) = confidence {
+                    m.push(("confidence".into(), (*c).into()));
+                }
+                Value::Obj(m)
+            }
+        };
+        v.to_json()
+    }
+
+    /// Decode a JSON frame payload.
+    pub fn from_json(payload: &str) -> Result<Request, String> {
+        let v = json::parse(payload)?;
+        let op = v.get("op").and_then(Value::as_str).ok_or("missing op")?;
+        match op {
+            "ping" => Ok(Request::Ping),
+            "metrics" => Ok(Request::Metrics),
+            "shutdown" => Ok(Request::Shutdown),
+            "query" => Ok(Request::Query {
+                sql: v.get("sql").and_then(Value::as_str).ok_or("query needs sql")?.to_string(),
+                class: ContractClass::parse(
+                    v.get("class").and_then(Value::as_str).unwrap_or("interactive"),
+                ),
+                deadline_ms: v.get("deadline_ms").and_then(Value::as_u64),
+                row_budget: v.get("row_budget").and_then(Value::as_u64).map(|n| n as usize),
+                confidence: v.get("confidence").and_then(Value::as_f64),
+            }),
+            other => Err(format!("unknown op {other:?}")),
+        }
+    }
+}
+
+/// An approximate answer flattened for the wire.
+#[derive(Debug, Clone, PartialEq)]
+pub struct WireAnswer {
+    /// The ladder rung that served the answer (`primary`, `degraded`,
+    /// `overall`, `exact`).
+    pub tier: String,
+    /// True when a row budget truncated the scan.
+    pub partial: bool,
+    /// True when the deadline forced a cheaper tier or truncated the
+    /// exact rung — the client traded accuracy for its own deadline.
+    pub deadline_limited: bool,
+    /// Rows the answer actually scanned.
+    pub rows_scanned: u64,
+    /// The row cap the ladder walked under, if any.
+    pub effective_budget: Option<u64>,
+    /// Server-side wall time, milliseconds.
+    pub elapsed_ms: f64,
+    /// Group-by column names.
+    pub group_names: Vec<String>,
+    /// Aggregate output aliases.
+    pub agg_aliases: Vec<String>,
+    /// One entry per group: key values and per-aggregate estimates.
+    pub groups: Vec<WireGroup>,
+}
+
+/// One result group on the wire.
+#[derive(Debug, Clone, PartialEq)]
+pub struct WireGroup {
+    /// Group key (one JSON scalar per group-by column).
+    pub key: Vec<Value>,
+    /// Per-aggregate `[estimate, lo, hi, exact]` tuples.
+    pub values: Vec<WireValue>,
+}
+
+/// One estimate with its confidence interval.
+#[derive(Debug, Clone, PartialEq)]
+pub struct WireValue {
+    /// Point estimate.
+    pub estimate: f64,
+    /// Interval lower bound.
+    pub lo: f64,
+    /// Interval upper bound.
+    pub hi: f64,
+    /// Whether the value is exact (interval collapses).
+    pub exact: bool,
+}
+
+fn datum_to_json(d: &Datum) -> Value {
+    match d {
+        Datum::Null => Value::Null,
+        Datum::Int64(i) => Value::Num(*i as f64),
+        Datum::Float64(f) => Value::Num(*f),
+        Datum::Utf8(s) => Value::Str(s.clone()),
+        Datum::Bool(b) => Value::Bool(*b),
+    }
+}
+
+impl WireAnswer {
+    /// Flatten an [`ApproxAnswer`] (plus bound metadata) for the wire.
+    /// Groups are key-sorted first so the wire order is deterministic —
+    /// the in-memory merge order is not a protocol guarantee.
+    pub fn from_answer(
+        answer: &ApproxAnswer,
+        deadline_limited: bool,
+        effective_budget: Option<usize>,
+        elapsed_ms: f64,
+    ) -> WireAnswer {
+        let mut sorted = answer.clone();
+        sorted.sort_by_key();
+        WireAnswer {
+            tier: tier_str(sorted.tier).to_string(),
+            partial: sorted.partial,
+            deadline_limited,
+            rows_scanned: sorted.rows_scanned as u64,
+            effective_budget: effective_budget.map(|b| b as u64),
+            elapsed_ms,
+            group_names: sorted.group_names.clone(),
+            agg_aliases: sorted.agg_aliases.clone(),
+            groups: sorted
+                .groups
+                .iter()
+                .map(|g| WireGroup {
+                    key: g.key.iter().map(datum_to_json).collect(),
+                    values: g
+                        .values
+                        .iter()
+                        .map(|v| WireValue {
+                            estimate: v.value(),
+                            lo: v.ci.lo,
+                            hi: v.ci.hi,
+                            exact: v.is_exact(),
+                        })
+                        .collect(),
+                })
+                .collect(),
+        }
+    }
+}
+
+fn tier_str(tier: ServingTier) -> &'static str {
+    match tier {
+        ServingTier::Primary => "primary",
+        ServingTier::DegradedPrimary => "degraded",
+        ServingTier::Overall => "overall",
+        ServingTier::Exact => "exact",
+    }
+}
+
+/// One server response. Every request receives exactly one of these.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Response {
+    /// The query was answered (possibly at a degraded tier).
+    Answer(WireAnswer),
+    /// Liveness reply.
+    Pong,
+    /// Prometheus text-format metrics snapshot.
+    Metrics(String),
+    /// The server accepted a shutdown request and is draining.
+    ShuttingDown,
+    /// Admission control refused the request: the class's queue is full.
+    /// Retry after the hinted back-off.
+    Shed {
+        /// Suggested back-off before retrying, milliseconds.
+        retry_after_ms: u64,
+        /// The class whose queue was full.
+        class: String,
+    },
+    /// The server is draining for shutdown; no new queries are accepted.
+    Draining,
+    /// The query's deadline expired (in queue or mid-scan) before any
+    /// tier could finish.
+    Timeout {
+        /// Human-readable cause.
+        message: String,
+    },
+    /// The request failed (parse error, unsupported query, …).
+    Error {
+        /// Human-readable cause.
+        message: String,
+    },
+}
+
+impl Response {
+    /// Encode as a JSON frame payload.
+    pub fn to_json(&self) -> String {
+        let v = match self {
+            Response::Pong => Value::Obj(vec![
+                ("status".into(), "ok".into()),
+                ("pong".into(), true.into()),
+            ]),
+            Response::Metrics(text) => Value::Obj(vec![
+                ("status".into(), "ok".into()),
+                ("metrics".into(), text.as_str().into()),
+            ]),
+            Response::ShuttingDown => Value::Obj(vec![
+                ("status".into(), "ok".into()),
+                ("shutting_down".into(), true.into()),
+            ]),
+            Response::Shed { retry_after_ms, class } => Value::Obj(vec![
+                ("status".into(), "shed".into()),
+                ("retry_after_ms".into(), (*retry_after_ms).into()),
+                ("class".into(), class.as_str().into()),
+            ]),
+            Response::Draining => Value::Obj(vec![("status".into(), "draining".into())]),
+            Response::Timeout { message } => Value::Obj(vec![
+                ("status".into(), "timeout".into()),
+                ("message".into(), message.as_str().into()),
+            ]),
+            Response::Error { message } => Value::Obj(vec![
+                ("status".into(), "error".into()),
+                ("message".into(), message.as_str().into()),
+            ]),
+            Response::Answer(a) => {
+                let groups = a
+                    .groups
+                    .iter()
+                    .map(|g| {
+                        Value::Obj(vec![
+                            ("key".into(), Value::Arr(g.key.clone())),
+                            (
+                                "values".into(),
+                                Value::Arr(
+                                    g.values
+                                        .iter()
+                                        .map(|v| {
+                                            Value::Obj(vec![
+                                                ("estimate".into(), v.estimate.into()),
+                                                ("lo".into(), v.lo.into()),
+                                                ("hi".into(), v.hi.into()),
+                                                ("exact".into(), v.exact.into()),
+                                            ])
+                                        })
+                                        .collect(),
+                                ),
+                            ),
+                        ])
+                    })
+                    .collect();
+                let mut m: Vec<(String, Value)> = vec![
+                    ("status".into(), "ok".into()),
+                    ("tier".into(), a.tier.as_str().into()),
+                    ("partial".into(), a.partial.into()),
+                    ("deadline_limited".into(), a.deadline_limited.into()),
+                    ("rows_scanned".into(), a.rows_scanned.into()),
+                    ("elapsed_ms".into(), a.elapsed_ms.into()),
+                    (
+                        "group_names".into(),
+                        Value::Arr(a.group_names.iter().map(|s| s.as_str().into()).collect()),
+                    ),
+                    (
+                        "agg_aliases".into(),
+                        Value::Arr(a.agg_aliases.iter().map(|s| s.as_str().into()).collect()),
+                    ),
+                    ("groups".into(), Value::Arr(groups)),
+                ];
+                if let Some(b) = a.effective_budget {
+                    m.insert(5, ("effective_budget".into(), b.into()));
+                }
+                Value::Obj(m)
+            }
+        };
+        v.to_json()
+    }
+
+    /// Decode a JSON frame payload.
+    pub fn from_json(payload: &str) -> Result<Response, String> {
+        let v = json::parse(payload)?;
+        let status = v.get("status").and_then(Value::as_str).ok_or("missing status")?;
+        match status {
+            "shed" => Ok(Response::Shed {
+                retry_after_ms: v.get("retry_after_ms").and_then(Value::as_u64).unwrap_or(0),
+                class: v
+                    .get("class")
+                    .and_then(Value::as_str)
+                    .unwrap_or("interactive")
+                    .to_string(),
+            }),
+            "draining" => Ok(Response::Draining),
+            "timeout" => Ok(Response::Timeout {
+                message: v.get("message").and_then(Value::as_str).unwrap_or("").to_string(),
+            }),
+            "error" => Ok(Response::Error {
+                message: v.get("message").and_then(Value::as_str).unwrap_or("").to_string(),
+            }),
+            "ok" => {
+                if v.get("pong").and_then(Value::as_bool) == Some(true) {
+                    return Ok(Response::Pong);
+                }
+                if v.get("shutting_down").and_then(Value::as_bool) == Some(true) {
+                    return Ok(Response::ShuttingDown);
+                }
+                if let Some(text) = v.get("metrics").and_then(Value::as_str) {
+                    return Ok(Response::Metrics(text.to_string()));
+                }
+                let groups = v
+                    .get("groups")
+                    .and_then(Value::as_arr)
+                    .ok_or("ok response needs groups")?
+                    .iter()
+                    .map(|g| {
+                        let key = g.get("key").and_then(Value::as_arr).unwrap_or(&[]).to_vec();
+                        let values = g
+                            .get("values")
+                            .and_then(Value::as_arr)
+                            .unwrap_or(&[])
+                            .iter()
+                            .map(|w| WireValue {
+                                estimate: w.get("estimate").and_then(Value::as_f64).unwrap_or(0.0),
+                                lo: w.get("lo").and_then(Value::as_f64).unwrap_or(f64::NAN),
+                                hi: w.get("hi").and_then(Value::as_f64).unwrap_or(f64::NAN),
+                                exact: w.get("exact").and_then(Value::as_bool).unwrap_or(false),
+                            })
+                            .collect();
+                        WireGroup { key, values }
+                    })
+                    .collect();
+                let strings = |k: &str| -> Vec<String> {
+                    v.get(k)
+                        .and_then(Value::as_arr)
+                        .unwrap_or(&[])
+                        .iter()
+                        .filter_map(|s| s.as_str().map(str::to_string))
+                        .collect()
+                };
+                Ok(Response::Answer(WireAnswer {
+                    tier: v.get("tier").and_then(Value::as_str).unwrap_or("").to_string(),
+                    partial: v.get("partial").and_then(Value::as_bool).unwrap_or(false),
+                    deadline_limited: v
+                        .get("deadline_limited")
+                        .and_then(Value::as_bool)
+                        .unwrap_or(false),
+                    rows_scanned: v.get("rows_scanned").and_then(Value::as_u64).unwrap_or(0),
+                    effective_budget: v.get("effective_budget").and_then(Value::as_u64),
+                    elapsed_ms: v.get("elapsed_ms").and_then(Value::as_f64).unwrap_or(0.0),
+                    group_names: strings("group_names"),
+                    agg_aliases: strings("agg_aliases"),
+                    groups,
+                }))
+            }
+            other => Err(format!("unknown status {other:?}")),
+        }
+    }
+
+    /// Whether this response ends the request (all current variants do;
+    /// the method exists so streaming extensions keep the invariant
+    /// explicit).
+    pub fn is_terminal(&self) -> bool {
+        true
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn frames_round_trip() {
+        let mut buf: Vec<u8> = Vec::new();
+        write_frame(&mut buf, "hello").unwrap();
+        write_frame(&mut buf, "").unwrap();
+        write_frame(&mut buf, "wörld").unwrap();
+        let mut r = &buf[..];
+        assert_eq!(read_frame(&mut r).unwrap(), Some("hello".into()));
+        assert_eq!(read_frame(&mut r).unwrap(), Some("".into()));
+        assert_eq!(read_frame(&mut r).unwrap(), Some("wörld".into()));
+        assert_eq!(read_frame(&mut r).unwrap(), None, "clean EOF");
+    }
+
+    #[test]
+    fn torn_and_oversized_frames_error() {
+        let mut r: &[u8] = &[0, 0];
+        assert!(read_frame(&mut r).is_err(), "torn header");
+        let mut r: &[u8] = &[0, 0, 0, 5, b'a'];
+        assert!(read_frame(&mut r).is_err(), "torn payload");
+        let huge = (MAX_FRAME_BYTES as u32 + 1).to_be_bytes();
+        let mut r: &[u8] = &huge;
+        assert!(read_frame(&mut r).is_err(), "oversized length prefix");
+    }
+
+    #[test]
+    fn requests_round_trip() {
+        let reqs = [
+            Request::Ping,
+            Request::Metrics,
+            Request::Shutdown,
+            Request::Query {
+                sql: "SELECT COUNT(*) FROM v GROUP BY g".into(),
+                class: ContractClass::Batch,
+                deadline_ms: Some(250),
+                row_budget: Some(10_000),
+                confidence: Some(0.99),
+            },
+            Request::query("SELECT SUM(x) FROM v"),
+        ];
+        for req in reqs {
+            let back = Request::from_json(&req.to_json()).unwrap();
+            assert_eq!(back, req);
+        }
+        assert!(Request::from_json("{}").is_err());
+        assert!(Request::from_json("{\"op\":\"dance\"}").is_err());
+        assert!(Request::from_json("not json").is_err());
+    }
+
+    #[test]
+    fn responses_round_trip() {
+        let answer = WireAnswer {
+            tier: "overall".into(),
+            partial: true,
+            deadline_limited: true,
+            rows_scanned: 123,
+            effective_budget: Some(1000),
+            elapsed_ms: 4.25,
+            group_names: vec!["g".into()],
+            agg_aliases: vec!["cnt".into()],
+            groups: vec![WireGroup {
+                key: vec![Value::Str("rare".into())],
+                values: vec![WireValue { estimate: 10.0, lo: 8.0, hi: 12.0, exact: false }],
+            }],
+        };
+        let resps = [
+            Response::Answer(answer),
+            Response::Pong,
+            Response::Metrics("# HELP x\n".into()),
+            Response::ShuttingDown,
+            Response::Shed { retry_after_ms: 40, class: "interactive".into() },
+            Response::Draining,
+            Response::Timeout { message: "deadline exceeded".into() },
+            Response::Error { message: "unknown column".into() },
+        ];
+        for resp in resps {
+            let back = Response::from_json(&resp.to_json()).unwrap();
+            assert_eq!(back, resp);
+            assert!(resp.is_terminal());
+        }
+    }
+
+    #[test]
+    fn class_parse_defaults_to_interactive() {
+        assert_eq!(ContractClass::parse("batch"), ContractClass::Batch);
+        assert_eq!(ContractClass::parse("interactive"), ContractClass::Interactive);
+        assert_eq!(ContractClass::parse("vip"), ContractClass::Interactive);
+    }
+}

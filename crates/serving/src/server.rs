@@ -1,0 +1,624 @@
+//! The TCP query server: accept loop, per-connection workers, deadline
+//! enforcement, and graceful shutdown.
+//!
+//! Threading model: one OS thread per connection (connections are
+//! long-lived and few; the *scan* parallelism comes from the morsel pool
+//! each query fans out to, not from connection count), all multiplexed
+//! over one shared [`ResilientSystem`]. Admission control is the
+//! concurrency limiter: at most `max_inflight` queries per class execute
+//! at once, so connection count never translates into unbounded executor
+//! pressure.
+//!
+//! Deadline path: a query with `deadline_ms` gets a deadline-carrying
+//! [`CancelToken`]. Before execution the deadline's remaining time is
+//! converted to a row budget ([`crate::throughput`]) and handed to
+//! [`ResilientSystem::answer_bounded`] — so a tight deadline *downgrades
+//! the serving tier up front* (tallied as
+//! `aqp_tier_fallback_total{reason="deadline"}`) instead of being
+//! discovered mid-scan. The token is the backstop: if the estimate was
+//! wrong and the deadline trips anyway, every in-flight scan stops
+//! claiming morsels within one morsel and the client gets a `timeout`
+//! frame. Either way the executor threads are freed; a doomed query
+//! cannot strand them.
+//!
+//! Shutdown: SIGTERM/ctrl-c (or a `shutdown` request) flips one flag.
+//! The accept loop stops, in-flight requests finish (their responses are
+//! written), idle connections are closed, and new requests on draining
+//! connections receive a `draining` frame. The process exits once every
+//! connection thread has been joined — no response is ever torn by
+//! shutdown.
+
+use crate::admission::{AdmissionConfig, AdmissionController, AdmitOutcome};
+use crate::fault;
+use crate::protocol::{
+    read_frame, write_frame, ContractClass, Request, Response, WireAnswer,
+};
+use crate::throughput::Throughput;
+use aqp_core::{AqpError, QueryBound, ResilientSystem};
+use aqp_query::CancelToken;
+use std::io;
+use std::net::{TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// Signal shim: the only unsafe code in the crate. Registers a handler
+/// for SIGTERM and SIGINT that flips one atomic; the server's accept
+/// loop polls it. The handler body is async-signal-safe (a single
+/// relaxed store).
+#[allow(unsafe_code)]
+mod sig {
+    use std::sync::atomic::{AtomicBool, Ordering};
+
+    /// Set by the signal handler; read by the accept loop.
+    pub static SIGNALLED: AtomicBool = AtomicBool::new(false);
+
+    #[cfg(unix)]
+    extern "C" fn handler(_signum: i32) {
+        SIGNALLED.store(true, Ordering::SeqCst);
+    }
+
+    /// Install the handlers (idempotent; best-effort on non-unix).
+    pub fn install() {
+        #[cfg(unix)]
+        {
+            extern "C" {
+                fn signal(signum: i32, handler: usize) -> usize;
+            }
+            const SIGINT: i32 = 2;
+            const SIGTERM: i32 = 15;
+            unsafe {
+                signal(SIGTERM, handler as *const () as usize);
+                signal(SIGINT, handler as *const () as usize);
+            }
+        }
+    }
+}
+
+/// Server configuration.
+#[derive(Debug, Clone)]
+pub struct ServerConfig {
+    /// Listen address, e.g. `127.0.0.1:7878` (`:0` picks a free port).
+    pub addr: String,
+    /// Admission limits per contract class.
+    pub admission: AdmissionConfig,
+    /// Deadline applied to queries that do not carry their own, if any.
+    pub default_deadline: Option<Duration>,
+    /// Confidence level for queries that do not carry their own.
+    pub default_confidence: f64,
+    /// Pin the throughput estimator (deterministic deadline→budget
+    /// conversion for tests/CI). `None` = learn from observations.
+    pub fixed_rows_per_ms: Option<f64>,
+    /// How long to wait for in-flight connections at shutdown before
+    /// abandoning the join.
+    pub drain_timeout: Duration,
+    /// Write a Prometheus metrics snapshot to this file at exit.
+    pub metrics_out: Option<std::path::PathBuf>,
+    /// Whether to install SIGTERM/SIGINT handlers (CLI yes, tests no —
+    /// handlers are process-global).
+    pub install_signal_handlers: bool,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        ServerConfig {
+            addr: "127.0.0.1:0".into(),
+            admission: AdmissionConfig::default(),
+            default_deadline: None,
+            default_confidence: 0.95,
+            fixed_rows_per_ms: None,
+            drain_timeout: Duration::from_secs(10),
+            metrics_out: None,
+            install_signal_handlers: false,
+        }
+    }
+}
+
+/// What one server run did, for operator logs and tests.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct ServerReport {
+    /// Total requests that received a terminal response.
+    pub requests: u64,
+    /// Queries answered (any tier).
+    pub answered: u64,
+    /// Requests shed by admission control.
+    pub shed: u64,
+    /// Deadline timeouts (queue or mid-scan).
+    pub timeouts: u64,
+    /// Requests refused because the server was draining.
+    pub drained_rejects: u64,
+    /// Errors (parse, planning, …).
+    pub errors: u64,
+    /// Connections served over the lifetime.
+    pub connections: u64,
+}
+
+#[derive(Debug, Default)]
+struct Tallies {
+    requests: AtomicU64,
+    answered: AtomicU64,
+    shed: AtomicU64,
+    timeouts: AtomicU64,
+    drained_rejects: AtomicU64,
+    errors: AtomicU64,
+    connections: AtomicU64,
+}
+
+/// Handle for asking a running server to shut down gracefully from
+/// another thread (tests, embedding).
+#[derive(Clone)]
+pub struct ShutdownHandle {
+    inner: Arc<Inner>,
+}
+
+impl ShutdownHandle {
+    /// Request graceful shutdown: drain in-flight work, then return.
+    pub fn shutdown(&self) {
+        self.inner.shutdown.store(true, Ordering::SeqCst);
+    }
+}
+
+impl std::fmt::Debug for ShutdownHandle {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ShutdownHandle")
+            .field("shutdown", &self.inner.shutdown.load(Ordering::SeqCst))
+            .finish()
+    }
+}
+
+struct Inner {
+    system: ResilientSystem,
+    config: ServerConfig,
+    admission: AdmissionController,
+    throughput: Throughput,
+    shutdown: AtomicBool,
+    draining: AtomicBool,
+    tallies: Tallies,
+}
+
+/// A bound, ready-to-run query server.
+pub struct Server {
+    inner: Arc<Inner>,
+    listener: TcpListener,
+}
+
+impl Server {
+    /// Bind the listen socket. The server does not accept until
+    /// [`Server::run`].
+    pub fn bind(system: ResilientSystem, config: ServerConfig) -> io::Result<Server> {
+        let listener = TcpListener::bind(&config.addr)?;
+        listener.set_nonblocking(true)?;
+        let throughput = match config.fixed_rows_per_ms {
+            Some(rate) => Throughput::fixed(rate),
+            None => Throughput::new(),
+        };
+        let admission = AdmissionController::new(config.admission);
+        Ok(Server {
+            inner: Arc::new(Inner {
+                system,
+                config,
+                admission,
+                throughput,
+                shutdown: AtomicBool::new(false),
+                draining: AtomicBool::new(false),
+                tallies: Tallies::default(),
+            }),
+            listener,
+        })
+    }
+
+    /// The bound address (useful with `:0`).
+    pub fn local_addr(&self) -> io::Result<std::net::SocketAddr> {
+        self.listener.local_addr()
+    }
+
+    /// A handle that can request shutdown from another thread.
+    pub fn shutdown_handle(&self) -> ShutdownHandle {
+        ShutdownHandle { inner: Arc::clone(&self.inner) }
+    }
+
+    /// Run the accept loop until shutdown is requested (signal, handle,
+    /// or `shutdown` request), then drain and return the report.
+    pub fn run(self) -> io::Result<ServerReport> {
+        if self.inner.config.install_signal_handlers {
+            sig::install();
+        }
+        aqp_obs::event::info(
+            "serving::server",
+            "server listening",
+            &[("addr", &self.local_addr()?.to_string())],
+        );
+        let mut workers: Vec<std::thread::JoinHandle<()>> = Vec::new();
+        while !self.stop_requested() {
+            match self.listener.accept() {
+                Ok((stream, _peer)) => {
+                    self.inner.tallies.connections.fetch_add(1, Ordering::Relaxed);
+                    if fault::accept_drop() {
+                        // Injected accept-time drop: close without a byte.
+                        drop(stream);
+                        continue;
+                    }
+                    let inner = Arc::clone(&self.inner);
+                    workers.push(std::thread::spawn(move || handle_connection(inner, stream)));
+                    workers.retain(|w| !w.is_finished());
+                }
+                Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
+                    std::thread::sleep(Duration::from_millis(5));
+                }
+                Err(e) => return Err(e),
+            }
+        }
+
+        // Drain: reject new requests, finish in-flight ones, join workers.
+        self.inner.draining.store(true, Ordering::SeqCst);
+        aqp_obs::counter("aqp_server_drain_total", &[]).inc();
+        let drain_deadline = Instant::now() + self.inner.config.drain_timeout;
+        for w in workers {
+            if Instant::now() >= drain_deadline {
+                aqp_obs::event::warn("serving::server", "drain timeout; abandoning join", &[]);
+                break;
+            }
+            let _ = w.join();
+        }
+        drop(self.listener);
+
+        if let Some(path) = &self.inner.config.metrics_out {
+            let text = aqp_obs::to_prometheus(&aqp_obs::global().snapshot());
+            std::fs::write(path, text)?;
+        }
+        let t = &self.inner.tallies;
+        let report = ServerReport {
+            requests: t.requests.load(Ordering::Relaxed),
+            answered: t.answered.load(Ordering::Relaxed),
+            shed: t.shed.load(Ordering::Relaxed),
+            timeouts: t.timeouts.load(Ordering::Relaxed),
+            drained_rejects: t.drained_rejects.load(Ordering::Relaxed),
+            errors: t.errors.load(Ordering::Relaxed),
+            connections: t.connections.load(Ordering::Relaxed),
+        };
+        aqp_obs::event::info(
+            "serving::server",
+            "server drained and stopped",
+            &[
+                ("requests", &report.requests.to_string()),
+                ("answered", &report.answered.to_string()),
+                ("shed", &report.shed.to_string()),
+                ("timeouts", &report.timeouts.to_string()),
+            ],
+        );
+        Ok(report)
+    }
+
+    fn stop_requested(&self) -> bool {
+        self.inner.shutdown.load(Ordering::SeqCst) || sig::SIGNALLED.load(Ordering::SeqCst)
+    }
+}
+
+fn handle_connection(inner: Arc<Inner>, stream: TcpStream) {
+    // Short read timeouts keep drain responsive: an idle connection is
+    // noticed within one tick, not held open by a silent client.
+    let _ = stream.set_read_timeout(Some(Duration::from_millis(100)));
+    let _ = stream.set_nodelay(true);
+    let mut reader = match stream.try_clone() {
+        Ok(r) => r,
+        Err(_) => return,
+    };
+    let mut writer = stream;
+
+    loop {
+        match read_frame(&mut reader) {
+            Ok(Some(payload)) => {
+                fault::slow_read();
+                let response = match Request::from_json(&payload) {
+                    Ok(request) => dispatch(&inner, request),
+                    Err(e) => {
+                        inner.tallies.errors.fetch_add(1, Ordering::Relaxed);
+                        tally_request(&inner, ContractClass::Interactive, "error");
+                        Response::Error { message: format!("bad request: {e}") }
+                    }
+                };
+                fault::write_stall();
+                if write_frame(&mut writer, &response.to_json()).is_err() {
+                    // Peer gone mid-response; nothing more to say to it.
+                    return;
+                }
+                if matches!(response, Response::ShuttingDown | Response::Draining) {
+                    return;
+                }
+            }
+            Ok(None) => return, // clean close
+            Err(e)
+                if e.kind() == io::ErrorKind::WouldBlock
+                    || e.kind() == io::ErrorKind::TimedOut =>
+            {
+                // Idle tick: close idle connections once draining.
+                if inner.draining.load(Ordering::SeqCst)
+                    || inner.shutdown.load(Ordering::SeqCst)
+                    || sig::SIGNALLED.load(Ordering::SeqCst)
+                {
+                    return;
+                }
+            }
+            Err(_) => return, // torn frame or transport error
+        }
+    }
+}
+
+fn tally_request(inner: &Inner, class: ContractClass, outcome: &'static str) {
+    inner.tallies.requests.fetch_add(1, Ordering::Relaxed);
+    aqp_obs::counter(
+        "aqp_server_requests_total",
+        &[("class", class.as_str()), ("outcome", outcome)],
+    )
+    .inc();
+}
+
+fn dispatch(inner: &Inner, request: Request) -> Response {
+    match request {
+        Request::Ping => {
+            tally_request(inner, ContractClass::Interactive, "ping");
+            Response::Pong
+        }
+        Request::Metrics => {
+            tally_request(inner, ContractClass::Interactive, "metrics");
+            Response::Metrics(aqp_obs::to_prometheus(&aqp_obs::global().snapshot()))
+        }
+        Request::Shutdown => {
+            tally_request(inner, ContractClass::Interactive, "shutdown");
+            inner.shutdown.store(true, Ordering::SeqCst);
+            Response::ShuttingDown
+        }
+        Request::Query { sql, class, deadline_ms, row_budget, confidence } => {
+            serve_query(inner, sql, class, deadline_ms, row_budget, confidence)
+        }
+    }
+}
+
+fn serve_query(
+    inner: &Inner,
+    sql: String,
+    class: ContractClass,
+    deadline_ms: Option<u64>,
+    row_budget: Option<usize>,
+    confidence: Option<f64>,
+) -> Response {
+    if inner.draining.load(Ordering::SeqCst) || inner.shutdown.load(Ordering::SeqCst) {
+        inner.tallies.drained_rejects.fetch_add(1, Ordering::Relaxed);
+        tally_request(inner, class, "draining");
+        return Response::Draining;
+    }
+
+    let deadline = deadline_ms
+        .map(Duration::from_millis)
+        .or(inner.config.default_deadline)
+        .map(|d| Instant::now() + d);
+
+    // Admission: the queue wait is bounded by the query's own deadline —
+    // time spent queueing is time the scan no longer has.
+    let permit = match inner.admission.admit(class, deadline) {
+        AdmitOutcome::Admitted(p) => p,
+        AdmitOutcome::Shed { retry_after_ms } => {
+            inner.tallies.shed.fetch_add(1, Ordering::Relaxed);
+            tally_request(inner, class, "shed");
+            return Response::Shed { retry_after_ms, class: class.as_str().to_string() };
+        }
+        AdmitOutcome::QueueTimeout => {
+            inner.tallies.timeouts.fetch_add(1, Ordering::Relaxed);
+            aqp_obs::counter("aqp_server_timeout_total", &[("class", class.as_str())]).inc();
+            tally_request(inner, class, "timeout");
+            return Response::Timeout { message: "deadline expired in admission queue".into() };
+        }
+    };
+
+    let token = match deadline {
+        Some(d) => CancelToken::with_deadline(d),
+        None => CancelToken::new(),
+    };
+    // Injected execution stall (CI's deterministic forced timeout).
+    fault::exec_stall(Some(&token));
+
+    // A deadline that expired before execution even began (queue wait,
+    // an injected stall) is a miss, not a degradation opportunity — a
+    // 0-row "answer" would be vacuous. Report the timeout honestly.
+    if deadline.is_some_and(|d| Instant::now() >= d) {
+        inner.tallies.timeouts.fetch_add(1, Ordering::Relaxed);
+        aqp_obs::counter("aqp_server_timeout_total", &[("class", class.as_str())]).inc();
+        tally_request(inner, class, "timeout");
+        return Response::Timeout { message: "deadline expired before execution".into() };
+    }
+
+    let deadline_budget = deadline
+        .and_then(|d| d.checked_duration_since(Instant::now()))
+        .and_then(|left| inner.throughput.budget_for(left));
+
+    let t0 = Instant::now();
+    let response = match aqp_sql::parse_query(&sql) {
+        Err(e) => {
+            inner.tallies.errors.fetch_add(1, Ordering::Relaxed);
+            tally_request(inner, class, "error");
+            Response::Error { message: format!("parse error: {e}") }
+        }
+        Ok(parsed) => {
+            let bound = QueryBound {
+                row_budget,
+                deadline_budget,
+                cancel: Some(token.clone()),
+            };
+            let conf = confidence.unwrap_or(inner.config.default_confidence);
+            match inner.system.answer_bounded(&parsed.query, conf, &bound) {
+                Ok(bounded) => {
+                    let elapsed = t0.elapsed();
+                    inner.throughput.observe(bounded.answer.rows_scanned, elapsed);
+                    inner.tallies.answered.fetch_add(1, Ordering::Relaxed);
+                    tally_request(inner, class, "answer");
+                    aqp_obs::histogram(
+                        "aqp_server_latency_seconds",
+                        &[("class", class.as_str())],
+                    )
+                    .observe(elapsed.as_nanos() as u64);
+                    Response::Answer(WireAnswer::from_answer(
+                        &bounded.answer,
+                        bounded.deadline_limited,
+                        bounded.effective_budget,
+                        elapsed.as_secs_f64() * 1e3,
+                    ))
+                }
+                Err(AqpError::Cancelled { deadline: true }) => {
+                    inner.tallies.timeouts.fetch_add(1, Ordering::Relaxed);
+                    aqp_obs::counter("aqp_server_timeout_total", &[("class", class.as_str())])
+                        .inc();
+                    tally_request(inner, class, "timeout");
+                    Response::Timeout {
+                        message: "deadline exceeded mid-scan; no tier could finish".into(),
+                    }
+                }
+                Err(AqpError::Cancelled { deadline: false }) => {
+                    inner.tallies.errors.fetch_add(1, Ordering::Relaxed);
+                    tally_request(inner, class, "error");
+                    Response::Error { message: "query cancelled".into() }
+                }
+                Err(e) => {
+                    inner.tallies.errors.fetch_add(1, Ordering::Relaxed);
+                    tally_request(inner, class, "error");
+                    Response::Error { message: e.to_string() }
+                }
+            }
+        }
+    };
+    drop(permit);
+    response
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::client::{Client, RetryPolicy};
+    use crate::protocol::Request;
+    use aqp_storage::{DataType, SchemaBuilder, Table};
+
+    fn view(rows: usize) -> Table {
+        let schema = SchemaBuilder::new()
+            .field("g", DataType::Utf8)
+            .field("x", DataType::Float64)
+            .build()
+            .unwrap();
+        let mut t = Table::empty("v", schema);
+        for i in 0..rows {
+            let g = if i % 20 == 0 { "rare" } else { "common" };
+            t.push_row(&[g.into(), (i as f64).into()]).unwrap();
+        }
+        t
+    }
+
+    fn start(config: ServerConfig) -> (std::net::SocketAddr, ShutdownHandle, std::thread::JoinHandle<ServerReport>) {
+        let system = ResilientSystem::exact_only(view(2_000));
+        let server = Server::bind(system, config).unwrap();
+        let addr = server.local_addr().unwrap();
+        let handle = server.shutdown_handle();
+        let join = std::thread::spawn(move || server.run().unwrap());
+        (addr, handle, join)
+    }
+
+    #[test]
+    fn answers_queries_and_drains_cleanly() {
+        let (addr, handle, join) = start(ServerConfig::default());
+        let mut client = Client::new(addr.to_string(), RetryPolicy::default());
+
+        match client.request(&Request::Ping).unwrap() {
+            Response::Pong => {}
+            other => panic!("{other:?}"),
+        }
+        let answer = match client
+            .request(&Request::query("SELECT g, COUNT(*) AS c FROM v GROUP BY g"))
+            .unwrap()
+        {
+            Response::Answer(a) => a,
+            other => panic!("{other:?}"),
+        };
+        assert_eq!(answer.tier, "exact");
+        assert_eq!(answer.groups.len(), 2);
+        let total: f64 = answer.groups.iter().map(|g| g.values[0].estimate).sum();
+        assert_eq!(total, 2_000.0);
+
+        handle.shutdown();
+        let report = join.join().unwrap();
+        assert_eq!(report.answered, 1);
+        assert_eq!(report.requests, 2);
+    }
+
+    #[test]
+    fn draining_rejects_new_queries() {
+        let (addr, handle, join) = start(ServerConfig::default());
+        let mut client = Client::new(addr.to_string(), RetryPolicy::no_retry());
+        // Ensure server is up.
+        client.request(&Request::Ping).unwrap();
+        handle.shutdown();
+        // The accept loop exits and draining begins; an in-flight
+        // connection's next query gets a draining frame (or the
+        // connection closes, which surfaces as an error — both are
+        // acceptable terminal outcomes).
+        std::thread::sleep(Duration::from_millis(50));
+        match client.request(&Request::query("SELECT COUNT(*) FROM v")) {
+            Ok(Response::Draining) | Err(_) => {}
+            Ok(other) => panic!("expected draining, got {other:?}"),
+        }
+        join.join().unwrap();
+    }
+
+    #[test]
+    fn shutdown_request_stops_server() {
+        let (addr, _handle, join) = start(ServerConfig::default());
+        let mut client = Client::new(addr.to_string(), RetryPolicy::no_retry());
+        match client.request(&Request::Shutdown).unwrap() {
+            Response::ShuttingDown => {}
+            other => panic!("{other:?}"),
+        }
+        let report = join.join().unwrap();
+        assert!(report.requests >= 1);
+    }
+
+    #[test]
+    fn deadline_with_zero_budget_degrades_not_dies() {
+        // Pin throughput so the deadline converts deterministically:
+        // 1 row/ms and an (almost elapsed) deadline → tiny budget →
+        // budget-capped exact scan, flagged deadline_limited.
+        let config = ServerConfig {
+            fixed_rows_per_ms: Some(1.0),
+            ..ServerConfig::default()
+        };
+        let (addr, handle, join) = start(config);
+        let mut client = Client::new(addr.to_string(), RetryPolicy::no_retry());
+        let resp = client
+            .request(&Request::Query {
+                sql: "SELECT COUNT(*) AS c FROM v".into(),
+                class: ContractClass::Interactive,
+                deadline_ms: Some(125),
+                row_budget: None,
+                confidence: None,
+            })
+            .unwrap();
+        match resp {
+            Response::Answer(a) => {
+                assert!(a.deadline_limited, "deadline shaped the answer: {a:?}");
+                assert!(a.partial, "scan was truncated to fit the deadline");
+                assert!(a.rows_scanned < 2_000, "scanned {} rows", a.rows_scanned);
+            }
+            other => panic!("expected degraded answer, got {other:?}"),
+        }
+        handle.shutdown();
+        join.join().unwrap();
+    }
+
+    #[test]
+    fn bad_sql_gets_error_response() {
+        let (addr, handle, join) = start(ServerConfig::default());
+        let mut client = Client::new(addr.to_string(), RetryPolicy::no_retry());
+        match client.request(&Request::query("SELEKT garbage")).unwrap() {
+            Response::Error { message } => assert!(message.contains("parse"), "{message}"),
+            other => panic!("{other:?}"),
+        }
+        handle.shutdown();
+        let report = join.join().unwrap();
+        assert_eq!(report.errors, 1);
+    }
+}

@@ -1,0 +1,132 @@
+//! Scan-throughput estimation: deadlines → row budgets.
+//!
+//! The degradation ladder speaks *rows*; deadlines speak *time*. This
+//! estimator converts between them: an EWMA of observed scan throughput
+//! (rows per millisecond) turns a deadline's remaining time into the row
+//! budget [`aqp_core::QueryBound::deadline_budget`] expects, discounted
+//! by a safety factor so estimation noise errs toward degrading early
+//! rather than missing the deadline. Until the first observation the
+//! estimator abstains (`None`): the deadline is then enforced only by
+//! the cooperative cancel token, and the first completed queries teach
+//! the server its own speed.
+//!
+//! Tests (and benchmarks that need run-to-run determinism) can pin the
+//! rate with [`Throughput::fixed`], making deadline→budget conversion a
+//! pure function of the deadline.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Duration;
+
+/// Safety discount applied to the estimated rate: budget for 80% of what
+/// the estimator thinks fits, so a mildly optimistic EWMA still beats
+/// the deadline.
+const SAFETY: f64 = 0.8;
+
+/// EWMA smoothing factor for new observations.
+const ALPHA: f64 = 0.2;
+
+/// Rows-per-millisecond estimator shared by all connection threads.
+#[derive(Debug, Default)]
+pub struct Throughput {
+    /// EWMA of rows/ms, as f64 bits; 0 = no observation yet.
+    ewma_bits: AtomicU64,
+    /// Pinned rate for deterministic tests; bypasses the EWMA entirely.
+    fixed_bits: AtomicU64,
+}
+
+impl Throughput {
+    /// An estimator with no observations (abstains until taught).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// An estimator pinned to a fixed rate — deterministic conversion
+    /// for tests and CI.
+    pub fn fixed(rows_per_ms: f64) -> Self {
+        let t = Self::new();
+        t.fixed_bits.store(rows_per_ms.to_bits(), Ordering::Relaxed);
+        t
+    }
+
+    /// Record one completed scan. Ignored when pinned or degenerate
+    /// (zero rows / zero time).
+    pub fn observe(&self, rows: usize, elapsed: Duration) {
+        if f64::from_bits(self.fixed_bits.load(Ordering::Relaxed)) > 0.0 {
+            return;
+        }
+        let ms = elapsed.as_secs_f64() * 1e3;
+        if rows == 0 || ms <= 0.0 {
+            return;
+        }
+        let rate = rows as f64 / ms;
+        // Racy read-modify-write: the EWMA feeds budget *hints*; a lost
+        // update under contention shifts the estimate by one sample.
+        let prev = f64::from_bits(self.ewma_bits.load(Ordering::Relaxed));
+        let next = if prev == 0.0 { rate } else { (1.0 - ALPHA) * prev + ALPHA * rate };
+        self.ewma_bits.store(next.to_bits(), Ordering::Relaxed);
+    }
+
+    /// The current rate estimate, if any.
+    pub fn rows_per_ms(&self) -> Option<f64> {
+        let fixed = f64::from_bits(self.fixed_bits.load(Ordering::Relaxed));
+        if fixed > 0.0 {
+            return Some(fixed);
+        }
+        let ewma = f64::from_bits(self.ewma_bits.load(Ordering::Relaxed));
+        (ewma > 0.0).then_some(ewma)
+    }
+
+    /// Rows affordable in `remaining` time, with the safety discount.
+    /// `None` when no estimate exists yet; `Some(0)` when the deadline
+    /// has effectively arrived (callers should degrade maximally).
+    pub fn budget_for(&self, remaining: Duration) -> Option<usize> {
+        let rate = self.rows_per_ms()?;
+        let ms = remaining.as_secs_f64() * 1e3;
+        Some((rate * ms * SAFETY).floor().max(0.0) as usize)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn abstains_until_first_observation() {
+        let t = Throughput::new();
+        assert_eq!(t.rows_per_ms(), None);
+        assert_eq!(t.budget_for(Duration::from_millis(100)), None);
+        t.observe(10_000, Duration::from_millis(10));
+        assert_eq!(t.rows_per_ms(), Some(1000.0));
+        // 100ms * 1000 rows/ms * 0.8 safety = 80_000 rows.
+        assert_eq!(t.budget_for(Duration::from_millis(100)), Some(80_000));
+    }
+
+    #[test]
+    fn ewma_converges_toward_new_rate() {
+        let t = Throughput::new();
+        t.observe(1000, Duration::from_millis(1)); // 1000 rows/ms
+        for _ in 0..50 {
+            t.observe(100, Duration::from_millis(1)); // 100 rows/ms
+        }
+        let rate = t.rows_per_ms().unwrap();
+        assert!(rate < 150.0, "EWMA converged toward the slower rate, got {rate}");
+    }
+
+    #[test]
+    fn fixed_rate_ignores_observations() {
+        let t = Throughput::fixed(50.0);
+        t.observe(1_000_000, Duration::from_millis(1));
+        assert_eq!(t.rows_per_ms(), Some(50.0));
+        // 10ms * 50 rows/ms * 0.8 = 400.
+        assert_eq!(t.budget_for(Duration::from_millis(10)), Some(400));
+        assert_eq!(t.budget_for(Duration::ZERO), Some(0));
+    }
+
+    #[test]
+    fn degenerate_observations_ignored() {
+        let t = Throughput::new();
+        t.observe(0, Duration::from_millis(5));
+        t.observe(100, Duration::ZERO);
+        assert_eq!(t.rows_per_ms(), None);
+    }
+}
