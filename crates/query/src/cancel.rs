@@ -32,6 +32,18 @@ use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
+/// Why a token is cancelled. Explicit cancellation wins when both
+/// conditions hold: a caller who cancelled a deadline-carrying token
+/// asked for cancellation semantics (an error), not timeout semantics
+/// (a degraded answer / timeout frame).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CancelCause {
+    /// [`CancelToken::cancel`] was called.
+    Explicit,
+    /// The token's deadline passed.
+    Deadline,
+}
+
 /// A cooperative cancellation handle: an explicit flag plus an optional
 /// deadline. Clones share the flag; checking is one atomic load (plus a
 /// monotonic-clock read when a deadline is set), cheap enough for every
@@ -71,6 +83,20 @@ impl CancelToken {
     pub fn is_cancelled(&self) -> bool {
         self.flag.load(Ordering::Relaxed)
             || self.deadline.is_some_and(|d| Instant::now() >= d)
+    }
+
+    /// Why the token is cancelled, or `None` if it is not. An explicit
+    /// [`Self::cancel`] takes precedence over an expired deadline, so a
+    /// cancelled deadline-carrying token reports [`CancelCause::Explicit`]
+    /// — callers use this to report cancellation vs. timeout correctly.
+    pub fn cause(&self) -> Option<CancelCause> {
+        if self.flag.load(Ordering::Relaxed) {
+            return Some(CancelCause::Explicit);
+        }
+        if self.deadline.is_some_and(|d| Instant::now() >= d) {
+            return Some(CancelCause::Deadline);
+        }
+        None
     }
 
     /// The hard deadline, if one was set.
@@ -147,6 +173,26 @@ mod tests {
         let t = CancelToken::with_timeout(Duration::from_secs(3600));
         assert!(!t.is_cancelled());
         assert!(t.remaining().unwrap() > Duration::from_secs(3000));
+    }
+
+    #[test]
+    fn cause_distinguishes_explicit_from_deadline() {
+        let t = CancelToken::new();
+        assert_eq!(t.cause(), None);
+        t.cancel();
+        assert_eq!(t.cause(), Some(CancelCause::Explicit));
+
+        let t = CancelToken::with_deadline(Instant::now() - Duration::from_millis(1));
+        assert_eq!(t.cause(), Some(CancelCause::Deadline));
+
+        // Explicit cancel on a deadline-carrying token reports Explicit
+        // even once the deadline has also passed.
+        let t = CancelToken::with_deadline(Instant::now() - Duration::from_millis(1));
+        t.cancel();
+        assert_eq!(t.cause(), Some(CancelCause::Explicit));
+
+        let t = CancelToken::with_timeout(Duration::from_secs(3600));
+        assert_eq!(t.cause(), None, "live deadline is not a cause");
     }
 
     #[test]

@@ -312,8 +312,12 @@ pub fn execute(
         // would break the executor's determinism contract. Report the
         // cancellation and let the caller pick a cheaper plan instead.
         aqp_obs::counter("aqp_query_cancelled_total", &[]).inc();
+        // Report *which* condition tripped, not merely whether a deadline
+        // existed: an explicit cancel() on a deadline-carrying token is a
+        // cancellation, not a timeout (cause() gives Explicit precedence).
         return Err(QueryError::Cancelled {
-            deadline: token.as_ref().is_some_and(|t| t.deadline().is_some()),
+            deadline: token.as_ref().and_then(|t| t.cause())
+                == Some(crate::cancel::CancelCause::Deadline),
         });
     }
     aqp_obs::counter("aqp_rows_scanned_total", &[]).inc_by(n as u64);

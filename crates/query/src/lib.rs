@@ -51,7 +51,7 @@ pub mod plan;
 mod selection;
 pub mod source;
 
-pub use cancel::CancelToken;
+pub use cancel::{CancelCause, CancelToken};
 pub use error::{QueryError, QueryResult};
 pub use exec::{execute, set_kernel_mode, ExecOptions, KernelMode, Weighting};
 pub use expr::{CmpOp, Expr};

@@ -131,10 +131,14 @@ impl Client {
 
     /// Backoff before retry number `retry` (1-based), honouring the
     /// server's hint as a floor and adding up to 50% jitter.
+    /// `max_backoff` caps only the client's own exponential component —
+    /// the server's `retry_after_ms` hint is an absolute floor that is
+    /// never clamped, so an overloaded server asking for a 5s back-off
+    /// gets it even with the default 2s `max_backoff`.
     fn backoff(&mut self, retry: u32, floor_ms: u64) -> Duration {
         let base = self.policy.base_backoff.as_millis() as u64;
         let exp = base.saturating_mul(1u64 << (retry - 1).min(16));
-        let ms = exp.max(floor_ms).min(self.policy.max_backoff.as_millis() as u64);
+        let ms = exp.min(self.policy.max_backoff.as_millis() as u64).max(floor_ms);
         let jittered = ms as f64 * (1.0 + 0.5 * self.jitter());
         Duration::from_millis(jittered as u64)
     }
@@ -290,6 +294,21 @@ mod tests {
             Err(ClientError::Io(_)) => {}
             other => panic!("{other:?}"),
         }
+    }
+
+    #[test]
+    fn server_hint_floor_survives_max_backoff_clamp() {
+        // max_backoff (2s default) caps only the client's exponential
+        // component; a 5s server hint must still be honoured in full.
+        let mut client = Client::new("127.0.0.1:1", RetryPolicy::with_seed(9));
+        let wait = client.backoff(1, 5_000);
+        assert!(wait >= Duration::from_millis(5_000), "hint floored: {wait:?}");
+        assert!(wait <= Duration::from_millis(7_500), "jitter bounded: {wait:?}");
+
+        // Without a hint the exponential component is still clamped.
+        let mut client = Client::new("127.0.0.1:1", RetryPolicy::with_seed(9));
+        let wait = client.backoff(16, 0);
+        assert!(wait <= Duration::from_millis(3_000), "2s cap + 50% jitter: {wait:?}");
     }
 
     #[test]

@@ -35,30 +35,141 @@ pub fn write_frame(w: &mut impl Write, payload: &str) -> io::Result<()> {
     w.flush()
 }
 
-/// Read one frame. Returns `Ok(None)` on clean EOF at a frame boundary
-/// (the peer closed between messages); mid-frame EOF is an error.
+/// Read one frame from a blocking stream. Returns `Ok(None)` on clean
+/// EOF at a frame boundary (the peer closed between messages); mid-frame
+/// EOF is an error. On a stream with a read timeout, use [`FrameReader`]
+/// instead — this function discards partial progress on `WouldBlock`.
 pub fn read_frame(r: &mut impl Read) -> io::Result<Option<String>> {
-    let mut len_buf = [0u8; 4];
-    // A clean close lands here with zero bytes; anything less than the
-    // full prefix after at least one byte is a torn frame.
-    let mut filled = 0;
-    while filled < 4 {
-        match r.read(&mut len_buf[filled..]) {
-            Ok(0) if filled == 0 => return Ok(None),
-            Ok(0) => return Err(io::Error::new(io::ErrorKind::UnexpectedEof, "torn frame header")),
-            Ok(n) => filled += n,
-            Err(e) => return Err(e),
+    let mut reader = FrameReader::new();
+    loop {
+        match reader.read(r)? {
+            FrameRead::Frame(payload) => return Ok(Some(payload)),
+            FrameRead::Eof => return Ok(None),
+            // No timeout on a blocking stream should reach here; if one
+            // does (caller set a timeout anyway), keep accumulating.
+            FrameRead::Idle | FrameRead::MidFrame => {}
         }
     }
-    let len = u32::from_be_bytes(len_buf) as usize;
-    if len > MAX_FRAME_BYTES {
-        return Err(io::Error::other(format!("frame length {len} exceeds limit")));
+}
+
+/// Outcome of one [`FrameReader::read`] call.
+#[derive(Debug, PartialEq, Eq)]
+pub enum FrameRead {
+    /// A complete frame payload.
+    Frame(String),
+    /// Clean EOF at a frame boundary (the peer closed between messages).
+    Eof,
+    /// The read timed out with **zero** bytes of the next frame consumed
+    /// — a genuine idle tick; the stream is still at a frame boundary.
+    Idle,
+    /// The read timed out **mid-frame**: bytes of the current frame are
+    /// already buffered in the reader. Call `read` again to resume —
+    /// treating this as idle (or abandoning the reader) would desync the
+    /// protocol, because the wire position is inside a frame.
+    MidFrame,
+}
+
+/// Incremental frame reader that survives read timeouts.
+///
+/// A server polls its sockets with a short read timeout so drain is
+/// responsive, but a frame can legitimately arrive split across several
+/// timeout windows (slow client, large frame, TCP fragmentation). This
+/// reader keeps the partially-read header and payload across
+/// `WouldBlock`/`TimedOut` returns, so a timeout never discards consumed
+/// bytes: the caller learns whether the connection is truly idle
+/// ([`FrameRead::Idle`]) or mid-frame ([`FrameRead::MidFrame`]) and the
+/// next call resumes exactly where the stream left off.
+#[derive(Debug, Default)]
+pub struct FrameReader {
+    /// Length-prefix bytes accumulated so far.
+    header: [u8; 4],
+    /// How many of the 4 header bytes are filled.
+    header_filled: usize,
+    /// Payload buffer, allocated once the header completes.
+    payload: Option<Vec<u8>>,
+    /// Payload bytes accumulated so far.
+    payload_filled: usize,
+}
+
+impl FrameReader {
+    /// A reader positioned at a frame boundary.
+    pub fn new() -> FrameReader {
+        FrameReader::default()
     }
-    let mut payload = vec![0u8; len];
-    r.read_exact(&mut payload)?;
-    String::from_utf8(payload)
-        .map(Some)
-        .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e))
+
+    /// Whether bytes of an incomplete frame are buffered.
+    pub fn mid_frame(&self) -> bool {
+        self.header_filled > 0 || self.payload.is_some()
+    }
+
+    /// Advance the frame state machine by reading from `r`. Never
+    /// discards consumed bytes: timeouts return [`FrameRead::Idle`] or
+    /// [`FrameRead::MidFrame`] and leave the partial frame buffered.
+    pub fn read(&mut self, r: &mut impl Read) -> io::Result<FrameRead> {
+        // Phase 1: the 4-byte length prefix.
+        while self.payload.is_none() {
+            if self.header_filled == 4 {
+                let len = u32::from_be_bytes(self.header) as usize;
+                if len > MAX_FRAME_BYTES {
+                    return Err(io::Error::other(format!("frame length {len} exceeds limit")));
+                }
+                self.payload = Some(vec![0u8; len]);
+                self.payload_filled = 0;
+                break;
+            }
+            match r.read(&mut self.header[self.header_filled..]) {
+                Ok(0) if self.header_filled == 0 => return Ok(FrameRead::Eof),
+                Ok(0) => {
+                    return Err(io::Error::new(
+                        io::ErrorKind::UnexpectedEof,
+                        "torn frame header",
+                    ))
+                }
+                Ok(n) => self.header_filled += n,
+                Err(e) if timed_out(&e) => {
+                    return Ok(if self.header_filled == 0 {
+                        FrameRead::Idle
+                    } else {
+                        FrameRead::MidFrame
+                    })
+                }
+                Err(e) => return Err(e),
+            }
+        }
+
+        // Phase 2: the payload.
+        let payload = self.payload.as_mut().expect("payload allocated in phase 1");
+        while self.payload_filled < payload.len() {
+            match r.read(&mut payload[self.payload_filled..]) {
+                Ok(0) => {
+                    return Err(io::Error::new(
+                        io::ErrorKind::UnexpectedEof,
+                        "torn frame payload",
+                    ))
+                }
+                Ok(n) => self.payload_filled += n,
+                Err(e) if timed_out(&e) => return Ok(FrameRead::MidFrame),
+                Err(e) => return Err(e),
+            }
+        }
+
+        let bytes = self.payload.take().expect("payload present");
+        self.header_filled = 0;
+        self.payload_filled = 0;
+        String::from_utf8(bytes)
+            .map(FrameRead::Frame)
+            .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e))
+    }
+}
+
+/// Whether an I/O error is a read-timeout tick rather than a real
+/// transport failure (`WouldBlock` on unix, `TimedOut` on some
+/// platforms). `Interrupted` reads are also safe to resume.
+fn timed_out(e: &io::Error) -> bool {
+    matches!(
+        e.kind(),
+        io::ErrorKind::WouldBlock | io::ErrorKind::TimedOut | io::ErrorKind::Interrupted
+    )
 }
 
 /// Service class a request is admitted under. Interactive requests get
@@ -504,6 +615,104 @@ mod tests {
         assert_eq!(read_frame(&mut r).unwrap(), Some("".into()));
         assert_eq!(read_frame(&mut r).unwrap(), Some("wörld".into()));
         assert_eq!(read_frame(&mut r).unwrap(), None, "clean EOF");
+    }
+
+    /// Yields scripted chunks, returning `WouldBlock` between them —
+    /// a stream whose frames arrive split across read-timeout windows.
+    struct StutterReader {
+        chunks: Vec<Vec<u8>>,
+        next: usize,
+        ready: bool,
+    }
+
+    impl StutterReader {
+        fn new(bytes: &[u8], chunk: usize) -> StutterReader {
+            StutterReader {
+                chunks: bytes.chunks(chunk.max(1)).map(<[u8]>::to_vec).collect(),
+                next: 0,
+                ready: false,
+            }
+        }
+    }
+
+    impl Read for StutterReader {
+        fn read(&mut self, buf: &mut [u8]) -> io::Result<usize> {
+            if !self.ready {
+                self.ready = true;
+                return Err(io::Error::new(io::ErrorKind::WouldBlock, "tick"));
+            }
+            self.ready = false;
+            match self.chunks.get(self.next) {
+                None => Ok(0),
+                Some(chunk) => {
+                    let n = chunk.len().min(buf.len());
+                    buf[..n].copy_from_slice(&chunk[..n]);
+                    if n == chunk.len() {
+                        self.next += 1;
+                    } else {
+                        self.chunks[self.next].drain(..n);
+                    }
+                    Ok(n)
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn frame_reader_survives_timeouts_mid_frame() {
+        let mut wire: Vec<u8> = Vec::new();
+        write_frame(&mut wire, "split me").unwrap();
+        write_frame(&mut wire, "second").unwrap();
+        // One byte per window: every read times out at least once, both
+        // inside the header and inside the payload.
+        let mut r = StutterReader::new(&wire, 1);
+        let mut reader = FrameReader::new();
+        let mut frames = Vec::new();
+        loop {
+            match reader.read(&mut r).unwrap() {
+                FrameRead::Frame(p) => {
+                    assert!(!reader.mid_frame(), "boundary after a full frame");
+                    frames.push(p);
+                }
+                FrameRead::Eof => break,
+                FrameRead::Idle => assert!(!reader.mid_frame()),
+                FrameRead::MidFrame => assert!(reader.mid_frame()),
+            }
+        }
+        assert_eq!(frames, vec!["split me".to_string(), "second".to_string()]);
+    }
+
+    #[test]
+    fn frame_reader_distinguishes_idle_from_mid_frame() {
+        let mut wire: Vec<u8> = Vec::new();
+        write_frame(&mut wire, "x").unwrap();
+        let mut reader = FrameReader::new();
+
+        // Timeout with nothing consumed: idle, still at a boundary.
+        let mut empty = StutterReader::new(&[], 1);
+        empty.ready = false; // force a WouldBlock first
+        assert_eq!(reader.read(&mut empty).unwrap(), FrameRead::Idle);
+        assert!(!reader.mid_frame());
+
+        // Feed exactly two header bytes, then a timeout: mid-frame.
+        let mut partial = StutterReader::new(&wire[..2], 2);
+        partial.ready = true; // deliver the chunk immediately
+        assert_eq!(reader.read(&mut partial).unwrap(), FrameRead::MidFrame);
+        assert!(reader.mid_frame());
+
+        // The rest of the frame arrives (still stuttering): the reader
+        // resumes across further timeouts, no desync.
+        let mut rest = StutterReader::new(&wire[2..], 16);
+        rest.ready = true;
+        let got = loop {
+            match reader.read(&mut rest).unwrap() {
+                FrameRead::Frame(p) => break p,
+                FrameRead::MidFrame => {}
+                other => panic!("unexpected {other:?}"),
+            }
+        };
+        assert_eq!(got, "x");
+        assert!(!reader.mid_frame());
     }
 
     #[test]

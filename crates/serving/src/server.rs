@@ -31,10 +31,10 @@
 use crate::admission::{AdmissionConfig, AdmissionController, AdmitOutcome};
 use crate::fault;
 use crate::protocol::{
-    read_frame, write_frame, ContractClass, Request, Response, WireAnswer,
+    write_frame, ContractClass, FrameRead, FrameReader, Request, Response, WireAnswer,
 };
 use crate::throughput::Throughput;
-use aqp_core::{AqpError, QueryBound, ResilientSystem};
+use aqp_core::{AqpError, QueryBound, ResilientSystem, ServingTier};
 use aqp_query::CancelToken;
 use std::io;
 use std::net::{TcpListener, TcpStream};
@@ -250,15 +250,33 @@ impl Server {
         }
 
         // Drain: reject new requests, finish in-flight ones, join workers.
+        // The join is bounded: poll `is_finished` against the drain
+        // deadline rather than blocking in `join()`, so one stuck
+        // connection (e.g. a peer applying TCP backpressure mid-write)
+        // cannot stall shutdown past `drain_timeout`.
         self.inner.draining.store(true, Ordering::SeqCst);
         aqp_obs::counter("aqp_server_drain_total", &[]).inc();
         let drain_deadline = Instant::now() + self.inner.config.drain_timeout;
-        for w in workers {
-            if Instant::now() >= drain_deadline {
-                aqp_obs::event::warn("serving::server", "drain timeout; abandoning join", &[]);
+        let mut workers = workers;
+        loop {
+            let (done, pending): (Vec<_>, Vec<_>) =
+                workers.into_iter().partition(|w| w.is_finished());
+            for w in done {
+                let _ = w.join();
+            }
+            workers = pending;
+            if workers.is_empty() {
                 break;
             }
-            let _ = w.join();
+            if Instant::now() >= drain_deadline {
+                aqp_obs::event::warn(
+                    "serving::server",
+                    "drain timeout; detaching workers",
+                    &[("workers", &workers.len().to_string())],
+                );
+                break;
+            }
+            std::thread::sleep(Duration::from_millis(5));
         }
         drop(self.listener);
 
@@ -294,20 +312,39 @@ impl Server {
     }
 }
 
+/// A client that starts a frame but cannot finish it within this window
+/// is treated as dead (slow-loris guard). Generous compared to the 100ms
+/// poll tick: legitimate slow clients get many ticks to finish.
+const MID_FRAME_STALL_LIMIT: Duration = Duration::from_secs(30);
+
+/// Cap on any single blocking write. A peer that stops reading cannot
+/// hold a connection thread (and hence drain) hostage through TCP
+/// backpressure forever — the write errors out and the thread exits.
+const WRITE_TIMEOUT: Duration = Duration::from_secs(5);
+
 fn handle_connection(inner: Arc<Inner>, stream: TcpStream) {
     // Short read timeouts keep drain responsive: an idle connection is
-    // noticed within one tick, not held open by a silent client.
+    // noticed within one tick, not held open by a silent client. Framing
+    // survives the ticks: `FrameReader` keeps partial header/payload
+    // bytes across timeouts, so a frame split over several 100ms windows
+    // is reassembled rather than desyncing the wire position.
     let _ = stream.set_read_timeout(Some(Duration::from_millis(100)));
+    let _ = stream.set_write_timeout(Some(WRITE_TIMEOUT));
     let _ = stream.set_nodelay(true);
     let mut reader = match stream.try_clone() {
         Ok(r) => r,
         Err(_) => return,
     };
     let mut writer = stream;
+    let mut framer = FrameReader::new();
+    // Set when the current frame's first bytes arrived; bounds how long
+    // a mid-frame connection may stall before being dropped.
+    let mut frame_started: Option<Instant> = None;
 
     loop {
-        match read_frame(&mut reader) {
-            Ok(Some(payload)) => {
+        match framer.read(&mut reader) {
+            Ok(FrameRead::Frame(payload)) => {
+                frame_started = None;
                 fault::slow_read();
                 let response = match Request::from_json(&payload) {
                     Ok(request) => dispatch(&inner, request),
@@ -326,16 +363,24 @@ fn handle_connection(inner: Arc<Inner>, stream: TcpStream) {
                     return;
                 }
             }
-            Ok(None) => return, // clean close
-            Err(e)
-                if e.kind() == io::ErrorKind::WouldBlock
-                    || e.kind() == io::ErrorKind::TimedOut =>
-            {
-                // Idle tick: close idle connections once draining.
+            Ok(FrameRead::Eof) => return, // clean close
+            Ok(FrameRead::Idle) => {
+                // Frame boundary, nothing buffered: safe to close idle
+                // connections once draining.
                 if inner.draining.load(Ordering::SeqCst)
                     || inner.shutdown.load(Ordering::SeqCst)
                     || sig::SIGNALLED.load(Ordering::SeqCst)
                 {
+                    return;
+                }
+            }
+            Ok(FrameRead::MidFrame) => {
+                // A frame is in flight; keep reading (even while
+                // draining — the request deserves its response), but
+                // not forever.
+                let started = *frame_started.get_or_insert_with(Instant::now);
+                if started.elapsed() >= MID_FRAME_STALL_LIMIT {
+                    aqp_obs::counter("aqp_server_stalled_conn_total", &[]).inc();
                     return;
                 }
             }
@@ -448,7 +493,15 @@ fn serve_query(
             match inner.system.answer_bounded(&parsed.query, conf, &bound) {
                 Ok(bounded) => {
                     let elapsed = t0.elapsed();
-                    inner.throughput.observe(bounded.answer.rows_scanned, elapsed);
+                    // Teach the estimator only from exact-tier scans:
+                    // sample-tier answers scan few rows yet pay the same
+                    // parse/ladder overhead, so feeding them in would
+                    // drag the rows/ms EWMA far below true scan speed
+                    // and make deadline→budget conversion needlessly
+                    // pessimistic.
+                    if bounded.answer.tier == ServingTier::Exact {
+                        inner.throughput.observe(bounded.answer.rows_scanned, elapsed);
+                    }
                     inner.tallies.answered.fetch_add(1, Ordering::Relaxed);
                     tally_request(inner, class, "answer");
                     aqp_obs::histogram(
@@ -493,7 +546,7 @@ fn serve_query(
 mod tests {
     use super::*;
     use crate::client::{Client, RetryPolicy};
-    use crate::protocol::Request;
+    use crate::protocol::{read_frame, Request};
     use aqp_storage::{DataType, SchemaBuilder, Table};
 
     fn view(rows: usize) -> Table {
@@ -605,6 +658,38 @@ mod tests {
             }
             other => panic!("expected degraded answer, got {other:?}"),
         }
+        handle.shutdown();
+        join.join().unwrap();
+    }
+
+    #[test]
+    fn slow_client_frame_split_across_read_timeouts_still_answers() {
+        // Dribble one request frame in three bursts separated by pauses
+        // longer than the server's 100ms read timeout. The frame spans
+        // several timeout windows; a server that discarded partial reads
+        // on WouldBlock would desync and never answer.
+        let (addr, handle, join) = start(ServerConfig::default());
+        let mut stream = std::net::TcpStream::connect(addr).unwrap();
+        let payload = Request::Ping.to_json();
+        let mut wire = Vec::new();
+        write_frame(&mut wire, &payload).unwrap();
+        use std::io::Write as _;
+        let cuts = [2, wire.len() / 2, wire.len()];
+        let mut sent = 0;
+        for cut in cuts {
+            stream.write_all(&wire[sent..cut]).unwrap();
+            stream.flush().unwrap();
+            sent = cut;
+            if sent < wire.len() {
+                std::thread::sleep(Duration::from_millis(250));
+            }
+        }
+        let resp = read_frame(&mut stream).unwrap().expect("server answered");
+        match Response::from_json(&resp).unwrap() {
+            Response::Pong => {}
+            other => panic!("{other:?}"),
+        }
+        drop(stream);
         handle.shutdown();
         join.join().unwrap();
     }
