@@ -78,7 +78,7 @@ pub use aqp_workload as workload;
 /// The most commonly used types, re-exported flat.
 pub mod prelude {
     pub use aqp_core::{
-        ApproxAnswer, ApproxGroup, ApproxValue, AqpError, AqpResult, AqpSystem,
+        AnswerContract, ApproxAnswer, ApproxGroup, ApproxValue, AqpError, AqpResult, AqpSystem,
         BasicCongress, BoundedAnswer, Congress, MultiLevelConfig, MultiLevelSampler,
         OpenReport, OutlierIndex, OverallKind, QueryBound, ResilientSystem,
         SampleCatalog, ServingTier, SmallGroupConfig, SmallGroupSampler, TierCounts,

@@ -104,9 +104,11 @@ USAGE:
                 [--fixed-rate F] [--drain-timeout-ms N] [--metrics-out FILE]
                 [--interactive-inflight N] [--interactive-queue N]
                 [--batch-inflight N] [--batch-queue N]
+                [--cache-capacity N] [--cache-ttl-ms N]
   aqp-cli client [--addr HOST:PORT] [--class interactive|batch]
                  [--deadline-ms N] [--row-budget N] [--confidence F]
-                 [--attempts N] [--seed N] (SQL | ping | metrics | shutdown)
+                 [--max-rel-error F] [--attempts N] [--seed N]
+                 (SQL | ping | metrics | shutdown | invalidate)
   aqp-cli dashboard PREFIX
   aqp-cli validate-trace FILE
 
@@ -151,10 +153,22 @@ step answers down to cheaper tiers instead of missing (the wire carries
 tier/partial/deadline_limited), and SIGTERM or a shutdown request drains
 in-flight work before exit. client sends one request with bounded
 retry + exponential backoff + jitter on shed and transport errors.
-bench serving measures end-to-end latency quantiles and overload shed
-behaviour against an in-process server (BENCH_serving.json). AQP_FAULTS
-also accepts serving faults: accept-drop@N, write-stall@N, slow-read@N,
-exec-stall@N (comma-separated specs compose with storage faults).
+bench serving measures end-to-end latency quantiles (with per-tier
+counts) and overload shed behaviour against an in-process server, plus
+semantic-cache cold-miss vs warm-hit p50 latency (BENCH_serving.json).
+AQP_FAULTS also accepts serving faults: accept-drop@N, write-stall@N,
+slow-read@N, exec-stall@N (comma-separated specs compose with storage
+faults).
+
+The server keeps a semantic answer cache keyed on canonicalized plans:
+a repeated query (any whitespace/alias/predicate-order formatting) is
+re-served from cache when the cached answer meets the request's
+confidence (and --max-rel-error) contract at equal-or-tighter bounds;
+concurrent identical misses execute once (single-flight). Answers served
+from cache carry cache_hit on the wire. --cache-capacity bounds entries
+(0 disables; LRU evicts beyond it), --cache-ttl-ms ages them out, the
+invalidate request drops everything after a table rebuild, and
+AQP_CACHE=off force-disables the cache regardless of flags.
 
 explain prints the sampler's static rewrite plan for a query; with
 --analyze it also executes the query and reports a per-operator profile

@@ -12,8 +12,8 @@ use crate::commands::{
 };
 use aqp::prelude::*;
 use aqp::serving::{
-    AdmissionConfig, Client, ClassLimits, ClientError, ContractClass, Request, Response,
-    RetryPolicy, Server, ServerConfig, WireAnswer,
+    AdmissionConfig, CacheConfig, Client, ClassLimits, ClientError, ContractClass, Request,
+    Response, RetryPolicy, Server, ServerConfig, WireAnswer,
 };
 use aqp::storage::read_table_file;
 use std::io::Write;
@@ -35,6 +35,10 @@ pub fn serve_command(args: &Args, out: &mut dyn Write) -> Result<(), CliError> {
     });
     let drain_ms = args.get_or("drain-timeout-ms", 10_000u64)?;
     let metrics_out = args.optional("metrics-out");
+    // Semantic answer cache: --cache-capacity 0 (or AQP_CACHE=off in the
+    // environment) disables it; --cache-ttl-ms 0 means no TTL.
+    let cache_capacity = args.get_or("cache-capacity", 256usize)?;
+    let cache_ttl_ms = args.get_or("cache-ttl-ms", 0u64)?;
     let admission = AdmissionConfig {
         interactive: ClassLimits {
             max_inflight: args.get_or("interactive-inflight", 4usize)?.max(1),
@@ -63,6 +67,11 @@ pub fn serve_command(args: &Args, out: &mut dyn Write) -> Result<(), CliError> {
         default_confidence: confidence,
         fixed_rows_per_ms: fixed_rate.transpose()?,
         drain_timeout: Duration::from_millis(drain_ms),
+        cache: CacheConfig {
+            capacity: cache_capacity,
+            ttl: (cache_ttl_ms > 0).then(|| Duration::from_millis(cache_ttl_ms)),
+            enabled: cache_capacity > 0,
+        },
         metrics_out: metrics_out.map(Into::into),
         install_signal_handlers: true,
     };
@@ -80,7 +89,7 @@ pub fn serve_command(args: &Args, out: &mut dyn Write) -> Result<(), CliError> {
     let report = server.run().map_err(boxed)?;
     writeln!(
         out,
-        "drained: {} requests ({} answered, {} shed, {} timeouts, {} draining rejects, {} errors) over {} connections",
+        "drained: {} requests ({} answered, {} shed, {} timeouts, {} draining rejects, {} errors) over {} connections; cache {} hits / {} misses / {} bypass",
         report.requests,
         report.answered,
         report.shed,
@@ -88,6 +97,9 @@ pub fn serve_command(args: &Args, out: &mut dyn Write) -> Result<(), CliError> {
         report.drained_rejects,
         report.errors,
         report.connections,
+        report.cache_hits,
+        report.cache_misses,
+        report.cache_bypass,
     )?;
     Ok(())
 }
@@ -106,13 +118,20 @@ pub fn client_command(args: &Args, out: &mut dyn Write) -> Result<(), CliError> 
                 .map_err(|_| CliError(format!("invalid value {v:?} for --confidence")))
         })
         .transpose()?;
+    let max_rel_error = args
+        .optional("max-rel-error")
+        .map(|v| {
+            v.parse::<f64>()
+                .map_err(|_| CliError(format!("invalid value {v:?} for --max-rel-error")))
+        })
+        .transpose()?;
     let attempts = args.get_or("attempts", 4u32)?.max(1);
     let seed = args.get_or("seed", 0x5eed_u64)?;
     let body = args.positionals()[1..].join(" ");
     args.finish()?;
     if body.is_empty() {
         return Err(CliError(
-            "client needs a request: ping | metrics | shutdown | SQL".into(),
+            "client needs a request: ping | metrics | shutdown | invalidate | SQL".into(),
         ));
     }
 
@@ -120,12 +139,14 @@ pub fn client_command(args: &Args, out: &mut dyn Write) -> Result<(), CliError> 
         "ping" => Request::Ping,
         "metrics" => Request::Metrics,
         "shutdown" => Request::Shutdown,
+        "invalidate" => Request::Invalidate,
         sql => Request::Query {
             sql: sql.to_owned(),
             class,
             deadline_ms,
             row_budget,
             confidence,
+            max_rel_error,
         },
     };
     let policy = RetryPolicy { max_attempts: attempts, ..RetryPolicy::with_seed(seed) };
@@ -136,6 +157,9 @@ pub fn client_command(args: &Args, out: &mut dyn Write) -> Result<(), CliError> 
         Ok(Response::Pong) => writeln!(out, "pong ({:?})", t0.elapsed())?,
         Ok(Response::Metrics(text)) => write!(out, "{text}")?,
         Ok(Response::ShuttingDown) => writeln!(out, "server is shutting down")?,
+        Ok(Response::Invalidated { epoch }) => {
+            writeln!(out, "cache invalidated (epoch {epoch})")?
+        }
         Ok(Response::Draining) => {
             return Err(CliError("server is draining; request not accepted".into()))
         }
@@ -181,6 +205,9 @@ fn print_wire_answer(answer: &WireAnswer, out: &mut dyn Write) -> Result<(), Cli
         writeln!(out)?;
     }
     let mut notes = vec![format!("tier {}", answer.tier)];
+    if answer.cache_hit {
+        notes.push("cache-hit".into());
+    }
     if answer.partial {
         notes.push("partial".into());
     }
@@ -230,7 +257,9 @@ pub fn bench_serving_command(args: &Args, out: &mut dyn Write) -> Result<(), Cli
                FROM v GROUP BY store.region";
 
     // Latency/throughput phase: admission opened wide so concurrency,
-    // not shedding, is what's being measured.
+    // not shedding, is what's being measured — and the cache disabled,
+    // so every request pays for a real scan (the cache gets its own
+    // phase below).
     let mut level_rows = Vec::new();
     for &clients in &[1usize, 4, 16] {
         let system = ResilientSystem::exact_only(view.clone()).with_threads(threads);
@@ -239,6 +268,7 @@ pub fn bench_serving_command(args: &Args, out: &mut dyn Write) -> Result<(), Cli
                 interactive: ClassLimits { max_inflight: 16, max_queue: 64 },
                 batch: ClassLimits { max_inflight: 2, max_queue: 2 },
             },
+            cache: CacheConfig::disabled(),
             ..ServerConfig::default()
         };
         let server = Server::bind(system, config).map_err(boxed)?;
@@ -247,21 +277,21 @@ pub fn bench_serving_command(args: &Args, out: &mut dyn Write) -> Result<(), Cli
         let run = std::thread::spawn(move || server.run());
 
         let t0 = Instant::now();
-        let mut latencies: Vec<f64> = std::thread::scope(|s| {
+        let mut results: Vec<(f64, String)> = std::thread::scope(|s| {
             let workers: Vec<_> = (0..clients)
                 .map(|c| {
                     let addr = addr.clone();
                     s.spawn(move || {
                         let mut client =
                             Client::new(addr, RetryPolicy::with_seed(0xbe11c + c as u64));
-                        let mut ms = Vec::with_capacity(per_client);
+                        let mut got = Vec::with_capacity(per_client);
                         for _ in 0..per_client {
                             let t = Instant::now();
-                            if let Ok(Response::Answer(_)) = client.request(&Request::query(sql)) {
-                                ms.push(t.elapsed().as_secs_f64() * 1e3);
+                            if let Ok(Response::Answer(a)) = client.request(&Request::query(sql)) {
+                                got.push((t.elapsed().as_secs_f64() * 1e3, a.tier));
                             }
                         }
-                        ms
+                        got
                     })
                 })
                 .collect();
@@ -271,7 +301,16 @@ pub fn bench_serving_command(args: &Args, out: &mut dyn Write) -> Result<(), Cli
         handle.shutdown();
         run.join().map_err(|_| CliError("server thread panicked".into()))?.map_err(boxed)?;
 
-        latencies.sort_by(|a, b| a.total_cmp(b));
+        results.sort_by(|a, b| a.0.total_cmp(&b.0));
+        let latencies: Vec<f64> = results.iter().map(|(ms, _)| *ms).collect();
+        let mut tier_counts: Vec<(String, usize)> = Vec::new();
+        for (_, tier) in &results {
+            match tier_counts.iter_mut().find(|(t, _)| t == tier) {
+                Some((_, n)) => *n += 1,
+                None => tier_counts.push((tier.clone(), 1)),
+            }
+        }
+        tier_counts.sort();
         let completed = latencies.len();
         let qps = if wall > 0.0 { completed as f64 / wall } else { 0.0 };
         let (p50, p95, p99) = (
@@ -279,16 +318,98 @@ pub fn bench_serving_command(args: &Args, out: &mut dyn Write) -> Result<(), Cli
             percentile(&latencies, 95.0),
             percentile(&latencies, 99.0),
         );
+        let tiers_text = tier_counts
+            .iter()
+            .map(|(t, n)| format!("{t} {n}"))
+            .collect::<Vec<_>>()
+            .join(", ");
         writeln!(
             out,
-            "clients {clients}: {completed}/{} ok, {qps:.1} req/s, p50 {p50:.1} ms, p95 {p95:.1} ms, p99 {p99:.1} ms",
+            "clients {clients}: {completed}/{} ok, {qps:.1} req/s, p50 {p50:.1} ms, p95 {p95:.1} ms, p99 {p99:.1} ms (tiers: {tiers_text})",
             clients * per_client
         )?;
+        let tiers_json = tier_counts
+            .iter()
+            .map(|(t, n)| format!("\"{t}\": {n}"))
+            .collect::<Vec<_>>()
+            .join(", ");
         level_rows.push(format!(
-            "    {{\"clients\": {clients}, \"requests\": {}, \"completed\": {completed}, \"throughput_rps\": {qps:.2}, \"p50_ms\": {p50:.3}, \"p95_ms\": {p95:.3}, \"p99_ms\": {p99:.3}}}",
+            "    {{\"clients\": {clients}, \"requests\": {}, \"completed\": {completed}, \"throughput_rps\": {qps:.2}, \"p50_ms\": {p50:.3}, \"p95_ms\": {p95:.3}, \"p99_ms\": {p99:.3}, \"tiers\": {{{tiers_json}}}}}",
             clients * per_client
         ));
     }
+
+    // Cache phase: one server with the semantic cache on. Cold misses
+    // are forced by invalidating before each timed request (every scan
+    // is real); warm hits repeat the same query against a warmed cache.
+    // The probe is a dashboard-shaped query (predicate + several
+    // aggregates) so the cold side measures a representative scan, not
+    // the cheapest possible one; the warm side is scan-independent.
+    let cache_sql = "SELECT store.region, COUNT(*) AS cnt, SUM(sales.revenue) AS rev, \
+                     AVG(sales.revenue) AS avg_rev, SUM(sales.cost) AS cost, \
+                     MIN(sales.revenue) AS lo, MAX(sales.revenue) AS hi \
+                     FROM v WHERE sales.revenue > 10 AND sales.units >= 1 \
+                     AND sales.cost >= 0 GROUP BY store.region";
+    let cache_iters = per_client.max(10);
+    let system = ResilientSystem::exact_only(view.clone()).with_threads(threads);
+    let config = ServerConfig {
+        admission: AdmissionConfig {
+            interactive: ClassLimits { max_inflight: 16, max_queue: 64 },
+            batch: ClassLimits { max_inflight: 2, max_queue: 2 },
+        },
+        ..ServerConfig::default()
+    };
+    let server = Server::bind(system, config).map_err(boxed)?;
+    let addr = server.local_addr().map_err(boxed)?.to_string();
+    let handle = server.shutdown_handle();
+    let run = std::thread::spawn(move || server.run());
+    let mut client = Client::new(addr, RetryPolicy::with_seed(0xcac4e));
+    let mut cold_ms: Vec<f64> = Vec::with_capacity(cache_iters);
+    let mut warm_ms: Vec<f64> = Vec::with_capacity(cache_iters);
+    let mut hits = 0usize;
+    let mut misses = 0usize;
+    for _ in 0..cache_iters {
+        client.request(&Request::Invalidate).map_err(boxed)?;
+        let t = Instant::now();
+        match client.request(&Request::query(cache_sql)) {
+            Ok(Response::Answer(a)) => {
+                cold_ms.push(t.elapsed().as_secs_f64() * 1e3);
+                if a.cache_hit {
+                    hits += 1;
+                } else {
+                    misses += 1;
+                }
+            }
+            other => return Err(CliError(format!("cache bench cold request failed: {other:?}"))),
+        }
+    }
+    // Warm the cache once, then time pure hits.
+    client.request(&Request::query(cache_sql)).map_err(boxed)?;
+    for _ in 0..cache_iters {
+        let t = Instant::now();
+        match client.request(&Request::query(cache_sql)) {
+            Ok(Response::Answer(a)) => {
+                warm_ms.push(t.elapsed().as_secs_f64() * 1e3);
+                if a.cache_hit {
+                    hits += 1;
+                } else {
+                    misses += 1;
+                }
+            }
+            other => return Err(CliError(format!("cache bench warm request failed: {other:?}"))),
+        }
+    }
+    handle.shutdown();
+    run.join().map_err(|_| CliError("server thread panicked".into()))?.map_err(boxed)?;
+    cold_ms.sort_by(|a, b| a.total_cmp(b));
+    warm_ms.sort_by(|a, b| a.total_cmp(b));
+    let cold_p50 = percentile(&cold_ms, 50.0);
+    let warm_p50 = percentile(&warm_ms, 50.0);
+    let speedup = if warm_p50 > 0.0 { cold_p50 / warm_p50 } else { f64::INFINITY };
+    writeln!(
+        out,
+        "cache: cold-miss p50 {cold_p50:.2} ms, warm-hit p50 {warm_p50:.3} ms ({speedup:.0}x), {hits} hits / {misses} misses"
+    )?;
 
     // Overload phase: 2x the admission capacity (inflight + queue) in
     // simultaneous no-retry clients; the excess must shed, everything
@@ -298,6 +419,9 @@ pub fn bench_serving_command(args: &Args, out: &mut dyn Write) -> Result<(), Cli
     let system = ResilientSystem::exact_only(view.clone()).with_threads(threads);
     let config = ServerConfig {
         admission: AdmissionConfig { interactive: cap, batch: cap },
+        // Cache off: with it on, one leader would execute and everyone
+        // else would hit, and shedding would never be exercised.
+        cache: CacheConfig::disabled(),
         ..ServerConfig::default()
     };
     let server = Server::bind(system, config).map_err(boxed)?;
@@ -311,7 +435,7 @@ pub fn bench_serving_command(args: &Args, out: &mut dyn Write) -> Result<(), Cli
                 let addr = addr.clone();
                 s.spawn(move || {
                     let mut client = Client::new(addr, RetryPolicy::no_retry());
-                    match client.request(&Request::query(sql)) {
+                    match client.request(&Request::query(cache_sql)) {
                         Ok(Response::Answer(_)) => "answered",
                         Ok(Response::Timeout { .. }) => "timeout",
                         Ok(_) => "other",
@@ -336,8 +460,9 @@ pub fn bench_serving_command(args: &Args, out: &mut dyn Write) -> Result<(), Cli
         shed_rate * 100.0
     )?;
 
+    let finite_speedup = if speedup.is_finite() { speedup } else { 0.0 };
     let json = format!(
-        "{{\n  \"dataset\": {{\"kind\": \"sales\", \"rows\": {}, \"zipf_z\": 1.5, \"seed\": 42}},\n  \"executor_threads\": {threads},\n  \"requests_per_client\": {per_client},\n  \"levels\": [\n{}\n  ],\n  \"overload\": {{\"capacity\": {}, \"clients\": {overload_clients}, \"answered\": {answered}, \"shed\": {shed}, \"shed_rate\": {shed_rate:.3}}}\n}}\n",
+        "{{\n  \"dataset\": {{\"kind\": \"sales\", \"rows\": {}, \"zipf_z\": 1.5, \"seed\": 42}},\n  \"executor_threads\": {threads},\n  \"requests_per_client\": {per_client},\n  \"levels\": [\n{}\n  ],\n  \"cache\": {{\"iterations\": {cache_iters}, \"cold_miss_p50_ms\": {cold_p50:.3}, \"warm_hit_p50_ms\": {warm_p50:.4}, \"speedup\": {finite_speedup:.1}, \"hits\": {hits}, \"misses\": {misses}}},\n  \"overload\": {{\"capacity\": {}, \"clients\": {overload_clients}, \"answered\": {answered}, \"shed\": {shed}, \"shed_rate\": {shed_rate:.3}}}\n}}\n",
         view.num_rows(),
         level_rows.join(",\n"),
         cap.max_inflight + cap.max_queue,

@@ -54,6 +54,7 @@
 pub mod answer;
 pub mod catalog;
 pub mod congress;
+pub mod contract;
 pub mod error;
 pub mod multilevel;
 pub mod outlier;
@@ -67,6 +68,7 @@ pub mod uniform;
 pub use answer::{ApproxAnswer, ApproxGroup, ApproxValue, ServingTier};
 pub use catalog::{SampleCatalog, SampleColumnMeta};
 pub use congress::{BasicCongress, Congress};
+pub use contract::AnswerContract;
 pub use error::{AqpError, AqpResult};
 pub use multilevel::{MultiLevelConfig, MultiLevelSampler};
 pub use outlier::{select_outliers, OutlierIndex};

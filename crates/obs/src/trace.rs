@@ -59,6 +59,9 @@ pub struct QueryTrace {
     pub total_ms: f64,
     /// Per-operator execution profiles (schema v2; empty for v1 traces).
     pub operators: Vec<OpProfile>,
+    /// Whether the answer was served from the semantic answer cache
+    /// (additive field; absent on older lines, defaulting to false).
+    pub cache_hit: bool,
 }
 
 impl QueryTrace {
@@ -99,6 +102,8 @@ impl QueryTrace {
         }
         out.push_str("],\"total_ms\":");
         json::write_f64(&mut out, self.total_ms);
+        out.push_str(",\"cache_hit\":");
+        out.push_str(if self.cache_hit { "true" } else { "false" });
         out.push_str(",\"schema_version\":");
         out.push_str(&TRACE_SCHEMA_VERSION.to_string());
         out.push_str(",\"operators\":[");
@@ -172,6 +177,7 @@ impl QueryTrace {
             stages: Vec::new(),
             total_ms: num_field("total_ms"),
             operators: Vec::new(),
+            cache_hit: value.get("cache_hit").and_then(Value::as_bool).unwrap_or(false),
         };
         if let Some(stages) = value.get("stages").and_then(Value::as_arr) {
             for s in stages {
@@ -285,6 +291,10 @@ fn validate_value(value: &Value) -> Result<(), String> {
     }
     // v2 fields are optional — a v1 line (no version, no operators) still
     // validates — but when present they must be well-formed.
+    match obj.get("cache_hit") {
+        None | Some(Value::Bool(_)) => {}
+        Some(_) => return Err("field \"cache_hit\" must be a bool".into()),
+    }
     match obj.get("schema_version").and_then(Value::as_f64) {
         None => {}
         Some(v) if v == 1.0 || v == 2.0 => {}
@@ -510,6 +520,7 @@ mod tests {
                     kernel: "scalar".into(),
                 },
             ],
+            cache_hit: false,
         }
     }
 
@@ -536,6 +547,21 @@ mod tests {
         assert!(validate_json(&bad_tier).unwrap_err().contains("serving_tier"));
         let bad_rows = good.replace("\"rows_scanned\":12345", "\"rows_scanned\":-1");
         assert!(validate_json(&bad_rows).is_err());
+    }
+
+    #[test]
+    fn cache_hit_round_trips_and_validates() {
+        let mut trace = sample_trace();
+        trace.cache_hit = true;
+        let line = trace.to_json();
+        assert!(line.contains("\"cache_hit\":true"));
+        assert_eq!(QueryTrace::from_json(&line).unwrap(), trace);
+        let bad = line.replace("\"cache_hit\":true", "\"cache_hit\":\"yes\"");
+        assert!(validate_json(&bad).unwrap_err().contains("cache_hit"));
+        // Older lines without the field parse as not-a-hit.
+        let absent = line.replace("\"cache_hit\":true,", "");
+        assert!(validate_json(&absent).is_ok());
+        assert!(!QueryTrace::from_json(&absent).unwrap().cache_hit);
     }
 
     #[test]

@@ -125,6 +125,114 @@ impl Expr {
         }
     }
 
+    /// Semantics-preserving canonical form, for plan-cache keys and any
+    /// other consumer that needs "same predicate" to mean "same value":
+    ///
+    /// * nested `And`/`Or` of the same kind are flattened one level at a
+    ///   time into a single n-ary node;
+    /// * `And`/`Or` children are sorted by canonical encoding and
+    ///   deduplicated (conjunction and disjunction commute and are
+    ///   idempotent); single-child nodes unwrap;
+    /// * `Not(Not(e))` collapses to `e`;
+    /// * IN-list values are sorted and deduplicated (bitwise for floats —
+    ///   membership is type-strict, so no cross-type coercion here);
+    /// * integral `Float64` comparison literals become `Int64` (`x >= 10.0`
+    ///   ≡ `x >= 10`: every comparison path coerces numerics), except
+    ///   `-0.0`, which IEEE total order distinguishes from `0`.
+    pub fn canonicalize(&self) -> Expr {
+        match self {
+            Expr::Cmp { column, op, literal } => Expr::Cmp {
+                column: column.clone(),
+                op: *op,
+                literal: canon_cmp_literal(literal),
+            },
+            Expr::InSet { column, values } => {
+                let mut values = values.clone();
+                values.sort_unstable();
+                values.dedup();
+                Expr::InSet {
+                    column: column.clone(),
+                    values,
+                }
+            }
+            Expr::And(es) => canon_nary(es, true),
+            Expr::Or(es) => canon_nary(es, false),
+            Expr::Not(e) => match e.canonicalize() {
+                Expr::Not(inner) => *inner,
+                other => Expr::Not(Box::new(other)),
+            },
+        }
+    }
+
+    /// A stable, unambiguous text encoding of the expression, used to
+    /// order [`Expr::canonicalize`]'s n-ary children and as the predicate
+    /// component of plan-cache keys. Strings are length-prefixed and
+    /// floats encoded by bit pattern, so distinct expressions cannot
+    /// collide and the encoding is identical on every platform.
+    pub fn canonical_encoding(&self) -> String {
+        let mut out = String::new();
+        self.write_canonical(&mut out);
+        out
+    }
+
+    fn write_canonical(&self, out: &mut String) {
+        match self {
+            Expr::Cmp { column, op, literal } => {
+                out.push_str("cmp(");
+                write_canon_str(out, column);
+                out.push(',');
+                out.push_str(match op {
+                    CmpOp::Eq => "eq",
+                    CmpOp::Ne => "ne",
+                    CmpOp::Lt => "lt",
+                    CmpOp::Le => "le",
+                    CmpOp::Gt => "gt",
+                    CmpOp::Ge => "ge",
+                });
+                out.push(',');
+                write_canon_value(out, literal);
+                out.push(')');
+            }
+            Expr::InSet { column, values } => {
+                out.push_str("in(");
+                write_canon_str(out, column);
+                out.push_str(",[");
+                for (i, v) in values.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    write_canon_value(out, v);
+                }
+                out.push_str("])");
+            }
+            Expr::And(es) => {
+                out.push_str("and(");
+                for (i, e) in es.iter().enumerate() {
+                    if i > 0 {
+                        out.push(';');
+                    }
+                    e.write_canonical(out);
+                }
+                out.push(')');
+            }
+            Expr::Or(es) => {
+                out.push_str("or(");
+                for (i, e) in es.iter().enumerate() {
+                    if i > 0 {
+                        out.push(';');
+                    }
+                    e.write_canonical(out);
+                }
+                out.push(')');
+            }
+            Expr::Not(e) => {
+                out.push_str("not(");
+                e.write_canonical(out);
+                out.push(')');
+            }
+        }
+    }
+
     /// All column names referenced by the expression.
     pub fn referenced_columns(&self) -> Vec<&str> {
         let mut out = Vec::new();
@@ -143,6 +251,77 @@ impl Expr {
                 }
             }
             Expr::Not(e) => e.collect_columns(out),
+        }
+    }
+}
+
+/// Flatten, canonicalize, sort, and dedupe the children of an n-ary
+/// boolean node (`and` when `conj`, else `or`), unwrapping singletons.
+fn canon_nary(es: &[Expr], conj: bool) -> Expr {
+    let mut children: Vec<Expr> = Vec::with_capacity(es.len());
+    for e in es {
+        match (e.canonicalize(), conj) {
+            (Expr::And(inner), true) | (Expr::Or(inner), false) => children.extend(inner),
+            (other, _) => children.push(other),
+        }
+    }
+    let mut keyed: Vec<(String, Expr)> = children
+        .into_iter()
+        .map(|e| (e.canonical_encoding(), e))
+        .collect();
+    keyed.sort_by(|a, b| a.0.cmp(&b.0));
+    keyed.dedup_by(|a, b| a.0 == b.0);
+    let mut children: Vec<Expr> = keyed.into_iter().map(|(_, e)| e).collect();
+    if children.len() == 1 {
+        return children.pop().expect("one child");
+    }
+    if conj {
+        Expr::And(children)
+    } else {
+        Expr::Or(children)
+    }
+}
+
+/// Comparison literals coerce numerics on every execution path, so an
+/// integral float literal is the same comparison as the integer one.
+/// `-0.0` stays a float (IEEE total order puts it strictly below `0`),
+/// and anything beyond 2^53 stays a float (no longer exactly integral).
+fn canon_cmp_literal(v: &Value) -> Value {
+    const EXACT: f64 = 9_007_199_254_740_992.0; // 2^53
+    match v {
+        Value::Float64(f)
+            if f.fract() == 0.0
+                && f.abs() <= EXACT
+                && !(*f == 0.0 && f.is_sign_negative()) =>
+        {
+            Value::Int64(*f as i64)
+        }
+        other => other.clone(),
+    }
+}
+
+/// Length-prefixed string: unambiguous regardless of content.
+fn write_canon_str(out: &mut String, s: &str) {
+    out.push_str(&s.len().to_string());
+    out.push(':');
+    out.push_str(s);
+}
+
+fn write_canon_value(out: &mut String, v: &Value) {
+    match v {
+        Value::Null => out.push('n'),
+        Value::Bool(b) => out.push_str(if *b { "b1" } else { "b0" }),
+        Value::Int64(i) => {
+            out.push('i');
+            out.push_str(&i.to_string());
+        }
+        Value::Float64(f) => {
+            out.push('f');
+            out.push_str(&format!("{:016x}", f.to_bits()));
+        }
+        Value::Utf8(s) => {
+            out.push('s');
+            write_canon_str(out, s);
         }
     }
 }
@@ -470,6 +649,77 @@ mod tests {
             Expr::Not(Box::new(Expr::eq("c", 4i64))),
         ]);
         assert_eq!(e.referenced_columns(), vec!["a", "b", "c"]);
+    }
+
+    #[test]
+    fn canonicalize_commutes_flattens_and_dedupes() {
+        let a = Expr::eq("a", 1i64);
+        let b = Expr::in_set("b", vec![3i64.into(), 1i64.into(), 2i64.into(), 3i64.into()]);
+        let left = Expr::And(vec![a.clone(), Expr::And(vec![b.clone(), a.clone()])]);
+        let right = Expr::And(vec![b.clone(), a.clone()]);
+        assert_eq!(left.canonicalize(), right.canonicalize());
+        assert_eq!(
+            left.canonicalize().canonical_encoding(),
+            right.canonicalize().canonical_encoding()
+        );
+        // IN-list values sorted and deduped.
+        match right.canonicalize() {
+            Expr::And(es) => match &es[1] {
+                Expr::InSet { values, .. } => {
+                    assert_eq!(values, &vec![1i64.into(), 2i64.into(), 3i64.into()])
+                }
+                other => panic!("{other:?}"),
+            },
+            other => panic!("{other:?}"),
+        }
+        // Or commutes too; And vs Or stay distinct.
+        let o1 = Expr::Or(vec![a.clone(), b.clone()]).canonicalize();
+        let o2 = Expr::Or(vec![b.clone(), a.clone()]).canonicalize();
+        assert_eq!(o1, o2);
+        assert_ne!(
+            o1.canonical_encoding(),
+            Expr::And(vec![a.clone(), b.clone()]).canonicalize().canonical_encoding()
+        );
+        // Singletons unwrap; double negation collapses.
+        assert_eq!(Expr::And(vec![a.clone()]).canonicalize(), a);
+        assert_eq!(
+            Expr::Not(Box::new(Expr::Not(Box::new(a.clone())))).canonicalize(),
+            a
+        );
+    }
+
+    #[test]
+    fn canonicalize_normalizes_cmp_literals_but_not_in_lists() {
+        // x >= 10.0 and x >= 10 are the same comparison everywhere.
+        let float = Expr::cmp("x", CmpOp::Ge, 10.0f64).canonicalize();
+        let int = Expr::cmp("x", CmpOp::Ge, 10i64).canonicalize();
+        assert_eq!(float, int);
+        // -0.0 and 0 are NOT the same under IEEE total order.
+        assert_ne!(
+            Expr::cmp("x", CmpOp::Lt, -0.0f64).canonicalize(),
+            Expr::cmp("x", CmpOp::Lt, 0i64).canonicalize()
+        );
+        // IN-list membership is type-strict: 2.0 must stay a float.
+        let e = Expr::in_set("x", vec![2.0f64.into()]).canonicalize();
+        match e {
+            Expr::InSet { ref values, .. } => assert_eq!(values[0], 2.0f64.into()),
+            other => panic!("{other:?}"),
+        }
+        assert_ne!(
+            e.canonical_encoding(),
+            Expr::in_set("x", vec![2i64.into()]).canonical_encoding()
+        );
+    }
+
+    #[test]
+    fn canonical_encoding_is_injective_on_tricky_strings() {
+        // Length prefixes keep adversarial strings from colliding.
+        let a = Expr::eq("c", "x),cmp(");
+        let b = Expr::eq("c", "y");
+        assert_ne!(a.canonical_encoding(), b.canonical_encoding());
+        let c = Expr::in_set("c", vec!["a,b".into()]);
+        let d = Expr::in_set("c", vec!["a".into(), "b".into()]);
+        assert_ne!(c.canonical_encoding(), d.canonical_encoding());
     }
 
     #[test]

@@ -348,6 +348,7 @@ mod tests {
             deadline_ms: None,
             row_budget: None,
             confidence: None,
+            max_rel_error: None,
         }) {
             Err(ClientError::Io(_)) => {}
             other => panic!("{other:?}"),

@@ -9,6 +9,12 @@
 //!   length-prefixed JSON frames over TCP, with degradation surfaced at
 //!   the wire level (serving tier, partial flags, deadline-limited
 //!   markers, explicit `shed` responses with retry hints);
+//! * [`cache`] — a semantic answer cache: canonicalized-plan keys,
+//!   CI-aware reuse (a cached answer serves a request only at
+//!   equal-or-tighter error/confidence bounds), single-flight execution
+//!   of concurrent misses, LRU + TTL eviction, and epoch-bump
+//!   invalidation on table rebuild — hits bypass admission and the
+//!   morsel pool entirely;
 //! * [`admission`] — per-contract-class admission control (interactive
 //!   vs batch): bounded queues, concurrency caps, and deterministic load
 //!   shedding with `Retry-After` hints once the queue is full;
@@ -38,6 +44,7 @@
 #![deny(unsafe_code)]
 
 pub mod admission;
+pub mod cache;
 pub mod client;
 pub mod fault;
 pub mod protocol;
@@ -45,6 +52,7 @@ pub mod server;
 pub mod throughput;
 
 pub use admission::{AdmissionConfig, AdmissionController, AdmitOutcome, ClassLimits};
+pub use cache::{CacheConfig, CacheDecision, FlightGuard, PlanKey, SemanticCache};
 pub use client::{Client, ClientError, RetryPolicy};
 pub use fault::{FaultGuard, ServingFault};
 pub use protocol::{ContractClass, Request, Response, WireAnswer};

@@ -219,11 +219,18 @@ pub enum Request {
         row_budget: Option<usize>,
         /// Confidence level for intervals (default 0.95).
         confidence: Option<f64>,
+        /// Optional relative-error bound on every interval's half-width
+        /// (`half_width <= bound * |estimate|`). Part of the answer
+        /// contract: a cached answer is only reused if it fits.
+        max_rel_error: Option<f64>,
     },
     /// Liveness probe.
     Ping,
     /// Fetch the server's metrics registry as Prometheus text.
     Metrics,
+    /// Drop every cached answer and bump the cache epoch (issued after a
+    /// table/sample rebuild so stale answers can never be re-served).
+    Invalidate,
     /// Ask the server to shut down gracefully (drain, then exit).
     Shutdown,
 }
@@ -237,6 +244,7 @@ impl Request {
             deadline_ms: None,
             row_budget: None,
             confidence: None,
+            max_rel_error: None,
         }
     }
 
@@ -246,7 +254,8 @@ impl Request {
             Request::Ping => Value::Obj(vec![("op".into(), "ping".into())]),
             Request::Metrics => Value::Obj(vec![("op".into(), "metrics".into())]),
             Request::Shutdown => Value::Obj(vec![("op".into(), "shutdown".into())]),
-            Request::Query { sql, class, deadline_ms, row_budget, confidence } => {
+            Request::Invalidate => Value::Obj(vec![("op".into(), "invalidate".into())]),
+            Request::Query { sql, class, deadline_ms, row_budget, confidence, max_rel_error } => {
                 let mut m: Vec<(String, Value)> = vec![
                     ("op".into(), "query".into()),
                     ("sql".into(), sql.as_str().into()),
@@ -260,6 +269,9 @@ impl Request {
                 }
                 if let Some(c) = confidence {
                     m.push(("confidence".into(), (*c).into()));
+                }
+                if let Some(e) = max_rel_error {
+                    m.push(("max_rel_error".into(), (*e).into()));
                 }
                 Value::Obj(m)
             }
@@ -275,6 +287,7 @@ impl Request {
             "ping" => Ok(Request::Ping),
             "metrics" => Ok(Request::Metrics),
             "shutdown" => Ok(Request::Shutdown),
+            "invalidate" => Ok(Request::Invalidate),
             "query" => Ok(Request::Query {
                 sql: v.get("sql").and_then(Value::as_str).ok_or("query needs sql")?.to_string(),
                 class: ContractClass::parse(
@@ -283,6 +296,7 @@ impl Request {
                 deadline_ms: v.get("deadline_ms").and_then(Value::as_u64),
                 row_budget: v.get("row_budget").and_then(Value::as_u64).map(|n| n as usize),
                 confidence: v.get("confidence").and_then(Value::as_f64),
+                max_rel_error: v.get("max_rel_error").and_then(Value::as_f64),
             }),
             other => Err(format!("unknown op {other:?}")),
         }
@@ -300,6 +314,9 @@ pub struct WireAnswer {
     /// True when the deadline forced a cheaper tier or truncated the
     /// exact rung — the client traded accuracy for its own deadline.
     pub deadline_limited: bool,
+    /// True when the answer was re-served from the semantic cache
+    /// (no scan at all; `rows_scanned` reports the original execution).
+    pub cache_hit: bool,
     /// Rows the answer actually scanned.
     pub rows_scanned: u64,
     /// The row cap the ladder walked under, if any.
@@ -355,6 +372,7 @@ impl WireAnswer {
         deadline_limited: bool,
         effective_budget: Option<usize>,
         elapsed_ms: f64,
+        cache_hit: bool,
     ) -> WireAnswer {
         let mut sorted = answer.clone();
         sorted.sort_by_key();
@@ -362,6 +380,7 @@ impl WireAnswer {
             tier: tier_str(sorted.tier).to_string(),
             partial: sorted.partial,
             deadline_limited,
+            cache_hit,
             rows_scanned: sorted.rows_scanned as u64,
             effective_budget: effective_budget.map(|b| b as u64),
             elapsed_ms,
@@ -408,6 +427,11 @@ pub enum Response {
     Metrics(String),
     /// The server accepted a shutdown request and is draining.
     ShuttingDown,
+    /// The semantic cache was cleared; `epoch` is the new cache epoch.
+    Invalidated {
+        /// Cache epoch after the bump.
+        epoch: u64,
+    },
     /// Admission control refused the request: the class's queue is full.
     /// Retry after the hinted back-off.
     Shed {
@@ -446,6 +470,11 @@ impl Response {
             Response::ShuttingDown => Value::Obj(vec![
                 ("status".into(), "ok".into()),
                 ("shutting_down".into(), true.into()),
+            ]),
+            Response::Invalidated { epoch } => Value::Obj(vec![
+                ("status".into(), "ok".into()),
+                ("invalidated".into(), true.into()),
+                ("epoch".into(), (*epoch).into()),
             ]),
             Response::Shed { retry_after_ms, class } => Value::Obj(vec![
                 ("status".into(), "shed".into()),
@@ -492,6 +521,7 @@ impl Response {
                     ("tier".into(), a.tier.as_str().into()),
                     ("partial".into(), a.partial.into()),
                     ("deadline_limited".into(), a.deadline_limited.into()),
+                    ("cache_hit".into(), a.cache_hit.into()),
                     ("rows_scanned".into(), a.rows_scanned.into()),
                     ("elapsed_ms".into(), a.elapsed_ms.into()),
                     (
@@ -540,6 +570,11 @@ impl Response {
                 if v.get("shutting_down").and_then(Value::as_bool) == Some(true) {
                     return Ok(Response::ShuttingDown);
                 }
+                if v.get("invalidated").and_then(Value::as_bool) == Some(true) {
+                    return Ok(Response::Invalidated {
+                        epoch: v.get("epoch").and_then(Value::as_u64).unwrap_or(0),
+                    });
+                }
                 if let Some(text) = v.get("metrics").and_then(Value::as_str) {
                     return Ok(Response::Metrics(text.to_string()));
                 }
@@ -580,6 +615,7 @@ impl Response {
                         .get("deadline_limited")
                         .and_then(Value::as_bool)
                         .unwrap_or(false),
+                    cache_hit: v.get("cache_hit").and_then(Value::as_bool).unwrap_or(false),
                     rows_scanned: v.get("rows_scanned").and_then(Value::as_u64).unwrap_or(0),
                     effective_budget: v.get("effective_budget").and_then(Value::as_u64),
                     elapsed_ms: v.get("elapsed_ms").and_then(Value::as_f64).unwrap_or(0.0),
@@ -732,12 +768,14 @@ mod tests {
             Request::Ping,
             Request::Metrics,
             Request::Shutdown,
+            Request::Invalidate,
             Request::Query {
                 sql: "SELECT COUNT(*) FROM v GROUP BY g".into(),
                 class: ContractClass::Batch,
                 deadline_ms: Some(250),
                 row_budget: Some(10_000),
                 confidence: Some(0.99),
+                max_rel_error: Some(0.05),
             },
             Request::query("SELECT SUM(x) FROM v"),
         ];
@@ -756,6 +794,7 @@ mod tests {
             tier: "overall".into(),
             partial: true,
             deadline_limited: true,
+            cache_hit: true,
             rows_scanned: 123,
             effective_budget: Some(1000),
             elapsed_ms: 4.25,
@@ -771,6 +810,7 @@ mod tests {
             Response::Pong,
             Response::Metrics("# HELP x\n".into()),
             Response::ShuttingDown,
+            Response::Invalidated { epoch: 3 },
             Response::Shed { retry_after_ms: 40, class: "interactive".into() },
             Response::Draining,
             Response::Timeout { message: "deadline exceeded".into() },

@@ -29,12 +29,13 @@
 //! shutdown.
 
 use crate::admission::{AdmissionConfig, AdmissionController, AdmitOutcome};
+use crate::cache::{CacheConfig, CacheDecision, SemanticCache};
 use crate::fault;
 use crate::protocol::{
     write_frame, ContractClass, FrameRead, FrameReader, Request, Response, WireAnswer,
 };
 use crate::throughput::Throughput;
-use aqp_core::{AqpError, QueryBound, ResilientSystem, ServingTier};
+use aqp_core::{AnswerContract, AqpError, QueryBound, ResilientSystem, ServingTier};
 use aqp_query::CancelToken;
 use std::io;
 use std::net::{TcpListener, TcpStream};
@@ -92,6 +93,8 @@ pub struct ServerConfig {
     /// How long to wait for in-flight connections at shutdown before
     /// abandoning the join.
     pub drain_timeout: Duration,
+    /// Semantic answer cache configuration (capacity 0 disables).
+    pub cache: CacheConfig,
     /// Write a Prometheus metrics snapshot to this file at exit.
     pub metrics_out: Option<std::path::PathBuf>,
     /// Whether to install SIGTERM/SIGINT handlers (CLI yes, tests no —
@@ -108,6 +111,7 @@ impl Default for ServerConfig {
             default_confidence: 0.95,
             fixed_rows_per_ms: None,
             drain_timeout: Duration::from_secs(10),
+            cache: CacheConfig::default(),
             metrics_out: None,
             install_signal_handlers: false,
         }
@@ -131,6 +135,13 @@ pub struct ServerReport {
     pub errors: u64,
     /// Connections served over the lifetime.
     pub connections: u64,
+    /// Queries answered straight from the semantic cache.
+    pub cache_hits: u64,
+    /// Queries that missed the cache and executed (includes single-flight
+    /// leaders and deadline-expired followers).
+    pub cache_misses: u64,
+    /// Queries that skipped the cache entirely (cache disabled).
+    pub cache_bypass: u64,
 }
 
 #[derive(Debug, Default)]
@@ -142,6 +153,9 @@ struct Tallies {
     drained_rejects: AtomicU64,
     errors: AtomicU64,
     connections: AtomicU64,
+    cache_hits: AtomicU64,
+    cache_misses: AtomicU64,
+    cache_bypass: AtomicU64,
 }
 
 /// Handle for asking a running server to shut down gracefully from
@@ -171,6 +185,7 @@ struct Inner {
     config: ServerConfig,
     admission: AdmissionController,
     throughput: Throughput,
+    cache: SemanticCache,
     shutdown: AtomicBool,
     draining: AtomicBool,
     tallies: Tallies,
@@ -193,12 +208,14 @@ impl Server {
             None => Throughput::new(),
         };
         let admission = AdmissionController::new(config.admission);
+        let cache = SemanticCache::new(config.cache.clone());
         Ok(Server {
             inner: Arc::new(Inner {
                 system,
                 config,
                 admission,
                 throughput,
+                cache,
                 shutdown: AtomicBool::new(false),
                 draining: AtomicBool::new(false),
                 tallies: Tallies::default(),
@@ -293,6 +310,9 @@ impl Server {
             drained_rejects: t.drained_rejects.load(Ordering::Relaxed),
             errors: t.errors.load(Ordering::Relaxed),
             connections: t.connections.load(Ordering::Relaxed),
+            cache_hits: t.cache_hits.load(Ordering::Relaxed),
+            cache_misses: t.cache_misses.load(Ordering::Relaxed),
+            cache_bypass: t.cache_bypass.load(Ordering::Relaxed),
         };
         aqp_obs::event::info(
             "serving::server",
@@ -413,8 +433,12 @@ fn dispatch(inner: &Inner, request: Request) -> Response {
             inner.shutdown.store(true, Ordering::SeqCst);
             Response::ShuttingDown
         }
-        Request::Query { sql, class, deadline_ms, row_budget, confidence } => {
-            serve_query(inner, sql, class, deadline_ms, row_budget, confidence)
+        Request::Invalidate => {
+            tally_request(inner, ContractClass::Interactive, "invalidate");
+            Response::Invalidated { epoch: inner.cache.invalidate() }
+        }
+        Request::Query { sql, class, deadline_ms, row_budget, confidence, max_rel_error } => {
+            serve_query(inner, sql, class, deadline_ms, row_budget, confidence, max_rel_error)
         }
     }
 }
@@ -426,6 +450,7 @@ fn serve_query(
     deadline_ms: Option<u64>,
     row_budget: Option<usize>,
     confidence: Option<f64>,
+    max_rel_error: Option<f64>,
 ) -> Response {
     if inner.draining.load(Ordering::SeqCst) || inner.shutdown.load(Ordering::SeqCst) {
         inner.tallies.drained_rejects.fetch_add(1, Ordering::Relaxed);
@@ -437,6 +462,51 @@ fn serve_query(
         .map(Duration::from_millis)
         .or(inner.config.default_deadline)
         .map(|d| Instant::now() + d);
+
+    let t0 = Instant::now();
+    // Parse before admission: the cache key is the canonicalized plan,
+    // and a cache hit must not consume an executor slot at all.
+    let parsed = match aqp_sql::parse_query(&sql) {
+        Ok(p) => p,
+        Err(e) => {
+            inner.tallies.errors.fetch_add(1, Ordering::Relaxed);
+            tally_request(inner, class, "error");
+            return Response::Error { message: format!("parse error: {e}") };
+        }
+    };
+    let conf = confidence.unwrap_or(inner.config.default_confidence);
+    let contract = AnswerContract { confidence: conf, max_rel_error };
+
+    // Cache consultation AHEAD of admission. A hit is served without a
+    // permit, a token, or a single morsel. A miss returns a single-flight
+    // guard: concurrent misses on the same key park here (bounded by
+    // their own deadline) while one leader executes; when the leader
+    // completes they re-check and hit.
+    let flight = match inner.cache.decide(&parsed.table, &parsed.query, &contract, deadline) {
+        CacheDecision::Hit(answer, _) => {
+            inner.tallies.cache_hits.fetch_add(1, Ordering::Relaxed);
+            inner.tallies.answered.fetch_add(1, Ordering::Relaxed);
+            tally_request(inner, class, "answer");
+            let elapsed = t0.elapsed();
+            aqp_obs::histogram("aqp_server_latency_seconds", &[("class", class.as_str())])
+                .observe(elapsed.as_nanos() as u64);
+            return Response::Answer(WireAnswer::from_answer(
+                &answer,
+                false,
+                None,
+                elapsed.as_secs_f64() * 1e3,
+                true,
+            ));
+        }
+        CacheDecision::Bypass => {
+            inner.tallies.cache_bypass.fetch_add(1, Ordering::Relaxed);
+            None
+        }
+        CacheDecision::Execute(guard) => {
+            inner.tallies.cache_misses.fetch_add(1, Ordering::Relaxed);
+            Some(guard)
+        }
+    };
 
     // Admission: the queue wait is bounded by the query's own deadline —
     // time spent queueing is time the scan no longer has.
@@ -476,66 +546,63 @@ fn serve_query(
         .and_then(|d| d.checked_duration_since(Instant::now()))
         .and_then(|left| inner.throughput.budget_for(left));
 
-    let t0 = Instant::now();
-    let response = match aqp_sql::parse_query(&sql) {
+    let bound = QueryBound {
+        row_budget,
+        deadline_budget,
+        cancel: Some(token.clone()),
+    };
+    let response = match inner.system.answer_bounded(&parsed.query, conf, &bound) {
+        Ok(bounded) => {
+            let elapsed = t0.elapsed();
+            // Teach the estimator only from exact-tier scans:
+            // sample-tier answers scan few rows yet pay the same
+            // parse/ladder overhead, so feeding them in would
+            // drag the rows/ms EWMA far below true scan speed
+            // and make deadline→budget conversion needlessly
+            // pessimistic.
+            if bounded.answer.tier == ServingTier::Exact {
+                inner.throughput.observe(bounded.answer.rows_scanned, elapsed);
+            }
+            inner.tallies.answered.fetch_add(1, Ordering::Relaxed);
+            tally_request(inner, class, "answer");
+            aqp_obs::histogram(
+                "aqp_server_latency_seconds",
+                &[("class", class.as_str())],
+            )
+            .observe(elapsed.as_nanos() as u64);
+            // Publish to the cache: deadline-shaped answers are an
+            // artifact of this request's time budget, not a reusable
+            // statement about the data — complete() skips them (and any
+            // partial answer) while still releasing the flight.
+            if let Some(guard) = flight {
+                guard.complete(&bounded.answer, conf, !bounded.deadline_limited);
+            }
+            Response::Answer(WireAnswer::from_answer(
+                &bounded.answer,
+                bounded.deadline_limited,
+                bounded.effective_budget,
+                elapsed.as_secs_f64() * 1e3,
+                false,
+            ))
+        }
+        Err(AqpError::Cancelled { deadline: true }) => {
+            inner.tallies.timeouts.fetch_add(1, Ordering::Relaxed);
+            aqp_obs::counter("aqp_server_timeout_total", &[("class", class.as_str())])
+                .inc();
+            tally_request(inner, class, "timeout");
+            Response::Timeout {
+                message: "deadline exceeded mid-scan; no tier could finish".into(),
+            }
+        }
+        Err(AqpError::Cancelled { deadline: false }) => {
+            inner.tallies.errors.fetch_add(1, Ordering::Relaxed);
+            tally_request(inner, class, "error");
+            Response::Error { message: "query cancelled".into() }
+        }
         Err(e) => {
             inner.tallies.errors.fetch_add(1, Ordering::Relaxed);
             tally_request(inner, class, "error");
-            Response::Error { message: format!("parse error: {e}") }
-        }
-        Ok(parsed) => {
-            let bound = QueryBound {
-                row_budget,
-                deadline_budget,
-                cancel: Some(token.clone()),
-            };
-            let conf = confidence.unwrap_or(inner.config.default_confidence);
-            match inner.system.answer_bounded(&parsed.query, conf, &bound) {
-                Ok(bounded) => {
-                    let elapsed = t0.elapsed();
-                    // Teach the estimator only from exact-tier scans:
-                    // sample-tier answers scan few rows yet pay the same
-                    // parse/ladder overhead, so feeding them in would
-                    // drag the rows/ms EWMA far below true scan speed
-                    // and make deadline→budget conversion needlessly
-                    // pessimistic.
-                    if bounded.answer.tier == ServingTier::Exact {
-                        inner.throughput.observe(bounded.answer.rows_scanned, elapsed);
-                    }
-                    inner.tallies.answered.fetch_add(1, Ordering::Relaxed);
-                    tally_request(inner, class, "answer");
-                    aqp_obs::histogram(
-                        "aqp_server_latency_seconds",
-                        &[("class", class.as_str())],
-                    )
-                    .observe(elapsed.as_nanos() as u64);
-                    Response::Answer(WireAnswer::from_answer(
-                        &bounded.answer,
-                        bounded.deadline_limited,
-                        bounded.effective_budget,
-                        elapsed.as_secs_f64() * 1e3,
-                    ))
-                }
-                Err(AqpError::Cancelled { deadline: true }) => {
-                    inner.tallies.timeouts.fetch_add(1, Ordering::Relaxed);
-                    aqp_obs::counter("aqp_server_timeout_total", &[("class", class.as_str())])
-                        .inc();
-                    tally_request(inner, class, "timeout");
-                    Response::Timeout {
-                        message: "deadline exceeded mid-scan; no tier could finish".into(),
-                    }
-                }
-                Err(AqpError::Cancelled { deadline: false }) => {
-                    inner.tallies.errors.fetch_add(1, Ordering::Relaxed);
-                    tally_request(inner, class, "error");
-                    Response::Error { message: "query cancelled".into() }
-                }
-                Err(e) => {
-                    inner.tallies.errors.fetch_add(1, Ordering::Relaxed);
-                    tally_request(inner, class, "error");
-                    Response::Error { message: e.to_string() }
-                }
-            }
+            Response::Error { message: e.to_string() }
         }
     };
     drop(permit);
@@ -648,6 +715,7 @@ mod tests {
                 deadline_ms: Some(125),
                 row_budget: None,
                 confidence: None,
+                max_rel_error: None,
             })
             .unwrap();
         match resp {

@@ -1,0 +1,138 @@
+//! Canonical plan-key text for semantic answer caching.
+//!
+//! Two SQL strings that parse to the same logical plan must map to the
+//! same key, and two semantically different plans must never share one.
+//! The parser already erases surface syntax (whitespace, keyword case,
+//! `BETWEEN` expansion); this module erases the remaining
+//! semantics-free degrees of freedom:
+//!
+//! * aggregate **aliases** (`COUNT(*) AS c` ≡ `COUNT(*) AS n` — the alias
+//!   names an output column, it does not change the answer's values);
+//! * predicate **commutation and formatting** via
+//!   [`Expr::canonicalize`](aqp_query::Expr::canonicalize) (And/Or order,
+//!   IN-list order, integral-float comparison literals).
+//!
+//! Aggregate order and group-by order stay significant: they determine
+//! the answer's column and key-tuple layout, which is part of the wire
+//! contract. All string components are length-prefixed, so the text is
+//! injective over plans — the cache can use it directly as a map key and
+//! any fixed-width hash of it purely as a fingerprint.
+
+use crate::parser::ParsedQuery;
+use aqp_query::{AggFunc, Query};
+
+/// Write one length-prefixed string (unambiguous for any content).
+fn push_str_prefixed(out: &mut String, s: &str) {
+    out.push_str(&s.len().to_string());
+    out.push(':');
+    out.push_str(s);
+}
+
+/// The canonical plan-key text for `query` against `table`.
+///
+/// Stable across processes and platforms: everything folded in is either
+/// text or the platform-independent
+/// [`Expr::canonical_encoding`](aqp_query::Expr::canonical_encoding).
+pub fn plan_key_text(table: &str, query: &Query) -> String {
+    let mut out = String::with_capacity(96);
+    out.push_str("plan1|t");
+    push_str_prefixed(&mut out, table);
+    out.push_str("|g[");
+    for (i, g) in query.group_by.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        push_str_prefixed(&mut out, g);
+    }
+    out.push_str("]|a[");
+    for (i, a) in query.aggregates.iter().enumerate() {
+        if i > 0 {
+            out.push(';');
+        }
+        out.push_str(match a.func {
+            AggFunc::Count => "count",
+            AggFunc::Sum => "sum",
+            AggFunc::Avg => "avg",
+            AggFunc::Min => "min",
+            AggFunc::Max => "max",
+        });
+        if let Some(c) = &a.column {
+            out.push('(');
+            push_str_prefixed(&mut out, c);
+            out.push(')');
+        }
+    }
+    out.push_str("]|w");
+    match &query.predicate {
+        None => out.push('-'),
+        Some(p) => out.push_str(&p.canonicalize().canonical_encoding()),
+    }
+    out
+}
+
+impl ParsedQuery {
+    /// [`plan_key_text`] for this parsed query.
+    pub fn plan_key_text(&self) -> String {
+        plan_key_text(&self.table, &self.query)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::parse_query;
+
+    fn key(sql: &str) -> String {
+        parse_query(sql).unwrap().plan_key_text()
+    }
+
+    #[test]
+    fn surface_syntax_erased() {
+        let base = key("SELECT g, COUNT(*) AS c FROM v WHERE a = 1 AND b >= 2.0 GROUP BY g");
+        // Whitespace, keyword case, literal formatting, alias, And order.
+        for same in [
+            "select   g,count(*) AS c from v where a=1 and b>=2.0 group by g",
+            "SELECT g, COUNT(*) AS n FROM v WHERE a = 1 AND b >= 2 GROUP BY g",
+            "SELECT g, COUNT(*) FROM v WHERE b >= 2 AND a = 1.0 GROUP BY g",
+        ] {
+            assert_eq!(key(same), base, "{same}");
+        }
+    }
+
+    #[test]
+    fn semantics_kept_distinct() {
+        let base = key("SELECT g, COUNT(*) FROM v WHERE a = 1 GROUP BY g");
+        for diff in [
+            "SELECT g, COUNT(*) FROM w WHERE a = 1 GROUP BY g", // table
+            "SELECT g, COUNT(*) FROM v WHERE a = 2 GROUP BY g", // literal
+            "SELECT g, COUNT(*) FROM v WHERE a <= 1 GROUP BY g", // op
+            "SELECT g, COUNT(*) FROM v WHERE b = 1 GROUP BY g", // column
+            "SELECT g, COUNT(*) FROM v WHERE a = 1 OR b = 1 GROUP BY g", // connective
+            "SELECT h, COUNT(*) FROM v WHERE a = 1 GROUP BY h", // group col
+            "SELECT g, SUM(x) FROM v WHERE a = 1 GROUP BY g",   // aggregate
+            "SELECT g, COUNT(*) FROM v GROUP BY g",             // no predicate
+        ] {
+            assert_ne!(key(diff), base, "{diff}");
+        }
+        // Group-by ORDER is part of the wire layout, hence of the key.
+        assert_ne!(
+            key("SELECT a, b, COUNT(*) FROM v GROUP BY a, b"),
+            key("SELECT b, a, COUNT(*) FROM v GROUP BY b, a"),
+        );
+    }
+
+    #[test]
+    fn idempotent_connectives_collapse() {
+        // a=1 OR a=1 ≡ a=1 ≡ a=1 AND a=1: all three share a key.
+        let base = key("SELECT g, COUNT(*) FROM v WHERE a = 1 GROUP BY g");
+        assert_eq!(key("SELECT g, COUNT(*) FROM v WHERE a = 1 OR a = 1 GROUP BY g"), base);
+        assert_eq!(key("SELECT g, COUNT(*) FROM v WHERE a = 1 AND a = 1 GROUP BY g"), base);
+    }
+
+    #[test]
+    fn in_list_commutation_erased() {
+        assert_eq!(
+            key("SELECT COUNT(*) FROM v WHERE g IN ('x', 'y', 'x')"),
+            key("SELECT COUNT(*) FROM v WHERE g IN ('y', 'x')"),
+        );
+    }
+}

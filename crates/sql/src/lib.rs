@@ -41,9 +41,11 @@
 #![warn(missing_docs)]
 #![deny(unsafe_code)]
 
+pub mod canon;
 pub mod error;
 pub mod lexer;
 pub mod parser;
 
+pub use canon::plan_key_text;
 pub use error::{SqlError, SqlResult};
 pub use parser::{parse_query, ParsedQuery};

@@ -1,0 +1,142 @@
+//! Golden tests for normalized-plan cache keys.
+//!
+//! The semantic cache's correctness rests on the canonical key text
+//! being (a) **byte-stable** across every semantics-free rewriting of a
+//! query — whitespace, keyword case, literal formatting, predicate
+//! commutation, aggregate aliasing — and (b) **injective** over
+//! semantically different plans. The literals below pin the exact bytes:
+//! any drift in the canonicalizer silently invalidates every cache entry
+//! written by an older build, so a format change must be a conscious,
+//! reviewed decision (bump the `plan1|` version tag when making one).
+//!
+//! A 1 000-query corpus additionally checks that both the key texts and
+//! their fixed-width hash fingerprints are collision-free, so the hash
+//! is safe to use in logs and metrics as a short synonym for the key.
+
+use aqp::prelude::*;
+use aqp::serving::{CacheConfig, SemanticCache};
+use std::collections::HashSet;
+
+fn key(sql: &str) -> String {
+    parse_query(sql).unwrap().plan_key_text()
+}
+
+/// The pinned key-text format, byte for byte.
+#[test]
+fn golden_key_text_is_byte_stable() {
+    assert_eq!(
+        key("SELECT store.region, COUNT(*) AS c, SUM(sales.revenue) AS rev \
+             FROM sales_view \
+             WHERE sales.revenue > 100 AND store.country = 'US' \
+             GROUP BY store.region"),
+        "plan1|t10:sales_view|g[12:store.region]|a[count;sum(13:sales.revenue)]|w\
+         and(cmp(13:sales.revenue,gt,i100);cmp(13:store.country,eq,s2:US))",
+    );
+    assert_eq!(key("SELECT COUNT(*) FROM v"), "plan1|t1:v|g[]|a[count]|w-");
+}
+
+/// Every semantics-free rewriting maps to the same bytes as the golden.
+#[test]
+fn rewritings_share_the_golden_bytes() {
+    let golden = "plan1|t10:sales_view|g[12:store.region]|a[count;sum(13:sales.revenue)]|w\
+                  and(cmp(13:sales.revenue,gt,i100);cmp(13:store.country,eq,s2:US))";
+    for variant in [
+        // Whitespace and keyword case.
+        "select store.region,count(*) as c,sum(sales.revenue) as rev from sales_view \
+         where sales.revenue>100 and store.country='US' group by store.region",
+        // Literal formatting: 100 vs 100.0 vs 1e2.
+        "SELECT store.region, COUNT(*) AS c, SUM(sales.revenue) AS rev FROM sales_view \
+         WHERE sales.revenue > 100.0 AND store.country = 'US' GROUP BY store.region",
+        "SELECT store.region, COUNT(*) AS c, SUM(sales.revenue) AS rev FROM sales_view \
+         WHERE sales.revenue > 1e2 AND store.country = 'US' GROUP BY store.region",
+        // Predicate commutation.
+        "SELECT store.region, COUNT(*) AS c, SUM(sales.revenue) AS rev FROM sales_view \
+         WHERE store.country = 'US' AND sales.revenue > 100 GROUP BY store.region",
+        // Aggregate aliasing (and no alias at all).
+        "SELECT store.region, COUNT(*) AS total, SUM(sales.revenue) AS money FROM sales_view \
+         WHERE sales.revenue > 100 AND store.country = 'US' GROUP BY store.region",
+        "SELECT store.region, COUNT(*), SUM(sales.revenue) FROM sales_view \
+         WHERE sales.revenue > 100 AND store.country = 'US' GROUP BY store.region",
+    ] {
+        assert_eq!(key(variant), golden, "variant drifted: {variant}");
+    }
+}
+
+/// Semantically different queries must never share bytes.
+#[test]
+fn semantic_differences_change_the_bytes() {
+    let base = key("SELECT g, COUNT(*) FROM v WHERE a > 1 GROUP BY g");
+    for (label, sql) in [
+        ("table", "SELECT g, COUNT(*) FROM w WHERE a > 1 GROUP BY g"),
+        ("literal", "SELECT g, COUNT(*) FROM v WHERE a > 2 GROUP BY g"),
+        ("operator", "SELECT g, COUNT(*) FROM v WHERE a >= 1 GROUP BY g"),
+        ("column", "SELECT g, COUNT(*) FROM v WHERE b > 1 GROUP BY g"),
+        ("connective", "SELECT g, COUNT(*) FROM v WHERE a > 1 OR a > 1000 GROUP BY g"),
+        ("group", "SELECT h, COUNT(*) FROM v WHERE a > 1 GROUP BY h"),
+        ("aggregate", "SELECT g, SUM(x) FROM v WHERE a > 1 GROUP BY g"),
+        ("agg column", "SELECT g, SUM(y) FROM v WHERE a > 1 GROUP BY g"),
+        ("no predicate", "SELECT g, COUNT(*) FROM v GROUP BY g"),
+        ("extra aggregate", "SELECT g, COUNT(*), SUM(x) FROM v WHERE a > 1 GROUP BY g"),
+    ] {
+        assert_ne!(key(sql), base, "{label} change must change the key");
+    }
+}
+
+/// A string whose *content* mimics the length-prefix framing must not
+/// produce the same bytes as the framing it mimics: prefixes make the
+/// encoding injective even against adversarial identifiers.
+#[test]
+fn length_prefixes_resist_injection() {
+    assert_ne!(
+        key("SELECT COUNT(*) FROM v WHERE g = '2:US'"),
+        key("SELECT COUNT(*) FROM v WHERE g = 'US'"),
+    );
+}
+
+/// 1 000 distinct queries → 1 000 distinct key texts AND 1 000 distinct
+/// hash fingerprints (no collisions in the short synonym either).
+#[test]
+fn thousand_query_corpus_is_collision_free() {
+    let groups = ["store.region", "product.category", "customer.segment", "time.year"];
+    let aggs = [
+        "COUNT(*)",
+        "SUM(sales.revenue)",
+        "AVG(sales.units)",
+        "COUNT(*), SUM(sales.cost)",
+        "MIN(sales.revenue)",
+    ];
+    let cache = SemanticCache::new(CacheConfig::default());
+    let mut texts = HashSet::new();
+    let mut hashes = HashSet::new();
+    let mut total = 0usize;
+    for g in &groups {
+        for a in &aggs {
+            for lit in 0..50 {
+                let sql = format!(
+                    "SELECT {g}, {a} FROM v WHERE sales.revenue > {lit} GROUP BY {g}"
+                );
+                let parsed = parse_query(&sql).unwrap();
+                let k = cache.key(&parsed.table, &parsed.query);
+                assert!(texts.insert(k.text().to_string()), "text collision: {sql}");
+                assert!(hashes.insert(k.hash()), "hash collision: {sql}");
+                total += 1;
+            }
+        }
+    }
+    assert_eq!(total, 1000);
+    assert_eq!(texts.len(), 1000);
+    assert_eq!(hashes.len(), 1000);
+}
+
+/// The cache key embeds the epoch, so the same plan re-keys after an
+/// invalidation — stale entries are unreachable by construction.
+#[test]
+fn epoch_prefix_re_keys_after_invalidate() {
+    let cache = SemanticCache::new(CacheConfig::default());
+    let parsed = parse_query("SELECT g, COUNT(*) FROM v GROUP BY g").unwrap();
+    let before = cache.key(&parsed.table, &parsed.query);
+    cache.invalidate();
+    let after = cache.key(&parsed.table, &parsed.query);
+    assert_ne!(before.text(), after.text());
+    assert_ne!(before.hash(), after.hash());
+}
