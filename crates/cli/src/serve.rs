@@ -1,19 +1,24 @@
-//! `serve`, `client`, and `bench serving` subcommands.
+//! `serve`, `client`, `top`, and `bench serving` subcommands.
 //!
 //! `serve` turns the CLI into a long-running concurrent query server on
 //! the wire protocol from [`aqp::serving`]; `client` is the matching
-//! cooperative client (bounded retry with backoff on shed); `bench
-//! serving` measures end-to-end serving latency and overload behaviour
-//! against an in-process server and writes `BENCH_serving.json`.
+//! cooperative client (bounded retry with backoff on shed); `top` is a
+//! live terminal view over the server's `stats` verb (per-class SLO
+//! windows); `bench serving` measures end-to-end serving latency and
+//! overload behaviour against an in-process server and writes
+//! `BENCH_serving.json` (including per-stage timeline medians pulled
+//! from the flight recorder over the `dump` verb).
 
 use crate::args::Args;
 use crate::commands::{
     at_path, boxed, open_family, opt_usize, threads_arg, write_metrics_snapshot, CliError,
 };
+use aqp::obs::json::Value;
+use aqp::obs::SloConfig;
 use aqp::prelude::*;
 use aqp::serving::{
     AdmissionConfig, CacheConfig, Client, ClassLimits, ClientError, ContractClass, Request,
-    Response, RetryPolicy, Server, ServerConfig, WireAnswer,
+    Response, RetryPolicy, Server, ServerConfig, ShadowConfig, WireAnswer,
 };
 use aqp::storage::read_table_file;
 use std::io::Write;
@@ -39,6 +44,16 @@ pub fn serve_command(args: &Args, out: &mut dyn Write) -> Result<(), CliError> {
     // environment) disables it; --cache-ttl-ms 0 means no TTL.
     let cache_capacity = args.get_or("cache-capacity", 256usize)?;
     let cache_ttl_ms = args.get_or("cache-ttl-ms", 0u64)?;
+    // Observability: flight-recorder ring size and anomaly-dump path,
+    // shadow-audit sampling, SLO watchdog thresholds.
+    let flight_cap =
+        args.get_or("flight-recorder-cap", aqp::obs::flight::DEFAULT_FLIGHT_CAPACITY)?;
+    let flight_dump = args.optional("flight-dump");
+    let shadow_rate = args.get_or("shadow-rate", 0.0f64)?;
+    let shadow_seed = args.get_or("shadow-seed", 0x5eed_5eed_u64)?;
+    let slo_availability = args.get_or("slo-availability", 0.99f64)?;
+    let slo_p99_ms = opt_usize(args, "slo-p99-ms")?;
+    let slo_min_requests = args.get_or("slo-min-requests", 10u64)?;
     let admission = AdmissionConfig {
         interactive: ClassLimits {
             max_inflight: args.get_or("interactive-inflight", 4usize)?.max(1),
@@ -74,16 +89,34 @@ pub fn serve_command(args: &Args, out: &mut dyn Write) -> Result<(), CliError> {
         },
         metrics_out: metrics_out.map(Into::into),
         install_signal_handlers: true,
+        flight_recorder_cap: flight_cap,
+        flight_dump: flight_dump.map(Into::into),
+        shadow: ShadowConfig {
+            rate: shadow_rate.clamp(0.0, 1.0),
+            seed: shadow_seed,
+            ..ShadowConfig::default()
+        },
+        slo: SloConfig {
+            availability_target: slo_availability,
+            p99_limit: slo_p99_ms.map(|ms| Duration::from_millis(ms as u64)),
+            min_requests: slo_min_requests,
+        },
     };
+    let shadow_on = config.shadow.rate > 0.0;
     let server = Server::bind(system, config).map_err(boxed)?;
     writeln!(
         out,
-        "serving on {} (interactive {}x{}, batch {}x{}); SIGTERM or a shutdown request drains",
+        "serving on {} (interactive {}x{}, batch {}x{}, flight ring {flight_cap}{}); SIGTERM or a shutdown request drains",
         server.local_addr().map_err(boxed)?,
         admission.interactive.max_inflight,
         admission.interactive.max_queue,
         admission.batch.max_inflight,
         admission.batch.max_queue,
+        if shadow_on {
+            format!(", shadow audit {:.0}%", shadow_rate.clamp(0.0, 1.0) * 100.0)
+        } else {
+            String::new()
+        },
     )?;
     out.flush()?;
     let report = server.run().map_err(boxed)?;
@@ -104,13 +137,16 @@ pub fn serve_command(args: &Args, out: &mut dyn Write) -> Result<(), CliError> {
     Ok(())
 }
 
-/// `client` — send one request (`ping`, `metrics`, `shutdown`, or SQL)
-/// to a running server and print the response.
+/// `client` — send one request (`ping`, `metrics`, `stats`, `dump`,
+/// `shutdown`, `invalidate`, or SQL) to a running server and print the
+/// response.
 pub fn client_command(args: &Args, out: &mut dyn Write) -> Result<(), CliError> {
     let addr = args.optional("addr").unwrap_or_else(|| "127.0.0.1:7878".to_owned());
     let class = ContractClass::parse(&args.optional("class").unwrap_or_default());
     let deadline_ms = opt_usize(args, "deadline-ms")?.map(|n| n as u64);
     let row_budget = opt_usize(args, "row-budget")?;
+    let trace_id = args.optional("trace-id");
+    let stats = args.flag("stats");
     let confidence = args
         .optional("confidence")
         .map(|v| {
@@ -131,13 +167,16 @@ pub fn client_command(args: &Args, out: &mut dyn Write) -> Result<(), CliError> 
     args.finish()?;
     if body.is_empty() {
         return Err(CliError(
-            "client needs a request: ping | metrics | shutdown | invalidate | SQL".into(),
+            "client needs a request: ping | metrics | stats | dump | shutdown | invalidate | SQL"
+                .into(),
         ));
     }
 
     let request = match body.as_str() {
         "ping" => Request::Ping,
         "metrics" => Request::Metrics,
+        "stats" => Request::Stats,
+        "dump" => Request::Dump,
         "shutdown" => Request::Shutdown,
         "invalidate" => Request::Invalidate,
         sql => Request::Query {
@@ -147,35 +186,52 @@ pub fn client_command(args: &Args, out: &mut dyn Write) -> Result<(), CliError> 
             row_budget,
             confidence,
             max_rel_error,
+            trace_id,
         },
     };
     let policy = RetryPolicy { max_attempts: attempts, ..RetryPolicy::with_seed(seed) };
     let mut client = Client::new(addr, policy);
     let t0 = Instant::now();
-    match client.request(&request) {
-        Ok(Response::Answer(answer)) => print_wire_answer(&answer, out)?,
-        Ok(Response::Pong) => writeln!(out, "pong ({:?})", t0.elapsed())?,
-        Ok(Response::Metrics(text)) => write!(out, "{text}")?,
-        Ok(Response::ShuttingDown) => writeln!(out, "server is shutting down")?,
+    let outcome = match client.request(&request) {
+        Ok(Response::Answer(answer)) => print_wire_answer(&answer, out),
+        Ok(Response::Pong) => writeln!(out, "pong ({:?})", t0.elapsed()).map_err(boxed),
+        Ok(Response::Metrics(text)) => write!(out, "{text}").map_err(boxed),
+        Ok(Response::Stats(text)) => writeln!(out, "{text}").map_err(boxed),
+        Ok(Response::Dump(text)) => write!(out, "{text}").map_err(boxed),
+        Ok(Response::ShuttingDown) => writeln!(out, "server is shutting down").map_err(boxed),
         Ok(Response::Invalidated { epoch }) => {
-            writeln!(out, "cache invalidated (epoch {epoch})")?
+            writeln!(out, "cache invalidated (epoch {epoch})").map_err(boxed)
         }
         Ok(Response::Draining) => {
-            return Err(CliError("server is draining; request not accepted".into()))
+            Err(CliError("server is draining; request not accepted".into()))
         }
-        Ok(Response::Timeout { message }) => {
-            return Err(CliError(format!("timeout: {message}")))
-        }
-        Ok(Response::Error { message }) => return Err(CliError(format!("server: {message}"))),
-        Ok(Response::Shed { retry_after_ms, .. }) => {
-            return Err(CliError(format!(
-                "shed (unretried); server suggests retrying in {retry_after_ms} ms"
-            )))
-        }
-        Err(e @ ClientError::Shed { .. }) => return Err(CliError(e.to_string())),
-        Err(e) => return Err(CliError(e.to_string())),
+        Ok(Response::Timeout { message, trace_id }) => Err(CliError(trace_note(
+            format!("timeout: {message}"),
+            &trace_id,
+        ))),
+        Ok(Response::Error { message, trace_id }) => Err(CliError(trace_note(
+            format!("server: {message}"),
+            &trace_id,
+        ))),
+        Ok(Response::Shed { retry_after_ms, .. }) => Err(CliError(format!(
+            "shed (unretried); server suggests retrying in {retry_after_ms} ms"
+        ))),
+        Err(e @ ClientError::Shed { .. }) => Err(CliError(e.to_string())),
+        Err(e) => Err(CliError(e.to_string())),
+    };
+    if stats {
+        writeln!(out, "client: {}", client.stats().summary())?;
     }
-    Ok(())
+    outcome
+}
+
+/// Append a `(trace <id>)` suffix when the server attached a trace id.
+fn trace_note(message: String, trace_id: &str) -> String {
+    if trace_id.is_empty() {
+        message
+    } else {
+        format!("{message} (trace {trace_id})")
+    }
 }
 
 /// Render a wire answer like the local `query` command renders a local
@@ -217,6 +273,9 @@ fn print_wire_answer(answer: &WireAnswer, out: &mut dyn Write) -> Result<(), Cli
     if let Some(b) = answer.effective_budget {
         notes.push(format!("budget {b}"));
     }
+    if !answer.trace_id.is_empty() {
+        notes.push(format!("trace {}", answer.trace_id));
+    }
     writeln!(
         out,
         "-- {} | {} rows scanned | server {:.1} ms",
@@ -224,6 +283,115 @@ fn print_wire_answer(answer: &WireAnswer, out: &mut dyn Write) -> Result<(), Cli
         answer.rows_scanned,
         answer.elapsed_ms
     )?;
+    Ok(())
+}
+
+/// Median wall time per timeline stage across a flight-recorder JSONL
+/// dump, answered requests only, in first-seen stage order.
+fn stage_medians(jsonl: &str) -> Vec<(String, f64)> {
+    let mut by_stage: Vec<(String, Vec<u64>)> = Vec::new();
+    for line in jsonl.lines() {
+        let Ok(record) = aqp::obs::RequestRecord::from_json(line) else { continue };
+        if record.outcome != "answer" {
+            continue;
+        }
+        for stage in &record.stages {
+            match by_stage.iter_mut().find(|(n, _)| *n == stage.name) {
+                Some((_, v)) => v.push(stage.micros),
+                None => by_stage.push((stage.name.clone(), vec![stage.micros])),
+            }
+        }
+    }
+    by_stage
+        .into_iter()
+        .map(|(name, mut v)| {
+            v.sort_unstable();
+            (name, v[v.len() / 2] as f64)
+        })
+        .collect()
+}
+
+/// `top` — poll a running server's `stats` verb and render the SLO
+/// windows as a live table. `--iterations 0` polls until interrupted.
+pub fn top_command(args: &Args, out: &mut dyn Write) -> Result<(), CliError> {
+    let addr = args.optional("addr").unwrap_or_else(|| "127.0.0.1:7878".to_owned());
+    let interval_ms = args.get_or("interval-ms", 1000u64)?;
+    let iterations = args.get_or("iterations", 0usize)?;
+    args.finish()?;
+
+    let mut client = Client::new(addr.clone(), RetryPolicy::no_retry());
+    let mut polls = 0usize;
+    loop {
+        match client.request(&Request::Stats) {
+            Ok(Response::Stats(text)) => render_top(&text, &addr, out)?,
+            Ok(Response::Draining) | Ok(Response::ShuttingDown) => {
+                writeln!(out, "server is draining")?;
+                return Ok(());
+            }
+            Ok(other) => {
+                return Err(CliError(format!("unexpected response to stats: {other:?}")))
+            }
+            Err(e) => return Err(CliError(format!("stats poll failed: {e}"))),
+        }
+        out.flush()?;
+        polls += 1;
+        if iterations > 0 && polls >= iterations {
+            return Ok(());
+        }
+        std::thread::sleep(Duration::from_millis(interval_ms.max(100)));
+    }
+}
+
+/// Render one `stats` payload as the `top` table.
+fn render_top(text: &str, addr: &str, out: &mut dyn Write) -> Result<(), CliError> {
+    let v = aqp::obs::json::parse(text)
+        .map_err(|e| CliError(format!("malformed stats payload: {e}")))?;
+    let tallies = v.get("tallies");
+    let field = |k: &str| {
+        tallies
+            .and_then(|t| t.get(k))
+            .and_then(Value::as_u64)
+            .unwrap_or(0)
+    };
+    writeln!(
+        out,
+        "aqp top — {addr} | requests {} answered {} shed {} timeouts {} errors {} cache-hits {} connections {} | flight {} records",
+        field("requests"),
+        field("answered"),
+        field("shed"),
+        field("timeouts"),
+        field("errors"),
+        field("cache_hits"),
+        field("connections"),
+        v.get("flight_records").and_then(Value::as_u64).unwrap_or(0),
+    )?;
+    writeln!(
+        out,
+        "{:<12} {:<4} {:>8} {:>7} {:>6} {:>6} {:>6} {:>9} {:>9} {:>9}",
+        "class", "win", "reqs", "avail%", "shed%", "tmo%", "hit%", "p50ms", "p95ms", "p99ms"
+    )?;
+    let pct = |w: &Value, k: &str| w.get(k).and_then(Value::as_f64).unwrap_or(0.0) * 100.0;
+    for class in v.get("classes").and_then(Value::as_arr).unwrap_or(&[]) {
+        let label = class.get("class").and_then(Value::as_str).unwrap_or("?");
+        let breach = class.get("in_breach").and_then(Value::as_bool).unwrap_or(false);
+        for w in class.get("windows").and_then(Value::as_arr).unwrap_or(&[]) {
+            writeln!(
+                out,
+                "{:<12} {:<4} {:>8} {:>7.1} {:>6.1} {:>6.1} {:>6.1} {:>9.2} {:>9.2} {:>9.2}{}",
+                label,
+                w.get("window").and_then(Value::as_str).unwrap_or("?"),
+                w.get("requests").and_then(Value::as_u64).unwrap_or(0),
+                pct(w, "availability"),
+                pct(w, "shed_rate"),
+                pct(w, "timeout_rate"),
+                pct(w, "cache_hit_rate"),
+                w.get("p50_ms").and_then(Value::as_f64).unwrap_or(0.0),
+                w.get("p95_ms").and_then(Value::as_f64).unwrap_or(0.0),
+                w.get("p99_ms").and_then(Value::as_f64).unwrap_or(0.0),
+                if breach { "  << BREACH" } else { "" },
+            )?;
+        }
+    }
     Ok(())
 }
 
@@ -261,6 +429,7 @@ pub fn bench_serving_command(args: &Args, out: &mut dyn Write) -> Result<(), Cli
     // so every request pays for a real scan (the cache gets its own
     // phase below).
     let mut level_rows = Vec::new();
+    let mut stage_dump = String::new();
     for &clients in &[1usize, 4, 16] {
         let system = ResilientSystem::exact_only(view.clone()).with_threads(threads);
         let config = ServerConfig {
@@ -298,6 +467,12 @@ pub fn bench_serving_command(args: &Args, out: &mut dyn Write) -> Result<(), Cli
             workers.into_iter().flat_map(|w| w.join().unwrap_or_default()).collect()
         });
         let wall = t0.elapsed().as_secs_f64();
+        // Pull the flight recorder before shutdown: the per-stage
+        // timeline medians of the most recent requests at this level.
+        let mut dump_client = Client::new(addr.clone(), RetryPolicy::no_retry());
+        if let Ok(Response::Dump(text)) = dump_client.request(&Request::Dump) {
+            stage_dump = text;
+        }
         handle.shutdown();
         run.join().map_err(|_| CliError("server thread panicked".into()))?.map_err(boxed)?;
 
@@ -338,6 +513,23 @@ pub fn bench_serving_command(args: &Args, out: &mut dyn Write) -> Result<(), Cli
             clients * per_client
         ));
     }
+
+    // Per-stage timeline medians over the flight-recorder dump of the
+    // last (most concurrent) level: where a served request's wall time
+    // actually goes (read → parse → cache → admission → execute →
+    // serialize → write).
+    let stages = stage_medians(&stage_dump);
+    let stages_text = stages
+        .iter()
+        .map(|(name, us)| format!("{name} {:.0}us", us))
+        .collect::<Vec<_>>()
+        .join(", ");
+    writeln!(out, "stage medians (answered requests): {stages_text}")?;
+    let stages_json = stages
+        .iter()
+        .map(|(name, us)| format!("\"{name}\": {us:.1}"))
+        .collect::<Vec<_>>()
+        .join(", ");
 
     // Cache phase: one server with the semantic cache on. Cold misses
     // are forced by invalidating before each timed request (every scan
@@ -462,7 +654,7 @@ pub fn bench_serving_command(args: &Args, out: &mut dyn Write) -> Result<(), Cli
 
     let finite_speedup = if speedup.is_finite() { speedup } else { 0.0 };
     let json = format!(
-        "{{\n  \"dataset\": {{\"kind\": \"sales\", \"rows\": {}, \"zipf_z\": 1.5, \"seed\": 42}},\n  \"executor_threads\": {threads},\n  \"requests_per_client\": {per_client},\n  \"levels\": [\n{}\n  ],\n  \"cache\": {{\"iterations\": {cache_iters}, \"cold_miss_p50_ms\": {cold_p50:.3}, \"warm_hit_p50_ms\": {warm_p50:.4}, \"speedup\": {finite_speedup:.1}, \"hits\": {hits}, \"misses\": {misses}}},\n  \"overload\": {{\"capacity\": {}, \"clients\": {overload_clients}, \"answered\": {answered}, \"shed\": {shed}, \"shed_rate\": {shed_rate:.3}}}\n}}\n",
+        "{{\n  \"dataset\": {{\"kind\": \"sales\", \"rows\": {}, \"zipf_z\": 1.5, \"seed\": 42}},\n  \"executor_threads\": {threads},\n  \"requests_per_client\": {per_client},\n  \"levels\": [\n{}\n  ],\n  \"stage_medians_us\": {{{stages_json}}},\n  \"cache\": {{\"iterations\": {cache_iters}, \"cold_miss_p50_ms\": {cold_p50:.3}, \"warm_hit_p50_ms\": {warm_p50:.4}, \"speedup\": {finite_speedup:.1}, \"hits\": {hits}, \"misses\": {misses}}},\n  \"overload\": {{\"capacity\": {}, \"clients\": {overload_clients}, \"answered\": {answered}, \"shed\": {shed}, \"shed_rate\": {shed_rate:.3}}}\n}}\n",
         view.num_rows(),
         level_rows.join(",\n"),
         cap.max_inflight + cap.max_queue,

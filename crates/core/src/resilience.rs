@@ -289,6 +289,20 @@ impl ResilientSystem {
             partial: truncated,
         })
     }
+
+    /// Run `query` on the exact rung with no budget cap — a ground-truth
+    /// oracle for offline audits (the shadow accuracy auditor re-executes
+    /// sampled-tier answers through this to compare realized error
+    /// against the promised CI). Deliberately bypasses the ladder walk,
+    /// admission control, and every per-request bound: auditing must not
+    /// contend with serving.
+    pub fn answer_exact_oracle(
+        &self,
+        query: &Query,
+        confidence: f64,
+    ) -> AqpResult<ApproxAnswer> {
+        self.answer_exact(query, confidence, None)
+    }
 }
 
 /// Per-request serving constraints for [`ResilientSystem::answer_bounded`]:

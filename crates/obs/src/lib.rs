@@ -17,6 +17,12 @@
 //!   ring buffer, replacing ad-hoc `eprintln!` warnings.
 //! * [`Registry`] — named-metric registry with consistent [`Snapshot`]s,
 //!   exported as Prometheus text-exposition format or JSON.
+//! * [`flight`] — an always-on flight recorder: a fixed-size ring of
+//!   per-request records (trace id, outcome, contiguous stage timeline)
+//!   dumped as JSONL on anomaly or on demand.
+//! * [`slo`] — sliding-window SLO watchdog: per-class availability and
+//!   latency percentiles over 10s/1m/5m rings with edge-triggered
+//!   burn-rate breach detection, exported as `aqp_slo_*` gauges.
 //! * [`QueryTrace`] — one record per query: plan chosen, sample tables
 //!   consulted, rows scanned vs. base rows, serving tier, per-stage wall
 //!   time. Serializes to one JSON line and parses back losslessly.
@@ -33,21 +39,25 @@
 pub mod dashboard;
 pub mod event;
 pub mod export;
+pub mod flight;
 pub mod json;
 pub mod mem;
 pub mod metrics;
 pub mod profile;
 pub mod registry;
+pub mod slo;
 pub mod span;
 pub mod trace;
 
 pub use event::{Event, Level};
+pub use flight::{FlightRecorder, RequestRecord, Stage, Timeline};
 pub use export::{to_json, to_prometheus};
 pub use metrics::{Counter, Gauge, Histogram};
 pub use profile::{OpProfile, ScanContext, ScanStats};
 pub use registry::{
     counter, gauge, global, histogram, HistogramValue, MetricValue, Registry, Snapshot,
 };
+pub use slo::{Breach, SloConfig, SloOutcome, SloWindows, WindowStats};
 pub use span::{span, Span};
 pub use trace::{QueryTrace, StageTime};
 

@@ -111,7 +111,7 @@ impl Default for Histogram {
 }
 
 /// Bucket index for a raw value.
-fn bucket_index(v: u64) -> usize {
+pub(crate) fn bucket_index(v: u64) -> usize {
     if v < LINEAR_BUCKETS as u64 {
         return v as usize;
     }
@@ -122,7 +122,7 @@ fn bucket_index(v: u64) -> usize {
 
 /// Midpoint of the value range covered by bucket `i` — the value a
 /// quantile query reports for observations that landed there.
-fn bucket_mid(i: usize) -> u64 {
+pub(crate) fn bucket_mid(i: usize) -> u64 {
     if i < LINEAR_BUCKETS {
         return i as u64;
     }

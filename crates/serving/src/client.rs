@@ -92,6 +92,36 @@ impl From<io::Error> for ClientError {
     }
 }
 
+/// What this client session spent on cooperation: every shed response
+/// received, every backoff actually scheduled, and the total time slept
+/// in backoff. The same facts feed `aqp_client_shed_total` and
+/// `aqp_client_retry_total{reason}` in the global registry; this struct
+/// is the per-client view the CLI's `--stats` line prints.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ClientStats {
+    /// Requests that completed with a terminal response (including
+    /// server-side `timeout`/`error` frames).
+    pub requests: u64,
+    /// Shed responses received (each may or may not have been retried).
+    pub sheds: u64,
+    /// Retries actually scheduled after a shed response.
+    pub retries_shed: u64,
+    /// Retries actually scheduled after a transport error.
+    pub retries_io: u64,
+    /// Total wall time spent sleeping in backoff, milliseconds.
+    pub backoff_ms: u64,
+}
+
+impl ClientStats {
+    /// One-line human summary (the `client --stats` output).
+    pub fn summary(&self) -> String {
+        format!(
+            "requests={} sheds={} retries(shed)={} retries(io)={} backoff_ms={}",
+            self.requests, self.sheds, self.retries_shed, self.retries_io, self.backoff_ms
+        )
+    }
+}
+
 /// A blocking protocol client over one TCP connection (re-established
 /// per attempt after transport errors).
 #[derive(Debug)]
@@ -100,6 +130,7 @@ pub struct Client {
     policy: RetryPolicy,
     conn: Option<TcpStream>,
     rng: u64,
+    stats: ClientStats,
 }
 
 impl Client {
@@ -107,7 +138,12 @@ impl Client {
     pub fn new(addr: impl Into<String>, policy: RetryPolicy) -> Client {
         // xorshift has a fixed point at 0; remap only that seed.
         let rng = if policy.seed == 0 { 0x9e3779b97f4a7c15 } else { policy.seed };
-        Client { addr: addr.into(), policy, conn: None, rng }
+        Client { addr: addr.into(), policy, conn: None, rng, stats: ClientStats::default() }
+    }
+
+    /// Cumulative retry/shed statistics for this client's lifetime.
+    pub fn stats(&self) -> ClientStats {
+        self.stats
     }
 
     fn connect(&mut self) -> io::Result<&mut TcpStream> {
@@ -153,16 +189,25 @@ impl Client {
         loop {
             attempt += 1;
             match self.attempt(&payload) {
-                Ok(Response::Shed { retry_after_ms, class }) => {
+                Ok(Response::Shed { retry_after_ms, class, trace_id }) => {
+                    self.stats.sheds += 1;
                     aqp_obs::counter("aqp_client_shed_total", &[]).inc();
                     if attempt >= self.policy.max_attempts {
                         return Err(ClientError::Shed { retry_after_ms, attempts: attempt });
                     }
-                    let _ = class;
+                    let _ = (class, trace_id);
+                    // Counted only when a retry is actually scheduled —
+                    // a final shed is an exhausted request, not a retry.
+                    self.stats.retries_shed += 1;
+                    aqp_obs::counter("aqp_client_retry_total", &[("reason", "shed")]).inc();
                     let wait = self.backoff(attempt, retry_after_ms);
+                    self.stats.backoff_ms += wait.as_millis() as u64;
                     std::thread::sleep(wait);
                 }
-                Ok(response) => return Ok(response),
+                Ok(response) => {
+                    self.stats.requests += 1;
+                    return Ok(response);
+                }
                 Err(ClientError::Io(e)) => {
                     // The connection is suspect after any transport error;
                     // the next attempt reconnects from scratch.
@@ -171,7 +216,10 @@ impl Client {
                     if attempt >= self.policy.max_attempts {
                         return Err(ClientError::Io(e));
                     }
+                    self.stats.retries_io += 1;
+                    aqp_obs::counter("aqp_client_retry_total", &[("reason", "io")]).inc();
                     let wait = self.backoff(attempt, 0);
+                    self.stats.backoff_ms += wait.as_millis() as u64;
                     std::thread::sleep(wait);
                 }
                 Err(e) => return Err(e),
@@ -226,8 +274,8 @@ mod tests {
     #[test]
     fn shed_then_success_retries_through() {
         let (addr, join) = scripted_server(vec![
-            Response::Shed { retry_after_ms: 5, class: "interactive".into() },
-            Response::Shed { retry_after_ms: 5, class: "interactive".into() },
+            Response::Shed { retry_after_ms: 5, class: "interactive".into(), trace_id: String::new() },
+            Response::Shed { retry_after_ms: 5, class: "interactive".into(), trace_id: String::new() },
             Response::Pong,
         ]);
         let mut client = Client::new(addr, RetryPolicy {
@@ -247,8 +295,8 @@ mod tests {
     #[test]
     fn shed_exhausts_into_error_with_hint() {
         let (addr, _join) = scripted_server(vec![
-            Response::Shed { retry_after_ms: 17, class: "batch".into() },
-            Response::Shed { retry_after_ms: 17, class: "batch".into() },
+            Response::Shed { retry_after_ms: 17, class: "batch".into(), trace_id: String::new() },
+            Response::Shed { retry_after_ms: 17, class: "batch".into(), trace_id: String::new() },
         ]);
         let mut client = Client::new(addr, RetryPolicy {
             max_attempts: 2,
@@ -269,6 +317,7 @@ mod tests {
     fn timeout_and_error_are_terminal_not_retried() {
         let (addr, _join) = scripted_server(vec![Response::Timeout {
             message: "deadline".into(),
+            trace_id: String::new(),
         }]);
         let mut client = Client::new(addr, RetryPolicy::default());
         match client.request(&Request::query("SELECT COUNT(*) FROM v")).unwrap() {
@@ -349,6 +398,7 @@ mod tests {
             row_budget: None,
             confidence: None,
             max_rel_error: None,
+            trace_id: None,
         }) {
             Err(ClientError::Io(_)) => {}
             other => panic!("{other:?}"),

@@ -26,7 +26,12 @@
 //!   and graceful shutdown (SIGTERM/ctrl-c drains in-flight requests,
 //!   rejects new ones);
 //! * [`client`] — a well-behaved client with bounded retry, exponential
-//!   backoff and jitter on `shed` responses and connection errors;
+//!   backoff and jitter on `shed` responses and connection errors, and
+//!   per-session retry/shed statistics;
+//! * [`shadow`] — the shadow accuracy auditor: a background thread that
+//!   re-executes a sampled fraction of sampled-tier answers on the exact
+//!   rung (bypassing admission entirely) and records realized error vs
+//!   the promised CI as `aqp_shadow_*` metrics;
 //! * [`throughput`] — an EWMA scan-throughput estimator that converts a
 //!   deadline's remaining time into the row budget the degradation
 //!   ladder understands;
@@ -49,12 +54,14 @@ pub mod client;
 pub mod fault;
 pub mod protocol;
 pub mod server;
+pub mod shadow;
 pub mod throughput;
 
 pub use admission::{AdmissionConfig, AdmissionController, AdmitOutcome, ClassLimits};
 pub use cache::{CacheConfig, CacheDecision, FlightGuard, PlanKey, SemanticCache};
-pub use client::{Client, ClientError, RetryPolicy};
+pub use client::{Client, ClientError, ClientStats, RetryPolicy};
 pub use fault::{FaultGuard, ServingFault};
 pub use protocol::{ContractClass, Request, Response, WireAnswer};
 pub use server::{Server, ServerConfig, ServerReport, ShutdownHandle};
+pub use shadow::{ShadowAuditor, ShadowConfig};
 pub use throughput::Throughput;

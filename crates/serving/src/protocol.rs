@@ -223,11 +223,20 @@ pub enum Request {
         /// (`half_width <= bound * |estimate|`). Part of the answer
         /// contract: a cached answer is only reused if it fits.
         max_rel_error: Option<f64>,
+        /// Client-supplied trace id. When absent the server generates
+        /// one; either way the id rides every response frame and every
+        /// flight-recorder record for this request.
+        trace_id: Option<String>,
     },
     /// Liveness probe.
     Ping,
     /// Fetch the server's metrics registry as Prometheus text.
     Metrics,
+    /// Fetch the SLO watchdog's windowed statistics as a JSON document
+    /// (drives `aqp top`).
+    Stats,
+    /// Fetch the flight recorder's retained request records as JSONL.
+    Dump,
     /// Drop every cached answer and bump the cache epoch (issued after a
     /// table/sample rebuild so stale answers can never be re-served).
     Invalidate,
@@ -245,6 +254,7 @@ impl Request {
             row_budget: None,
             confidence: None,
             max_rel_error: None,
+            trace_id: None,
         }
     }
 
@@ -253,9 +263,19 @@ impl Request {
         let v = match self {
             Request::Ping => Value::Obj(vec![("op".into(), "ping".into())]),
             Request::Metrics => Value::Obj(vec![("op".into(), "metrics".into())]),
+            Request::Stats => Value::Obj(vec![("op".into(), "stats".into())]),
+            Request::Dump => Value::Obj(vec![("op".into(), "dump".into())]),
             Request::Shutdown => Value::Obj(vec![("op".into(), "shutdown".into())]),
             Request::Invalidate => Value::Obj(vec![("op".into(), "invalidate".into())]),
-            Request::Query { sql, class, deadline_ms, row_budget, confidence, max_rel_error } => {
+            Request::Query {
+                sql,
+                class,
+                deadline_ms,
+                row_budget,
+                confidence,
+                max_rel_error,
+                trace_id,
+            } => {
                 let mut m: Vec<(String, Value)> = vec![
                     ("op".into(), "query".into()),
                     ("sql".into(), sql.as_str().into()),
@@ -273,6 +293,9 @@ impl Request {
                 if let Some(e) = max_rel_error {
                     m.push(("max_rel_error".into(), (*e).into()));
                 }
+                if let Some(t) = trace_id {
+                    m.push(("trace_id".into(), t.as_str().into()));
+                }
                 Value::Obj(m)
             }
         };
@@ -286,6 +309,8 @@ impl Request {
         match op {
             "ping" => Ok(Request::Ping),
             "metrics" => Ok(Request::Metrics),
+            "stats" => Ok(Request::Stats),
+            "dump" => Ok(Request::Dump),
             "shutdown" => Ok(Request::Shutdown),
             "invalidate" => Ok(Request::Invalidate),
             "query" => Ok(Request::Query {
@@ -297,6 +322,7 @@ impl Request {
                 row_budget: v.get("row_budget").and_then(Value::as_u64).map(|n| n as usize),
                 confidence: v.get("confidence").and_then(Value::as_f64),
                 max_rel_error: v.get("max_rel_error").and_then(Value::as_f64),
+                trace_id: v.get("trace_id").and_then(Value::as_str).map(str::to_string),
             }),
             other => Err(format!("unknown op {other:?}")),
         }
@@ -306,6 +332,9 @@ impl Request {
 /// An approximate answer flattened for the wire.
 #[derive(Debug, Clone, PartialEq)]
 pub struct WireAnswer {
+    /// The request's trace id, echoed back so the client can correlate
+    /// the answer with its own records (empty from pre-trace servers).
+    pub trace_id: String,
     /// The ladder rung that served the answer (`primary`, `degraded`,
     /// `overall`, `exact`).
     pub tier: String,
@@ -373,10 +402,12 @@ impl WireAnswer {
         effective_budget: Option<usize>,
         elapsed_ms: f64,
         cache_hit: bool,
+        trace_id: String,
     ) -> WireAnswer {
         let mut sorted = answer.clone();
         sorted.sort_by_key();
         WireAnswer {
+            trace_id,
             tier: tier_str(sorted.tier).to_string(),
             partial: sorted.partial,
             deadline_limited,
@@ -425,6 +456,11 @@ pub enum Response {
     Pong,
     /// Prometheus text-format metrics snapshot.
     Metrics(String),
+    /// SLO watchdog windowed statistics, pre-rendered as a JSON document.
+    Stats(String),
+    /// Flight-recorder contents, rendered as JSONL (one request record
+    /// per line, oldest first).
+    Dump(String),
     /// The server accepted a shutdown request and is draining.
     ShuttingDown,
     /// The semantic cache was cleared; `epoch` is the new cache epoch.
@@ -439,6 +475,8 @@ pub enum Response {
         retry_after_ms: u64,
         /// The class whose queue was full.
         class: String,
+        /// The request's trace id (empty from pre-trace servers).
+        trace_id: String,
     },
     /// The server is draining for shutdown; no new queries are accepted.
     Draining,
@@ -447,11 +485,15 @@ pub enum Response {
     Timeout {
         /// Human-readable cause.
         message: String,
+        /// The request's trace id (empty from pre-trace servers).
+        trace_id: String,
     },
     /// The request failed (parse error, unsupported query, …).
     Error {
         /// Human-readable cause.
         message: String,
+        /// The request's trace id (empty for non-query failures).
+        trace_id: String,
     },
 }
 
@@ -467,6 +509,14 @@ impl Response {
                 ("status".into(), "ok".into()),
                 ("metrics".into(), text.as_str().into()),
             ]),
+            Response::Stats(text) => Value::Obj(vec![
+                ("status".into(), "ok".into()),
+                ("stats".into(), text.as_str().into()),
+            ]),
+            Response::Dump(text) => Value::Obj(vec![
+                ("status".into(), "ok".into()),
+                ("dump".into(), text.as_str().into()),
+            ]),
             Response::ShuttingDown => Value::Obj(vec![
                 ("status".into(), "ok".into()),
                 ("shutting_down".into(), true.into()),
@@ -476,19 +526,22 @@ impl Response {
                 ("invalidated".into(), true.into()),
                 ("epoch".into(), (*epoch).into()),
             ]),
-            Response::Shed { retry_after_ms, class } => Value::Obj(vec![
+            Response::Shed { retry_after_ms, class, trace_id } => Value::Obj(vec![
                 ("status".into(), "shed".into()),
                 ("retry_after_ms".into(), (*retry_after_ms).into()),
                 ("class".into(), class.as_str().into()),
+                ("trace_id".into(), trace_id.as_str().into()),
             ]),
             Response::Draining => Value::Obj(vec![("status".into(), "draining".into())]),
-            Response::Timeout { message } => Value::Obj(vec![
+            Response::Timeout { message, trace_id } => Value::Obj(vec![
                 ("status".into(), "timeout".into()),
                 ("message".into(), message.as_str().into()),
+                ("trace_id".into(), trace_id.as_str().into()),
             ]),
-            Response::Error { message } => Value::Obj(vec![
+            Response::Error { message, trace_id } => Value::Obj(vec![
                 ("status".into(), "error".into()),
                 ("message".into(), message.as_str().into()),
+                ("trace_id".into(), trace_id.as_str().into()),
             ]),
             Response::Answer(a) => {
                 let groups = a
@@ -518,6 +571,7 @@ impl Response {
                     .collect();
                 let mut m: Vec<(String, Value)> = vec![
                     ("status".into(), "ok".into()),
+                    ("trace_id".into(), a.trace_id.as_str().into()),
                     ("tier".into(), a.tier.as_str().into()),
                     ("partial".into(), a.partial.into()),
                     ("deadline_limited".into(), a.deadline_limited.into()),
@@ -535,7 +589,7 @@ impl Response {
                     ("groups".into(), Value::Arr(groups)),
                 ];
                 if let Some(b) = a.effective_budget {
-                    m.insert(5, ("effective_budget".into(), b.into()));
+                    m.insert(6, ("effective_budget".into(), b.into()));
                 }
                 Value::Obj(m)
             }
@@ -555,13 +609,16 @@ impl Response {
                     .and_then(Value::as_str)
                     .unwrap_or("interactive")
                     .to_string(),
+                trace_id: v.get("trace_id").and_then(Value::as_str).unwrap_or("").to_string(),
             }),
             "draining" => Ok(Response::Draining),
             "timeout" => Ok(Response::Timeout {
                 message: v.get("message").and_then(Value::as_str).unwrap_or("").to_string(),
+                trace_id: v.get("trace_id").and_then(Value::as_str).unwrap_or("").to_string(),
             }),
             "error" => Ok(Response::Error {
                 message: v.get("message").and_then(Value::as_str).unwrap_or("").to_string(),
+                trace_id: v.get("trace_id").and_then(Value::as_str).unwrap_or("").to_string(),
             }),
             "ok" => {
                 if v.get("pong").and_then(Value::as_bool) == Some(true) {
@@ -577,6 +634,12 @@ impl Response {
                 }
                 if let Some(text) = v.get("metrics").and_then(Value::as_str) {
                     return Ok(Response::Metrics(text.to_string()));
+                }
+                if let Some(text) = v.get("stats").and_then(Value::as_str) {
+                    return Ok(Response::Stats(text.to_string()));
+                }
+                if let Some(text) = v.get("dump").and_then(Value::as_str) {
+                    return Ok(Response::Dump(text.to_string()));
                 }
                 let groups = v
                     .get("groups")
@@ -609,6 +672,7 @@ impl Response {
                         .collect()
                 };
                 Ok(Response::Answer(WireAnswer {
+                    trace_id: v.get("trace_id").and_then(Value::as_str).unwrap_or("").to_string(),
                     tier: v.get("tier").and_then(Value::as_str).unwrap_or("").to_string(),
                     partial: v.get("partial").and_then(Value::as_bool).unwrap_or(false),
                     deadline_limited: v
@@ -767,6 +831,8 @@ mod tests {
         let reqs = [
             Request::Ping,
             Request::Metrics,
+            Request::Stats,
+            Request::Dump,
             Request::Shutdown,
             Request::Invalidate,
             Request::Query {
@@ -776,6 +842,7 @@ mod tests {
                 row_budget: Some(10_000),
                 confidence: Some(0.99),
                 max_rel_error: Some(0.05),
+                trace_id: Some("cli-7f3a".into()),
             },
             Request::query("SELECT SUM(x) FROM v"),
         ];
@@ -791,6 +858,7 @@ mod tests {
     #[test]
     fn responses_round_trip() {
         let answer = WireAnswer {
+            trace_id: "aqp-deadbeef".into(),
             tier: "overall".into(),
             partial: true,
             deadline_limited: true,
@@ -809,12 +877,18 @@ mod tests {
             Response::Answer(answer),
             Response::Pong,
             Response::Metrics("# HELP x\n".into()),
+            Response::Stats("{\"classes\":[]}".into()),
+            Response::Dump("{\"trace_id\":\"t-1\"}\n{\"trace_id\":\"t-2\"}\n".into()),
             Response::ShuttingDown,
             Response::Invalidated { epoch: 3 },
-            Response::Shed { retry_after_ms: 40, class: "interactive".into() },
+            Response::Shed {
+                retry_after_ms: 40,
+                class: "interactive".into(),
+                trace_id: "aqp-1".into(),
+            },
             Response::Draining,
-            Response::Timeout { message: "deadline exceeded".into() },
-            Response::Error { message: "unknown column".into() },
+            Response::Timeout { message: "deadline exceeded".into(), trace_id: "aqp-2".into() },
+            Response::Error { message: "unknown column".into(), trace_id: String::new() },
         ];
         for resp in resps {
             let back = Response::from_json(&resp.to_json()).unwrap();

@@ -34,13 +34,17 @@ use crate::fault;
 use crate::protocol::{
     write_frame, ContractClass, FrameRead, FrameReader, Request, Response, WireAnswer,
 };
+use crate::shadow::{ShadowAuditor, ShadowConfig};
 use crate::throughput::Throughput;
 use aqp_core::{AnswerContract, AqpError, QueryBound, ResilientSystem, ServingTier};
+use aqp_obs::flight::{FlightRecorder, RequestRecord, Timeline, DEFAULT_FLIGHT_CAPACITY};
+use aqp_obs::json::Value;
+use aqp_obs::slo::{SloConfig, SloOutcome, SloWindows, WINDOWS};
 use aqp_query::CancelToken;
 use std::io;
 use std::net::{TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
-use std::sync::Arc;
+use std::sync::{Arc, Mutex};
 use std::time::{Duration, Instant};
 
 /// Signal shim: the only unsafe code in the crate. Registers a handler
@@ -100,6 +104,16 @@ pub struct ServerConfig {
     /// Whether to install SIGTERM/SIGINT handlers (CLI yes, tests no —
     /// handlers are process-global).
     pub install_signal_handlers: bool,
+    /// Flight-recorder ring capacity (last N request records).
+    pub flight_recorder_cap: usize,
+    /// Dump the flight recorder to this JSONL file on anomaly (shed,
+    /// timeout, serving error, SLO breach) and at exit. `None` keeps the
+    /// ring in memory only (still served by the `dump` wire verb).
+    pub flight_dump: Option<std::path::PathBuf>,
+    /// Shadow accuracy auditor (rate 0 disables the worker entirely).
+    pub shadow: ShadowConfig,
+    /// SLO watchdog thresholds.
+    pub slo: SloConfig,
 }
 
 impl Default for ServerConfig {
@@ -114,6 +128,10 @@ impl Default for ServerConfig {
             cache: CacheConfig::default(),
             metrics_out: None,
             install_signal_handlers: false,
+            flight_recorder_cap: DEFAULT_FLIGHT_CAPACITY,
+            flight_dump: None,
+            shadow: ShadowConfig::default(),
+            slo: SloConfig::default(),
         }
     }
 }
@@ -189,6 +207,13 @@ struct Inner {
     shutdown: AtomicBool,
     draining: AtomicBool,
     tallies: Tallies,
+    /// Per-instance (not global) so concurrent test servers never see
+    /// each other's requests.
+    flight: FlightRecorder,
+    slo: Mutex<SloWindows>,
+    /// Taken (and drained) exactly once at server drain.
+    shadow: Mutex<Option<ShadowAuditor>>,
+    trace_counter: AtomicU64,
 }
 
 /// A bound, ready-to-run query server.
@@ -209,6 +234,22 @@ impl Server {
         };
         let admission = AdmissionController::new(config.admission);
         let cache = SemanticCache::new(config.cache.clone());
+        let flight = FlightRecorder::new(config.flight_recorder_cap);
+        let slo = Mutex::new(SloWindows::new(
+            config.slo.clone(),
+            &[
+                ContractClass::Interactive.as_str(),
+                ContractClass::Batch.as_str(),
+            ],
+        ));
+        // The auditor gets its own clone of the system (shared Arcs
+        // inside): exact re-execution runs beside serving, never through
+        // admission.
+        let shadow = Mutex::new(if config.shadow.rate > 0.0 {
+            Some(ShadowAuditor::start(config.shadow.clone(), system.clone()))
+        } else {
+            None
+        });
         Ok(Server {
             inner: Arc::new(Inner {
                 system,
@@ -219,6 +260,10 @@ impl Server {
                 shutdown: AtomicBool::new(false),
                 draining: AtomicBool::new(false),
                 tallies: Tallies::default(),
+                flight,
+                slo,
+                shadow,
+                trace_counter: AtomicU64::new(1),
             }),
             listener,
         })
@@ -297,6 +342,25 @@ impl Server {
         }
         drop(self.listener);
 
+        // Drain the shadow auditor BEFORE the final metrics snapshot:
+        // every accepted audit job finishes, so `aqp_shadow_*` totals in
+        // the exit snapshot are complete.
+        if let Some(shadow) = self.inner.shadow.lock().expect("shadow slot poisoned").take() {
+            shadow.shutdown();
+        }
+        self.inner.slo.lock().expect("slo poisoned").export_to_registry();
+        if let Some(path) = &self.inner.config.flight_dump {
+            if !self.inner.flight.is_empty() {
+                if let Ok(records) = self.inner.flight.dump_to(path) {
+                    aqp_obs::counter("aqp_flight_dump_total", &[("trigger", "exit")]).inc();
+                    aqp_obs::event::info(
+                        "serving::server",
+                        "flight recorder dumped at exit",
+                        &[("path", &path.display().to_string()), ("records", &records.to_string())],
+                    );
+                }
+            }
+        }
         if let Some(path) = &self.inner.config.metrics_out {
             let text = aqp_obs::to_prometheus(&aqp_obs::global().snapshot());
             std::fs::write(path, text)?;
@@ -364,18 +428,36 @@ fn handle_connection(inner: Arc<Inner>, stream: TcpStream) {
     loop {
         match framer.read(&mut reader) {
             Ok(FrameRead::Frame(payload)) => {
-                frame_started = None;
+                // Anchor the timeline at the first observed byte of the
+                // frame (set when a read timed out mid-frame) so the
+                // `read` stage covers the whole reassembly; a frame that
+                // arrived within one tick reads as ~0.
+                let mut timeline = Timeline::start_at(frame_started.take().unwrap_or_else(Instant::now));
                 fault::slow_read();
-                let response = match Request::from_json(&payload) {
-                    Ok(request) => dispatch(&inner, request),
+                timeline.mark("read");
+                let (response, meta) = match Request::from_json(&payload) {
+                    Ok(request) => dispatch(&inner, request, &mut timeline),
                     Err(e) => {
                         inner.tallies.errors.fetch_add(1, Ordering::Relaxed);
                         tally_request(&inner, ContractClass::Interactive, "error");
-                        Response::Error { message: format!("bad request: {e}") }
+                        (
+                            Response::Error {
+                                message: format!("bad request: {e}"),
+                                trace_id: String::new(),
+                            },
+                            None,
+                        )
                     }
                 };
                 fault::write_stall();
-                if write_frame(&mut writer, &response.to_json()).is_err() {
+                let json = response.to_json();
+                timeline.mark("serialize");
+                let wrote = write_frame(&mut writer, &json);
+                timeline.mark("write");
+                if let Some(meta) = meta {
+                    commit_request(&inner, meta, timeline);
+                }
+                if wrote.is_err() {
                     // Peer gone mid-response; nothing more to say to it.
                     return;
                 }
@@ -418,44 +500,225 @@ fn tally_request(inner: &Inner, class: ContractClass, outcome: &'static str) {
     .inc();
 }
 
-fn dispatch(inner: &Inner, request: Request) -> Response {
-    match request {
-        Request::Ping => {
-            tally_request(inner, ContractClass::Interactive, "ping");
-            Response::Pong
-        }
-        Request::Metrics => {
-            tally_request(inner, ContractClass::Interactive, "metrics");
-            Response::Metrics(aqp_obs::to_prometheus(&aqp_obs::global().snapshot()))
-        }
-        Request::Shutdown => {
-            tally_request(inner, ContractClass::Interactive, "shutdown");
-            inner.shutdown.store(true, Ordering::SeqCst);
-            Response::ShuttingDown
-        }
-        Request::Invalidate => {
-            tally_request(inner, ContractClass::Interactive, "invalidate");
-            Response::Invalidated { epoch: inner.cache.invalidate() }
-        }
-        Request::Query { sql, class, deadline_ms, row_budget, confidence, max_rel_error } => {
-            serve_query(inner, sql, class, deadline_ms, row_budget, confidence, max_rel_error)
+/// Per-query facts the connection loop needs after the response is
+/// written: the flight record's identity fields plus how to classify the
+/// outcome for the SLO watchdog.
+struct RequestMeta {
+    trace_id: String,
+    class: ContractClass,
+    outcome: &'static str,
+    tier: String,
+    cache_hit: bool,
+    rows_scanned: u64,
+}
+
+/// Server-generated trace id: a per-process counter (uniqueness within
+/// the run) salted with wall-clock nanos (distinguishes runs in merged
+/// logs).
+fn gen_trace_id(inner: &Inner) -> String {
+    let n = inner.trace_counter.fetch_add(1, Ordering::Relaxed);
+    let nanos = std::time::SystemTime::now()
+        .duration_since(std::time::UNIX_EPOCH)
+        .map(|d| d.subsec_nanos() as u64)
+        .unwrap_or(0);
+    format!("aqp-{:08x}-{n:x}", nanos ^ (n << 20))
+}
+
+/// Finish one query request: push its flight record, feed the SLO
+/// watchdog, and dump the flight ring on anomaly or breach. Runs after
+/// the response frame was written so the `write` stage is on the record.
+fn commit_request(inner: &Inner, meta: RequestMeta, timeline: Timeline) {
+    let total_micros = timeline.total_micros();
+    inner.flight.record(RequestRecord {
+        trace_id: meta.trace_id.clone(),
+        class: meta.class.as_str().to_string(),
+        outcome: meta.outcome.to_string(),
+        tier: meta.tier,
+        cache_hit: meta.cache_hit,
+        rows_scanned: meta.rows_scanned,
+        total_micros,
+        stages: timeline.into_stages(),
+    });
+
+    let slo_outcome = match meta.outcome {
+        "answer" => Some(SloOutcome::Answered { cache_hit: meta.cache_hit }),
+        "shed" => Some(SloOutcome::Shed),
+        "timeout" => Some(SloOutcome::Timeout),
+        "error" => Some(SloOutcome::Error),
+        // Draining rejects are shutdown noise, not SLO signal.
+        _ => None,
+    };
+    let breach = slo_outcome.and_then(|outcome| {
+        inner.slo.lock().expect("slo poisoned").record(
+            meta.class.as_str(),
+            outcome,
+            Duration::from_micros(total_micros),
+        )
+    });
+    if let Some(breach) = &breach {
+        aqp_obs::counter("aqp_slo_breach_total", &[("class", &breach.class), ("rule", breach.rule)])
+            .inc();
+        aqp_obs::event::warn(
+            "serving::slo",
+            "SLO burn-rate breach",
+            &[
+                ("class", &breach.class),
+                ("rule", breach.rule),
+                ("trace_id", &meta.trace_id),
+                ("fast_availability", &format!("{:.3}", breach.fast_availability)),
+                ("slow_availability", &format!("{:.3}", breach.slow_availability)),
+            ],
+        );
+    }
+
+    // Anomalies flush the ring to disk — the record that just went in
+    // (and the N before it) are on disk before the next request runs.
+    let anomaly = matches!(meta.outcome, "shed" | "timeout" | "error");
+    if anomaly || breach.is_some() {
+        let trigger = if breach.is_some() { "slo-breach" } else { meta.outcome };
+        if let Some(path) = &inner.config.flight_dump {
+            if inner.flight.dump_to(path).is_ok() {
+                aqp_obs::counter("aqp_flight_dump_total", &[("trigger", trigger)]).inc();
+            }
         }
     }
 }
 
+/// Render the SLO watchdog's view (plus lifetime tallies) as the JSON
+/// document behind the `stats` verb and `aqp top`.
+fn render_stats(inner: &Inner) -> String {
+    let slo = inner.slo.lock().expect("slo poisoned");
+    let classes = [ContractClass::Interactive, ContractClass::Batch]
+        .iter()
+        .map(|class| {
+            let windows = WINDOWS
+                .iter()
+                .map(|(name, seconds)| {
+                    let w = slo.window(class.as_str(), *seconds);
+                    Value::Obj(vec![
+                        ("window".into(), (*name).into()),
+                        ("requests".into(), w.requests.into()),
+                        ("answered".into(), w.answered.into()),
+                        ("availability".into(), w.availability.into()),
+                        ("shed_rate".into(), w.shed_rate().into()),
+                        ("timeout_rate".into(), w.timeout_rate().into()),
+                        ("cache_hit_rate".into(), w.cache_hit_rate().into()),
+                        ("p50_ms".into(), (w.p50_micros as f64 / 1e3).into()),
+                        ("p95_ms".into(), (w.p95_micros as f64 / 1e3).into()),
+                        ("p99_ms".into(), (w.p99_micros as f64 / 1e3).into()),
+                    ])
+                })
+                .collect();
+            Value::Obj(vec![
+                ("class".into(), class.as_str().into()),
+                ("in_breach".into(), slo.in_breach(class.as_str()).into()),
+                ("windows".into(), Value::Arr(windows)),
+            ])
+        })
+        .collect();
+    drop(slo);
+    let t = &inner.tallies;
+    let tallies = Value::Obj(vec![
+        ("requests".into(), t.requests.load(Ordering::Relaxed).into()),
+        ("answered".into(), t.answered.load(Ordering::Relaxed).into()),
+        ("shed".into(), t.shed.load(Ordering::Relaxed).into()),
+        ("timeouts".into(), t.timeouts.load(Ordering::Relaxed).into()),
+        ("errors".into(), t.errors.load(Ordering::Relaxed).into()),
+        ("cache_hits".into(), t.cache_hits.load(Ordering::Relaxed).into()),
+        ("connections".into(), t.connections.load(Ordering::Relaxed).into()),
+    ]);
+    Value::Obj(vec![
+        ("classes".into(), Value::Arr(classes)),
+        ("tallies".into(), tallies),
+        ("flight_records".into(), inner.flight.len().into()),
+    ])
+    .to_json()
+}
+
+fn dispatch(inner: &Inner, request: Request, timeline: &mut Timeline) -> (Response, Option<RequestMeta>) {
+    match request {
+        Request::Ping => {
+            tally_request(inner, ContractClass::Interactive, "ping");
+            (Response::Pong, None)
+        }
+        Request::Metrics => {
+            tally_request(inner, ContractClass::Interactive, "metrics");
+            // Refresh the aqp_slo_* gauges so every metrics pull carries
+            // the watchdog's current windows.
+            inner.slo.lock().expect("slo poisoned").export_to_registry();
+            (
+                Response::Metrics(aqp_obs::to_prometheus(&aqp_obs::global().snapshot())),
+                None,
+            )
+        }
+        Request::Stats => {
+            tally_request(inner, ContractClass::Interactive, "stats");
+            inner.slo.lock().expect("slo poisoned").export_to_registry();
+            (Response::Stats(render_stats(inner)), None)
+        }
+        Request::Dump => {
+            tally_request(inner, ContractClass::Interactive, "dump");
+            aqp_obs::counter("aqp_flight_dump_total", &[("trigger", "request")]).inc();
+            (Response::Dump(inner.flight.to_jsonl()), None)
+        }
+        Request::Shutdown => {
+            tally_request(inner, ContractClass::Interactive, "shutdown");
+            inner.shutdown.store(true, Ordering::SeqCst);
+            (Response::ShuttingDown, None)
+        }
+        Request::Invalidate => {
+            tally_request(inner, ContractClass::Interactive, "invalidate");
+            (Response::Invalidated { epoch: inner.cache.invalidate() }, None)
+        }
+        Request::Query {
+            sql,
+            class,
+            deadline_ms,
+            row_budget,
+            confidence,
+            max_rel_error,
+            trace_id,
+        } => {
+            let trace_id = trace_id
+                .filter(|t| !t.is_empty())
+                .unwrap_or_else(|| gen_trace_id(inner));
+            serve_query(
+                inner, timeline, trace_id, sql, class, deadline_ms, row_budget, confidence,
+                max_rel_error,
+            )
+        }
+    }
+}
+
+#[allow(clippy::too_many_arguments)]
 fn serve_query(
     inner: &Inner,
+    timeline: &mut Timeline,
+    trace_id: String,
     sql: String,
     class: ContractClass,
     deadline_ms: Option<u64>,
     row_budget: Option<usize>,
     confidence: Option<f64>,
     max_rel_error: Option<f64>,
-) -> Response {
+) -> (Response, Option<RequestMeta>) {
+    // Builds the meta alongside each terminal response so every exit of
+    // this function leaves one flight record with a consistent outcome.
+    let meta = |outcome: &'static str, tier: &str, cache_hit: bool, rows: u64| {
+        Some(RequestMeta {
+            trace_id: trace_id.clone(),
+            class,
+            outcome,
+            tier: tier.to_string(),
+            cache_hit,
+            rows_scanned: rows,
+        })
+    };
+
     if inner.draining.load(Ordering::SeqCst) || inner.shutdown.load(Ordering::SeqCst) {
         inner.tallies.drained_rejects.fetch_add(1, Ordering::Relaxed);
         tally_request(inner, class, "draining");
-        return Response::Draining;
+        return (Response::Draining, meta("draining", "", false, 0));
     }
 
     let deadline = deadline_ms
@@ -469,11 +732,19 @@ fn serve_query(
     let parsed = match aqp_sql::parse_query(&sql) {
         Ok(p) => p,
         Err(e) => {
+            timeline.mark("parse");
             inner.tallies.errors.fetch_add(1, Ordering::Relaxed);
             tally_request(inner, class, "error");
-            return Response::Error { message: format!("parse error: {e}") };
+            return (
+                Response::Error {
+                    message: format!("parse error: {e}"),
+                    trace_id: trace_id.clone(),
+                },
+                meta("error", "", false, 0),
+            );
         }
     };
+    timeline.mark("parse");
     let conf = confidence.unwrap_or(inner.config.default_confidence);
     let contract = AnswerContract { confidence: conf, max_rel_error };
 
@@ -482,7 +753,9 @@ fn serve_query(
     // guard: concurrent misses on the same key park here (bounded by
     // their own deadline) while one leader executes; when the leader
     // completes they re-check and hit.
-    let flight = match inner.cache.decide(&parsed.table, &parsed.query, &contract, deadline) {
+    let decision = inner.cache.decide(&parsed.table, &parsed.query, &contract, deadline);
+    timeline.mark("cache");
+    let flight = match decision {
         CacheDecision::Hit(answer, _) => {
             inner.tallies.cache_hits.fetch_add(1, Ordering::Relaxed);
             inner.tallies.answered.fetch_add(1, Ordering::Relaxed);
@@ -490,13 +763,16 @@ fn serve_query(
             let elapsed = t0.elapsed();
             aqp_obs::histogram("aqp_server_latency_seconds", &[("class", class.as_str())])
                 .observe(elapsed.as_nanos() as u64);
-            return Response::Answer(WireAnswer::from_answer(
+            let wire = WireAnswer::from_answer(
                 &answer,
                 false,
                 None,
                 elapsed.as_secs_f64() * 1e3,
                 true,
-            ));
+                trace_id.clone(),
+            );
+            let m = meta("answer", &wire.tier, true, wire.rows_scanned);
+            return (Response::Answer(wire), m);
         }
         CacheDecision::Bypass => {
             inner.tallies.cache_bypass.fetch_add(1, Ordering::Relaxed);
@@ -510,18 +786,33 @@ fn serve_query(
 
     // Admission: the queue wait is bounded by the query's own deadline —
     // time spent queueing is time the scan no longer has.
-    let permit = match inner.admission.admit(class, deadline) {
+    let admitted = inner.admission.admit(class, deadline);
+    timeline.mark("admission");
+    let permit = match admitted {
         AdmitOutcome::Admitted(p) => p,
         AdmitOutcome::Shed { retry_after_ms } => {
             inner.tallies.shed.fetch_add(1, Ordering::Relaxed);
             tally_request(inner, class, "shed");
-            return Response::Shed { retry_after_ms, class: class.as_str().to_string() };
+            return (
+                Response::Shed {
+                    retry_after_ms,
+                    class: class.as_str().to_string(),
+                    trace_id: trace_id.clone(),
+                },
+                meta("shed", "", false, 0),
+            );
         }
         AdmitOutcome::QueueTimeout => {
             inner.tallies.timeouts.fetch_add(1, Ordering::Relaxed);
             aqp_obs::counter("aqp_server_timeout_total", &[("class", class.as_str())]).inc();
             tally_request(inner, class, "timeout");
-            return Response::Timeout { message: "deadline expired in admission queue".into() };
+            return (
+                Response::Timeout {
+                    message: "deadline expired in admission queue".into(),
+                    trace_id: trace_id.clone(),
+                },
+                meta("timeout", "", false, 0),
+            );
         }
     };
 
@@ -536,10 +827,18 @@ fn serve_query(
     // an injected stall) is a miss, not a degradation opportunity — a
     // 0-row "answer" would be vacuous. Report the timeout honestly.
     if deadline.is_some_and(|d| Instant::now() >= d) {
+        timeline.mark("execute");
         inner.tallies.timeouts.fetch_add(1, Ordering::Relaxed);
         aqp_obs::counter("aqp_server_timeout_total", &[("class", class.as_str())]).inc();
         tally_request(inner, class, "timeout");
-        return Response::Timeout { message: "deadline expired before execution".into() };
+        drop(permit);
+        return (
+            Response::Timeout {
+                message: "deadline expired before execution".into(),
+                trace_id: trace_id.clone(),
+            },
+            meta("timeout", "", false, 0),
+        );
     }
 
     let deadline_budget = deadline
@@ -551,7 +850,9 @@ fn serve_query(
         deadline_budget,
         cancel: Some(token.clone()),
     };
-    let response = match inner.system.answer_bounded(&parsed.query, conf, &bound) {
+    let executed = inner.system.answer_bounded(&parsed.query, conf, &bound);
+    timeline.mark("execute");
+    let (response, meta) = match executed {
         Ok(bounded) => {
             let elapsed = t0.elapsed();
             // Teach the estimator only from exact-tier scans:
@@ -577,36 +878,58 @@ fn serve_query(
             if let Some(guard) = flight {
                 guard.complete(&bounded.answer, conf, !bounded.deadline_limited);
             }
-            Response::Answer(WireAnswer::from_answer(
+            // Offer the freshly executed sampled-tier answer to the
+            // shadow auditor (bounded non-blocking push on its queue —
+            // never an admission slot, never a stall here).
+            if let Some(shadow) = inner.shadow.lock().expect("shadow slot poisoned").as_ref() {
+                shadow.maybe_submit(&parsed.query, &bounded.answer, conf, &trace_id);
+            }
+            let wire = WireAnswer::from_answer(
                 &bounded.answer,
                 bounded.deadline_limited,
                 bounded.effective_budget,
                 elapsed.as_secs_f64() * 1e3,
                 false,
-            ))
+                trace_id.clone(),
+            );
+            let m = meta("answer", &wire.tier, false, wire.rows_scanned);
+            (Response::Answer(wire), m)
         }
         Err(AqpError::Cancelled { deadline: true }) => {
             inner.tallies.timeouts.fetch_add(1, Ordering::Relaxed);
             aqp_obs::counter("aqp_server_timeout_total", &[("class", class.as_str())])
                 .inc();
             tally_request(inner, class, "timeout");
-            Response::Timeout {
-                message: "deadline exceeded mid-scan; no tier could finish".into(),
-            }
+            (
+                Response::Timeout {
+                    message: "deadline exceeded mid-scan; no tier could finish".into(),
+                    trace_id: trace_id.clone(),
+                },
+                meta("timeout", "", false, 0),
+            )
         }
         Err(AqpError::Cancelled { deadline: false }) => {
             inner.tallies.errors.fetch_add(1, Ordering::Relaxed);
             tally_request(inner, class, "error");
-            Response::Error { message: "query cancelled".into() }
+            (
+                Response::Error {
+                    message: "query cancelled".into(),
+                    trace_id: trace_id.clone(),
+                },
+                meta("error", "", false, 0),
+            )
         }
         Err(e) => {
             inner.tallies.errors.fetch_add(1, Ordering::Relaxed);
             tally_request(inner, class, "error");
-            Response::Error { message: e.to_string() }
+            (
+                Response::Error { message: e.to_string(), trace_id: trace_id.clone() },
+                meta("error", "", false, 0),
+            )
         }
     };
     drop(permit);
-    response
+    (response, meta)
 }
 
 #[cfg(test)]
@@ -716,6 +1039,7 @@ mod tests {
                 row_budget: None,
                 confidence: None,
                 max_rel_error: None,
+                trace_id: None,
             })
             .unwrap();
         match resp {
@@ -767,7 +1091,7 @@ mod tests {
         let (addr, handle, join) = start(ServerConfig::default());
         let mut client = Client::new(addr.to_string(), RetryPolicy::no_retry());
         match client.request(&Request::query("SELEKT garbage")).unwrap() {
-            Response::Error { message } => assert!(message.contains("parse"), "{message}"),
+            Response::Error { message, .. } => assert!(message.contains("parse"), "{message}"),
             other => panic!("{other:?}"),
         }
         handle.shutdown();

@@ -75,6 +75,7 @@ fn soak_overload_every_request_gets_exactly_one_terminal_response() {
                             row_budget: None,
                             confidence: None,
                             max_rel_error: None,
+                            trace_id: None,
                         }) {
                             Ok(Response::Answer(_)) => "answered",
                             Ok(Response::Timeout { .. }) => "timeout",
@@ -146,6 +147,7 @@ fn deadline_bounded_query_degrades_instead_of_missing() {
             row_budget: None,
             confidence: None,
             max_rel_error: None,
+            trace_id: None,
         })
         .unwrap()
     {
@@ -184,6 +186,7 @@ fn exec_stall_fault_forces_deterministic_timeout() {
             row_budget: None,
             confidence: None,
             max_rel_error: None,
+            trace_id: None,
         })
         .unwrap()
     {
@@ -274,6 +277,7 @@ fn deadline_tier_fallback_reason_reaches_metrics() {
             row_budget: None,
             confidence: None,
             max_rel_error: None,
+            trace_id: None,
         })
         .unwrap()
     {

@@ -8,6 +8,8 @@
 
 use aqp::obs;
 use aqp::query::parallel::run_morsels;
+use aqp::prelude::*;
+use aqp::serving::{Client, Request, Response, RetryPolicy, Server, ServerConfig};
 
 /// Every worker increments shared counters and observes into a shared
 /// histogram; the final totals must equal the arithmetic sum regardless
@@ -88,4 +90,177 @@ fn snapshot_under_load_is_monotone() {
         last = v;
     }
     assert_eq!(last, 32_768);
+}
+
+/// The flight-recorder ring under concurrent writers keeps exactly the
+/// newest N records and never tears one: every retained record is
+/// internally consistent (trace id, rows_scanned, total and stage sum
+/// all derived from the same sequence number), and each thread's
+/// retained records appear in its push order.
+#[test]
+fn flight_ring_wraps_concurrently_without_tearing() {
+    obs::set_enabled(true);
+    let cap = 64usize;
+    let threads = 8usize;
+    let per_thread = 200u64;
+    let recorder = obs::FlightRecorder::new(cap);
+    std::thread::scope(|s| {
+        for t in 0..threads as u64 {
+            let recorder = &recorder;
+            s.spawn(move || {
+                for i in 0..per_thread {
+                    let seq = t * 1_000_000 + i;
+                    recorder.record(obs::RequestRecord {
+                        trace_id: format!("t{t}-{i}"),
+                        class: "interactive".into(),
+                        outcome: "answer".into(),
+                        tier: "primary".into(),
+                        cache_hit: false,
+                        rows_scanned: seq,
+                        total_micros: seq,
+                        stages: vec![
+                            obs::Stage { name: "read".into(), micros: seq / 2 },
+                            obs::Stage { name: "execute".into(), micros: seq - seq / 2 },
+                        ],
+                    });
+                }
+            });
+        }
+    });
+    let recent = recorder.recent();
+    assert_eq!(recent.len(), cap, "ring holds exactly the newest {cap}");
+    let mut last_seq_by_thread = vec![None::<u64>; threads];
+    for record in &recent {
+        let (t, i) = record
+            .trace_id
+            .strip_prefix('t')
+            .and_then(|rest| rest.split_once('-'))
+            .map(|(t, i)| (t.parse::<u64>().unwrap(), i.parse::<u64>().unwrap()))
+            .expect("trace id shape");
+        let seq = t * 1_000_000 + i;
+        // No tearing: every field of the record matches the sequence
+        // number its trace id claims.
+        assert_eq!(record.rows_scanned, seq, "torn rows_scanned in {}", record.trace_id);
+        assert_eq!(record.total_micros, seq, "torn total in {}", record.trace_id);
+        let stage_sum: u64 = record.stages.iter().map(|s| s.micros).sum();
+        assert_eq!(stage_sum, seq, "torn stages in {}", record.trace_id);
+        // FIFO eviction: what survives per thread is in push order.
+        if let Some(prev) = last_seq_by_thread[t as usize] {
+            assert!(seq > prev, "thread {t} records out of order: {prev} then {seq}");
+        }
+        last_seq_by_thread[t as usize] = Some(seq);
+    }
+}
+
+/// The global event ring under concurrent writers wraps at its capacity
+/// keeping the newest events, and never tears one (message and fields
+/// stay from the same `record` call).
+#[test]
+fn event_ring_wraps_concurrently_without_tearing() {
+    obs::set_enabled(true);
+    let threads = 8u64;
+    let per_thread = 200u64; // 1600 > RING_CAPACITY (1024): forces wrap
+    std::thread::scope(|s| {
+        for t in 0..threads {
+            s.spawn(move || {
+                for i in 0..per_thread {
+                    let thread = t.to_string();
+                    let seq = i.to_string();
+                    obs::event::info(
+                        "obs_stress",
+                        &format!("e{t}-{i}"),
+                        &[("thread", &thread), ("seq", &seq)],
+                    );
+                }
+            });
+        }
+    });
+    let recent = obs::event::recent();
+    assert_eq!(recent.len(), obs::event::RING_CAPACITY, "ring wrapped to capacity");
+    let mut ours = 0usize;
+    let mut last_seq_by_thread = vec![None::<u64>; threads as usize];
+    for event in &recent {
+        if event.target != "obs_stress" {
+            continue; // other tests in this binary may emit events too
+        }
+        ours += 1;
+        let field = |k: &str| {
+            event
+                .fields
+                .iter()
+                .find(|(fk, _)| fk == k)
+                .map(|(_, v)| v.clone())
+                .expect("field present")
+        };
+        let (t, i): (u64, u64) = (field("thread").parse().unwrap(), field("seq").parse().unwrap());
+        assert_eq!(event.message, format!("e{t}-{i}"), "torn event");
+        if let Some(prev) = last_seq_by_thread[t as usize] {
+            assert!(i > prev, "thread {t} events out of order: {prev} then {i}");
+        }
+        last_seq_by_thread[t as usize] = Some(i);
+    }
+    // The newest 1024 of 1600 pushes survive; allow for foreign events
+    // but most of the ring must be ours.
+    assert!(ours >= obs::event::RING_CAPACITY / 2, "only {ours} stress events retained");
+}
+
+/// Registry snapshots taken while a live server is answering stay
+/// internally consistent — counters are monotone across snapshots and
+/// the final totals reconcile with what the clients saw.
+#[test]
+fn registry_snapshot_consistent_while_server_answers() {
+    obs::set_enabled(true);
+    let star = gen_sales(&SalesConfig { fact_rows: 10_000, zipf_z: 1.5, seed: 42 }).unwrap();
+    let view = star.denormalize("view").unwrap();
+    let system = ResilientSystem::exact_only(view).with_threads(2);
+    let server = Server::bind(system, ServerConfig::default()).unwrap();
+    let addr = server.local_addr().unwrap().to_string();
+    let handle = server.shutdown_handle();
+    let join = std::thread::spawn(move || server.run());
+
+    let before = obs::global().snapshot();
+    let base = before.counter_total("aqp_server_requests_total");
+    let clients = 4usize;
+    let per_client = 10usize;
+    let answered: usize = std::thread::scope(|s| {
+        let workers: Vec<_> = (0..clients)
+            .map(|c| {
+                let addr = addr.clone();
+                s.spawn(move || {
+                    let mut client = Client::new(addr, RetryPolicy::with_seed(0xce11 + c as u64));
+                    let mut got = 0usize;
+                    for _ in 0..per_client {
+                        if let Ok(Response::Answer(_)) = client.request(&Request::query(
+                            "SELECT store.region, COUNT(*) AS cnt FROM v GROUP BY store.region",
+                        )) {
+                            got += 1;
+                        }
+                    }
+                    got
+                })
+            })
+            .collect();
+        // Snapshot the global registry while the workers hammer the
+        // server: monotone counters, no torn reads.
+        let mut last = base;
+        while workers.iter().any(|w| !w.is_finished()) {
+            let snap = obs::global().snapshot();
+            let v = snap.counter_total("aqp_server_requests_total");
+            assert!(v >= last, "server request counter went backwards: {last} -> {v}");
+            last = v;
+            std::thread::sleep(std::time::Duration::from_millis(1));
+        }
+        workers.into_iter().map(|w| w.join().unwrap()).sum()
+    });
+    handle.shutdown();
+    join.join().unwrap().unwrap();
+
+    assert_eq!(answered, clients * per_client, "every request answered");
+    let after = obs::global().snapshot();
+    let total = after.counter_total("aqp_server_requests_total") - base;
+    assert!(
+        total >= (clients * per_client) as u64,
+        "snapshot missed increments: {total} < {}",
+        clients * per_client
+    );
 }
