@@ -87,7 +87,7 @@ pub mod prelude {
     pub use aqp_datagen::{gen_sales, gen_tpch, SalesConfig, TpchConfig};
     pub use aqp_query::{
         execute, AggExpr, AggFunc, CmpOp, DataSource, Dimension, ExecOptions, Expr, KernelMode,
-        Query, StarSchema, Weighting,
+        PruneMode, Query, StarSchema, Weighting,
     };
     pub use aqp_sampling::{ConfidenceInterval, Estimate};
     pub use aqp_sql::{parse_query, ParsedQuery};

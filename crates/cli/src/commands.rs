@@ -98,6 +98,8 @@ USAGE:
                 [--iters N] [--out FILE] [--stats]
   aqp-cli bench kernels [--scale F] [--skew F] [--seed N] [--iters N]
                         [--min-speedup F] [--out FILE]
+  aqp-cli bench pruning [--rows N] [--iters N] [--min-speedup F]
+                        [--out FILE] [--stats]
   aqp-cli bench serving [--rows N] [--requests N] [--threads N] [--out FILE]
   aqp-cli serve --family FILE [--view FILE] [--addr HOST:PORT] [--threads N]
                 [--confidence F] [--row-budget N] [--default-deadline-ms N]
@@ -150,6 +152,18 @@ BENCH_kernels.json. Answers are bit-identical across modes by contract;
 group-by speedup falls below F. AQP_KERNELS=scalar forces the scalar
 path process-wide for any command (explain --analyze shows which kernel
 each operator used).
+
+bench pruning measures zone-map block pruning on a clustered view:
+range predicates at ~1%/5%/100% selectivity and a dictionary equality,
+each timed pruned vs unpruned after a bit-identity check, written as
+BENCH_pruning.json. Scans consult per-block min/max/null/dictionary
+summaries persisted in .aqpt files (recomputed lazily for v2 files) to
+skip blocks no row can match and to drop per-row predicate evaluation
+on blocks every row matches; answers are bit-identical either way by
+contract. AQP_PRUNE=off disables pruning process-wide; explain
+--analyze and traces report blocks skipped/taken/scanned and rows
+pruned per operator, and aqp_prune_blocks_total{outcome=...} counts
+block outcomes whenever a prune plan is active.
 
 serve runs a concurrent TCP query server (4-byte length-prefixed JSON
 frames) over the same degradation ladder: per-class admission control
@@ -614,6 +628,13 @@ fn render_operator_tree(trace: &QueryTrace) -> String {
             fmt_bytes(op.mem_peak_bytes),
             fmt_bytes(op.mem_current_bytes),
         ));
+        let blocks = op.blocks_skipped + op.blocks_taken + op.blocks_scanned;
+        if blocks > 0 {
+            s.push_str(&format!(
+                "{pad}   pruning: {} block(s) skipped / {} taken / {} scanned of {}, {} row(s) pruned\n",
+                op.blocks_skipped, op.blocks_taken, op.blocks_scanned, blocks, op.rows_pruned,
+            ));
+        }
     }
     let rows_in_total: u64 = trace.operators.iter().map(|o| o.rows_in).sum();
     s.push_str(&format!(
@@ -811,10 +832,11 @@ fn bench_speedup(points: &[aqp::workload::BenchPoint], threads: usize) -> Option
 fn bench_command(args: &Args, out: &mut dyn Write) -> Result<(), CliError> {
     match args.positionals().get(1).map(String::as_str) {
         Some("kernels") => return bench_kernels_command(args, out),
+        Some("pruning") => return bench_pruning_command(args, out),
         Some("serving") => return crate::serve::bench_serving_command(args, out),
         Some(other) => {
             return Err(CliError(format!(
-                "unknown bench target {other:?} (expected: kernels, serving, or no target)"
+                "unknown bench target {other:?} (expected: kernels, pruning, serving, or no target)"
             )))
         }
         None => {}
@@ -1116,6 +1138,147 @@ fn bench_kernels_command(args: &Args, out: &mut dyn Write) -> Result<(), CliErro
         return Err(CliError(format!(
             "kernel speedup gate failed: dictionary group-by single-thread speedup \
              {dict_speedup_1t:.2}x is below the required {min_speedup:.2}x"
+        )));
+    }
+    Ok(())
+}
+
+/// `bench pruning` — zone-map block pruning on a *clustered* view (rows
+/// sorted by the range column, dictionary values per block — the layout
+/// pruning exists for) and write `BENCH_pruning.json`. Four workloads:
+/// range predicates at ~1%, ~5%, and 100% selectivity plus a dictionary
+/// equality, each run pruned (`PruneMode::On`) and unpruned
+/// (`PruneMode::Off`) at 1 thread. Answers are checked bit-equal across
+/// modes before timing (which also pays the lazy zone-map computation
+/// outside the timed window); `--min-speedup` gates on the ~5%-selectivity
+/// range speedup.
+fn bench_pruning_command(args: &Args, out: &mut dyn Write) -> Result<(), CliError> {
+    const BLOCK: usize = aqp::storage::ZONE_BLOCK_ROWS;
+    let rows = args.get_or("rows", 2_000_000usize)?.max(BLOCK);
+    let iters = args.get_or("iters", 5usize)?.max(1);
+    let min_speedup = args.get_or("min-speedup", 0.0f64)?;
+    let stats = args.flag("stats");
+    let out_path = args
+        .optional("out")
+        .unwrap_or_else(|| "BENCH_pruning.json".to_owned());
+    args.finish()?;
+
+    // Clustered synthetic view: `k` ascends (disjoint per-block ranges),
+    // `cat` holds one dictionary value per block, measures carry noise.
+    let schema = SchemaBuilder::new()
+        .field("k", DataType::Int64)
+        .field("cat", DataType::Utf8)
+        .field("val", DataType::Float64)
+        .field("amt", DataType::Float64)
+        .build()
+        .map_err(boxed)?;
+    let mut view = Table::empty("bench_pruning", schema);
+    let cats = ["air", "rail", "ship", "truck"];
+    let mut state: u64 = 0x9e3779b97f4a7c15;
+    for r in 0..rows {
+        state = state
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
+        let noise = (state >> 33) as f64 / (1u64 << 31) as f64;
+        view.push_row(&[
+            Value::Int64(r as i64),
+            cats[r / BLOCK % cats.len()].into(),
+            Value::Float64(noise * 100.0),
+            Value::Float64((r % 97) as f64),
+        ])
+        .map_err(boxed)?;
+    }
+    writeln!(
+        out,
+        "bench pruning: {} clustered rows ({} zone-map blocks of {BLOCK})",
+        rows,
+        rows.div_ceil(BLOCK)
+    )?;
+    let source = DataSource::Wide(&view);
+
+    // COUNT + SUM over a dict group-by: enough aggregation to be a real
+    // query, little enough that the scan (what pruning removes) is the
+    // dominant cost being measured.
+    let grouped = |pred: Expr| {
+        Query::builder()
+            .count()
+            .sum("val")
+            .group_by("cat")
+            .filter(pred)
+            .build()
+            .map_err(boxed)
+    };
+    let workloads: Vec<(&str, f64, Query)> = vec![
+        ("range-1pct", 1.0, grouped(Expr::cmp("k", CmpOp::Lt, (rows / 100) as i64))?),
+        ("range-5pct", 5.0, grouped(Expr::cmp("k", CmpOp::Lt, (rows / 20) as i64))?),
+        ("range-100pct", 100.0, grouped(Expr::cmp("k", CmpOp::Ge, 0i64))?),
+        ("dict-eq", 25.0, grouped(Expr::in_set("cat", vec!["rail".into()]))?),
+    ];
+
+    let mut rows_json = Vec::new();
+    let mut gate_speedup = 1.0f64;
+    let mut full_scan_overhead_pct = 0.0f64;
+    for (name, selectivity, query) in &workloads {
+        let off_opts = ExecOptions {
+            parallelism: 1,
+            pruning: PruneMode::Off,
+            ..ExecOptions::default()
+        };
+        let on_opts = ExecOptions {
+            pruning: PruneMode::On,
+            ..off_opts
+        };
+        // Bit-identity gate before timing; the pruned run also computes
+        // and caches the zone maps so the timed window measures pruning,
+        // not map construction.
+        let a = execute(&source, query, &off_opts).map_err(boxed)?;
+        let b = execute(&source, query, &on_opts).map_err(boxed)?;
+        if a.groups != b.groups {
+            return Err(CliError(format!(
+                "pruning mismatch: pruned and unpruned outputs differ on {name}"
+            )));
+        }
+        let off = aqp::workload::bench_query_throughput_with(&source, query, &off_opts, iters)
+            .map_err(boxed)?;
+        let on = aqp::workload::bench_query_throughput_with(&source, query, &on_opts, iters)
+            .map_err(boxed)?;
+        let speedup = if on.elapsed_ms > 0.0 {
+            off.elapsed_ms / on.elapsed_ms
+        } else {
+            1.0
+        };
+        if *name == "range-5pct" {
+            gate_speedup = speedup;
+        }
+        if *name == "range-100pct" && off.elapsed_ms > 0.0 {
+            full_scan_overhead_pct = (on.elapsed_ms - off.elapsed_ms) / off.elapsed_ms * 100.0;
+        }
+        writeln!(
+            out,
+            "{name} ({selectivity}% of rows): unpruned {:.0} rows/s, pruned {:.0} rows/s -> {speedup:.2}x",
+            off.rows_per_sec, on.rows_per_sec
+        )?;
+        rows_json.push(format!(
+            "    {{\"workload\": \"{name}\", \"selectivity_pct\": {selectivity}, \"unpruned_rows_per_sec\": {:.1}, \"pruned_rows_per_sec\": {:.1}, \"unpruned_ms\": {:.3}, \"pruned_ms\": {:.3}, \"speedup\": {speedup:.3}}}",
+            off.rows_per_sec, on.rows_per_sec, off.elapsed_ms, on.elapsed_ms
+        ));
+    }
+    let json = format!(
+        "{{\n  \"view_rows\": {rows},\n  \"zone_block_rows\": {BLOCK},\n  \"iters\": {iters},\n  \"results\": [\n{}\n  ],\n  \"range_5pct_speedup\": {gate_speedup:.3},\n  \"full_scan_overhead_pct\": {full_scan_overhead_pct:.3}\n}}\n",
+        rows_json.join(",\n"),
+    );
+    std::fs::write(&out_path, json).map_err(at_path(&out_path))?;
+    writeln!(
+        out,
+        "5%-selectivity range speedup {gate_speedup:.2}x, full-scan overhead {full_scan_overhead_pct:.2}% -> {out_path}"
+    )?;
+    if stats {
+        write_metrics_snapshot(out)?;
+    }
+    if gate_speedup < min_speedup {
+        return Err(CliError(format!(
+            "pruning speedup gate failed: 5%-selectivity range speedup {gate_speedup:.2}x \
+             is below the required {min_speedup:.2}x"
         )));
     }
     Ok(())
@@ -1778,6 +1941,55 @@ mod tests {
     }
 
     #[test]
+    fn bench_pruning_writes_json_report() {
+        let _guard = metrics_lock();
+        let dir = temp_dir();
+        let report = dir.join("BENCH_pruning.json");
+        let msg = run_cli(&[
+            "bench", "pruning", "--rows", "20000", "--iters", "1", "--stats", "--out",
+            report.to_str().unwrap(),
+        ])
+        .unwrap();
+        assert!(msg.contains("range-1pct"), "{msg}");
+        assert!(msg.contains("dict-eq"), "{msg}");
+        assert!(msg.contains("full-scan overhead"), "{msg}");
+        // --stats exposes the block-outcome counters the bench just fed.
+        assert!(msg.contains("aqp_prune_blocks_total"), "{msg}");
+        let json = std::fs::read_to_string(&report).unwrap();
+        for key in [
+            "\"workload\": \"range-1pct\"",
+            "\"workload\": \"range-5pct\"",
+            "\"workload\": \"range-100pct\"",
+            "\"workload\": \"dict-eq\"",
+            "\"unpruned_rows_per_sec\"",
+            "\"pruned_rows_per_sec\"",
+            "\"speedup\"",
+            "\"range_5pct_speedup\"",
+            "\"full_scan_overhead_pct\"",
+            "\"zone_block_rows\"",
+        ] {
+            assert!(json.contains(key), "missing {key} in {json}");
+        }
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn bench_pruning_min_speedup_gate_fails_when_unreachable() {
+        let _guard = metrics_lock();
+        let dir = temp_dir();
+        let report = dir.join("gate.json");
+        let err = run_cli(&[
+            "bench", "pruning", "--rows", "20000", "--iters", "1", "--min-speedup",
+            "100000", "--out", report.to_str().unwrap(),
+        ])
+        .unwrap_err();
+        assert!(err.0.contains("pruning speedup gate failed"), "{err}");
+        // The report is still written so the numbers can be inspected.
+        assert!(report.exists());
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
     fn explain_static_plan_matches_golden() {
         let dir = temp_dir();
         let view = dir.join("g.aqpt");
@@ -1845,6 +2057,19 @@ mod tests {
         // Per-stratum row totals must reconcile exactly with rows_scanned.
         assert!(msg.contains("-> reconciles"), "{msg}");
         assert!(!msg.contains("MISMATCH"), "{msg}");
+        // An unfiltered scan has no prune plan, so no pruning line.
+        assert!(!msg.contains("pruning:"), "{msg}");
+        // A prunable dictionary predicate activates block accounting.
+        let pruned = run_cli(&[
+            "explain",
+            "--family",
+            family.to_str().unwrap(),
+            "--analyze",
+            "SELECT COUNT(*) FROM s WHERE store.region IN ('REGION#000')",
+        ])
+        .unwrap();
+        assert!(pruned.contains("pruning:"), "{pruned}");
+        assert!(pruned.contains("block(s) skipped"), "{pruned}");
         // Without --analyze no profile tree is printed.
         let plain = run_cli(&[
             "explain",

@@ -54,6 +54,16 @@ pub struct OpProfile {
     /// `vectorized-hash`, or `vectorized-dense` (empty on traces recorded
     /// before the field existed).
     pub kernel: String,
+    /// Zone-map blocks skipped wholesale (no row could match; the block's
+    /// column data was never touched). Zero when pruning was inactive.
+    pub blocks_skipped: u64,
+    /// Zone-map blocks taken wholesale (every row proven to match; the
+    /// per-row predicate was not evaluated).
+    pub blocks_taken: u64,
+    /// Zone-map blocks scanned normally under an active prune plan.
+    pub blocks_scanned: u64,
+    /// Rows in skipped blocks — work the scan avoided entirely.
+    pub rows_pruned: u64,
 }
 
 impl OpProfile {
@@ -124,6 +134,14 @@ pub struct ScanStats {
     /// Scan implementation label (`scalar`, `vectorized-hash`,
     /// `vectorized-dense`).
     pub kernel: String,
+    /// Zone-map blocks skipped wholesale (pruning; 0 when inactive).
+    pub blocks_skipped: u64,
+    /// Zone-map blocks taken wholesale (predicate suppressed).
+    pub blocks_taken: u64,
+    /// Zone-map blocks scanned normally under an active prune plan.
+    pub blocks_scanned: u64,
+    /// Rows in skipped blocks.
+    pub rows_pruned: u64,
 }
 
 /// Nearest-rank quantile over an ascending-sorted slice.
@@ -168,6 +186,10 @@ pub fn record_scan(stats: ScanStats) {
         mem_peak_bytes: stats.mem_peak_bytes,
         mem_current_bytes: stats.mem_current_bytes,
         kernel: stats.kernel,
+        blocks_skipped: stats.blocks_skipped,
+        blocks_taken: stats.blocks_taken,
+        blocks_scanned: stats.blocks_scanned,
+        rows_pruned: stats.rows_pruned,
     });
 }
 
@@ -231,6 +253,10 @@ mod tests {
             mem_peak_bytes: 4096,
             mem_current_bytes: 1024,
             kernel: "vectorized-dense".into(),
+            blocks_skipped: 7,
+            blocks_taken: 2,
+            blocks_scanned: 1,
+            rows_pruned: 28_672,
         });
         let trace = crate::trace::finish().expect("trace open");
         assert_eq!(trace.operators.len(), 1);
@@ -245,6 +271,10 @@ mod tests {
         assert_eq!(op.morsel_p99_ns, 500);
         assert_eq!(op.mem_peak_bytes, 4096);
         assert_eq!(op.kernel, "vectorized-dense");
+        assert_eq!(op.blocks_skipped, 7);
+        assert_eq!(op.blocks_taken, 2);
+        assert_eq!(op.blocks_scanned, 1);
+        assert_eq!(op.rows_pruned, 28_672);
     }
 
     #[test]

@@ -20,8 +20,10 @@ use crate::profile::OpProfile;
 
 /// Version emitted in the `schema_version` field of new trace lines.
 /// v1 lines (no version field, no `operators`) still parse and validate;
-/// v2 adds the per-operator profile array.
-pub const TRACE_SCHEMA_VERSION: u64 = 2;
+/// v2 adds the per-operator profile array; v3 adds the per-operator
+/// zone-map pruning counters (`blocks_skipped`/`blocks_taken`/
+/// `blocks_scanned`/`rows_pruned`).
+pub const TRACE_SCHEMA_VERSION: u64 = 3;
 
 /// Wall time spent in one named stage, possibly accumulated over several
 /// spans (e.g. one `query.scan` per sample table in a UNION ALL plan).
@@ -146,6 +148,14 @@ impl QueryTrace {
             out.push_str(&op.mem_current_bytes.to_string());
             out.push_str(",\"kernel\":");
             json::write_escaped(&mut out, &op.kernel);
+            out.push_str(",\"blocks_skipped\":");
+            out.push_str(&op.blocks_skipped.to_string());
+            out.push_str(",\"blocks_taken\":");
+            out.push_str(&op.blocks_taken.to_string());
+            out.push_str(",\"blocks_scanned\":");
+            out.push_str(&op.blocks_scanned.to_string());
+            out.push_str(",\"rows_pruned\":");
+            out.push_str(&op.rows_pruned.to_string());
             out.push('}');
         }
         out.push_str("]}");
@@ -212,6 +222,10 @@ impl QueryTrace {
                     mem_peak_bytes: n("mem_peak_bytes") as u64,
                     mem_current_bytes: n("mem_current_bytes") as u64,
                     kernel: s("kernel"),
+                    blocks_skipped: n("blocks_skipped") as u64,
+                    blocks_taken: n("blocks_taken") as u64,
+                    blocks_scanned: n("blocks_scanned") as u64,
+                    rows_pruned: n("rows_pruned") as u64,
                 });
             }
         }
@@ -297,7 +311,7 @@ fn validate_value(value: &Value) -> Result<(), String> {
     }
     match obj.get("schema_version").and_then(Value::as_f64) {
         None => {}
-        Some(v) if v == 1.0 || v == 2.0 => {}
+        Some(v) if v == 1.0 || v == 2.0 || v == 3.0 => {}
         Some(v) => return Err(format!("unsupported schema_version {v}")),
     }
     match obj.get("operators") {
@@ -348,6 +362,21 @@ fn validate_operator(o: &Value) -> Result<(), String> {
     match o.get("kernel") {
         None | Some(Value::Str(_)) => {}
         Some(_) => return Err("operator field \"kernel\" must be a string".into()),
+    }
+    // v3 pruning counters: absent on v1/v2 lines, non-negative integers
+    // when present.
+    for key in ["blocks_skipped", "blocks_taken", "blocks_scanned", "rows_pruned"] {
+        match o.get(key) {
+            None => {}
+            Some(v) => match v.as_f64() {
+                Some(n) if n >= 0.0 && n.fract() == 0.0 => {}
+                _ => {
+                    return Err(format!(
+                        "operator field {key:?} must be a non-negative integer"
+                    ))
+                }
+            },
+        }
     }
     match o.get("morsels_per_worker") {
         Some(Value::Arr(items)) => {
@@ -502,6 +531,10 @@ mod tests {
                     mem_peak_bytes: 4096,
                     mem_current_bytes: 2048,
                     kernel: "vectorized-dense".into(),
+                    blocks_skipped: 0,
+                    blocks_taken: 0,
+                    blocks_scanned: 1,
+                    rows_pruned: 0,
                 },
                 OpProfile {
                     op: "scan:overall".into(),
@@ -518,6 +551,10 @@ mod tests {
                     mem_peak_bytes: 65_536,
                     mem_current_bytes: 8_192,
                     kernel: "scalar".into(),
+                    blocks_skipped: 2,
+                    blocks_taken: 1,
+                    blocks_scanned: 0,
+                    rows_pruned: 8_192,
                 },
             ],
             cache_hit: false,
@@ -574,14 +611,14 @@ mod tests {
         assert!(validate_json(v1).is_ok());
         let trace = QueryTrace::from_json(v1).unwrap();
         assert!(trace.operators.is_empty());
-        // Re-serialized it becomes v2 and still validates.
+        // Re-serialized it becomes the current version and still validates.
         assert!(validate_json(&trace.to_json()).is_ok());
     }
 
     #[test]
     fn v2_operator_fields_are_validated() {
         let good = sample_trace().to_json();
-        assert!(good.contains("\"schema_version\":2"));
+        assert!(good.contains("\"schema_version\":3"));
         let bad = good.replace("\"rows_in\":120", "\"rows_in\":-5");
         assert!(validate_json(&bad).unwrap_err().contains("rows_in"));
         let bad = good.replace("\"stratum\":\"small-group\"", "\"stratum\":7");
@@ -593,10 +630,36 @@ mod tests {
         // Operators without the kernel field (older v2 lines) still pass.
         let old = good.replace(",\"kernel\":\"scalar\"", "").replace(",\"kernel\":\"vectorized-dense\"", "");
         assert!(validate_json(&old).is_ok());
-        let bad = good.replace("\"schema_version\":2", "\"schema_version\":9");
+        let bad = good.replace("\"schema_version\":3", "\"schema_version\":9");
         assert!(validate_json(&bad).unwrap_err().contains("schema_version"));
         let bad = good.replace("\"operators\":[", "\"operators\":[{\"op\":\"x\"},");
         assert!(validate_json(&bad).is_err(), "operator missing fields rejected");
+    }
+
+    #[test]
+    fn v3_prune_fields_round_trip_and_validate() {
+        let trace = sample_trace();
+        let line = trace.to_json();
+        assert!(line.contains("\"blocks_skipped\":2"));
+        assert!(line.contains("\"rows_pruned\":8192"));
+        let back = QueryTrace::from_json(&line).unwrap();
+        assert_eq!(back.operators[1].blocks_skipped, 2);
+        assert_eq!(back.operators[1].blocks_taken, 1);
+        assert_eq!(back.operators[1].rows_pruned, 8_192);
+        // Negative or fractional prune counters are rejected.
+        let bad = line.replace("\"blocks_skipped\":2", "\"blocks_skipped\":-2");
+        assert!(validate_json(&bad).unwrap_err().contains("blocks_skipped"));
+        let bad = line.replace("\"rows_pruned\":8192", "\"rows_pruned\":1.5");
+        assert!(validate_json(&bad).unwrap_err().contains("rows_pruned"));
+        // v2 lines without the counters still validate and parse as zero.
+        let v2 = line
+            .replace(",\"blocks_skipped\":2,\"blocks_taken\":1,\"blocks_scanned\":0,\"rows_pruned\":8192", "")
+            .replace(",\"blocks_skipped\":0,\"blocks_taken\":0,\"blocks_scanned\":1,\"rows_pruned\":0", "")
+            .replace("\"schema_version\":3", "\"schema_version\":2");
+        assert!(validate_json(&v2).is_ok());
+        let old = QueryTrace::from_json(&v2).unwrap();
+        assert_eq!(old.operators[1].blocks_skipped, 0);
+        assert_eq!(old.operators[1].rows_pruned, 0);
     }
 
     #[test]

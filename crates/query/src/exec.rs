@@ -39,6 +39,7 @@ use crate::kernel::{run_morsel_vectorized, DensePlan, GroupKey, GroupMap, MAX_FA
 use crate::output::{AggState, GroupResult, QueryOutput};
 use crate::parallel::{merge_group_maps, run_morsels_cancellable};
 use crate::plan::Query;
+use crate::prune::{PruneDecision, PrunePlan};
 use crate::source::{DataSource, ResolvedColumn};
 use aqp_storage::{BitSet, Value, DEFAULT_MORSEL_ROWS};
 use std::sync::atomic::{AtomicU8, Ordering};
@@ -132,6 +133,70 @@ impl KernelMode {
     }
 }
 
+/// Whether [`execute`] consults zone maps to skip (or take wholesale)
+/// morsels before touching column data.
+///
+/// Pruning never changes the answer — only which work is avoided — by
+/// the same bit-identity contract as [`KernelMode`], and the differential
+/// oracle compares the two settings on every commit. `Auto` — the default
+/// — resolves to the process-wide override set by [`set_prune_mode`] if
+/// any, else the `AQP_PRUNE` environment variable (`off`/`0`/`false`
+/// disables; read once per process), else enabled.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum PruneMode {
+    /// Resolve from [`set_prune_mode`] / `AQP_PRUNE`, default enabled.
+    #[default]
+    Auto,
+    /// Force zone-map pruning on.
+    On,
+    /// Force every morsel down the ordinary scan path.
+    Off,
+}
+
+/// Process-wide override consulted by [`PruneMode::Auto`]:
+/// 0 = none, 1 = on, 2 = off.
+static PRUNE_OVERRIDE: AtomicU8 = AtomicU8::new(0);
+
+/// Set the process-wide prune mode that [`PruneMode::Auto`] resolves to.
+/// The same escape hatch as [`set_kernel_mode`]: differential tests (and
+/// operators bisecting a suspected pruning bug) can disable pruning for
+/// every query in the process. An explicit [`ExecOptions::pruning`] still
+/// wins; `PruneMode::Auto` clears the override.
+pub fn set_prune_mode(mode: PruneMode) {
+    let v = match mode {
+        PruneMode::Auto => 0,
+        PruneMode::On => 1,
+        PruneMode::Off => 2,
+    };
+    PRUNE_OVERRIDE.store(v, Ordering::Relaxed);
+}
+
+/// The `AQP_PRUNE` environment default, read once per process.
+fn env_prune_default() -> PruneMode {
+    static ENV: OnceLock<PruneMode> = OnceLock::new();
+    *ENV.get_or_init(|| match std::env::var("AQP_PRUNE") {
+        Ok(v) if matches!(v.to_ascii_lowercase().as_str(), "off" | "0" | "false") => {
+            PruneMode::Off
+        }
+        _ => PruneMode::On,
+    })
+}
+
+impl PruneMode {
+    /// Collapse `Auto` to a concrete choice: the [`set_prune_mode`]
+    /// override first, then `AQP_PRUNE`, then enabled.
+    pub fn resolve(self) -> PruneMode {
+        match self {
+            PruneMode::Auto => match PRUNE_OVERRIDE.load(Ordering::Relaxed) {
+                1 => PruneMode::On,
+                2 => PruneMode::Off,
+                _ => env_prune_default(),
+            },
+            explicit => explicit,
+        }
+    }
+}
+
 /// Execution options.
 #[derive(Debug, Clone, Copy)]
 pub struct ExecOptions<'a> {
@@ -154,6 +219,9 @@ pub struct ExecOptions<'a> {
     /// Scan implementation (default [`KernelMode::Auto`]). Never affects
     /// the answer, only how fast it is computed.
     pub kernels: KernelMode,
+    /// Zone-map block pruning (default [`PruneMode::Auto`]). Never
+    /// affects the answer, only which morsels avoid work.
+    pub pruning: PruneMode,
     /// Cooperative cancellation token, checked at every morsel claim
     /// point. When `None`, the ambient token installed on this thread via
     /// [`crate::cancel::install`] (if any) applies instead. A tripped
@@ -171,6 +239,7 @@ impl Default for ExecOptions<'static> {
             row_limit: None,
             morsel_rows: DEFAULT_MORSEL_ROWS,
             kernels: KernelMode::Auto,
+            pruning: PruneMode::Auto,
             cancel: None,
         }
     }
@@ -280,6 +349,20 @@ pub fn execute(
         "vectorized-hash"
     };
 
+    // Lower the predicate onto the source table's zone maps (computing
+    // them lazily if the table was built before zone maps existed).
+    // Pruning reasons about physical fact/wide-table blocks, so the fact
+    // table anchors the star case; dimension-column leaves are opaque.
+    let prune_plan = if opts.pruning.resolve() == PruneMode::On {
+        let table = match source {
+            DataSource::Wide(t) => *t,
+            DataSource::Star(s) => s.fact(),
+        };
+        predicate.as_ref().and_then(|p| PrunePlan::build(p, table))
+    } else {
+        None
+    };
+
     // Morsel-driven scan: workers produce one partial map per morsel;
     // folding the partials in morsel order makes the result bit-identical
     // at every thread count. The parallelism == 1 path runs the very same
@@ -293,17 +376,33 @@ pub fn execute(
     let (partials, schedule, cancelled) = {
         let _span = aqp_obs::span("query.scan");
         run_morsels_cancellable(n, opts.morsel_rows, opts.parallelism, token.as_ref(), |m| {
-            // Workers return plain data (map, matched rows, wall time);
-            // all profiling bookkeeping happens on the control thread.
+            // Workers return plain data (map, matched rows, wall time,
+            // prune outcome); all profiling bookkeeping happens on the
+            // control thread.
             let started = Instant::now();
-            let (map, matched) = if vectorized {
-                run_morsel_vectorized(&scan, m.start, m.end, num_aggs)
-            } else {
-                let mut map = GroupMap::default();
-                let matched = scan.run_range(m.start, m.end, num_aggs, &mut map);
-                (map, matched)
+            let (decision, blocks) = match &prune_plan {
+                Some(p) => (p.decide(m.start, m.end), p.blocks(m.start, m.end) as u64),
+                None => (PruneDecision::Scan, 0),
             };
-            (map, matched, started.elapsed())
+            let (map, matched) = match decision {
+                // No row can match: the empty partial map is exactly what
+                // either scan implementation returns for a fully-filtered
+                // morsel, so the merge fold is unchanged bit for bit.
+                PruneDecision::SkipAll => (GroupMap::default(), 0),
+                other => {
+                    let use_predicate = other != PruneDecision::TakeAll;
+                    if vectorized {
+                        run_morsel_vectorized(&scan, m.start, m.end, num_aggs, use_predicate)
+                    } else {
+                        let mut map = GroupMap::default();
+                        let matched =
+                            scan.run_range(m.start, m.end, num_aggs, &mut map, use_predicate);
+                        (map, matched)
+                    }
+                }
+            };
+            let prune = (decision, blocks, (m.end - m.start) as u64);
+            (map, matched, started.elapsed(), prune)
         })
     };
     if cancelled {
@@ -325,15 +424,38 @@ pub fn execute(
     let mut rows_out = 0u64;
     let mut morsel_ns = Vec::with_capacity(partials.len());
     let mut partial_bytes = 0u64;
+    let mut blocks_skipped = 0u64;
+    let mut blocks_taken = 0u64;
+    let mut blocks_scanned = 0u64;
+    let mut rows_pruned = 0u64;
     let merge_span = aqp_obs::span("query.merge");
     let mut groups = GroupMap::default();
-    for (partial, matched, elapsed) in partials {
+    for (partial, matched, elapsed, (decision, blocks, morsel_rows)) in partials {
         rows_out += matched;
         morsel_ns.push(u64::try_from(elapsed.as_nanos()).unwrap_or(u64::MAX));
         partial_bytes += map_bytes(partial.len(), num_aggs);
+        match decision {
+            PruneDecision::SkipAll => {
+                blocks_skipped += blocks;
+                rows_pruned += morsel_rows;
+            }
+            PruneDecision::TakeAll => blocks_taken += blocks,
+            PruneDecision::Scan => blocks_scanned += blocks,
+        }
         merge_group_maps(&mut groups, partial);
     }
     drop(merge_span);
+    if prune_plan.is_some() {
+        // Register all three outcomes (even at zero) so one pruned query
+        // makes the full metric family greppable in exports.
+        for (outcome, count) in [
+            ("skip", blocks_skipped),
+            ("take", blocks_taken),
+            ("scan", blocks_scanned),
+        ] {
+            aqp_obs::counter("aqp_prune_blocks_total", &[("outcome", outcome)]).inc_by(count);
+        }
+    }
     // Logical memory: all per-morsel partial maps coexist before the fold,
     // plus the merged table they fold into (see aqp_obs::mem).
     let merged_bytes = map_bytes(groups.len(), num_aggs);
@@ -346,6 +468,10 @@ pub fn execute(
         mem_peak_bytes: partial_bytes + merged_bytes,
         mem_current_bytes: merged_bytes,
         kernel: kernel.to_string(),
+        blocks_skipped,
+        blocks_taken,
+        blocks_scanned,
+        rows_pruned,
     });
     let _finalize_span = aqp_obs::span("query.finalize");
 
@@ -437,7 +563,10 @@ pub(crate) struct Scan<'a, 'b> {
 impl Scan<'_, '_> {
     /// Scan `start..end` row at a time, accumulating into `groups`.
     /// Returns the number of rows that survived the bitmask and predicate
-    /// filters (the operator's rows-out, for the profiler).
+    /// filters (the operator's rows-out, for the profiler). With
+    /// `use_predicate` false — a zone-map `TakeAll` morsel, every row
+    /// proven to match — the per-row predicate test is skipped; the
+    /// bitmask filter still applies.
     ///
     /// This is the scalar **reference implementation**: the vectorised
     /// kernels in [`crate::kernel`] must replicate its behaviour bit for
@@ -448,6 +577,7 @@ impl Scan<'_, '_> {
         end: usize,
         num_aggs: usize,
         groups: &mut GroupMap,
+        use_predicate: bool,
     ) -> u64 {
         let fast = self.group_cols.len() <= MAX_FAST_KEY;
         let mut matched = 0u64;
@@ -457,9 +587,11 @@ impl Scan<'_, '_> {
                     continue;
                 }
             }
-            if let Some(p) = self.predicate {
-                if !p.eval(row) {
-                    continue;
+            if use_predicate {
+                if let Some(p) = self.predicate {
+                    if !p.eval(row) {
+                        continue;
+                    }
                 }
             }
             matched += 1;

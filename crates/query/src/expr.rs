@@ -396,6 +396,22 @@ impl CodeBitmap {
             .get(code as usize / 64)
             .is_some_and(|w| (w >> (code % 64)) & 1 == 1)
     }
+
+    /// Whether any code set in `words` (a presence bitmap over the same
+    /// dictionary, e.g. a zone-map block summary) is accepted. Missing
+    /// trailing words on either side read as zero.
+    pub(crate) fn intersects_words(&self, words: &[u64]) -> bool {
+        self.words.iter().zip(words).any(|(a, b)| a & b != 0)
+    }
+
+    /// Whether every code set in `words` is accepted — i.e. the presence
+    /// set is a subset of this IN-list, so every non-null row matches.
+    pub(crate) fn superset_of_words(&self, words: &[u64]) -> bool {
+        words
+            .iter()
+            .enumerate()
+            .all(|(i, w)| w & !self.words.get(i).copied().unwrap_or(0) == 0)
+    }
 }
 
 /// A predicate compiled against a concrete data source.

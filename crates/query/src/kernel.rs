@@ -175,16 +175,21 @@ thread_local! {
 /// Run one morsel through the vectorised pipeline. Returns the partial
 /// group map (identical to what the scalar loop builds for the same
 /// range, map layout included) and the number of rows that survived the
-/// filters.
+/// filters. With `use_predicate` false — a zone-map `TakeAll` morsel,
+/// where every row is proven to satisfy the predicate — the selection is
+/// built from the bitmask stage alone, which by the prune contract keeps
+/// exactly the rows the predicate stage would have kept.
 pub(crate) fn run_morsel_vectorized(
     scan: &Scan<'_, '_>,
     start: usize,
     end: usize,
     num_aggs: usize,
+    use_predicate: bool,
 ) -> (GroupMap, u64) {
     SCRATCH.with(|cell| {
         let s = &mut *cell.borrow_mut();
-        build_selection(&mut s.sel, start, end, scan.bitmask, scan.predicate);
+        let predicate = if use_predicate { scan.predicate } else { None };
+        build_selection(&mut s.sel, start, end, scan.bitmask, predicate);
         let matched = s.sel.len() as u64;
         let map = match &scan.dense {
             Some(plan) => run_dense(scan, plan, s, num_aggs),

@@ -48,12 +48,13 @@ pub mod join;
 pub mod output;
 pub mod parallel;
 pub mod plan;
+mod prune;
 mod selection;
 pub mod source;
 
 pub use cancel::{CancelCause, CancelToken};
 pub use error::{QueryError, QueryResult};
-pub use exec::{execute, set_kernel_mode, ExecOptions, KernelMode, Weighting};
+pub use exec::{execute, set_kernel_mode, set_prune_mode, ExecOptions, KernelMode, PruneMode, Weighting};
 pub use expr::{CmpOp, Expr};
 pub use hash::{FxBuildHasher, FxHashMap, FxHasher};
 pub use join::{Dimension, StarSchema};

@@ -7,19 +7,29 @@
 //! for [`Table`]s — columns, dictionaries, null masks, and the sample
 //! bitmask column — plus file convenience wrappers.
 //!
-//! Format (version 2):
+//! Format (version 3):
 //!
 //! ```text
-//! magic "AQPT" | u16 version | u32 crc32c of the payload
-//! payload: name | schema | u64 rows
-//!          per column: u8 type tag | null mask | payload
-//!          u8 bitmask-present | (u32 width | rows*width u64 words)
+//! magic "AQPT" | u16 version | u32 crc32c of the core payload
+//! u64 core_len
+//! core payload: name | schema | u64 rows
+//!               per column: u8 type tag | null mask | payload
+//!               u8 bitmask-present | (u32 width | rows*width u64 words)
+//! zone section (optional): u32 crc32c of zone bytes | u64 zone_len
+//!               zone bytes: per-block column summaries (zone maps)
 //! ```
 //!
 //! Strings are `u32` length + UTF-8 bytes; vectors are `u64` count +
-//! elements. The checksum covers every byte after the 10-byte header, so
-//! any corruption — truncation, bit rot, trailing garbage — is detected
-//! on load ([`StorageError::ChecksumMismatch`]) instead of misparsing.
+//! elements. The header checksum covers every core-payload byte, so any
+//! core corruption — truncation, bit rot — is detected on load
+//! ([`StorageError::ChecksumMismatch`]) instead of misparsing. The zone
+//! section carries its **own** CRC because zone maps are derived data: a
+//! corrupt zone section silently degrades to "no persisted maps" (the
+//! table recomputes them on demand) instead of failing the load, while
+//! corruption anywhere in the actual data still hard-fails. Version-2
+//! files (no zone section, checksum over the whole remaining payload)
+//! decode unchanged and recompute their summaries lazily.
+//!
 //! File writes go through [`fault::write_file_atomic`] (temp file +
 //! rename), and corrupt files are quarantined to `<path>.corrupt` on load
 //! so a bad file is never re-read in a loop.
@@ -34,10 +44,14 @@ use crate::fault;
 use crate::schema::{Field, Schema};
 use crate::table::Table;
 use crate::value::DataType;
+use crate::zonemap::{BlockBounds, BlockSummary, ColumnZoneMap, ZoneMaps};
 use bytes::{Buf, BufMut, BytesMut};
+use std::sync::Arc;
 
 const MAGIC: &[u8; 4] = b"AQPT";
-const VERSION: u16 = 2;
+const VERSION: u16 = 3;
+/// The previous format: no zone section, header crc over all remaining bytes.
+const VERSION_V2: u16 = 2;
 /// magic (4) + version (2) + crc32c (4).
 const HEADER_LEN: usize = 10;
 
@@ -157,8 +171,29 @@ pub fn get_string(buf: &mut &[u8]) -> StorageResult<String> {
     get_str(buf)
 }
 
-/// Encode a table to bytes (checksummed v2 format).
+/// Encode a table to bytes (checksummed v3 format, zone maps included).
+///
+/// Zone maps are computed here if the table does not already carry them:
+/// persisting a table is the "build time" at which summaries are attached,
+/// so every written file ships prunable summaries.
 pub fn encode_table(table: &Table) -> StorageResult<Vec<u8>> {
+    let core = encode_core(table)?;
+    let zone = encode_zone_maps(table.zone_maps());
+    let mut out = Vec::with_capacity(HEADER_LEN + 8 + core.len() + 12 + zone.len());
+    out.put_slice(MAGIC);
+    out.put_u16_le(VERSION);
+    out.put_u32_le(crc32c(&core));
+    out.put_u64_le(core.len() as u64);
+    out.extend_from_slice(&core);
+    out.put_u32_le(crc32c(&zone));
+    out.put_u64_le(zone.len() as u64);
+    out.extend_from_slice(&zone);
+    Ok(out)
+}
+
+/// Encode the core payload (name, schema, columns, bitmask) — the layout
+/// shared verbatim with format v2.
+fn encode_core(table: &Table) -> StorageResult<Vec<u8>> {
     let mut buf = BytesMut::with_capacity(table.byte_size() + 1024);
     put_str(&mut buf, table.name())?;
 
@@ -234,17 +269,125 @@ pub fn encode_table(table: &Table) -> StorageResult<Vec<u8>> {
         None => buf.put_u8(0),
     }
 
-    let payload = buf.to_vec();
-    let mut out = Vec::with_capacity(HEADER_LEN + payload.len());
-    out.put_slice(MAGIC);
-    out.put_u16_le(VERSION);
-    out.put_u32_le(crc32c(&payload));
-    out.extend_from_slice(&payload);
-    Ok(out)
+    Ok(buf.to_vec())
 }
 
-/// Decode a table from bytes produced by [`encode_table`], verifying the
-/// header checksum first.
+/// Encode zone maps for the trailing file section.
+fn encode_zone_maps(maps: &ZoneMaps) -> Vec<u8> {
+    let mut buf = BytesMut::new();
+    buf.put_u32_le(maps.block_rows as u32);
+    buf.put_u64_le(maps.rows as u64);
+    buf.put_u32_le(maps.columns.len() as u32);
+    for col in &maps.columns {
+        buf.put_u32_le(col.blocks.len() as u32);
+        for block in &col.blocks {
+            buf.put_u32_le(block.rows);
+            buf.put_u32_le(block.null_count);
+            match &block.bounds {
+                None => buf.put_u8(0),
+                Some(BlockBounds::Int { min, max }) => {
+                    buf.put_u8(1);
+                    buf.put_i64_le(*min);
+                    buf.put_i64_le(*max);
+                }
+                Some(BlockBounds::Float { min, max }) => {
+                    buf.put_u8(2);
+                    buf.put_f64_le(*min);
+                    buf.put_f64_le(*max);
+                }
+                Some(BlockBounds::Dict { words }) => {
+                    buf.put_u8(3);
+                    buf.put_u32_le(words.len() as u32);
+                    for w in words {
+                        buf.put_u64_le(*w);
+                    }
+                }
+            }
+        }
+    }
+    buf.to_vec()
+}
+
+/// Decode a zone section written by [`encode_zone_maps`]. Strict: any
+/// inconsistency is an error (the caller degrades to "no maps").
+fn decode_zone_maps(mut buf: &[u8]) -> StorageResult<ZoneMaps> {
+    if buf.remaining() < 16 {
+        return Err(corrupt("truncated zone header"));
+    }
+    let block_rows = buf.get_u32_le() as usize;
+    let rows = buf.get_u64_le() as usize;
+    let num_columns = buf.get_u32_le() as usize;
+    let mut columns = Vec::with_capacity(num_columns.min(buf.remaining()));
+    for _ in 0..num_columns {
+        if buf.remaining() < 4 {
+            return Err(corrupt("truncated zone column"));
+        }
+        let num_blocks = buf.get_u32_le() as usize;
+        let mut blocks = Vec::with_capacity(num_blocks.min(buf.remaining()));
+        for _ in 0..num_blocks {
+            if buf.remaining() < 9 {
+                return Err(corrupt("truncated zone block"));
+            }
+            let rows = buf.get_u32_le();
+            let null_count = buf.get_u32_le();
+            let bounds = match buf.get_u8() {
+                0 => None,
+                1 => {
+                    if buf.remaining() < 16 {
+                        return Err(corrupt("truncated int bounds"));
+                    }
+                    Some(BlockBounds::Int {
+                        min: buf.get_i64_le(),
+                        max: buf.get_i64_le(),
+                    })
+                }
+                2 => {
+                    if buf.remaining() < 16 {
+                        return Err(corrupt("truncated float bounds"));
+                    }
+                    Some(BlockBounds::Float {
+                        min: buf.get_f64_le(),
+                        max: buf.get_f64_le(),
+                    })
+                }
+                3 => {
+                    if buf.remaining() < 4 {
+                        return Err(corrupt("truncated dict bitmap length"));
+                    }
+                    let n = buf.get_u32_le() as usize;
+                    if n.checked_mul(8).is_none_or(|b| buf.remaining() < b) {
+                        return Err(corrupt("truncated dict bitmap"));
+                    }
+                    let mut words = Vec::with_capacity(n);
+                    for _ in 0..n {
+                        words.push(buf.get_u64_le());
+                    }
+                    Some(BlockBounds::Dict { words })
+                }
+                other => return Err(corrupt(format!("unknown bounds tag {other}"))),
+            };
+            blocks.push(BlockSummary {
+                rows,
+                null_count,
+                bounds,
+            });
+        }
+        columns.push(ColumnZoneMap { blocks });
+    }
+    if buf.has_remaining() {
+        return Err(corrupt("trailing zone bytes"));
+    }
+    Ok(ZoneMaps {
+        block_rows,
+        rows,
+        columns,
+    })
+}
+
+/// Decode a table from bytes produced by [`encode_table`] (v3) or by the
+/// previous v2 encoder, verifying the header checksum first. A corrupt
+/// zone section never fails the load — the table simply arrives without
+/// persisted summaries and recomputes them on first use.
 pub fn decode_table(bytes: &[u8]) -> StorageResult<Table> {
     let mut buf = bytes;
     if buf.remaining() < 4 || &buf[..4] != MAGIC {
@@ -255,7 +398,7 @@ pub fn decode_table(bytes: &[u8]) -> StorageResult<Table> {
         return Err(corrupt("truncated version"));
     }
     let version = buf.get_u16_le();
-    if version != VERSION {
+    if version != VERSION && version != VERSION_V2 {
         return Err(StorageError::Version {
             found: version,
             supported: VERSION,
@@ -265,10 +408,57 @@ pub fn decode_table(bytes: &[u8]) -> StorageResult<Table> {
         return Err(corrupt("truncated checksum"));
     }
     let expected = buf.get_u32_le();
-    let actual = crc32c(buf);
+
+    if version == VERSION_V2 {
+        // v2: checksum over everything after the header, no zone section.
+        let actual = crc32c(buf);
+        if actual != expected {
+            return Err(StorageError::ChecksumMismatch { expected, actual });
+        }
+        return decode_core(buf);
+    }
+
+    // v3: checksum over the length-prefixed core payload only.
+    if buf.remaining() < 8 {
+        return Err(corrupt("truncated core length"));
+    }
+    let core_len = buf.get_u64_le() as usize;
+    if buf.remaining() < core_len {
+        return Err(corrupt("truncated core payload"));
+    }
+    let (core, zone_section) = buf.split_at(core_len);
+    let actual = crc32c(core);
     if actual != expected {
         return Err(StorageError::ChecksumMismatch { expected, actual });
     }
+    let mut table = decode_core(core)?;
+    if let Some(maps) = decode_zone_section(zone_section) {
+        // Geometry mismatch is corruption too: fall back to lazy recompute.
+        let _ = table.set_zone_maps(Arc::new(maps));
+    }
+    Ok(table)
+}
+
+/// Decode the optional trailing zone section. `None` on any corruption —
+/// truncation, checksum mismatch, or malformed payload.
+fn decode_zone_section(mut buf: &[u8]) -> Option<ZoneMaps> {
+    if buf.remaining() < 12 {
+        return None;
+    }
+    let expected = buf.get_u32_le();
+    let zone_len = buf.get_u64_le() as usize;
+    if buf.remaining() != zone_len {
+        return None;
+    }
+    if crc32c(buf) != expected {
+        return None;
+    }
+    decode_zone_maps(buf).ok()
+}
+
+/// Decode a core payload (the v2 whole-payload layout). Errors on any
+/// malformed or trailing bytes.
+fn decode_core(mut buf: &[u8]) -> StorageResult<Table> {
     let name = get_str(&mut buf)?;
 
     // Schema.
@@ -549,10 +739,19 @@ mod tests {
         assert_tables_equal(&t, &back);
     }
 
+    /// End of the CRC-protected core region: header + core_len prefix +
+    /// core payload. Bytes past this point belong to the zone section.
+    fn core_end(bytes: &[u8]) -> usize {
+        let core_len = u64::from_le_bytes(bytes[10..18].try_into().unwrap()) as usize;
+        HEADER_LEN + 8 + core_len
+    }
+
     #[test]
     fn corruption_detected() {
         let t = sample_table();
         let good = encode_table(&t).unwrap();
+        let core_end = core_end(&good);
+        assert!(core_end < good.len(), "v3 files carry a zone section");
 
         // Bad magic.
         let mut bad = good.clone();
@@ -570,27 +769,92 @@ mod tests {
             other => panic!("expected Version error, got {other:?}"),
         }
 
-        // Truncation at every prefix must error, never panic.
-        for len in 0..good.len() {
+        // Truncation inside the protected core must error, never panic.
+        for len in 0..core_end {
             assert!(decode_table(&good[..len]).is_err(), "prefix {len}");
         }
+        // Truncation inside the zone section degrades: the table loads
+        // (data is intact) with the summaries dropped.
+        for len in core_end..good.len() {
+            let back = decode_table(&good[..len]).unwrap();
+            assert_tables_equal(&t, &back);
+            assert!(back.zone_maps_if_present().is_none(), "prefix {len}");
+        }
 
-        // Trailing garbage is caught by the checksum.
+        // Trailing garbage invalidates the zone section only.
         let mut bad = good.clone();
         bad.push(0);
-        assert!(matches!(
-            decode_table(&bad),
-            Err(StorageError::ChecksumMismatch { .. })
-        ));
+        let back = decode_table(&bad).unwrap();
+        assert_tables_equal(&t, &back);
+        assert!(back.zone_maps_if_present().is_none());
 
-        // Any payload byte flip is caught by the checksum.
+        // A core byte flip is caught by the checksum.
         let mut bad = good.clone();
-        let mid = HEADER_LEN + (good.len() - HEADER_LEN) / 2;
+        let mid = HEADER_LEN + 8 + (core_end - HEADER_LEN - 8) / 2;
         bad[mid] ^= 0x40;
         assert!(matches!(
             decode_table(&bad),
             Err(StorageError::ChecksumMismatch { .. })
         ));
+    }
+
+    #[test]
+    fn zone_maps_roundtrip_in_v3_files() {
+        let t = sample_table();
+        let computed = t.zone_maps().clone();
+        let back = decode_table(&encode_table(&t).unwrap()).unwrap();
+        let persisted = back
+            .zone_maps_if_present()
+            .expect("v3 decode attaches persisted maps without recompute");
+        assert_eq!(**persisted, *computed);
+    }
+
+    #[test]
+    fn v2_files_decode_and_recompute_zone_maps_lazily() {
+        // Frame the shared core payload the way the v2 encoder did:
+        // whole-payload checksum, no zone section.
+        let t = sample_table();
+        let core = encode_core(&t).unwrap();
+        let mut v2 = Vec::with_capacity(HEADER_LEN + core.len());
+        v2.put_slice(MAGIC);
+        v2.put_u16_le(VERSION_V2);
+        v2.put_u32_le(crc32c(&core));
+        v2.extend_from_slice(&core);
+
+        let back = decode_table(&v2).unwrap();
+        assert_tables_equal(&t, &back);
+        assert!(back.zone_maps_if_present().is_none(), "no maps persisted");
+        // Lazy recompute yields exactly what a fresh build computes.
+        assert_eq!(**back.zone_maps(), **t.zone_maps());
+
+        // v2 corruption discipline is unchanged: any payload flip fails.
+        let mut bad = v2.clone();
+        bad[HEADER_LEN + 3] ^= 1;
+        assert!(matches!(
+            decode_table(&bad),
+            Err(StorageError::ChecksumMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn every_zone_section_flip_degrades_to_recompute() {
+        // Flipping any byte at or past the zone section boundary must
+        // never fail the load and never attach wrong maps: either the
+        // maps survive bit-identical (impossible for CRC32C under a
+        // single-bit error, but allowed) or they are dropped.
+        let t = sample_table();
+        let good = encode_table(&t).unwrap();
+        let computed = t.zone_maps().clone();
+        for pos in core_end(&good)..good.len() {
+            let mut bad = good.clone();
+            bad[pos] ^= 1;
+            let back = decode_table(&bad)
+                .unwrap_or_else(|e| panic!("zone flip at {pos} failed the load: {e}"));
+            assert_tables_equal(&t, &back);
+            if let Some(maps) = back.zone_maps_if_present() {
+                assert_eq!(**maps, *computed, "flip at {pos} attached wrong maps");
+            }
+        }
     }
 
     #[test]
@@ -613,9 +877,10 @@ mod tests {
         let path = dir.join("demo.aqpt");
         write_table_file(&t, &path).unwrap();
 
-        // Corrupt the file on disk, then load: checksum error + quarantine.
+        // Corrupt the file on disk (inside the protected core region, not
+        // the degradable zone section), then load: checksum + quarantine.
         let mut bytes = std::fs::read(&path).unwrap();
-        let mid = bytes.len() / 2;
+        let mid = HEADER_LEN + 8 + 4;
         bytes[mid] ^= 1;
         std::fs::write(&path, &bytes).unwrap();
         assert!(matches!(

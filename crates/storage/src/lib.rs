@@ -36,6 +36,7 @@ pub mod schema;
 pub mod stats;
 pub mod table;
 pub mod value;
+pub mod zonemap;
 
 pub use bitmask::{BitSet, BitmaskColumn};
 pub use column::{Column, ColumnBuilder};
@@ -51,3 +52,4 @@ pub use schema::{Field, Schema, SchemaBuilder};
 pub use stats::ColumnStats;
 pub use table::{Table, TableBuilder};
 pub use value::{DataType, Value, ValueRef};
+pub use zonemap::{BlockBounds, BlockSummary, ColumnZoneMap, ZoneMaps, ZONE_BLOCK_ROWS};

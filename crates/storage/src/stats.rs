@@ -41,15 +41,17 @@ impl ColumnStats {
                 null_count += 1;
                 continue;
             }
-            let owned = v.to_owned();
-            if min.as_ref().is_none_or(|m| owned < *m) {
-                min = Some(owned.clone());
+            // Compare borrowed: an owned clone (a string allocation for
+            // dict columns) is only made on a new extremum or a live
+            // frequency-map insertion, not once per row.
+            if min.as_ref().is_none_or(|m| v < m.as_ref()) {
+                min = Some(v.to_owned());
             }
-            if max.as_ref().is_none_or(|m| owned > *m) {
-                max = Some(owned.clone());
+            if max.as_ref().is_none_or(|m| v > m.as_ref()) {
+                max = Some(v.to_owned());
             }
             if let Some(map) = freq.as_mut() {
-                *map.entry(owned).or_insert(0) += 1;
+                *map.entry(v.to_owned()).or_insert(0) += 1;
                 if map.len() > distinct_cap {
                     freq = None;
                 }

@@ -5,7 +5,8 @@ use crate::column::Column;
 use crate::error::{StorageError, StorageResult};
 use crate::schema::Schema;
 use crate::value::{Value, ValueRef};
-use std::sync::Arc;
+use crate::zonemap::ZoneMaps;
+use std::sync::{Arc, OnceLock};
 
 /// An in-memory columnar table.
 ///
@@ -19,6 +20,9 @@ pub struct Table {
     columns: Vec<Column>,
     bitmask: Option<BitmaskColumn>,
     num_rows: usize,
+    /// Lazily-computed (or decoded-from-file) zone maps. Invalidated by
+    /// any row mutation; derived data, so recompute is always safe.
+    zone_maps: OnceLock<Arc<ZoneMaps>>,
 }
 
 impl Table {
@@ -35,6 +39,7 @@ impl Table {
             columns,
             bitmask: None,
             num_rows: 0,
+            zone_maps: OnceLock::new(),
         }
     }
 
@@ -81,6 +86,7 @@ impl Table {
             columns,
             bitmask: None,
             num_rows: num_rows.unwrap_or(0),
+            zone_maps: OnceLock::new(),
         })
     }
 
@@ -144,6 +150,7 @@ impl Table {
             bm.push_empty();
         }
         self.num_rows += 1;
+        self.zone_maps.take();
         Ok(())
     }
 
@@ -161,6 +168,7 @@ impl Table {
             bm.push_empty();
         }
         self.num_rows += 1;
+        self.zone_maps.take();
         Ok(())
     }
 
@@ -179,6 +187,7 @@ impl Table {
             .expect("table has no bitmask column; call enable_bitmask first")
             .push(mask);
         self.num_rows += 1;
+        self.zone_maps.take();
         Ok(())
     }
 
@@ -241,6 +250,7 @@ impl Table {
             columns,
             bitmask,
             num_rows: indices.len(),
+            zone_maps: OnceLock::new(),
         }
     }
 
@@ -266,6 +276,42 @@ impl Table {
     /// each (see [`crate::morsel`]).
     pub fn morsels(&self, morsel_rows: usize) -> crate::morsel::MorselIter {
         crate::morsel::morsels(self.num_rows, morsel_rows)
+    }
+
+    /// Zone maps for this table, computing them on first use.
+    ///
+    /// Tables decoded from an AQPT v3 file arrive with their persisted
+    /// maps already attached ([`Table::set_zone_maps`]); older files and
+    /// in-memory tables compute them lazily here. Any row mutation
+    /// invalidates the cached maps, so the summaries always describe the
+    /// current data.
+    pub fn zone_maps(&self) -> &Arc<ZoneMaps> {
+        self.zone_maps
+            .get_or_init(|| Arc::new(ZoneMaps::compute(self)))
+    }
+
+    /// Zone maps if they have already been computed or decoded; `None`
+    /// otherwise. Never triggers a compute (used by the encoder to decide
+    /// whether persisting maps costs anything extra).
+    pub fn zone_maps_if_present(&self) -> Option<&Arc<ZoneMaps>> {
+        self.zone_maps.get()
+    }
+
+    /// Attach previously-persisted zone maps (file decode path). Maps
+    /// whose geometry does not match the table are rejected as corrupt —
+    /// callers fall back to lazy recompute.
+    pub fn set_zone_maps(&mut self, maps: Arc<ZoneMaps>) -> StorageResult<()> {
+        if maps.rows != self.num_rows || maps.columns.len() != self.columns.len() {
+            return Err(StorageError::SchemaMismatch(format!(
+                "zone maps cover {} rows x {} columns, table has {} x {}",
+                maps.rows,
+                maps.columns.len(),
+                self.num_rows,
+                self.columns.len()
+            )));
+        }
+        self.zone_maps = OnceLock::from(maps);
+        Ok(())
     }
 }
 
